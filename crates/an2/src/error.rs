@@ -1,0 +1,67 @@
+//! The network-level error type.
+
+use an2_cells::VcId;
+use an2_topology::HostId;
+use std::fmt;
+
+/// Errors surfaced by the [`crate::Network`] API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The host has no working attachment or no path to the destination.
+    NoRoute {
+        /// Source host.
+        src: HostId,
+        /// Destination host.
+        dst: HostId,
+    },
+    /// Bandwidth central denied the reservation: no path has enough
+    /// unreserved capacity on every link (§4).
+    InsufficientBandwidth {
+        /// Cells per frame requested.
+        requested: u16,
+    },
+    /// The circuit id is unknown (never opened, or already closed).
+    UnknownCircuit(VcId),
+    /// The circuit is currently broken (its path crossed a failed link and
+    /// no reroute has succeeded yet).
+    CircuitDown(VcId),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::NoRoute { src, dst } => write!(f, "no route from {src} to {dst}"),
+            NetError::InsufficientBandwidth { requested } => {
+                write!(f, "no path with {requested} unreserved cells/frame")
+            }
+            NetError::UnknownCircuit(vc) => write!(f, "unknown circuit {vc}"),
+            NetError::CircuitDown(vc) => write!(f, "circuit {vc} is down"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_parties() {
+        let e = NetError::NoRoute {
+            src: HostId(1),
+            dst: HostId(2),
+        };
+        assert!(e.to_string().contains("host1"));
+        assert!(e.to_string().contains("host2"));
+        assert!(NetError::InsufficientBandwidth { requested: 64 }
+            .to_string()
+            .contains("64"));
+        assert!(NetError::UnknownCircuit(VcId::new(3))
+            .to_string()
+            .contains("vc:0x3"));
+        assert!(NetError::CircuitDown(VcId::new(3))
+            .to_string()
+            .contains("down"));
+    }
+}

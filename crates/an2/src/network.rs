@@ -1,0 +1,673 @@
+//! The public network API: open circuits, send packets, inject failures.
+
+use crate::central::BandwidthCentral;
+use crate::error::NetError;
+use crate::fabric::{Fabric, FabricConfig, VcStats};
+use an2_cells::signal::TrafficClass;
+use an2_cells::{LinkRate, Packet, Segmenter, VcId};
+use an2_sim::{SimDuration, SimTime};
+use an2_topology::{generators, paths, HostId, LinkId, Node, SwitchId, Topology};
+use std::collections::HashMap;
+
+/// Builds a [`Network`].
+///
+/// ```
+/// use an2::Network;
+/// let net = Network::builder().ring(4, 8).seed(1).build();
+/// assert_eq!(net.topology().switch_count(), 4);
+/// assert_eq!(net.topology().host_count(), 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetworkBuilder {
+    topo: Topology,
+    seed: u64,
+    fabric: FabricConfig,
+    rate: LinkRate,
+}
+
+impl Default for NetworkBuilder {
+    fn default() -> Self {
+        NetworkBuilder {
+            topo: generators::src_installation(4, 4),
+            seed: 0,
+            fabric: FabricConfig::default(),
+            rate: LinkRate::Mbps622,
+        }
+    }
+}
+
+impl NetworkBuilder {
+    /// Uses an explicit topology.
+    pub fn topology(mut self, topo: Topology) -> Self {
+        self.topo = topo;
+        self
+    }
+
+    /// A Figure 1–style installation: redundant backbone, dual-homed hosts.
+    pub fn src_installation(mut self, switches: usize, hosts: usize) -> Self {
+        self.topo = generators::src_installation(switches, hosts);
+        self
+    }
+
+    /// A ring of switches with hosts attached round-robin (single-homed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `switches < 3`.
+    pub fn ring(mut self, switches: usize, hosts: usize) -> Self {
+        let mut topo = generators::ring(switches);
+        for k in 0..hosts {
+            let h = topo.add_host();
+            topo.attach_host(h, SwitchId((k % switches) as u16))
+                .expect("ring host attach");
+        }
+        self.topo = topo;
+        self
+    }
+
+    /// Seeds all randomness (PIM grant choices, workload draws).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Slots per guaranteed-traffic frame (default 1024).
+    pub fn frame_slots(mut self, slots: u32) -> Self {
+        self.fabric.switch.frame_slots = slots;
+        self
+    }
+
+    /// Link propagation delay in cell slots (default 2).
+    pub fn link_latency_slots(mut self, slots: u64) -> Self {
+        self.fabric.link_latency_slots = slots;
+        self
+    }
+
+    /// Downstream buffers per best-effort circuit per hop (default 8).
+    pub fn best_effort_credits(mut self, credits: u32) -> Self {
+        self.fabric.be_credits = credits;
+        self
+    }
+
+    /// PIM iterations per slot (default 3, the AN2 hardware value).
+    pub fn pim_iterations(mut self, iterations: usize) -> Self {
+        self.fabric.switch.pim_iterations = iterations;
+        self
+    }
+
+    /// Link rate used to convert slots to wall-clock time (default 622 Mb/s).
+    pub fn link_rate(mut self, rate: LinkRate) -> Self {
+        self.rate = rate;
+        self
+    }
+
+    /// Builds the network.
+    pub fn build(self) -> Network {
+        let frame = self.fabric.switch.frame_slots;
+        let central = BandwidthCentral::new(&self.topo, frame);
+        Network {
+            fabric: Fabric::new(self.topo, self.fabric, self.seed),
+            central,
+            meta: HashMap::new(),
+            broken: HashMap::new(),
+            next_vc: 32, // leave room below for well-known circuits
+            rate: self.rate,
+        }
+    }
+}
+
+/// A committed guaranteed reservation: the switch path, the inter-switch
+/// links, the host attachment links (with their direction anchors), and the
+/// cells per frame.
+type Reservation = (Vec<SwitchId>, Vec<LinkId>, Vec<(LinkId, Node)>, u32);
+
+#[derive(Debug, Clone)]
+struct CircuitMeta {
+    src: HostId,
+    dst: HostId,
+    class: TrafficClass,
+    /// For guaranteed circuits: the committed reservation, for release.
+    reservation: Option<Reservation>,
+}
+
+/// The AN2 network: topology + switches + controllers + bandwidth central.
+///
+/// See the [crate documentation](crate) for an end-to-end example.
+#[derive(Debug)]
+pub struct Network {
+    fabric: Fabric,
+    central: BandwidthCentral,
+    meta: HashMap<VcId, CircuitMeta>,
+    /// Circuits torn down by failures with no repair capacity, with the
+    /// statistics they had accumulated.
+    broken: HashMap<VcId, VcStats>,
+    next_vc: u32,
+    rate: LinkRate,
+}
+
+impl Network {
+    /// Starts building a network.
+    pub fn builder() -> NetworkBuilder {
+        NetworkBuilder::default()
+    }
+
+    /// The physical topology, including failures injected so far.
+    pub fn topology(&self) -> &Topology {
+        self.fabric.topology()
+    }
+
+    /// All host ids.
+    pub fn hosts(&self) -> impl Iterator<Item = HostId> + '_ {
+        self.topology().hosts()
+    }
+
+    /// The current cell slot.
+    pub fn slot(&self) -> u64 {
+        self.fabric.slot()
+    }
+
+    /// Virtual time corresponding to the current slot at the configured
+    /// link rate.
+    pub fn now(&self) -> SimTime {
+        SimTime::ZERO + self.rate.slot_duration() * self.fabric.slot()
+    }
+
+    /// Duration of one cell slot.
+    pub fn slot_duration(&self) -> SimDuration {
+        self.rate.slot_duration()
+    }
+
+    fn fresh_vc(&mut self) -> VcId {
+        let vc = VcId::new(self.next_vc);
+        self.next_vc += 1;
+        vc
+    }
+
+    /// The switch path currently carrying a circuit.
+    pub fn circuit_path(&self, vc: VcId) -> Option<&[SwitchId]> {
+        self.fabric.circuit_path(vc)
+    }
+
+    /// Whether the circuit is currently broken (awaiting repair capacity).
+    pub fn is_broken(&self, vc: VcId) -> bool {
+        self.broken.contains_key(&vc)
+    }
+
+    /// Opens a best-effort virtual circuit from `src` to `dst` (§2): the
+    /// route is the shortest working path between the hosts' attachments;
+    /// per-hop credit gates are installed.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::NoRoute`] when the hosts are not mutually reachable.
+    pub fn open_best_effort(&mut self, src: HostId, dst: HostId) -> Result<VcId, NetError> {
+        let route = self.best_effort_route(src, dst)?;
+        let vc = self.fresh_vc();
+        let (switches, links, src_link, dst_link) = route;
+        self.fabric.open_circuit(
+            vc,
+            src,
+            dst,
+            TrafficClass::BestEffort,
+            switches,
+            links,
+            src_link,
+            dst_link,
+        );
+        self.meta.insert(
+            vc,
+            CircuitMeta {
+                src,
+                dst,
+                class: TrafficClass::BestEffort,
+                reservation: None,
+            },
+        );
+        Ok(vc)
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn best_effort_route(
+        &self,
+        src: HostId,
+        dst: HostId,
+    ) -> Result<(Vec<SwitchId>, Vec<LinkId>, LinkId, LinkId), NetError> {
+        let topo = self.topology();
+        let route = paths::host_route(topo, src, dst).ok_or(NetError::NoRoute { src, dst })?;
+        let switches = route.switches;
+        // Concrete links between consecutive switches (lowest id wins).
+        let mut links = Vec::new();
+        for w in switches.windows(2) {
+            let l = topo.links_between(w[0], w[1]);
+            links.push(*l.first().ok_or(NetError::NoRoute { src, dst })?);
+        }
+        let src_link = topo
+            .host_attachments(src)
+            .into_iter()
+            .find(|&(_, s)| s == switches[0])
+            .map(|(l, _)| l)
+            .ok_or(NetError::NoRoute { src, dst })?;
+        let dst_link = topo
+            .host_attachments(dst)
+            .into_iter()
+            .find(|&(_, s)| s == *switches.last().expect("non-empty route"))
+            .map(|(l, _)| l)
+            .ok_or(NetError::NoRoute { src, dst })?;
+        Ok((switches, links, src_link, dst_link))
+    }
+
+    /// Opens a best-effort circuit the way the hardware does it (§2): a
+    /// setup cell travels the path installing routing entries at each line
+    /// card; packets may be sent immediately and their cells are buffered
+    /// at any switch the setup has not yet configured. Use
+    /// [`Network::is_established`] to observe setup completion.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::NoRoute`] when the hosts are not mutually reachable.
+    pub fn open_best_effort_signaled(
+        &mut self,
+        src: HostId,
+        dst: HostId,
+    ) -> Result<VcId, NetError> {
+        let (switches, links, src_link, dst_link) = self.best_effort_route(src, dst)?;
+        let vc = self.fresh_vc();
+        self.fabric
+            .open_circuit_signaled(vc, src, dst, switches, links, src_link, dst_link);
+        self.meta.insert(
+            vc,
+            CircuitMeta {
+                src,
+                dst,
+                class: TrafficClass::BestEffort,
+                reservation: None,
+            },
+        );
+        Ok(vc)
+    }
+
+    /// Whether a circuit's setup has completed end to end (always true for
+    /// circuits opened without signaling).
+    pub fn is_established(&self, vc: VcId) -> bool {
+        self.fabric.is_established(vc)
+    }
+
+    /// Opens a guaranteed virtual circuit with `cells_per_frame` reserved
+    /// bandwidth, via bandwidth central (§4).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::NoRoute`] when a host is detached;
+    /// [`NetError::InsufficientBandwidth`] when no path can carry the
+    /// reservation.
+    pub fn open_guaranteed(
+        &mut self,
+        src: HostId,
+        dst: HostId,
+        cells_per_frame: u16,
+    ) -> Result<VcId, NetError> {
+        let cells = cells_per_frame as u32;
+        let topo = self.topology().clone();
+        let (src_link, src_sw) = self
+            .central
+            .best_attachment(&topo, src, cells, true)
+            .ok_or(NetError::InsufficientBandwidth {
+                requested: cells_per_frame,
+            })?;
+        let (dst_link, dst_sw) = self
+            .central
+            .best_attachment(&topo, dst, cells, false)
+            .ok_or(NetError::InsufficientBandwidth {
+                requested: cells_per_frame,
+            })?;
+        let (switches, links) = self
+            .central
+            .find_route(&topo, src_sw, dst_sw, cells)
+            .ok_or(NetError::InsufficientBandwidth {
+                requested: cells_per_frame,
+            })?;
+        let host_links = vec![
+            (src_link, Node::Host(src)),
+            (dst_link, Node::Switch(dst_sw)),
+        ];
+        self.central
+            .commit(&topo, &switches, &links, &host_links, cells);
+        let vc = self.fresh_vc();
+        let class = TrafficClass::Guaranteed { cells_per_frame };
+        self.fabric.open_circuit(
+            vc,
+            src,
+            dst,
+            class,
+            switches.clone(),
+            links.clone(),
+            src_link,
+            dst_link,
+        );
+        self.meta.insert(
+            vc,
+            CircuitMeta {
+                src,
+                dst,
+                class,
+                reservation: Some((switches, links, host_links, cells)),
+            },
+        );
+        Ok(vc)
+    }
+
+    /// Closes a circuit, releasing any reserved bandwidth. Returns its
+    /// final statistics.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownCircuit`] if the id was never opened.
+    pub fn close(&mut self, vc: VcId) -> Result<VcStats, NetError> {
+        let meta = self.meta.remove(&vc).ok_or(NetError::UnknownCircuit(vc))?;
+        if let Some((switches, links, host_links, cells)) = meta.reservation {
+            let topo = self.topology().clone();
+            self.central
+                .release(&topo, &switches, &links, &host_links, cells);
+        }
+        if let Some(stats) = self.broken.remove(&vc) {
+            return Ok(stats);
+        }
+        self.fabric
+            .close_circuit(vc)
+            .ok_or(NetError::UnknownCircuit(vc))
+    }
+
+    /// Queues a packet on a circuit at the source controller, which
+    /// segments it into cells (§1). A paged-out circuit is transparently
+    /// paged back in first (§2).
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownCircuit`] / [`NetError::CircuitDown`], or
+    /// [`NetError::NoRoute`] when paging in finds no working path.
+    pub fn send_packet(&mut self, vc: VcId, packet: Packet) -> Result<(), NetError> {
+        if !self.meta.contains_key(&vc) {
+            return Err(NetError::UnknownCircuit(vc));
+        }
+        if self.broken.contains_key(&vc) {
+            return Err(NetError::CircuitDown(vc));
+        }
+        if self.fabric.is_paged_out(vc) {
+            self.page_in(vc)?;
+        }
+        let cells = Segmenter::new(vc).segment(&packet);
+        self.fabric.send_cells(vc, cells);
+        Ok(())
+    }
+
+    /// Pages out every best-effort circuit that has been idle for at least
+    /// `idle_slots` (§2's resource-reclamation optimization), releasing its
+    /// routing-table entries and per-hop buffers. Returns the circuits
+    /// paged out. They page back in transparently on the next
+    /// [`Network::send_packet`].
+    pub fn page_out_idle(&mut self, idle_slots: u64) -> Vec<VcId> {
+        let mut paged = Vec::new();
+        let mut candidates: Vec<VcId> = self
+            .meta
+            .iter()
+            .filter(|(_, m)| matches!(m.class, TrafficClass::BestEffort))
+            .map(|(&vc, _)| vc)
+            .collect();
+        candidates.sort_unstable();
+        for vc in candidates {
+            if self.fabric.is_paged_out(vc) || self.broken.contains_key(&vc) {
+                continue;
+            }
+            if self.fabric.is_idle(vc, idle_slots) && self.fabric.page_out_circuit(vc) {
+                paged.push(vc);
+            }
+        }
+        paged
+    }
+
+    /// Whether a circuit is currently paged out.
+    pub fn is_paged_out(&self, vc: VcId) -> bool {
+        self.fabric.is_paged_out(vc)
+    }
+
+    /// Re-establishes a paged-out circuit on the current topology — the §2
+    /// "page in" triggered by fresh traffic.
+    fn page_in(&mut self, vc: VcId) -> Result<(), NetError> {
+        let meta = self
+            .meta
+            .get(&vc)
+            .cloned()
+            .ok_or(NetError::UnknownCircuit(vc))?;
+        let (switches, links, src_link, dst_link) = self.best_effort_route(meta.src, meta.dst)?;
+        self.fabric
+            .page_in_circuit(vc, switches, links, src_link, dst_link);
+        Ok(())
+    }
+
+    /// Advances the network by `slots` cell slots.
+    pub fn step(&mut self, slots: u64) {
+        self.fabric.step(slots);
+    }
+
+    /// Takes packets delivered to `host` since the last call.
+    pub fn take_received(&mut self, host: HostId) -> Vec<(VcId, Packet)> {
+        self.fabric.take_received(host)
+    }
+
+    /// Per-circuit statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown circuit.
+    pub fn stats(&self, vc: VcId) -> &VcStats {
+        self.fabric.stats(vc)
+    }
+
+    /// Cells still queued at a circuit's source controller.
+    pub fn outbox_len(&self, vc: VcId) -> usize {
+        self.fabric.outbox_len(vc)
+    }
+
+    /// Fails a link: in-flight traffic on it is lost, and every circuit
+    /// whose path used it is rerouted (or marked broken when no capacity
+    /// remains) — §2's "the virtual circuit can be rerouted by sending a
+    /// new circuit setup cell from the point where the path was broken".
+    pub fn fail_link(&mut self, link: LinkId) {
+        let victims = self.fabric.circuits_using(link);
+        self.fabric.fail_link(link);
+        for vc in victims {
+            self.repair(vc);
+        }
+    }
+
+    /// Pulls the plug on a switch: all its links fail at once (§1's demo).
+    pub fn fail_switch(&mut self, victim: SwitchId) {
+        let topo = self.topology();
+        let incident: Vec<LinkId> = topo
+            .links()
+            .filter(|&l| {
+                let (a, b) = topo.endpoints(l);
+                a.node == Node::Switch(victim) || b.node == Node::Switch(victim)
+            })
+            .collect();
+        let mut victims: Vec<VcId> = Vec::new();
+        for l in &incident {
+            victims.extend(self.fabric.circuits_using(*l));
+        }
+        victims.sort_unstable();
+        victims.dedup();
+        for l in incident {
+            self.fabric.fail_link(l);
+        }
+        for vc in victims {
+            self.repair(vc);
+        }
+    }
+
+    /// §2's speculative extension: "a more speculative option is to reroute
+    /// circuits to balance the load on the network." One rebalancing pass:
+    /// find the inter-switch link carrying the most best-effort circuits and
+    /// move one of them onto an alternative path that (a) avoids that link
+    /// and (b) is no longer than the current path, if such a path exists.
+    /// Returns the circuit moved, or `None` when the network is already
+    /// balanced (no improving move exists).
+    ///
+    /// The mechanics are exactly the failure-reroute mechanics — "the
+    /// mechanics of rerouting are no more difficult in this case" — so a
+    /// moved circuit drops its in-flight cells; callers should rebalance
+    /// during lulls.
+    pub fn rebalance(&mut self) -> Option<VcId> {
+        let counts = self.fabric.link_circuit_counts();
+        let (&(hot_link, hot_count), _) = counts
+            .iter()
+            .map(|e| (e, ()))
+            .max_by_key(|((_, c), ())| *c)?;
+        if hot_count <= 1 {
+            return None; // nothing to gain by moving a lone circuit
+        }
+        let mut victims = self.fabric.circuits_using(hot_link);
+        victims.retain(|vc| {
+            self.meta
+                .get(vc)
+                .is_some_and(|m| matches!(m.class, TrafficClass::BestEffort))
+                && !self.fabric.is_paged_out(*vc)
+        });
+        let load_of = |l: LinkId| counts.iter().find(|&&(k, _)| k == l).map_or(0, |&(_, c)| c);
+        for vc in victims {
+            let meta = self.meta[&vc].clone();
+            let current_len = self.fabric.circuit_path(vc).map_or(usize::MAX, <[_]>::len);
+            // Search for an equally short path avoiding the hot link: probe
+            // on a copy of the topology with the hot link removed.
+            let mut probe = self.topology().clone();
+            probe.set_link_state(hot_link, an2_topology::LinkState::Dead);
+            let Some(route) = an2_topology::paths::host_route(&probe, meta.src, meta.dst) else {
+                continue;
+            };
+            if route.switches.len() > current_len {
+                continue; // only sideways moves: no latency penalty
+            }
+            // Materialize concrete links, preferring the least-loaded
+            // parallel link per hop.
+            let mut links = Vec::new();
+            let mut ok = true;
+            for w in route.switches.windows(2) {
+                match probe
+                    .links_between(w[0], w[1])
+                    .into_iter()
+                    .min_by_key(|&l| load_of(l))
+                {
+                    Some(l) => links.push(l),
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if !ok {
+                continue;
+            }
+            // Strict improvement only, or rebalancing would oscillate:
+            // every link on the new path must end up below the hot link's
+            // current load.
+            if links.iter().any(|&l| load_of(l) + 1 >= hot_count) {
+                continue;
+            }
+            let src_link = probe
+                .host_attachments(meta.src)
+                .into_iter()
+                .find(|&(_, s)| s == route.switches[0])
+                .map(|(l, _)| l);
+            let dst_link = probe
+                .host_attachments(meta.dst)
+                .into_iter()
+                .find(|&(_, s)| Some(s) == route.switches.last().copied())
+                .map(|(l, _)| l);
+            if let (Some(src_link), Some(dst_link)) = (src_link, dst_link) {
+                self.fabric
+                    .reroute_circuit(vc, route.switches, links, src_link, dst_link);
+                return Some(vc);
+            }
+        }
+        None
+    }
+
+    /// Best-effort circuit count per working inter-switch link.
+    pub fn link_loads(&self) -> Vec<(LinkId, usize)> {
+        self.fabric.link_circuit_counts()
+    }
+
+    /// Attempts to re-establish a circuit on the current topology.
+    fn repair(&mut self, vc: VcId) {
+        if self.fabric.is_paged_out(vc) {
+            // A paged-out circuit holds no network resources; it will pick
+            // a fresh route when it pages back in.
+            return;
+        }
+        let Some(meta) = self.meta.get(&vc).cloned() else {
+            return;
+        };
+        match meta.class {
+            TrafficClass::BestEffort => match self.best_effort_route(meta.src, meta.dst) {
+                Ok((switches, links, src_link, dst_link)) => {
+                    self.fabric
+                        .reroute_circuit(vc, switches, links, src_link, dst_link);
+                    self.broken.remove(&vc);
+                }
+                Err(_) => {
+                    if let Some(stats) = self.fabric.close_circuit(vc) {
+                        self.broken.insert(vc, stats);
+                    }
+                }
+            },
+            TrafficClass::Guaranteed { cells_per_frame } => {
+                let cells = cells_per_frame as u32;
+                // Release the old reservation (links that died release
+                // capacity nobody can use; harmless).
+                let topo = self.topology().clone();
+                if let Some((switches, links, host_links, amount)) =
+                    self.meta.get_mut(&vc).and_then(|m| m.reservation.take())
+                {
+                    self.central
+                        .release(&topo, &switches, &links, &host_links, amount);
+                }
+                let admitted = self
+                    .central
+                    .best_attachment(&topo, meta.src, cells, true)
+                    .and_then(|(src_link, src_sw)| {
+                        let (dst_link, dst_sw) = self
+                            .central
+                            .best_attachment(&topo, meta.dst, cells, false)?;
+                        let (switches, links) =
+                            self.central.find_route(&topo, src_sw, dst_sw, cells)?;
+                        Some((src_link, dst_link, dst_sw, switches, links))
+                    });
+                match admitted {
+                    Some((src_link, dst_link, dst_sw, switches, links)) => {
+                        let host_links = vec![
+                            (src_link, Node::Host(meta.src)),
+                            (dst_link, Node::Switch(dst_sw)),
+                        ];
+                        self.central
+                            .commit(&topo, &switches, &links, &host_links, cells);
+                        self.fabric.reroute_circuit(
+                            vc,
+                            switches.clone(),
+                            links.clone(),
+                            src_link,
+                            dst_link,
+                        );
+                        if let Some(m) = self.meta.get_mut(&vc) {
+                            m.reservation = Some((switches, links, host_links, cells));
+                        }
+                        self.broken.remove(&vc);
+                    }
+                    None => {
+                        if let Some(stats) = self.fabric.close_circuit(vc) {
+                            self.broken.insert(vc, stats);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

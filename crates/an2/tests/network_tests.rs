@@ -1,0 +1,521 @@
+//! Behavioural tests of the whole-network API.
+
+use an2::{Network, TrafficClass, VcId};
+use an2_cells::Packet;
+use an2_topology::{LinkState, Node, SwitchId};
+
+fn payload(n: usize, tag: u8) -> Packet {
+    Packet::from_bytes(vec![tag; n])
+}
+
+#[test]
+fn best_effort_packet_round_trip() {
+    let mut net = Network::builder().src_installation(6, 6).seed(1).build();
+    let hosts: Vec<_> = net.hosts().collect();
+    let vc = net.open_best_effort(hosts[0], hosts[3]).unwrap();
+    net.send_packet(vc, payload(1000, 0xAB)).unwrap();
+    net.step(5_000);
+    let got = net.take_received(hosts[3]);
+    assert_eq!(got.len(), 1);
+    assert_eq!(got[0].0, vc);
+    assert_eq!(got[0].1.as_bytes(), &vec![0xAB; 1000][..]);
+    let stats = net.stats(vc);
+    assert_eq!(stats.packets_delivered, 1);
+    assert_eq!(stats.sent_cells, stats.delivered_cells);
+    assert_eq!(stats.dropped_cells, 0);
+}
+
+#[test]
+fn many_packets_in_order_across_many_pairs() {
+    let mut net = Network::builder().src_installation(8, 16).seed(2).build();
+    let hosts: Vec<_> = net.hosts().collect();
+    let mut vcs = Vec::new();
+    for k in 0..8 {
+        let vc = net.open_best_effort(hosts[k], hosts[15 - k]).unwrap();
+        for p in 0..5u8 {
+            net.send_packet(vc, payload(500, p)).unwrap();
+        }
+        vcs.push(vc);
+    }
+    net.step(30_000);
+    for (k, &vc) in vcs.iter().enumerate() {
+        let got = net.take_received(hosts[15 - k]);
+        let mine: Vec<_> = got.iter().filter(|(v, _)| *v == vc).collect();
+        assert_eq!(mine.len(), 5, "pair {k}");
+        for (p, (_, packet)) in mine.iter().enumerate() {
+            assert_eq!(packet.as_bytes()[0], p as u8, "in-order delivery");
+        }
+    }
+}
+
+#[test]
+fn guaranteed_circuit_admission_and_delivery() {
+    let mut net = Network::builder()
+        .src_installation(5, 4)
+        .frame_slots(64)
+        .seed(3)
+        .build();
+    let hosts: Vec<_> = net.hosts().collect();
+    let vc = net.open_guaranteed(hosts[0], hosts[2], 16).unwrap();
+    net.send_packet(vc, payload(2000, 0x5A)).unwrap();
+    net.step(20_000);
+    let got = net.take_received(hosts[2]);
+    assert_eq!(got.len(), 1);
+    assert_eq!(got[0].1.len(), 2000);
+}
+
+#[test]
+fn guaranteed_admission_denied_when_saturated() {
+    // A single host link has `frame` cells/frame capacity; request more in
+    // pieces until denial.
+    let mut net = Network::builder()
+        .src_installation(4, 4)
+        .frame_slots(32)
+        .seed(4)
+        .build();
+    let hosts: Vec<_> = net.hosts().collect();
+    // The source host has 2 attachments × 32 cells of outbound capacity.
+    let mut opened = 0;
+    loop {
+        match net.open_guaranteed(hosts[0], hosts[1], 24) {
+            Ok(_) => opened += 1,
+            Err(an2::NetError::InsufficientBandwidth { requested }) => {
+                assert_eq!(requested, 24);
+                break;
+            }
+            Err(e) => panic!("unexpected error {e}"),
+        }
+        assert!(opened <= 4, "admission control never denied");
+    }
+    assert!(opened >= 1);
+}
+
+#[test]
+fn guaranteed_latency_bound_holds() {
+    // §4: end-to-end guaranteed latency is at most p * (2f + l). With
+    // frame f = 64 slots, link latency l = 2 slots, path length p switches.
+    let mut net = Network::builder()
+        .src_installation(6, 6)
+        .frame_slots(64)
+        .link_latency_slots(2)
+        .seed(5)
+        .build();
+    let hosts: Vec<_> = net.hosts().collect();
+    let vc = net.open_guaranteed(hosts[0], hosts[3], 8).unwrap();
+    // Steady stream, rate-matched by the controller.
+    for _ in 0..40 {
+        net.send_packet(vc, payload(100, 1)).unwrap();
+    }
+    net.step(40_000);
+    let p = net.circuit_path(vc).unwrap().len() as u64;
+    let stats = net.stats(vc);
+    assert!(stats.delivered_cells > 50);
+    let bound = p * (2 * 64 + 2) + 2 * 2 + 16; // + host links and pipeline
+    let max = stats.latency_slots.max().unwrap();
+    assert!(
+        max <= bound,
+        "guaranteed cell latency {max} slots exceeds p(2f+l) = {bound}"
+    );
+}
+
+#[test]
+fn best_effort_is_fast_on_idle_network() {
+    // §1/§4: ~2 µs per switch on a lightly loaded network. With a 3-slot
+    // pipeline and 2-slot links, a p-switch path costs about 5p + slack.
+    let mut net = Network::builder().src_installation(6, 6).seed(6).build();
+    let hosts: Vec<_> = net.hosts().collect();
+    let vc = net.open_best_effort(hosts[0], hosts[1]).unwrap();
+    net.send_packet(vc, payload(40, 7)).unwrap(); // single cell
+    net.step(200);
+    let stats = net.stats(vc);
+    assert_eq!(stats.delivered_cells, 1);
+    let p = net.circuit_path(vc).unwrap().len() as u64;
+    let latency = stats.latency_slots.max().unwrap();
+    assert!(
+        latency <= p * 6 + 10,
+        "idle-network latency {latency} slots for {p} switches"
+    );
+}
+
+#[test]
+fn link_failure_reroutes_best_effort() {
+    let mut net = Network::builder().src_installation(6, 6).seed(7).build();
+    let hosts: Vec<_> = net.hosts().collect();
+    let vc = net.open_best_effort(hosts[0], hosts[3]).unwrap();
+    net.send_packet(vc, payload(3000, 1)).unwrap();
+    net.step(50);
+    // Fail the first inter-switch link on the path (if multi-switch) or the
+    // source attachment.
+    let path = net.circuit_path(vc).unwrap().to_vec();
+    let link = if path.len() >= 2 {
+        net.topology().links_between(path[0], path[1])[0]
+    } else {
+        net.topology().host_attachments(hosts[0])[0].0
+    };
+    net.fail_link(link);
+    assert!(!net.is_broken(vc), "redundant installation must reroute");
+    // Traffic continues on the new path; earlier partial packet is
+    // discarded by the reassembler, later packets flow.
+    net.send_packet(vc, payload(500, 2)).unwrap();
+    net.step(20_000);
+    let got = net.take_received(hosts[3]);
+    assert!(
+        got.iter().any(|(_, p)| p.as_bytes() == &vec![2u8; 500][..]),
+        "post-failure packet must arrive"
+    );
+}
+
+#[test]
+fn switch_failure_is_survived_by_dual_homed_hosts() {
+    let mut net = Network::builder().src_installation(8, 8).seed(8).build();
+    let hosts: Vec<_> = net.hosts().collect();
+    let vc = net.open_best_effort(hosts[0], hosts[4]).unwrap();
+    let first_switch = net.circuit_path(vc).unwrap()[0];
+    net.fail_switch(first_switch);
+    assert!(!net.is_broken(vc), "dual homing must allow a reroute");
+    let new_path = net.circuit_path(vc).unwrap();
+    assert!(!new_path.contains(&first_switch));
+    net.send_packet(vc, payload(200, 9)).unwrap();
+    net.step(10_000);
+    let got = net.take_received(hosts[4]);
+    assert_eq!(got.len(), 1);
+}
+
+#[test]
+fn circuit_breaks_when_no_path_remains() {
+    let mut net = Network::builder().ring(3, 3).seed(9).build();
+    let hosts: Vec<_> = net.hosts().collect();
+    let vc = net.open_best_effort(hosts[0], hosts[1]).unwrap();
+    // Sever host 0 entirely (single-homed in the ring builder).
+    let (host_link, _) = net.topology().host_attachments(hosts[0])[0];
+    net.fail_link(host_link);
+    assert!(net.is_broken(vc));
+    assert_eq!(
+        net.send_packet(vc, payload(10, 0)),
+        Err(an2::NetError::CircuitDown(vc))
+    );
+    // Closing a broken circuit still works and yields its stats.
+    let stats = net.close(vc).unwrap();
+    assert_eq!(stats.packets_delivered, 0);
+    assert!(matches!(
+        net.close(vc),
+        Err(an2::NetError::UnknownCircuit(v)) if v == vc
+    ));
+}
+
+#[test]
+fn close_releases_guaranteed_capacity() {
+    let mut net = Network::builder()
+        .src_installation(4, 4)
+        .frame_slots(16)
+        .seed(10)
+        .build();
+    let hosts: Vec<_> = net.hosts().collect();
+    let a = net.open_guaranteed(hosts[0], hosts[1], 16).unwrap();
+    let b = net.open_guaranteed(hosts[0], hosts[1], 16).unwrap();
+    // Both host links now fully reserved outbound.
+    assert!(matches!(
+        net.open_guaranteed(hosts[0], hosts[1], 16),
+        Err(an2::NetError::InsufficientBandwidth { .. })
+    ));
+    net.close(a).unwrap();
+    let c = net.open_guaranteed(hosts[0], hosts[1], 16).unwrap();
+    assert_ne!(b, c);
+}
+
+#[test]
+fn unknown_circuit_errors() {
+    let mut net = Network::builder().ring(3, 2).seed(11).build();
+    let bogus = VcId::new(9999);
+    assert_eq!(
+        net.send_packet(bogus, payload(1, 0)),
+        Err(an2::NetError::UnknownCircuit(bogus))
+    );
+    assert!(net.close(bogus).is_err());
+}
+
+#[test]
+fn no_route_between_detached_hosts() {
+    let mut topo = an2_topology::generators::ring(3);
+    let h0 = topo.add_host();
+    let h1 = topo.add_host();
+    topo.attach_host(h0, SwitchId(0)).unwrap();
+    // h1 never attached.
+    let mut net = Network::builder().topology(topo).seed(12).build();
+    assert!(matches!(
+        net.open_best_effort(h0, h1),
+        Err(an2::NetError::NoRoute { .. })
+    ));
+}
+
+#[test]
+fn same_switch_hosts_communicate() {
+    let mut topo = an2_topology::generators::ring(3);
+    let h0 = topo.add_host();
+    let h1 = topo.add_host();
+    topo.attach_host(h0, SwitchId(0)).unwrap();
+    topo.attach_host(h1, SwitchId(0)).unwrap();
+    let mut net = Network::builder().topology(topo).seed(13).build();
+    let vc = net.open_best_effort(h0, h1).unwrap();
+    assert_eq!(net.circuit_path(vc).unwrap().len(), 1);
+    net.send_packet(vc, payload(100, 3)).unwrap();
+    net.step(1_000);
+    assert_eq!(net.take_received(h1).len(), 1);
+}
+
+#[test]
+fn mixed_traffic_guaranteed_unharmed_by_best_effort_flood() {
+    // Guaranteed circuit shares its path with a best-effort flood; its
+    // cells still flow at the reserved rate with bounded latency.
+    let mut net = Network::builder()
+        .ring(4, 8)
+        .frame_slots(32)
+        .seed(14)
+        .build();
+    let hosts: Vec<_> = net.hosts().collect();
+    let gt = net.open_guaranteed(hosts[0], hosts[2], 16).unwrap();
+    let be = net.open_best_effort(hosts[4], hosts[2]).unwrap();
+    // Flood best-effort.
+    for _ in 0..50 {
+        net.send_packet(be, payload(2000, 0xEE)).unwrap();
+    }
+    for _ in 0..50 {
+        net.send_packet(gt, payload(200, 0x11)).unwrap();
+    }
+    net.step(60_000);
+    let gt_stats = net.stats(gt);
+    assert!(
+        gt_stats.packets_delivered >= 45,
+        "guaranteed starved: {gt_stats:?}"
+    );
+    let p = net.circuit_path(gt).unwrap().len() as u64;
+    let bound = p * (2 * 32 + 2) + 2 * 2 + 16;
+    assert!(gt_stats.latency_slots.max().unwrap() <= bound);
+}
+
+#[test]
+fn determinism_same_seed_same_outcome() {
+    fn run(seed: u64) -> (u64, u64) {
+        let mut net = Network::builder().src_installation(6, 8).seed(seed).build();
+        let hosts: Vec<_> = net.hosts().collect();
+        let a = net.open_best_effort(hosts[0], hosts[5]).unwrap();
+        let b = net.open_best_effort(hosts[1], hosts[5]).unwrap();
+        for _ in 0..20 {
+            net.send_packet(a, payload(700, 1)).unwrap();
+            net.send_packet(b, payload(700, 2)).unwrap();
+        }
+        net.step(10_000);
+        (
+            net.stats(a).latency_slots.samples().iter().sum::<u64>(),
+            net.stats(b).latency_slots.samples().iter().sum::<u64>(),
+        )
+    }
+    assert_eq!(run(77), run(77));
+}
+
+#[test]
+fn dead_links_are_not_used_for_new_circuits() {
+    let mut net = Network::builder().src_installation(6, 6).seed(15).build();
+    let hosts: Vec<_> = net.hosts().collect();
+    // Kill one backbone link, then open circuits everywhere: none may use
+    // a dead link (circuit paths only contain working hops by construction;
+    // verify topology sanity here).
+    let link = net.topology().links_between(SwitchId(0), SwitchId(1))[0];
+    net.fail_link(link);
+    assert_eq!(net.topology().link_state(link), LinkState::Dead);
+    for i in 0..hosts.len() {
+        for j in 0..hosts.len() {
+            if i == j {
+                continue;
+            }
+            let vc = net.open_best_effort(hosts[i], hosts[j]).unwrap();
+            let path = net.circuit_path(vc).unwrap().to_vec();
+            for w in path.windows(2) {
+                assert!(
+                    !net.topology().links_between(w[0], w[1]).is_empty(),
+                    "circuit uses a dead adjacency"
+                );
+            }
+            net.close(vc).unwrap();
+        }
+    }
+}
+
+#[test]
+fn traffic_class_exposed() {
+    // The re-exported TrafficClass is part of the public API surface.
+    let c = TrafficClass::Guaranteed { cells_per_frame: 3 };
+    assert!(c.to_string().contains("3"));
+    let n = Node::Host(an2_topology::HostId(0));
+    assert!(n.to_string().contains("host"));
+}
+
+#[test]
+fn page_out_and_in_round_trip() {
+    let mut net = Network::builder().src_installation(6, 6).seed(40).build();
+    let hosts: Vec<_> = net.hosts().collect();
+    let vc = net.open_best_effort(hosts[0], hosts[3]).unwrap();
+    net.send_packet(vc, payload(500, 1)).unwrap();
+    net.step(5_000);
+    assert_eq!(net.take_received(hosts[3]).len(), 1);
+    // Not yet idle long enough.
+    assert!(net.page_out_idle(100_000).is_empty());
+    net.step(10_000);
+    let paged = net.page_out_idle(5_000);
+    assert_eq!(paged, vec![vc]);
+    assert!(net.is_paged_out(vc));
+    // Paging out twice is a no-op.
+    assert!(net.page_out_idle(0).is_empty());
+    // Fresh traffic pages the circuit back in transparently.
+    net.send_packet(vc, payload(500, 2)).unwrap();
+    assert!(!net.is_paged_out(vc));
+    net.step(10_000);
+    let got = net.take_received(hosts[3]);
+    assert_eq!(got.len(), 1);
+    assert_eq!(got[0].1.as_bytes()[0], 2);
+    let stats = net.stats(vc);
+    assert_eq!(stats.pages_out, 1);
+    assert_eq!(stats.pages_in, 1);
+    assert_eq!(stats.packets_delivered, 2);
+}
+
+#[test]
+fn page_out_skips_active_and_guaranteed_circuits() {
+    let mut net = Network::builder()
+        .src_installation(6, 6)
+        .frame_slots(64)
+        .seed(41)
+        .build();
+    let hosts: Vec<_> = net.hosts().collect();
+    let busy = net.open_best_effort(hosts[0], hosts[3]).unwrap();
+    let gt = net.open_guaranteed(hosts[1], hosts[4], 8).unwrap();
+    // Keep `busy` active with queued cells.
+    for _ in 0..20 {
+        net.send_packet(busy, payload(2000, 7)).unwrap();
+    }
+    net.step(10);
+    let paged = net.page_out_idle(0);
+    assert!(!paged.contains(&busy), "active circuit must not page out");
+    assert!(
+        !paged.contains(&gt),
+        "guaranteed circuits are never paged out"
+    );
+}
+
+#[test]
+fn paged_out_circuit_survives_failures_and_pages_in_on_new_path() {
+    let mut net = Network::builder().src_installation(8, 8).seed(42).build();
+    let hosts: Vec<_> = net.hosts().collect();
+    let vc = net.open_best_effort(hosts[0], hosts[4]).unwrap();
+    net.send_packet(vc, payload(300, 1)).unwrap();
+    net.step(10_000);
+    net.take_received(hosts[4]);
+    let old_path = net.circuit_path(vc).unwrap().to_vec();
+    assert_eq!(net.page_out_idle(0), vec![vc]);
+    // Kill the first switch of the old path while paged out: no repair
+    // needed, no panic, circuit unaffected.
+    net.fail_switch(old_path[0]);
+    assert!(net.is_paged_out(vc));
+    assert!(!net.is_broken(vc));
+    // Page back in: the new route avoids the dead switch.
+    net.send_packet(vc, payload(300, 2)).unwrap();
+    let new_path = net.circuit_path(vc).unwrap();
+    assert!(!new_path.contains(&old_path[0]));
+    net.step(10_000);
+    assert_eq!(net.take_received(hosts[4]).len(), 1);
+}
+
+#[test]
+fn signaled_setup_installs_hop_by_hop_and_buffers_racing_cells() {
+    let mut net = Network::builder().src_installation(8, 8).seed(50).build();
+    let hosts: Vec<_> = net.hosts().collect();
+    let vc = net.open_best_effort_signaled(hosts[0], hosts[4]).unwrap();
+    assert!(!net.is_established(vc), "setup cell has not even left yet");
+    // Send data immediately: cells chase the setup cell down the path and
+    // are buffered wherever the routing entry is not installed yet (§2).
+    net.send_packet(vc, payload(1000, 0x42)).unwrap();
+    net.send_packet(vc, payload(1000, 0x43)).unwrap();
+    // Advance a little: still not established (software delay per hop).
+    net.step(5);
+    assert!(!net.is_established(vc));
+    net.step(20_000);
+    assert!(net.is_established(vc));
+    let got = net.take_received(hosts[4]);
+    assert_eq!(got.len(), 2, "racing packets must arrive after setup");
+    assert_eq!(got[0].1.as_bytes()[0], 0x42);
+    assert_eq!(got[1].1.as_bytes()[0], 0x43);
+    let stats = net.stats(vc);
+    assert_eq!(stats.sent_cells, stats.delivered_cells);
+    assert_eq!(stats.dropped_cells, 0);
+}
+
+#[test]
+fn signaled_and_instant_circuits_coexist() {
+    let mut net = Network::builder().src_installation(6, 6).seed(51).build();
+    let hosts: Vec<_> = net.hosts().collect();
+    let a = net.open_best_effort(hosts[0], hosts[3]).unwrap();
+    let b = net.open_best_effort_signaled(hosts[1], hosts[4]).unwrap();
+    net.send_packet(a, payload(400, 1)).unwrap();
+    net.send_packet(b, payload(400, 2)).unwrap();
+    net.step(30_000);
+    assert_eq!(net.take_received(hosts[3]).len(), 1);
+    assert_eq!(net.take_received(hosts[4]).len(), 1);
+    assert!(net.is_established(a) && net.is_established(b));
+    // Credit conservation after setup: a full-window burst still flows.
+    for _ in 0..10 {
+        net.send_packet(b, payload(400, 3)).unwrap();
+    }
+    net.step(30_000);
+    assert_eq!(net.take_received(hosts[4]).len(), 10);
+}
+
+#[test]
+fn rebalance_moves_circuits_off_the_hottest_link() {
+    // Two switches joined by two parallel links: shortest-path routing's
+    // deterministic tie-break piles every circuit onto the first link.
+    let mut topo = an2_topology::generators::line(2);
+    topo.link_switches(SwitchId(0), SwitchId(1)).unwrap();
+    let mut hosts = Vec::new();
+    for k in 0..8 {
+        let h = topo.add_host();
+        topo.attach_host(h, SwitchId((k % 2) as u16)).unwrap();
+        hosts.push(h);
+    }
+    let mut net = Network::builder().topology(topo).seed(60).build();
+    let mut vcs = Vec::new();
+    for k in 0..4 {
+        vcs.push(
+            net.open_best_effort(hosts[2 * k], hosts[2 * k + 1])
+                .unwrap(),
+        );
+    }
+    let loads_before: Vec<usize> = net.link_loads().iter().map(|&(_, c)| c).collect();
+    let max_before = *loads_before.iter().max().unwrap();
+    assert_eq!(max_before, 4, "tie-breaking piles all circuits on one link");
+    let mut moved = 0;
+    while net.rebalance().is_some() {
+        moved += 1;
+        assert!(moved <= 10, "rebalance must terminate");
+    }
+    let loads_after: Vec<usize> = net.link_loads().iter().map(|&(_, c)| c).collect();
+    let max_after = *loads_after.iter().max().unwrap();
+    assert_eq!(moved, 2, "two moves reach the 2/2 split");
+    assert_eq!(max_after, 2, "loads {loads_after:?}");
+    // The network still works for every circuit after the moves.
+    for (k, &vc) in vcs.iter().enumerate() {
+        net.send_packet(vc, payload(300, k as u8)).unwrap();
+    }
+    net.step(30_000);
+    for (k, &vc) in vcs.iter().enumerate() {
+        assert!(net.stats(vc).packets_delivered >= 1, "circuit {k} broken");
+    }
+}
+
+#[test]
+fn rebalance_is_a_noop_when_balanced() {
+    let mut net = Network::builder().src_installation(6, 6).seed(61).build();
+    let hosts: Vec<_> = net.hosts().collect();
+    let _vc = net.open_best_effort(hosts[0], hosts[3]).unwrap();
+    // One circuit anywhere: nothing to balance.
+    assert_eq!(net.rebalance(), None);
+}

@@ -1,0 +1,49 @@
+//! Criterion benches for credit flow control (§5, E10/F4).
+
+use an2_flow::{resync, CreditReceiver, CreditSender, LinkSim, LinkSimConfig};
+use an2_sim::SimRng;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_link_sim(c: &mut Criterion) {
+    c.bench_function("flow_link_10k_slots", |b| {
+        b.iter(|| {
+            let cfg = LinkSimConfig {
+                credits: 8,
+                latency_slots: 2,
+                ..Default::default()
+            };
+            let mut sim = LinkSim::new(cfg);
+            black_box(sim.run(10_000, &mut SimRng::new(1)))
+        })
+    });
+    c.bench_function("flow_link_lossy_resync_10k_slots", |b| {
+        b.iter(|| {
+            let cfg = LinkSimConfig {
+                credits: 8,
+                latency_slots: 2,
+                credit_loss: 0.01,
+                resync_interval: 250,
+                ..Default::default()
+            };
+            let mut sim = LinkSim::new(cfg);
+            black_box(sim.run(10_000, &mut SimRng::new(2)))
+        })
+    });
+}
+
+fn bench_resync(c: &mut Criterion) {
+    c.bench_function("credit_resync_round", |b| {
+        let mut sender = CreditSender::new(16);
+        let mut receiver = CreditReceiver::new(16);
+        b.iter(|| {
+            let m = resync::begin(&mut sender);
+            let rep = resync::handle_marker(&mut receiver, m);
+            resync::finish(&mut sender, rep);
+            black_box(sender.balance())
+        })
+    });
+}
+
+criterion_group!(benches, bench_link_sim, bench_resync);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion benches for the full network (E2/E8): end-to-end cell
+//! movement with both traffic classes, and failover cost.
+
+use an2::Network;
+use an2_cells::Packet;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("network");
+    group.sample_size(10);
+    group.bench_function("mixed_traffic_5k_slots", |b| {
+        b.iter(|| {
+            let mut net = Network::builder()
+                .src_installation(8, 8)
+                .frame_slots(128)
+                .seed(1)
+                .build();
+            let hosts: Vec<_> = net.hosts().collect();
+            let be = net.open_best_effort(hosts[0], hosts[4]).unwrap();
+            let gt = net.open_guaranteed(hosts[1], hosts[5], 16).unwrap();
+            for _ in 0..20 {
+                net.send_packet(be, Packet::from_bytes(vec![1; 1500]))
+                    .unwrap();
+                net.send_packet(gt, Packet::from_bytes(vec![2; 480]))
+                    .unwrap();
+            }
+            net.step(5_000);
+            black_box(net.stats(be).delivered_cells + net.stats(gt).delivered_cells)
+        })
+    });
+    group.bench_function("failover_reroute", |b| {
+        b.iter(|| {
+            let mut net = Network::builder().src_installation(8, 8).seed(2).build();
+            let hosts: Vec<_> = net.hosts().collect();
+            let vc = net.open_best_effort(hosts[0], hosts[4]).unwrap();
+            net.send_packet(vc, Packet::from_bytes(vec![1; 2000]))
+                .unwrap();
+            net.step(100);
+            let first = net.circuit_path(vc).unwrap()[0];
+            net.fail_switch(first);
+            net.step(2_000);
+            black_box(net.is_broken(vc))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion benches for reconfiguration (§2, E1/E12): full protocol runs
+//! over representative topologies, in virtual time but measuring real CPU
+//! cost of the simulation.
+
+use an2_reconfig::harness::ReconfigNet;
+use an2_topology::{generators, SwitchId};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_boot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reconfig_boot");
+    group.sample_size(20);
+    for n in [8usize, 16, 32] {
+        let topo = generators::src_installation(n, 0);
+        group.bench_with_input(BenchmarkId::new("src", n), &n, |b, _| {
+            b.iter(|| {
+                let mut net = ReconfigNet::with_defaults(topo.clone(), 1);
+                net.run_to_quiescence();
+                assert!(net.converged());
+                black_box(net.total_messages())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_failure_recovery(c: &mut Criterion) {
+    c.bench_function("reconfig_after_switch_failure_src16", |b| {
+        let topo = generators::src_installation(16, 0);
+        b.iter(|| {
+            let mut net = ReconfigNet::with_defaults(topo.clone(), 2);
+            net.run_to_quiescence();
+            net.kill_switch(SwitchId(8));
+            net.run_to_quiescence();
+            assert!(net.partition_converged(SwitchId(0)));
+            black_box(net.total_messages())
+        })
+    });
+}
+
+criterion_group!(benches, bench_boot, bench_failure_recovery);
+criterion_main!(benches);

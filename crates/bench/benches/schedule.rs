@@ -1,0 +1,73 @@
+//! Criterion benches for guaranteed-traffic scheduling (§4, E7/E9): the
+//! Slepian–Duguid insertion and the full-schedule constructions.
+
+use an2_schedule::packing::{build_packed, build_spread};
+use an2_schedule::{FrameSchedule, ReservationMatrix};
+use an2_sim::SimRng;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn filled(n: usize, frame: u32, fill: f64, seed: u64) -> ReservationMatrix {
+    let mut rng = SimRng::new(seed);
+    let mut r = ReservationMatrix::new(n, frame);
+    let target = (n as f64 * frame as f64 * fill) as u32;
+    let mut placed = 0;
+    let mut attempts = 0;
+    while placed < target && attempts < target * 20 {
+        attempts += 1;
+        let i = rng.gen_range(n);
+        let o = rng.gen_range(n);
+        if r.reserve(i, o, 1).is_ok() {
+            placed += 1;
+        }
+    }
+    r
+}
+
+fn bench_insertion(c: &mut Criterion) {
+    // E7: cost of adding one cell to a nearly full schedule — must be
+    // linear in N and independent of frame size.
+    let mut group = c.benchmark_group("slepian_duguid_insert");
+    for (n, frame) in [(16usize, 64u32), (16, 1024), (32, 64)] {
+        let reservations = filled(n, frame, 0.85, 7);
+        let schedule = FrameSchedule::build(&reservations);
+        group.bench_with_input(
+            BenchmarkId::new("insert", format!("n{n}_f{frame}")),
+            &(n, frame),
+            |b, _| {
+                b.iter_batched(
+                    || (schedule.clone(), 0usize, 1usize),
+                    |(mut s, i, o)| {
+                        // Insert + remove to keep the fixture reusable.
+                        if s.insert(i, o).is_ok() {
+                            s.remove(i, o);
+                        }
+                        black_box(s)
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_constructions(c: &mut Criterion) {
+    // E9: full-schedule construction under the arrangement strategies.
+    let reservations = filled(16, 128, 0.5, 8);
+    let mut group = c.benchmark_group("schedule_build");
+    group.sample_size(20);
+    group.bench_function("sequential", |b| {
+        b.iter(|| black_box(FrameSchedule::build(&reservations)))
+    });
+    group.bench_function("packed", |b| {
+        b.iter(|| black_box(build_packed(&reservations)))
+    });
+    group.bench_function("spread", |b| {
+        b.iter(|| black_box(build_spread(&reservations)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_insertion, bench_constructions);
+criterion_main!(benches);

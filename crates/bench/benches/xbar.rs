@@ -1,0 +1,95 @@
+//! Criterion benches for crossbar scheduling (§3): the cost of one slot's
+//! matching decision under the disciplines the paper compares (E3–E5), and
+//! PIM's convergence workload (E4).
+
+use an2_sim::SimRng;
+use an2_xbar::simulate::{simulate, ArrivalGen, Arrivals, Discipline};
+use an2_xbar::{CrossbarScheduler, DemandMatrix, GreedyMaximal, Islip, MaximumMatching, Pim};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn dense_demand(n: usize, fill: f64, seed: u64) -> DemandMatrix {
+    let mut rng = SimRng::new(seed);
+    let mut d = DemandMatrix::new(n);
+    for i in 0..n {
+        for o in 0..n {
+            if rng.gen_bool(fill) {
+                d.add(i, o, 1 + rng.gen_range(3) as u64);
+            }
+        }
+    }
+    d
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xbar_one_slot");
+    for n in [8usize, 16, 32] {
+        let demand = dense_demand(n, 0.6, 1);
+        group.bench_with_input(BenchmarkId::new("pim3", n), &n, |b, _| {
+            let mut pim = Pim::an2();
+            let mut rng = SimRng::new(2);
+            b.iter(|| black_box(pim.schedule(&demand, &mut rng)))
+        });
+        group.bench_with_input(BenchmarkId::new("islip3", n), &n, |b, &n| {
+            let mut islip = Islip::new(n, 3);
+            let mut rng = SimRng::new(2);
+            b.iter(|| black_box(islip.schedule(&demand, &mut rng)))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", n), &n, |b, _| {
+            let mut g = GreedyMaximal::new();
+            let mut rng = SimRng::new(2);
+            b.iter(|| black_box(g.schedule(&demand, &mut rng)))
+        });
+        group.bench_with_input(BenchmarkId::new("maximum", n), &n, |b, _| {
+            b.iter(|| black_box(MaximumMatching::solve(&demand)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_pim_convergence(c: &mut Criterion) {
+    // E4's workload: run PIM to a maximal matching at N = 16.
+    let demand = dense_demand(16, 0.75, 3);
+    c.bench_function("pim_run_to_maximal_16", |b| {
+        let mut rng = SimRng::new(4);
+        b.iter(|| black_box(Pim::run_to_maximal(&demand, &mut rng)))
+    });
+}
+
+fn bench_switch_simulation(c: &mut Criterion) {
+    // E3/E5's workload: 1000 slots of a loaded 16x16 switch.
+    let mut group = c.benchmark_group("switch_1000_slots");
+    group.sample_size(20);
+    for (name, make) in [
+        (
+            "fifo",
+            Box::new(|| Discipline::Fifo) as Box<dyn Fn() -> Discipline>,
+        ),
+        (
+            "voq_pim3",
+            Box::new(|| Discipline::Voq(Box::new(Pim::an2()))),
+        ),
+        (
+            "oq_k16",
+            Box::new(|| Discipline::OutputQueued { speedup: 16 }),
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut d = make();
+                let mut gen = ArrivalGen::new(16, Arrivals::Uniform { load: 0.9 });
+                let mut rng = SimRng::new(5);
+                black_box(simulate(16, &mut d, &mut gen, 1_000, &mut rng))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_schedulers,
+    bench_pim_convergence,
+    bench_switch_simulation
+);
+criterion_main!(benches);

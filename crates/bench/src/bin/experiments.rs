@@ -1,0 +1,118 @@
+//! The experiment harness: regenerates every figure (F1–F4) and every
+//! quantitative claim (E1–E12) of the paper.
+//!
+//! Usage:
+//!   cargo run -p an2-bench --bin experiments --release -- all
+//!   cargo run -p an2-bench --bin experiments --release -- e4 e5
+//!
+//! Outputs are recorded against the paper's statements in EXPERIMENTS.md.
+
+use an2_bench::{
+    extensions_exp, figures, flow_exp, network_exp, reconfig_exp, schedule_exp, xbar_exp,
+};
+
+fn run(id: &str) {
+    let banner = |s: &str| println!("\n=== {s} {}\n", "=".repeat(66 - s.len().min(60)));
+    match id {
+        "f1" => {
+            banner("F1: sample installation (Figure 1)");
+            print!("{}", figures::figure1(8, 16).render());
+        }
+        "f2" => {
+            banner("F2: reservations and schedule (Figure 2)");
+            let (_, _, text) = figures::figure2();
+            print!("{text}");
+        }
+        "f3" => {
+            banner("F3: Slepian-Duguid insertion (Figure 3)");
+            print!("{}", figures::figure3());
+        }
+        "f4" => {
+            banner("F4: credit flow control (Figure 4)");
+            print!("{}", figures::figure4());
+        }
+        "e1" => {
+            banner("E1: reconfiguration under 200ms");
+            print!("{}", reconfig_exp::e1_pull_the_plug().1);
+        }
+        "e2" => {
+            banner("E2: 2us cut-through latency");
+            print!("{}", network_exp::e2_cut_through().1);
+        }
+        "e3" => {
+            banner("E3: FIFO head-of-line blocking (58%)");
+            print!("{}", xbar_exp::e3_fifo_saturation(16, 30_000).1);
+        }
+        "e4" => {
+            banner("E4: PIM convergence (log2 N + 4/3)");
+            print!("{}", xbar_exp::e4_pim_convergence(&[4, 8, 16, 32], 5_000).1);
+        }
+        "e5" => {
+            banner("E5: PIM vs output queueing and rivals");
+            print!("{}", xbar_exp::e5_discipline_comparison(16, 30_000).1);
+        }
+        "e6" => {
+            banner("E6: maximum-matching starvation");
+            print!("{}", xbar_exp::e6_starvation(10_000).1);
+        }
+        "e7" => {
+            banner("E7: Slepian-Duguid insertion cost");
+            print!("{}", schedule_exp::e7_insertion_cost().1);
+        }
+        "e8" => {
+            banner("E8: guaranteed latency bound p(2f+l)");
+            print!("{}", network_exp::e8_guaranteed_latency().1);
+        }
+        "e9" => {
+            banner("E9: packing vs spreading reserved slots");
+            print!("{}", schedule_exp::e9_arrangement(8, 128, 0.35).1);
+        }
+        "e10" => {
+            banner("E10: credit sizing, loss and resync");
+            print!("{}", flow_exp::e10_credit_sizing().1);
+            println!();
+            print!("{}", flow_exp::e10_loss_and_resync().1);
+        }
+        "e11" => {
+            banner("E11: up*/down* deadlock freedom");
+            print!("{}", flow_exp::e11_deadlock().1);
+        }
+        "e12" => {
+            banner("E12: reconfiguration behaviour");
+            print!("{}", reconfig_exp::e12_reconfig_behaviour().1);
+        }
+        "n1" => {
+            banner("N1: whole-network load sweep");
+            print!("{}", network_exp::n1_network_load_sweep().1);
+        }
+        "x1" => {
+            banner("X1: the paper's extension proposals");
+            print!("{}", extensions_exp::x1_delta_vs_full().1);
+            println!();
+            print!("{}", extensions_exp::x1_page_out().1);
+            println!();
+            print!("{}", extensions_exp::x1_dynamic_buffers().1);
+            println!();
+            print!("{}", extensions_exp::x1_rebalance().1);
+        }
+        other => eprintln!("unknown experiment id '{other}' (use f1-f4, e1-e12, x1, all)"),
+    }
+}
+
+const ALL: &[&str] = &[
+    "f1", "f2", "f3", "f4", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
+    "e12", "x1", "n1",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "all") {
+        for id in ALL {
+            run(id);
+        }
+    } else {
+        for id in &args {
+            run(id);
+        }
+    }
+}

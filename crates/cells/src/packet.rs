@@ -1,0 +1,401 @@
+//! AAL5-style segmentation and reassembly.
+//!
+//! "It is more convenient for host software to deal with larger data units
+//! [...] In AN2 a host presents packets to its controller, which disassembles
+//! them into cells to transmit to the network. The controller at the
+//! receiving host will re-assemble the cells into packets." (paper, §1)
+//!
+//! The framing follows AAL5: the payload is padded so that payload + an
+//! 8-byte trailer fill a whole number of cells; the trailer carries the true
+//! length and a CRC-32 over the padded payload; the last cell of a packet is
+//! marked in the cell header's payload-type field.
+
+use crate::cell::{Cell, CellKind, VcId, PAYLOAD_BYTES};
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+const TRAILER_BYTES: usize = 8;
+
+/// A variable-length host packet, as presented to an AN2 controller.
+///
+/// ```
+/// use an2_cells::Packet;
+/// let p = Packet::from_bytes(vec![1, 2, 3]);
+/// assert_eq!(p.len(), 3);
+/// assert_eq!(p.cell_count(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Packet {
+    data: Bytes,
+}
+
+impl Packet {
+    /// Maximum packet size accepted by a controller (64 KiB — a generous
+    /// bound for the ethernet-replacement service AN1/AN2 provide).
+    pub const MAX_BYTES: usize = 65_536;
+
+    /// Wraps raw bytes as a packet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload exceeds [`Packet::MAX_BYTES`].
+    pub fn from_bytes(data: impl Into<Bytes>) -> Self {
+        let data = data.into();
+        assert!(data.len() <= Self::MAX_BYTES, "packet exceeds maximum size");
+        Packet { data }
+    }
+
+    /// The packet's bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Packet length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` for a zero-length packet (legal; still occupies one cell for
+    /// its trailer).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Number of cells this packet occupies on the wire.
+    pub fn cell_count(&self) -> usize {
+        (self.len() + TRAILER_BYTES).div_ceil(PAYLOAD_BYTES)
+    }
+}
+
+impl From<Vec<u8>> for Packet {
+    fn from(v: Vec<u8>) -> Self {
+        Packet::from_bytes(v)
+    }
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected), bit-by-bit. Line-card hardware
+/// would use a table or parallel circuit; the simulator favours obviousness.
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+        }
+    }
+    !crc
+}
+
+/// Segments packets into cells for one virtual circuit — the transmit half of
+/// an AN2 host controller.
+///
+/// ```
+/// use an2_cells::{Packet, Segmenter, Reassembler, VcId};
+/// let vc = VcId::new(9);
+/// let cells = Segmenter::new(vc).segment(&Packet::from_bytes(vec![0xAB; 100]));
+/// assert_eq!(cells.len(), 3); // 100 B + 8 B trailer => 3 cells
+/// let mut r = Reassembler::new();
+/// let mut out = None;
+/// for c in cells {
+///     out = r.push(&c).unwrap();
+/// }
+/// assert_eq!(out.unwrap().1.len(), 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Segmenter {
+    vc: VcId,
+}
+
+impl Segmenter {
+    /// A segmenter emitting cells on virtual circuit `vc`.
+    pub fn new(vc: VcId) -> Self {
+        Segmenter { vc }
+    }
+
+    /// The circuit this segmenter emits on.
+    pub fn vc(&self) -> VcId {
+        self.vc
+    }
+
+    /// Converts one packet into its cell sequence. The last cell has
+    /// [`CellKind::DataEnd`] and contains the AAL5 trailer in its final
+    /// 8 bytes.
+    pub fn segment(&self, packet: &Packet) -> Vec<Cell> {
+        let body = packet.as_bytes();
+        let n_cells = packet.cell_count();
+        let padded = n_cells * PAYLOAD_BYTES;
+        let mut buf = vec![0u8; padded];
+        buf[..body.len()].copy_from_slice(body);
+        // Trailer: [len u32 | crc32 u32] over everything before the trailer.
+        let crc = crc32(&buf[..padded - TRAILER_BYTES]);
+        buf[padded - 8..padded - 4].copy_from_slice(&(body.len() as u32).to_be_bytes());
+        buf[padded - 4..].copy_from_slice(&crc.to_be_bytes());
+
+        buf.chunks_exact(PAYLOAD_BYTES)
+            .enumerate()
+            .map(|(i, chunk)| {
+                let mut payload = [0u8; PAYLOAD_BYTES];
+                payload.copy_from_slice(chunk);
+                let kind = if i == n_cells - 1 {
+                    CellKind::DataEnd
+                } else {
+                    CellKind::Data
+                };
+                Cell::new(self.vc, kind, payload)
+            })
+            .collect()
+    }
+}
+
+/// Why reassembly of a packet failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReassemblyError {
+    /// The CRC-32 in the trailer did not match the received payload.
+    BadChecksum {
+        /// CRC carried in the trailer.
+        expected: u32,
+        /// CRC computed over the received cells.
+        computed: u32,
+    },
+    /// The length field in the trailer is impossible for the number of cells
+    /// received (corrupt trailer, or a lost cell shortened the packet).
+    BadLength {
+        /// Length claimed by the trailer.
+        claimed: usize,
+        /// Bytes actually received (before the trailer).
+        available: usize,
+    },
+    /// A non-data cell arrived on a data circuit.
+    UnexpectedKind,
+}
+
+impl fmt::Display for ReassemblyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReassemblyError::BadChecksum { expected, computed } => write!(
+                f,
+                "packet checksum mismatch (trailer {expected:#010x}, computed {computed:#010x})"
+            ),
+            ReassemblyError::BadLength { claimed, available } => write!(
+                f,
+                "packet trailer claims {claimed} bytes but only {available} arrived"
+            ),
+            ReassemblyError::UnexpectedKind => write!(f, "non-data cell on a data circuit"),
+        }
+    }
+}
+
+impl std::error::Error for ReassemblyError {}
+
+/// Reassembles cell streams back into packets — the receive half of an AN2
+/// host controller. One reassembler handles many virtual circuits, keeping
+/// per-VC partial packets, because a controller terminates all of its host's
+/// circuits.
+#[derive(Debug, Clone, Default)]
+pub struct Reassembler {
+    partial: HashMap<VcId, Vec<u8>>,
+}
+
+impl Reassembler {
+    /// An empty reassembler.
+    pub fn new() -> Self {
+        Reassembler::default()
+    }
+
+    /// Accepts the next cell of a circuit. Returns `Ok(Some((vc, packet)))`
+    /// when this cell completed a packet.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ReassemblyError`] if the completed packet fails its CRC or
+    /// length check (the partial state for that circuit is discarded, as AAL5
+    /// discards corrupt frames), or if the cell is not a data cell.
+    pub fn push(&mut self, cell: &Cell) -> Result<Option<(VcId, Packet)>, ReassemblyError> {
+        match cell.header.kind {
+            CellKind::Data => {
+                self.partial
+                    .entry(cell.vc())
+                    .or_default()
+                    .extend_from_slice(&cell.payload);
+                Ok(None)
+            }
+            CellKind::DataEnd => {
+                let mut buf = self.partial.remove(&cell.vc()).unwrap_or_default();
+                buf.extend_from_slice(&cell.payload);
+                let total = buf.len();
+                debug_assert_eq!(total % PAYLOAD_BYTES, 0);
+                let claimed =
+                    u32::from_be_bytes(buf[total - 8..total - 4].try_into().unwrap()) as usize;
+                let expected = u32::from_be_bytes(buf[total - 4..].try_into().unwrap());
+                let computed = crc32(&buf[..total - TRAILER_BYTES]);
+                if computed != expected {
+                    return Err(ReassemblyError::BadChecksum { expected, computed });
+                }
+                if claimed > total - TRAILER_BYTES {
+                    return Err(ReassemblyError::BadLength {
+                        claimed,
+                        available: total - TRAILER_BYTES,
+                    });
+                }
+                buf.truncate(claimed);
+                Ok(Some((cell.vc(), Packet::from_bytes(buf))))
+            }
+            _ => Err(ReassemblyError::UnexpectedKind),
+        }
+    }
+
+    /// Circuits with partially reassembled packets.
+    pub fn partial_circuits(&self) -> usize {
+        self.partial.len()
+    }
+
+    /// Drops any partial packet state for `vc` (used when a circuit is torn
+    /// down or rerouted and in-flight cells were lost).
+    pub fn reset_circuit(&mut self, vc: VcId) {
+        self.partial.remove(&vc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(len: usize) {
+        let data: Vec<u8> = (0..len).map(|i| (i * 7 + 13) as u8).collect();
+        let packet = Packet::from_bytes(data.clone());
+        let cells = Segmenter::new(VcId::new(3)).segment(&packet);
+        assert_eq!(cells.len(), packet.cell_count());
+        let mut r = Reassembler::new();
+        let mut done = None;
+        for (i, c) in cells.iter().enumerate() {
+            let out = r.push(c).unwrap();
+            if i + 1 < cells.len() {
+                assert!(out.is_none());
+            } else {
+                done = out;
+            }
+        }
+        let (vc, got) = done.expect("last cell completes the packet");
+        assert_eq!(vc, VcId::new(3));
+        assert_eq!(got.as_bytes(), &data[..]);
+        assert_eq!(r.partial_circuits(), 0);
+    }
+
+    #[test]
+    fn round_trip_various_sizes() {
+        for len in [0, 1, 39, 40, 41, 47, 48, 49, 95, 96, 97, 1500, 4096] {
+            round_trip(len);
+        }
+    }
+
+    #[test]
+    fn cell_count_matches_aal5() {
+        // 40 bytes + 8 trailer = exactly one cell.
+        assert_eq!(Packet::from_bytes(vec![0; 40]).cell_count(), 1);
+        // 41 bytes spills into two.
+        assert_eq!(Packet::from_bytes(vec![0; 41]).cell_count(), 2);
+        assert_eq!(Packet::from_bytes(vec![]).cell_count(), 1);
+        assert_eq!(Packet::from_bytes(vec![0; 1500]).cell_count(), 32);
+    }
+
+    #[test]
+    fn interleaved_circuits_reassemble_independently() {
+        let pa = Packet::from_bytes(vec![0xAA; 100]);
+        let pb = Packet::from_bytes(vec![0xBB; 100]);
+        let ca = Segmenter::new(VcId::new(1)).segment(&pa);
+        let cb = Segmenter::new(VcId::new(2)).segment(&pb);
+        let mut r = Reassembler::new();
+        let mut finished = Vec::new();
+        // Interleave a/b cell by cell, as a switch output port would.
+        for (x, y) in ca.iter().zip(cb.iter()) {
+            if let Some(done) = r.push(x).unwrap() {
+                finished.push(done);
+            }
+            if let Some(done) = r.push(y).unwrap() {
+                finished.push(done);
+            }
+        }
+        assert_eq!(finished.len(), 2);
+        assert_eq!(finished[0], (VcId::new(1), pa));
+        assert_eq!(finished[1], (VcId::new(2), pb));
+    }
+
+    #[test]
+    fn corrupted_payload_fails_crc() {
+        let packet = Packet::from_bytes(vec![7; 200]);
+        let mut cells = Segmenter::new(VcId::new(4)).segment(&packet);
+        cells[1].payload[10] ^= 0xFF;
+        let mut r = Reassembler::new();
+        let mut result = Ok(None);
+        for c in &cells {
+            result = r.push(c);
+        }
+        assert!(matches!(result, Err(ReassemblyError::BadChecksum { .. })));
+        // State for the circuit was discarded.
+        assert_eq!(r.partial_circuits(), 0);
+    }
+
+    #[test]
+    fn lost_cell_detected() {
+        let packet = Packet::from_bytes(vec![9; 200]);
+        let cells = Segmenter::new(VcId::new(5)).segment(&packet);
+        let mut r = Reassembler::new();
+        let mut result = Ok(None);
+        for (i, c) in cells.iter().enumerate() {
+            if i == 2 {
+                continue; // drop one middle cell
+            }
+            result = r.push(c);
+        }
+        // Either the length or the CRC exposes the loss.
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn management_cell_rejected() {
+        let mut r = Reassembler::new();
+        let cell = Cell::new(VcId::new(1), CellKind::Management, [0; PAYLOAD_BYTES]);
+        assert_eq!(r.push(&cell), Err(ReassemblyError::UnexpectedKind));
+    }
+
+    #[test]
+    fn reset_circuit_discards_partial() {
+        let packet = Packet::from_bytes(vec![1; 200]);
+        let cells = Segmenter::new(VcId::new(6)).segment(&packet);
+        let mut r = Reassembler::new();
+        r.push(&cells[0]).unwrap();
+        assert_eq!(r.partial_circuits(), 1);
+        r.reset_circuit(VcId::new(6));
+        assert_eq!(r.partial_circuits(), 0);
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // Standard check value for "123456789" with CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "maximum size")]
+    fn oversized_packet_panics() {
+        Packet::from_bytes(vec![0; Packet::MAX_BYTES + 1]);
+    }
+
+    #[test]
+    fn error_messages_are_descriptive() {
+        let e = ReassemblyError::BadLength {
+            claimed: 100,
+            available: 40,
+        };
+        assert!(e.to_string().contains("100"));
+        let e = ReassemblyError::UnexpectedKind;
+        assert!(!e.to_string().is_empty());
+    }
+}

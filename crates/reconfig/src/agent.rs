@@ -1,0 +1,607 @@
+//! The per-switch reconfiguration protocol state machine.
+//!
+//! Each switch runs as an actor exchanging messages with its physical
+//! neighbours only. The implementation follows §2's three phases
+//! (propagation / collection / distribution) with epoch tags for overlapping
+//! reconfigurations: "a switch that sees multiple configurations
+//! participates in the one with the largest tag and eventually ignores all
+//! others."
+
+use crate::Tag;
+use an2_sim::{Actor, ActorId, Context, SimDuration, SimTime};
+use an2_topology::{LinkId, SwitchId};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
+
+/// An undirected switch-to-switch edge, stored with the lower id first.
+pub type Edge = (SwitchId, SwitchId);
+
+fn edge(a: SwitchId, b: SwitchId) -> Edge {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Messages exchanged during reconfiguration (plus harness events).
+#[derive(Debug, Clone)]
+pub enum Msg {
+    /// Harness: the switch powers on and initiates a reconfiguration.
+    Boot,
+    /// Harness: a link to `neighbor` came up (or exists at boot).
+    LinkUp {
+        /// The physical link.
+        link: LinkId,
+        /// The switch at the far end.
+        neighbor: SwitchId,
+        /// Actor address of the far end.
+        actor: ActorId,
+        /// One-way message latency over this link.
+        latency: SimDuration,
+    },
+    /// Harness: the link to `neighbor` was declared dead.
+    LinkDown {
+        /// The switch at the far end of the dead link.
+        neighbor: SwitchId,
+    },
+    /// Propagation phase: invitation to join the tag's spanning tree.
+    Invite {
+        /// The reconfiguration this invitation belongs to.
+        tag: Tag,
+        /// The inviting switch.
+        from: SwitchId,
+    },
+    /// Acknowledgment of an invitation.
+    InviteAck {
+        /// The reconfiguration being acknowledged.
+        tag: Tag,
+        /// The acknowledging switch.
+        from: SwitchId,
+        /// Whether the invitation was accepted (sender became our child).
+        accepted: bool,
+    },
+    /// Collection phase: a subtree's topology report, sent child → parent.
+    Report {
+        /// The reconfiguration this report belongs to.
+        tag: Tag,
+        /// The child sending the report.
+        from: SwitchId,
+        /// All switch-to-switch edges known in the subtree.
+        edges: Vec<Edge>,
+        /// Tree structure of the subtree as (child, parent) pairs.
+        parents: Vec<(SwitchId, SwitchId)>,
+    },
+    /// Distribution phase: the complete topology, sent parent → child.
+    Distribute {
+        /// The reconfiguration this result belongs to.
+        tag: Tag,
+        /// Every switch-to-switch edge in the network.
+        edges: Vec<Edge>,
+        /// The complete spanning tree as (child, parent) pairs.
+        parents: Vec<(SwitchId, SwitchId)>,
+    },
+    /// Harness: the link to `neighbor` died, but handle it with the §2
+    /// *reduced-disruption* extension — originate an incremental delta
+    /// flood instead of a full reconfiguration.
+    LinkDownDelta {
+        /// The switch at the far end of the dead link.
+        neighbor: SwitchId,
+    },
+    /// §2 extension: an incremental topology update, flooded through the
+    /// network. Duplicate-suppressed by `(origin, seq)`.
+    Delta {
+        /// The switch that observed the change.
+        origin: SwitchId,
+        /// The origin's delta sequence number.
+        seq: u64,
+        /// The edge that went down.
+        edge: Edge,
+    },
+}
+
+/// The topology view a switch holds after a completed reconfiguration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopoView {
+    /// The reconfiguration that produced this view.
+    pub tag: Tag,
+    /// All switch-to-switch edges, normalized and sorted.
+    pub edges: Vec<Edge>,
+    /// The spanning tree built during propagation, as (child, parent).
+    pub parents: Vec<(SwitchId, SwitchId)>,
+    /// When this switch learned the complete topology.
+    pub completed_at: SimTime,
+}
+
+/// State the harness can observe without reaching into the actor.
+#[derive(Debug, Default)]
+pub struct AgentPublic {
+    /// The switch's current topology view, if any reconfiguration has
+    /// completed.
+    pub view: Option<TopoView>,
+    /// Protocol messages sent (invites, acks, reports, distributes).
+    pub messages_sent: u64,
+    /// Reconfigurations this switch initiated.
+    pub initiated: u64,
+    /// Incremental delta updates applied to the view (§2 extension).
+    pub deltas_applied: u64,
+}
+
+/// Shared handle to an agent's observable state.
+pub type PublicHandle = Rc<RefCell<AgentPublic>>;
+
+#[derive(Debug, Clone)]
+struct Neighbor {
+    actor: ActorId,
+    latency: SimDuration,
+    up: bool,
+}
+
+#[derive(Debug)]
+struct Participation {
+    parent: Option<SwitchId>,
+    awaiting_acks: BTreeSet<SwitchId>,
+    children: BTreeSet<SwitchId>,
+    awaiting_reports: BTreeSet<SwitchId>,
+    edges: BTreeSet<Edge>,
+    parents: Vec<(SwitchId, SwitchId)>,
+    reported: bool,
+}
+
+/// The reconfiguration actor for one switch.
+pub struct SwitchAgent {
+    id: SwitchId,
+    processing: SimDuration,
+    neighbors: BTreeMap<SwitchId, Neighbor>,
+    tag: Tag,
+    part: Option<Participation>,
+    public: PublicHandle,
+    /// This switch's own delta sequence counter (§2 extension).
+    delta_seq: u64,
+    /// Highest delta sequence seen per origin (duplicate suppression).
+    delta_seen: BTreeMap<SwitchId, u64>,
+}
+
+impl SwitchAgent {
+    /// Creates an agent for switch `id`. `processing` models the line-card
+    /// software time spent handling each protocol message.
+    pub fn new(id: SwitchId, processing: SimDuration, public: PublicHandle) -> Self {
+        SwitchAgent {
+            id,
+            processing,
+            neighbors: BTreeMap::new(),
+            tag: Tag::ZERO,
+            part: None,
+            public,
+            delta_seq: 0,
+            delta_seen: BTreeMap::new(),
+        }
+    }
+
+    /// Removes `edge` from the stored topology view (idempotent) and counts
+    /// the application.
+    fn apply_delta(&mut self, edge: Edge) {
+        let mut public = self.public.borrow_mut();
+        if let Some(view) = &mut public.view {
+            let before = view.edges.len();
+            view.edges.retain(|&e| e != edge);
+            if view.edges.len() != before {
+                public.deltas_applied += 1;
+            }
+        }
+    }
+
+    /// Floods a delta to every working neighbour.
+    fn flood_delta(&mut self, ctx: &mut Context<'_, Msg>, origin: SwitchId, seq: u64, edge: Edge) {
+        for n in self.up_neighbors() {
+            self.send(ctx, n, Msg::Delta { origin, seq, edge });
+        }
+    }
+
+    fn up_neighbors(&self) -> Vec<SwitchId> {
+        self.neighbors
+            .iter()
+            .filter(|(_, n)| n.up)
+            .map(|(&s, _)| s)
+            .collect()
+    }
+
+    fn own_edges(&self) -> BTreeSet<Edge> {
+        self.up_neighbors()
+            .into_iter()
+            .map(|n| edge(self.id, n))
+            .collect()
+    }
+
+    fn send(&self, ctx: &mut Context<'_, Msg>, to: SwitchId, msg: Msg) {
+        let n = &self.neighbors[&to];
+        if !n.up {
+            return; // link died under us; the message would be lost anyway
+        }
+        self.public.borrow_mut().messages_sent += 1;
+        ctx.send_after(n.latency + self.processing, n.actor, msg);
+    }
+
+    fn start_reconfig(&mut self, ctx: &mut Context<'_, Msg>) {
+        self.tag = self.tag.successor(self.id);
+        self.public.borrow_mut().initiated += 1;
+        let invitees: BTreeSet<SwitchId> = self.up_neighbors().into_iter().collect();
+        self.part = Some(Participation {
+            parent: None,
+            awaiting_acks: invitees.clone(),
+            children: BTreeSet::new(),
+            awaiting_reports: BTreeSet::new(),
+            edges: self.own_edges(),
+            parents: Vec::new(),
+            reported: false,
+        });
+        let tag = self.tag;
+        for n in invitees {
+            self.send(ctx, n, Msg::Invite { tag, from: self.id });
+        }
+        self.try_advance(ctx);
+    }
+
+    fn join(&mut self, ctx: &mut Context<'_, Msg>, tag: Tag, parent: SwitchId) {
+        self.tag = tag;
+        let invitees: BTreeSet<SwitchId> = self
+            .up_neighbors()
+            .into_iter()
+            .filter(|&n| n != parent)
+            .collect();
+        self.part = Some(Participation {
+            parent: Some(parent),
+            awaiting_acks: invitees.clone(),
+            children: BTreeSet::new(),
+            awaiting_reports: BTreeSet::new(),
+            edges: self.own_edges(),
+            parents: Vec::new(),
+            reported: false,
+        });
+        self.send(
+            ctx,
+            parent,
+            Msg::InviteAck {
+                tag,
+                from: self.id,
+                accepted: true,
+            },
+        );
+        for n in invitees {
+            self.send(ctx, n, Msg::Invite { tag, from: self.id });
+        }
+        self.try_advance(ctx);
+    }
+
+    /// Collection / completion: once every invited neighbour has answered
+    /// and every child has reported, a non-root reports to its parent and
+    /// the root completes and distributes.
+    fn try_advance(&mut self, ctx: &mut Context<'_, Msg>) {
+        let Some(part) = &self.part else { return };
+        if part.reported || !part.awaiting_acks.is_empty() || !part.awaiting_reports.is_empty() {
+            return;
+        }
+        let tag = self.tag;
+        let edges: Vec<Edge> = part.edges.iter().copied().collect();
+        let parents = part.parents.clone();
+        match part.parent {
+            Some(parent) => {
+                self.send(
+                    ctx,
+                    parent,
+                    Msg::Report {
+                        tag,
+                        from: self.id,
+                        edges,
+                        parents,
+                    },
+                );
+                if let Some(p) = &mut self.part {
+                    p.reported = true;
+                }
+            }
+            None => {
+                // Root: the reconfiguration is complete.
+                if let Some(p) = &mut self.part {
+                    p.reported = true;
+                }
+                self.complete_and_distribute(ctx, tag, edges, parents);
+            }
+        }
+    }
+
+    fn complete_and_distribute(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        tag: Tag,
+        edges: Vec<Edge>,
+        parents: Vec<(SwitchId, SwitchId)>,
+    ) {
+        self.public.borrow_mut().view = Some(TopoView {
+            tag,
+            edges: edges.clone(),
+            parents: parents.clone(),
+            completed_at: ctx.now(),
+        });
+        let children: Vec<SwitchId> = self
+            .part
+            .as_ref()
+            .map(|p| p.children.iter().copied().collect())
+            .unwrap_or_default();
+        for c in children {
+            self.send(
+                ctx,
+                c,
+                Msg::Distribute {
+                    tag,
+                    edges: edges.clone(),
+                    parents: parents.clone(),
+                },
+            );
+        }
+    }
+}
+
+impl Actor<Msg> for SwitchAgent {
+    fn on_message(&mut self, ctx: &mut Context<'_, Msg>, msg: Msg) {
+        match msg {
+            Msg::Boot => self.start_reconfig(ctx),
+            Msg::LinkUp {
+                neighbor,
+                actor,
+                latency,
+                ..
+            } => {
+                self.neighbors.insert(
+                    neighbor,
+                    Neighbor {
+                        actor,
+                        latency,
+                        up: true,
+                    },
+                );
+                self.start_reconfig(ctx);
+            }
+            Msg::LinkDown { neighbor } => {
+                if let Some(n) = self.neighbors.get_mut(&neighbor) {
+                    if n.up {
+                        n.up = false;
+                        self.start_reconfig(ctx);
+                    }
+                }
+            }
+            Msg::Invite { tag, from } => {
+                // Drop protocol traffic from neighbours we consider dead.
+                if !self.neighbors.get(&from).is_some_and(|n| n.up) {
+                    return;
+                }
+                if tag > self.tag {
+                    self.join(ctx, tag, from);
+                } else if tag == self.tag {
+                    self.send(
+                        ctx,
+                        from,
+                        Msg::InviteAck {
+                            tag,
+                            from: self.id,
+                            accepted: false,
+                        },
+                    );
+                }
+                // tag < self.tag: a stale configuration — ignore entirely.
+            }
+            Msg::InviteAck {
+                tag,
+                from,
+                accepted,
+            } => {
+                if tag != self.tag {
+                    return;
+                }
+                let Some(part) = &mut self.part else { return };
+                if !part.awaiting_acks.remove(&from) {
+                    return;
+                }
+                if accepted {
+                    part.children.insert(from);
+                    part.awaiting_reports.insert(from);
+                }
+                self.try_advance(ctx);
+            }
+            Msg::Report {
+                tag,
+                from,
+                edges,
+                parents,
+            } => {
+                if tag != self.tag {
+                    return;
+                }
+                let me = self.id;
+                let Some(part) = &mut self.part else { return };
+                if !part.awaiting_reports.remove(&from) {
+                    return;
+                }
+                part.edges.extend(edges);
+                part.parents.extend(parents);
+                part.parents.push((from, me));
+                self.try_advance(ctx);
+            }
+            Msg::Distribute {
+                tag,
+                edges,
+                parents,
+            } => {
+                if tag != self.tag {
+                    return;
+                }
+                self.complete_and_distribute(ctx, tag, edges, parents);
+            }
+            Msg::LinkDownDelta { neighbor } => {
+                let Some(n) = self.neighbors.get_mut(&neighbor) else {
+                    return;
+                };
+                if !n.up {
+                    return;
+                }
+                n.up = false;
+                // No reconfiguration: patch the local view and flood a
+                // delta. The spanning tree is left as-is — the §2 trade-off:
+                // "it should often be possible to restrict participation to
+                // switches near the failing component".
+                let dead = edge(self.id, neighbor);
+                self.delta_seq += 1;
+                let seq = self.delta_seq;
+                self.apply_delta(dead);
+                let me = self.id;
+                self.delta_seen.insert(me, seq);
+                self.flood_delta(ctx, me, seq, dead);
+            }
+            Msg::Delta { origin, seq, edge } => {
+                let seen = self.delta_seen.get(&origin).copied().unwrap_or(0);
+                if seq <= seen {
+                    return; // duplicate: the flood already passed through
+                }
+                self.delta_seen.insert(origin, seq);
+                self.apply_delta(edge);
+                self.flood_delta(ctx, origin, seq, edge);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Agent-level unit tests exercise the state machine through a real
+    // two-switch world; full-network behaviour is covered in harness.rs.
+    use an2_sim::World;
+
+    fn two_switch_world() -> (World<Msg>, PublicHandle, PublicHandle) {
+        let mut w = World::new(1);
+        let pa: PublicHandle = Rc::new(RefCell::new(AgentPublic::default()));
+        let pb: PublicHandle = Rc::new(RefCell::new(AgentPublic::default()));
+        let a = w.add_actor(SwitchAgent::new(
+            SwitchId(0),
+            SimDuration::from_micros(10),
+            pa.clone(),
+        ));
+        let b = w.add_actor(SwitchAgent::new(
+            SwitchId(1),
+            SimDuration::from_micros(10),
+            pb.clone(),
+        ));
+        let lat = SimDuration::from_micros(1);
+        w.send_now(
+            a,
+            Msg::LinkUp {
+                link: LinkId(0),
+                neighbor: SwitchId(1),
+                actor: b,
+                latency: lat,
+            },
+        );
+        w.send_now(
+            b,
+            Msg::LinkUp {
+                link: LinkId(0),
+                neighbor: SwitchId(0),
+                actor: a,
+                latency: lat,
+            },
+        );
+        (w, pa, pb)
+    }
+
+    #[test]
+    fn two_switches_agree_on_topology() {
+        let (mut w, pa, pb) = two_switch_world();
+        w.run();
+        let va = pa.borrow().view.clone().expect("sw0 has a view");
+        let vb = pb.borrow().view.clone().expect("sw1 has a view");
+        assert_eq!(va.tag, vb.tag);
+        assert_eq!(va.edges, vec![(SwitchId(0), SwitchId(1))]);
+        assert_eq!(va.edges, vb.edges);
+        // Both switches initiated (each saw a LinkUp); the higher tag won.
+        assert_eq!(va.tag.epoch, 1);
+    }
+
+    #[test]
+    fn isolated_switch_completes_with_empty_topology() {
+        let mut w = World::new(1);
+        let p: PublicHandle = Rc::new(RefCell::new(AgentPublic::default()));
+        let a = w.add_actor(SwitchAgent::new(
+            SwitchId(4),
+            SimDuration::from_micros(10),
+            p.clone(),
+        ));
+        w.send_now(a, Msg::Boot);
+        w.run();
+        let v = p.borrow().view.clone().unwrap();
+        assert!(v.edges.is_empty());
+        assert!(v.parents.is_empty());
+        assert_eq!(v.tag.initiator, SwitchId(4));
+    }
+
+    #[test]
+    fn link_down_triggers_new_epoch() {
+        let (mut w, pa, pb) = two_switch_world();
+        w.run();
+        let epoch_before = pa.borrow().view.as_ref().unwrap().tag.epoch;
+        // Tell both ends the link died.
+        // (ActorIds 0 and 1 were assigned in order.)
+        w.send_now(
+            an2_sim::ActorId(0),
+            Msg::LinkDown {
+                neighbor: SwitchId(1),
+            },
+        );
+        w.send_now(
+            an2_sim::ActorId(1),
+            Msg::LinkDown {
+                neighbor: SwitchId(0),
+            },
+        );
+        w.run();
+        let va = pa.borrow().view.clone().unwrap();
+        let vb = pb.borrow().view.clone().unwrap();
+        assert!(va.tag.epoch > epoch_before);
+        assert!(vb.tag.epoch > epoch_before);
+        assert!(va.edges.is_empty(), "partitioned: no shared edges");
+        assert!(vb.edges.is_empty());
+    }
+
+    #[test]
+    fn duplicate_link_down_is_idempotent() {
+        let (mut w, pa, _pb) = two_switch_world();
+        w.run();
+        let initiated_before = pa.borrow().initiated;
+        w.send_now(
+            an2_sim::ActorId(0),
+            Msg::LinkDown {
+                neighbor: SwitchId(1),
+            },
+        );
+        w.send_now(
+            an2_sim::ActorId(0),
+            Msg::LinkDown {
+                neighbor: SwitchId(1),
+            },
+        );
+        w.run();
+        let initiated_after = pa.borrow().initiated;
+        assert_eq!(
+            initiated_after - initiated_before,
+            1,
+            "second LinkDown for a dead link must not reconfigure again"
+        );
+    }
+
+    #[test]
+    fn edge_helper_normalizes() {
+        assert_eq!(edge(SwitchId(5), SwitchId(2)), (SwitchId(2), SwitchId(5)));
+        assert_eq!(edge(SwitchId(1), SwitchId(1)), (SwitchId(1), SwitchId(1)));
+    }
+}

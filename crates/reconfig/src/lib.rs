@@ -1,0 +1,119 @@
+//! # an2-reconfig — distributed reconfiguration, link monitoring and the
+//! skeptic (§2)
+//!
+//! "The first stage in generating routing tables is topology acquisition. A
+//! distributed reconfiguration algorithm is run to detect the current
+//! topology and communicate it to each switch. Reconfiguration is triggered
+//! when a switch is booted, or when any switch detects a change in the state
+//! of its inter-switch connections."
+//!
+//! The three phases, implemented in [`agent`] as a message-driven state
+//! machine per switch:
+//!
+//! 1. **Propagation** — the initiator becomes root of a spanning tree and
+//!    invites its neighbours; a switch accepts the first invitation it
+//!    receives and forwards invitations to its other neighbours.
+//! 2. **Collection** — topology information flows up the tree to the root.
+//! 3. **Distribution** — the root sends the complete topology down the tree.
+//!
+//! Overlapping reconfigurations are ordered by **epoch tags**
+//! ([`Tag`]): a switch participates only in the configuration with the
+//! largest `(epoch, initiator)` tag it has seen and abandons all others.
+//!
+//! The [`harness`] module wires switch agents into the discrete-event world
+//! over an [`an2_topology::Topology`] and drives failures; the [`monitor`]
+//! and [`skeptic`] modules implement the link-error watchdog that feeds the
+//! reconfiguration trigger while damping flapping links.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agent;
+pub mod harness;
+pub mod monitor;
+pub mod skeptic;
+
+use an2_topology::SwitchId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A reconfiguration tag: epoch number, then initiating switch id. Total
+/// order; higher tags supersede lower ones (§2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Tag {
+    /// The epoch number (larger = newer).
+    pub epoch: u64,
+    /// The switch that initiated the reconfiguration (tie-break).
+    pub initiator: SwitchId,
+}
+
+impl Tag {
+    /// The smallest tag: used as the initial "nothing seen yet" value.
+    pub const ZERO: Tag = Tag {
+        epoch: 0,
+        initiator: SwitchId(0),
+    };
+
+    /// The tag a switch uses to start a new reconfiguration, given the
+    /// largest tag it has stored.
+    pub fn successor(self, initiator: SwitchId) -> Tag {
+        Tag {
+            epoch: self.epoch + 1,
+            initiator,
+        }
+    }
+}
+
+impl fmt::Display for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "epoch {} by {}", self.epoch, self.initiator)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_ordering_epoch_then_initiator() {
+        let a = Tag {
+            epoch: 1,
+            initiator: SwitchId(9),
+        };
+        let b = Tag {
+            epoch: 2,
+            initiator: SwitchId(0),
+        };
+        assert!(b > a, "epoch dominates");
+        let c = Tag {
+            epoch: 2,
+            initiator: SwitchId(3),
+        };
+        assert!(c > b, "initiator id breaks ties");
+        assert!(Tag::ZERO < a);
+    }
+
+    #[test]
+    fn successor_bumps_epoch() {
+        let t = Tag {
+            epoch: 7,
+            initiator: SwitchId(2),
+        };
+        let s = t.successor(SwitchId(5));
+        assert_eq!(s.epoch, 8);
+        assert_eq!(s.initiator, SwitchId(5));
+        assert!(s > t);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            Tag {
+                epoch: 3,
+                initiator: SwitchId(1)
+            }
+            .to_string(),
+            "epoch 3 by sw1"
+        );
+    }
+}

@@ -1,0 +1,270 @@
+//! The link monitor (§2).
+//!
+//! "Switch software monitors the links by regularly pinging each neighbor
+//! and checking that a correct acknowledgment is received. If this test
+//! fails too frequently, a working link is changed to the dead state.
+//! Likewise, a dead link's state makes the transition to working if its
+//! error rate is acceptably low for a long enough time."
+//!
+//! The monitor is a pure state machine over ping outcomes; the skeptic
+//! gates the dead → working transition.
+
+use crate::skeptic::{Skeptic, SkepticConfig};
+use an2_sim::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// The monitor's verdict on a link — the clean abstraction handed to the
+/// reconfiguration algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LinkVerdict {
+    /// The link may carry traffic.
+    Working,
+    /// The link is declared dead.
+    Dead,
+}
+
+/// A state transition that must trigger a reconfiguration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transition {
+    /// The new verdict.
+    pub to: LinkVerdict,
+    /// When the monitor decided.
+    pub at: SimTime,
+}
+
+/// Tunables for a [`LinkMonitor`].
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct MonitorConfig {
+    /// Interval between pings.
+    pub ping_interval: SimDuration,
+    /// Consecutive ping failures that kill a working link.
+    pub fail_threshold: u32,
+    /// Consecutive ping successes required (in addition to the skeptic's
+    /// wait) before a dead link may recover.
+    pub recover_threshold: u32,
+    /// Skeptic parameters.
+    pub skeptic: SkepticConfig,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            ping_interval: SimDuration::from_millis(10),
+            fail_threshold: 3,
+            recover_threshold: 10,
+            skeptic: SkepticConfig::default(),
+        }
+    }
+}
+
+/// Per-link monitor state machine. Feed it ping outcomes; it reports
+/// verdict transitions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LinkMonitor {
+    cfg: MonitorConfig,
+    verdict: LinkVerdict,
+    consecutive_failures: u32,
+    consecutive_successes: u32,
+    skeptic: Skeptic,
+}
+
+impl LinkMonitor {
+    /// A monitor for a link that starts in the working state.
+    pub fn new(cfg: MonitorConfig) -> Self {
+        LinkMonitor {
+            skeptic: Skeptic::new(cfg.skeptic),
+            cfg,
+            verdict: LinkVerdict::Working,
+            consecutive_failures: 0,
+            consecutive_successes: 0,
+        }
+    }
+
+    /// The current verdict.
+    pub fn verdict(&self) -> LinkVerdict {
+        self.verdict
+    }
+
+    /// The skeptic's current escalation level (for diagnostics).
+    pub fn skeptic_level(&self) -> u32 {
+        self.skeptic.level()
+    }
+
+    /// Processes one ping outcome at `now`. Returns a [`Transition`] when
+    /// the verdict changed (the caller triggers a reconfiguration).
+    pub fn on_ping(&mut self, ok: bool, now: SimTime) -> Option<Transition> {
+        self.skeptic.decay(now);
+        if ok {
+            self.consecutive_failures = 0;
+            self.consecutive_successes += 1;
+        } else {
+            self.consecutive_successes = 0;
+            self.consecutive_failures += 1;
+        }
+        match self.verdict {
+            LinkVerdict::Working => {
+                if self.consecutive_failures >= self.cfg.fail_threshold {
+                    self.verdict = LinkVerdict::Dead;
+                    self.skeptic.on_failure(now);
+                    Some(Transition {
+                        to: LinkVerdict::Dead,
+                        at: now,
+                    })
+                } else {
+                    None
+                }
+            }
+            LinkVerdict::Dead => {
+                if self.consecutive_successes >= self.cfg.recover_threshold
+                    && self.skeptic.may_recover(now)
+                {
+                    self.verdict = LinkVerdict::Working;
+                    self.skeptic.on_recovery(now);
+                    Some(Transition {
+                        to: LinkVerdict::Working,
+                        at: now,
+                    })
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// Drives a monitor over a synthetic ping-outcome sequence and counts
+/// verdict transitions — used by experiment E12's flapping-link study.
+pub fn count_transitions(
+    monitor: &mut LinkMonitor,
+    outcomes: impl IntoIterator<Item = bool>,
+    ping_interval: SimDuration,
+) -> u32 {
+    let mut transitions = 0;
+    let mut now = SimTime::ZERO;
+    for ok in outcomes {
+        now += ping_interval;
+        if monitor.on_ping(ok, now).is_some() {
+            transitions += 1;
+        }
+    }
+    transitions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> MonitorConfig {
+        MonitorConfig {
+            ping_interval: SimDuration::from_millis(10),
+            fail_threshold: 3,
+            recover_threshold: 5,
+            skeptic: SkepticConfig {
+                base_wait: SimDuration::from_millis(100),
+                max_level: 8,
+                decay_after: SimDuration::from_secs(60),
+            },
+        }
+    }
+
+    fn tick(n: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(10) * n
+    }
+
+    #[test]
+    fn healthy_link_stays_working() {
+        let mut m = LinkMonitor::new(cfg());
+        for k in 0..100 {
+            assert_eq!(m.on_ping(true, tick(k)), None);
+        }
+        assert_eq!(m.verdict(), LinkVerdict::Working);
+    }
+
+    #[test]
+    fn sporadic_failures_tolerated() {
+        // Single misses never reach the threshold of 3 consecutive.
+        let mut m = LinkMonitor::new(cfg());
+        for k in 0..300 {
+            let ok = k % 3 != 0; // one miss in three, never consecutive
+            assert_eq!(m.on_ping(ok, tick(k)), None);
+        }
+        assert_eq!(m.verdict(), LinkVerdict::Working);
+    }
+
+    #[test]
+    fn consecutive_failures_kill_link() {
+        let mut m = LinkMonitor::new(cfg());
+        assert_eq!(m.on_ping(false, tick(0)), None);
+        assert_eq!(m.on_ping(false, tick(1)), None);
+        let t = m.on_ping(false, tick(2)).expect("third failure kills");
+        assert_eq!(t.to, LinkVerdict::Dead);
+        assert_eq!(m.verdict(), LinkVerdict::Dead);
+    }
+
+    #[test]
+    fn recovery_needs_successes_and_skeptic_wait() {
+        let mut m = LinkMonitor::new(cfg());
+        for k in 0..3 {
+            m.on_ping(false, tick(k));
+        }
+        assert_eq!(m.verdict(), LinkVerdict::Dead);
+        // 5 successes arrive quickly, but the skeptic's 100 ms wait (10
+        // ticks) isn't over: no recovery at tick 7.
+        for k in 3..8 {
+            assert_eq!(m.on_ping(true, tick(k)), None, "tick {k}");
+        }
+        // Keep pinging; once 100 ms since the failure have passed, recover.
+        let mut recovered_at = None;
+        for k in 8..30 {
+            if let Some(t) = m.on_ping(true, tick(k)) {
+                recovered_at = Some((k, t));
+                break;
+            }
+        }
+        let (k, t) = recovered_at.expect("link eventually recovers");
+        assert_eq!(t.to, LinkVerdict::Working);
+        assert!(tick(k).duration_since(tick(2)) >= SimDuration::from_millis(100));
+    }
+
+    #[test]
+    fn flapping_produces_fewer_transitions_over_time() {
+        // Worst-case flapper: the link fails whenever it is declared
+        // working, and behaves whenever it is declared dead. The skeptic
+        // doubles each dead period, so transitions thin out: the second
+        // half of a long run sees far fewer than the first.
+        let mut skcfg = cfg();
+        skcfg.skeptic.max_level = 16;
+        let mut m = LinkMonitor::new(skcfg);
+        let half = 40_000u64;
+        let mut transitions_first = 0;
+        let mut transitions_second = 0;
+        for k in 0..(2 * half) {
+            let ok = m.verdict() == LinkVerdict::Dead;
+            if m.on_ping(ok, tick(k)).is_some() {
+                if k < half {
+                    transitions_first += 1;
+                } else {
+                    transitions_second += 1;
+                }
+            }
+        }
+        assert!(
+            transitions_second * 2 < transitions_first,
+            "damping failed: {transitions_first} then {transitions_second}"
+        );
+        assert!(m.skeptic_level() > 0);
+    }
+
+    #[test]
+    fn count_transitions_helper() {
+        let mut m = LinkMonitor::new(cfg());
+        // 3 failures (1 transition to dead), then sustained success long
+        // enough for the skeptic: one transition back.
+        let outcomes: Vec<bool> = std::iter::repeat_n(false, 3)
+            .chain(std::iter::repeat_n(true, 50))
+            .collect();
+        let n = count_transitions(&mut m, outcomes, SimDuration::from_millis(10));
+        assert_eq!(n, 2);
+        assert_eq!(m.verdict(), LinkVerdict::Working);
+    }
+}

@@ -1,0 +1,271 @@
+//! Schedule arrangement heuristics (§4, future work).
+//!
+//! "Best-effort cells can only be transmitted in slots where neither their
+//! input nor their output is busy with reserved traffic. Such slots will be
+//! more frequent if reserved traffic is packed into a small number of slots,
+//! leaving other slots completely free for best-effort traffic. Best-effort
+//! cells will also fare better if the unreserved slots are distributed
+//! throughout the frame rather than grouped at one point."
+//!
+//! Two constructions are provided: [`build_packed`] concentrates reserved
+//! cells into the lowest-numbered slots; [`build_spread`] balances the load
+//! across slots. [`best_effort_stats`] measures the resulting best-effort
+//! opportunity (free-pair slot count) and its worst gap (a latency proxy).
+
+use crate::frame::FrameSchedule;
+use crate::reservation::ReservationMatrix;
+
+/// Builds a schedule that packs reserved traffic into as few slots as
+/// possible: reservations are placed first-fit from slot 0 upward (falling
+/// back to displacement when necessary), and entries are inserted
+/// largest-first to improve packing.
+pub fn build_packed(reservations: &ReservationMatrix) -> FrameSchedule {
+    let mut entries = reservations.entries();
+    // Largest reservations first: classic first-fit-decreasing.
+    entries.sort_by_key(|&(_, _, c)| std::cmp::Reverse(c));
+    let mut s = FrameSchedule::new(reservations.size(), reservations.frame());
+    for (i, o, cells) in entries {
+        for _ in 0..cells {
+            s.insert(i, o)
+                .expect("feasible reservations are always schedulable");
+        }
+    }
+    s
+}
+
+/// Builds a schedule that spreads each pair's cells evenly through the
+/// frame: the k cells of a reservation go to slots near `j * frame / k`,
+/// keeping both the reserved load per slot balanced and each circuit's
+/// departures periodic (good jitter).
+pub fn build_spread(reservations: &ReservationMatrix) -> FrameSchedule {
+    let frame = reservations.frame();
+    let n = reservations.size();
+    let mut s = FrameSchedule::new(n, frame);
+    let mut occupancy = vec![0u32; frame as usize];
+    let mut entries = reservations.entries();
+    entries.sort_by_key(|&(_, _, c)| std::cmp::Reverse(c));
+    for (idx, &(i, o, cells)) in entries.iter().enumerate() {
+        // Stagger each circuit's phase so single-cell circuits do not all
+        // target slot 0.
+        let phase = (idx as u64 * frame as u64 / entries.len().max(1) as u64) as u32;
+        for j in 0..cells {
+            let ideal = (phase + (j as u64 * frame as u64 / cells as u64) as u32) % frame;
+            // Least-loaded free slot; ties broken by cyclic distance from
+            // the ideal position, keeping each circuit roughly periodic.
+            let best = (0..frame)
+                .filter(|&t| s.pair_free(t, i, o))
+                .min_by_key(|&t| {
+                    let fwd = (t + frame - ideal) % frame;
+                    let dist = fwd.min(frame - fwd);
+                    (occupancy[t as usize], dist, t)
+                });
+            match best {
+                Some(slot) => {
+                    s.insert_hint(slot, i, o);
+                    occupancy[slot as usize] += 1;
+                }
+                None => {
+                    // No free pair anywhere: displacement insertion. Total
+                    // occupancy is unchanged per slot except the two touched
+                    // slots; recompute them afterwards.
+                    let trace = s
+                        .insert(i, o)
+                        .expect("feasible reservations are always schedulable");
+                    for m in &trace.moves {
+                        occupancy[m.slot as usize] = (0..n)
+                            .filter(|&k| s.output_in_slot(m.slot, k).is_some())
+                            .count() as u32;
+                    }
+                }
+            }
+        }
+    }
+    s
+}
+
+impl FrameSchedule {
+    /// Places a cell in a specific slot known to have both ends free.
+    /// Used by arrangement heuristics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either end of the pair is busy in `slot`.
+    pub(crate) fn insert_hint(&mut self, slot: u32, input: usize, output: usize) {
+        assert!(
+            self.pair_free(slot, input, output),
+            "insert_hint: slot {slot} not free for ({input},{output})"
+        );
+        self.place(slot, input, output);
+    }
+}
+
+/// Best-effort opportunity statistics for one (input, output) pair under a
+/// frame schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BestEffortStats {
+    /// Slots per frame in which a best-effort cell could cross for this
+    /// pair (both ends idle).
+    pub free_slots: u32,
+    /// The largest run of consecutive slots (cyclically) with no
+    /// opportunity — the worst-case wait in slots for a newly arrived
+    /// best-effort cell.
+    pub max_gap: u32,
+}
+
+/// Measures best-effort opportunity for a pair.
+pub fn best_effort_stats(s: &FrameSchedule, input: usize, output: usize) -> BestEffortStats {
+    let frame = s.frame();
+    let free: Vec<u32> = (0..frame)
+        .filter(|&t| s.pair_free(t, input, output))
+        .collect();
+    if free.is_empty() {
+        return BestEffortStats {
+            free_slots: 0,
+            max_gap: frame,
+        };
+    }
+    let mut max_gap = 0;
+    for (k, &t) in free.iter().enumerate() {
+        let next = if k + 1 < free.len() {
+            free[k + 1]
+        } else {
+            free[0] + frame
+        };
+        max_gap = max_gap.max(next - t - 1);
+    }
+    BestEffortStats {
+        free_slots: free.len() as u32,
+        max_gap,
+    }
+}
+
+/// Mean best-effort free-slot count over all (input, output) pairs.
+pub fn mean_free_slots(s: &FrameSchedule) -> f64 {
+    let n = s.size();
+    let mut total = 0u64;
+    for i in 0..n {
+        for o in 0..n {
+            total += best_effort_stats(s, i, o).free_slots as u64;
+        }
+    }
+    total as f64 / (n * n) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use an2_sim::SimRng;
+
+    fn random_reservations(n: usize, frame: u32, fill: f64, seed: u64) -> ReservationMatrix {
+        let mut rng = SimRng::new(seed);
+        let mut r = ReservationMatrix::new(n, frame);
+        let target = (n as f64 * frame as f64 * fill) as u32;
+        let mut placed = 0;
+        let mut attempts = 0;
+        while placed < target && attempts < target * 20 {
+            attempts += 1;
+            let i = rng.gen_range(n);
+            let o = rng.gen_range(n);
+            if r.reserve(i, o, 1).is_ok() {
+                placed += 1;
+            }
+        }
+        r
+    }
+
+    #[test]
+    fn both_constructions_satisfy_reservations() {
+        for seed in 0..10 {
+            let r = random_reservations(8, 32, 0.5, seed);
+            assert!(build_packed(&r).satisfies(&r));
+            assert!(build_spread(&r).satisfies(&r));
+        }
+    }
+
+    #[test]
+    fn packed_concentrates_load_in_early_slots() {
+        let r = random_reservations(8, 32, 0.3, 42);
+        let s = build_packed(&r);
+        // Count occupied connections per slot: early slots should dominate.
+        let half = (0..16).map(|t| occupancy(&s, t)).sum::<u32>();
+        let rest = (16..32).map(|t| occupancy(&s, t)).sum::<u32>();
+        assert!(half > rest, "first half {half} vs second half {rest}");
+    }
+
+    fn occupancy(s: &FrameSchedule, slot: u32) -> u32 {
+        (0..s.size())
+            .filter(|&i| s.output_in_slot(slot, i).is_some())
+            .count() as u32
+    }
+
+    #[test]
+    fn spread_balances_load_across_slots() {
+        let r = random_reservations(8, 32, 0.3, 42);
+        let s = build_spread(&r);
+        let occ: Vec<u32> = (0..32).map(|t| occupancy(&s, t)).collect();
+        let max = *occ.iter().max().unwrap();
+        let min = *occ.iter().min().unwrap();
+        assert!(
+            max - min <= 4,
+            "spread schedule imbalanced: occupancies {occ:?}"
+        );
+    }
+
+    #[test]
+    fn spread_gives_lower_best_effort_gaps_than_packed() {
+        // The paper's intuition: spreading unreserved slots through the
+        // frame reduces the worst-case wait for best-effort cells.
+        let r = random_reservations(8, 64, 0.4, 7);
+        let packed = build_packed(&r);
+        let spread = build_spread(&r);
+        let mut packed_worst = 0u64;
+        let mut spread_worst = 0u64;
+        for i in 0..8 {
+            for o in 0..8 {
+                packed_worst += best_effort_stats(&packed, i, o).max_gap as u64;
+                spread_worst += best_effort_stats(&spread, i, o).max_gap as u64;
+            }
+        }
+        assert!(
+            spread_worst < packed_worst,
+            "spread total max-gap {spread_worst} !< packed {packed_worst}"
+        );
+    }
+
+    #[test]
+    fn best_effort_stats_on_figure2() {
+        // Figure 2, slot 3 (0-based 2) is free for input 2 → output 3
+        // (0-based 1 → 2).
+        let s = FrameSchedule::figure2();
+        let st = best_effort_stats(&s, 1, 2);
+        assert_eq!(st.free_slots, 1);
+        assert_eq!(st.max_gap, 2);
+    }
+
+    #[test]
+    fn best_effort_stats_fully_blocked_pair() {
+        let mut r = ReservationMatrix::new(2, 2);
+        r.reserve(0, 0, 2).unwrap(); // input 0 busy every slot
+        let s = build_packed(&r);
+        let st = best_effort_stats(&s, 0, 1);
+        assert_eq!(st.free_slots, 0);
+        assert_eq!(st.max_gap, 2);
+    }
+
+    #[test]
+    fn empty_schedule_all_free() {
+        let s = FrameSchedule::new(4, 16);
+        let st = best_effort_stats(&s, 0, 0);
+        assert_eq!(st.free_slots, 16);
+        assert_eq!(st.max_gap, 0);
+        assert_eq!(mean_free_slots(&s), 16.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "insert_hint")]
+    fn insert_hint_rejects_busy_slot() {
+        let mut s = FrameSchedule::new(2, 2);
+        s.insert_hint(0, 0, 0);
+        s.insert_hint(0, 0, 1);
+    }
+}

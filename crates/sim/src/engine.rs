@@ -1,0 +1,494 @@
+//! The actor-based discrete-event engine.
+//!
+//! A [`World`] owns a set of actors and a priority queue of timed messages.
+//! Running the world repeatedly pops the earliest message and delivers it to
+//! its destination actor, which may send further messages at future instants.
+//! Ties in delivery time are broken by send order, so a simulation is a pure
+//! function of its seed and initial messages.
+//!
+//! This models AN2 faithfully: switches and line cards are independent nodes
+//! that communicate only by messages with non-zero latency, and "parallel"
+//! activity is interleaved by virtual time rather than by threads.
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+/// Identifies an actor within a [`World`].
+///
+/// Ids are assigned densely in registration order, which lets higher layers
+/// maintain side tables indexed by `ActorId::index`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ActorId(pub usize);
+
+impl ActorId {
+    /// The dense index of this actor.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ActorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "actor#{}", self.0)
+    }
+}
+
+/// A node in the simulated distributed system.
+///
+/// Implementations receive messages through [`Actor::on_message`] and react
+/// by mutating their own state and sending further messages via the
+/// [`Context`]. There is no other channel between actors — exactly the
+/// constraint the AN2 switches operate under.
+pub trait Actor<M> {
+    /// Handles one delivered message.
+    fn on_message(&mut self, ctx: &mut Context<'_, M>, msg: M);
+}
+
+/// Why [`World::run_until`] / [`World::run`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// No messages remain in flight.
+    Quiescent,
+    /// The time limit was reached with messages still queued.
+    TimeLimit,
+    /// An actor called [`Context::stop`].
+    Stopped,
+}
+
+struct QueuedEvent<M> {
+    at: SimTime,
+    seq: u64,
+    to: ActorId,
+    msg: M,
+}
+
+impl<M> PartialEq for QueuedEvent<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for QueuedEvent<M> {}
+impl<M> PartialOrd for QueuedEvent<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for QueuedEvent<M> {
+    // Reversed so the BinaryHeap (a max-heap) pops the earliest event; ties
+    // broken by send order for determinism.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The capabilities an actor has while handling a message: learn the time,
+/// draw random numbers, and send messages.
+pub struct Context<'w, M> {
+    now: SimTime,
+    me: ActorId,
+    queue: &'w mut BinaryHeap<QueuedEvent<M>>,
+    seq: &'w mut u64,
+    rng: &'w mut SimRng,
+    stop: &'w mut bool,
+}
+
+impl<M> Context<'_, M> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id of the actor handling this message.
+    pub fn me(&self) -> ActorId {
+        self.me
+    }
+
+    /// The world's random number generator.
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+
+    /// Sends `msg` to `to`, to be delivered `delay` from now.
+    pub fn send_after(&mut self, delay: SimDuration, to: ActorId, msg: M) {
+        let seq = *self.seq;
+        *self.seq += 1;
+        self.queue.push(QueuedEvent {
+            at: self.now + delay,
+            seq,
+            to,
+            msg,
+        });
+    }
+
+    /// Sends `msg` to this actor itself after `delay` — a timer.
+    pub fn schedule(&mut self, delay: SimDuration, msg: M) {
+        let me = self.me;
+        self.send_after(delay, me, msg);
+    }
+
+    /// Requests that the run loop stop after this message completes.
+    /// Remaining queued messages are preserved and the world can be resumed.
+    pub fn stop(&mut self) {
+        *self.stop = true;
+    }
+}
+
+/// A deterministic discrete-event world of actors exchanging timed messages.
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+pub struct World<M> {
+    actors: Vec<Option<Box<dyn Actor<M>>>>,
+    queue: BinaryHeap<QueuedEvent<M>>,
+    now: SimTime,
+    seq: u64,
+    rng: SimRng,
+    delivered: u64,
+    stop: bool,
+}
+
+impl<M> fmt::Debug for World<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("World")
+            .field("actors", &self.actors.len())
+            .field("queued", &self.queue.len())
+            .field("now", &self.now)
+            .field("delivered", &self.delivered)
+            .finish()
+    }
+}
+
+impl<M> World<M> {
+    /// Creates an empty world whose randomness derives from `seed`.
+    pub fn new(seed: u64) -> Self {
+        World {
+            actors: Vec::new(),
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            rng: SimRng::new(seed),
+            delivered: 0,
+            stop: false,
+        }
+    }
+
+    /// Registers an actor and returns its id. Ids are dense and sequential.
+    pub fn add_actor(&mut self, actor: impl Actor<M> + 'static) -> ActorId {
+        self.actors.push(Some(Box::new(actor)));
+        ActorId(self.actors.len() - 1)
+    }
+
+    /// Registers a boxed actor (useful when the concrete type is erased).
+    pub fn add_boxed_actor(&mut self, actor: Box<dyn Actor<M>>) -> ActorId {
+        self.actors.push(Some(actor));
+        ActorId(self.actors.len() - 1)
+    }
+
+    /// Number of registered actors.
+    pub fn actor_count(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total messages delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Messages currently queued for future delivery.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The world's random number generator, e.g. for seeding workloads.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// Enqueues `msg` for delivery to `to` at the current instant.
+    pub fn send_now(&mut self, to: ActorId, msg: M) {
+        self.send_at(self.now, to, msg);
+    }
+
+    /// Enqueues `msg` for delivery to `to` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past: virtual time only moves forward.
+    pub fn send_at(&mut self, at: SimTime, to: ActorId, msg: M) {
+        assert!(at >= self.now, "cannot schedule a message in the past");
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(QueuedEvent { at, seq, to, msg });
+    }
+
+    /// Mutable access to an actor, downcast by the caller. Intended for test
+    /// inspection and for harnesses that poke state between runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range or the actor is currently being run
+    /// (impossible from outside the world).
+    pub fn actor_mut(&mut self, id: ActorId) -> &mut dyn Actor<M> {
+        self.actors[id.0]
+            .as_deref_mut()
+            .expect("actor is currently executing")
+    }
+
+    /// Delivers one message if any is queued. Returns `false` when quiescent.
+    pub fn step(&mut self) -> bool {
+        let Some(ev) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.at >= self.now, "event from the past");
+        self.now = ev.at;
+        self.delivered += 1;
+        // Take the actor out so the context can borrow the queue mutably.
+        let mut actor = self.actors[ev.to.0]
+            .take()
+            .unwrap_or_else(|| panic!("message delivered to running actor {}", ev.to));
+        {
+            let mut ctx = Context {
+                now: self.now,
+                me: ev.to,
+                queue: &mut self.queue,
+                seq: &mut self.seq,
+                rng: &mut self.rng,
+                stop: &mut self.stop,
+            };
+            actor.on_message(&mut ctx, ev.msg);
+        }
+        self.actors[ev.to.0] = Some(actor);
+        true
+    }
+
+    /// Runs until no messages remain or an actor stops the world.
+    pub fn run(&mut self) -> StopReason {
+        self.run_until(SimTime::from_nanos(u64::MAX))
+    }
+
+    /// Runs until the queue empties, an actor calls [`Context::stop`], or the
+    /// next message would be delivered after `deadline`.
+    ///
+    /// On [`StopReason::TimeLimit`] the clock is advanced to `deadline` and
+    /// pending messages stay queued, so the world can be resumed.
+    pub fn run_until(&mut self, deadline: SimTime) -> StopReason {
+        self.stop = false;
+        loop {
+            match self.queue.peek() {
+                None => return StopReason::Quiescent,
+                Some(ev) if ev.at > deadline => {
+                    self.now = deadline;
+                    return StopReason::TimeLimit;
+                }
+                Some(_) => {}
+            }
+            self.step();
+            if self.stop {
+                return StopReason::Stopped;
+            }
+        }
+    }
+
+    /// Runs for `span` of virtual time from the current instant.
+    pub fn run_for(&mut self, span: SimDuration) -> StopReason {
+        self.run_until(self.now + span)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    enum Msg {
+        Tick,
+        Echo(u32),
+    }
+
+    struct Counter {
+        ticks: u32,
+        period: SimDuration,
+        limit: u32,
+    }
+
+    impl Actor<Msg> for Counter {
+        fn on_message(&mut self, ctx: &mut Context<'_, Msg>, msg: Msg) {
+            if let Msg::Tick = msg {
+                self.ticks += 1;
+                if self.ticks < self.limit {
+                    ctx.schedule(self.period, Msg::Tick);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn timer_loop_advances_time() {
+        let mut w = World::new(1);
+        let a = w.add_actor(Counter {
+            ticks: 0,
+            period: SimDuration::from_micros(10),
+            limit: 5,
+        });
+        w.send_now(a, Msg::Tick);
+        assert_eq!(w.run(), StopReason::Quiescent);
+        assert_eq!(w.now(), SimTime::from_nanos(40_000));
+        assert_eq!(w.delivered(), 5);
+    }
+
+    struct Recorder {
+        seen: std::rc::Rc<std::cell::RefCell<Vec<(u64, u32)>>>,
+    }
+
+    impl Actor<Msg> for Recorder {
+        fn on_message(&mut self, ctx: &mut Context<'_, Msg>, msg: Msg) {
+            if let Msg::Echo(v) = msg {
+                self.seen.borrow_mut().push((ctx.now().as_nanos(), v));
+            }
+        }
+    }
+
+    #[test]
+    fn ties_delivered_in_send_order() {
+        let mut w = World::new(1);
+        let seen = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let r = w.add_actor(Recorder { seen: seen.clone() });
+        let t = SimTime::from_nanos(100);
+        w.send_at(t, r, Msg::Echo(1));
+        w.send_at(t, r, Msg::Echo(2));
+        w.send_at(t, r, Msg::Echo(3));
+        w.run();
+        assert_eq!(
+            *seen.borrow(),
+            vec![(100, 1), (100, 2), (100, 3)],
+            "equal-time messages arrive in send order"
+        );
+        assert_eq!(w.delivered(), 3);
+        assert_eq!(w.now(), t);
+    }
+
+    #[test]
+    fn actor_mut_allows_external_inspection() {
+        // actor_mut hands back the trait object between runs; drive a
+        // counter and then poke another message at it.
+        let mut w = World::new(1);
+        let a = w.add_actor(Counter {
+            ticks: 0,
+            period: SimDuration::from_nanos(5),
+            limit: 2,
+        });
+        w.send_now(a, Msg::Tick);
+        w.run();
+        let _actor: &mut dyn Actor<Msg> = w.actor_mut(a);
+        w.send_now(a, Msg::Tick);
+        w.run();
+        assert_eq!(w.delivered(), 3);
+    }
+
+    struct Stopper;
+    impl Actor<Msg> for Stopper {
+        fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _msg: Msg) {
+            ctx.stop();
+        }
+    }
+
+    #[test]
+    fn stop_preserves_queue() {
+        let mut w = World::new(1);
+        let s = w.add_actor(Stopper);
+        w.send_at(SimTime::from_nanos(10), s, Msg::Tick);
+        w.send_at(SimTime::from_nanos(20), s, Msg::Tick);
+        assert_eq!(w.run(), StopReason::Stopped);
+        assert_eq!(w.pending(), 1);
+        assert_eq!(w.run(), StopReason::Stopped);
+        assert_eq!(w.run(), StopReason::Quiescent);
+    }
+
+    #[test]
+    fn run_until_advances_clock_to_deadline() {
+        let mut w = World::new(1);
+        let a = w.add_actor(Counter {
+            ticks: 0,
+            period: SimDuration::from_millis(1),
+            limit: 100,
+        });
+        w.send_now(a, Msg::Tick);
+        let r = w.run_until(SimTime::from_nanos(4_500_000));
+        assert_eq!(r, StopReason::TimeLimit);
+        assert_eq!(w.now(), SimTime::from_nanos(4_500_000));
+        assert!(w.pending() > 0);
+        // Resumable.
+        assert_eq!(w.run(), StopReason::Quiescent);
+        assert_eq!(w.delivered(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn send_in_past_panics() {
+        let mut w: World<Msg> = World::new(1);
+        let a = w.add_actor(Stopper);
+        w.send_at(SimTime::from_nanos(50), a, Msg::Tick);
+        w.run();
+        w.send_at(SimTime::from_nanos(10), a, Msg::Tick);
+    }
+
+    struct PingPong {
+        peer: Option<ActorId>,
+        hops: u32,
+    }
+    impl Actor<Msg> for PingPong {
+        fn on_message(&mut self, ctx: &mut Context<'_, Msg>, _msg: Msg) {
+            self.hops += 1;
+            if self.hops <= 4 {
+                if let Some(p) = self.peer {
+                    ctx.send_after(SimDuration::from_nanos(7), p, Msg::Tick);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn two_actor_exchange() {
+        let mut w = World::new(1);
+        let a = w.add_actor(PingPong {
+            peer: None,
+            hops: 0,
+        });
+        let b = w.add_actor(PingPong {
+            peer: Some(a),
+            hops: 0,
+        });
+        // Wire a's peer after creation via a second world: simpler to resend.
+        // a has no peer, so b->a->(stops). Exercise with b first.
+        w.send_now(b, Msg::Tick);
+        w.run();
+        assert_eq!(w.delivered(), 2); // b, then a (a has no peer to reply to)
+        assert_eq!(w.now(), SimTime::from_nanos(7));
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        fn trace(seed: u64) -> (u64, u64) {
+            let mut w = World::new(seed);
+            let a = w.add_actor(Counter {
+                ticks: 0,
+                period: SimDuration::from_nanos(13),
+                limit: 50,
+            });
+            w.send_now(a, Msg::Tick);
+            w.run();
+            (w.now().as_nanos(), w.delivered())
+        }
+        assert_eq!(trace(99), trace(99));
+    }
+}

@@ -1,0 +1,346 @@
+//! Measurement utilities shared by every experiment in the reproduction:
+//! counters, sample histograms with percentiles, and online mean/variance.
+
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A monotonically increasing event counter.
+///
+/// ```
+/// use an2_sim::metrics::Counter;
+/// let mut sent = Counter::new();
+/// sent.add(3);
+/// sent.incr();
+/// assert_eq!(sent.get(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Adds one.
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current count.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A histogram that records every sample, supporting exact means and
+/// percentiles. Simulation scales in this repository stay well under a few
+/// hundred million samples, so exact recording is affordable and avoids
+/// bucket-resolution artifacts in latency tails.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Histogram {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            samples: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Records a sample.
+    pub fn record(&mut self, value: u64) {
+        self.samples.push(value);
+        self.sorted = false;
+    }
+
+    /// Records a duration sample in nanoseconds.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_nanos());
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.samples.iter().map(|&s| s as f64).sum::<f64>() / self.samples.len() as f64)
+        }
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Option<u64> {
+        self.samples.iter().copied().max()
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> Option<u64> {
+        self.samples.iter().copied().min()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) by the nearest-rank method, or `None`
+    /// when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn percentile(&mut self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "percentile out of range");
+        self.ensure_sorted();
+        if self.samples.is_empty() {
+            return None;
+        }
+        let rank = ((q * self.samples.len() as f64).ceil() as usize).max(1) - 1;
+        Some(self.samples[rank.min(self.samples.len() - 1)])
+    }
+
+    /// The fraction of samples `<= threshold`.
+    pub fn fraction_at_most(&self, threshold: u64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let hits = self.samples.iter().filter(|&&s| s <= threshold).count();
+        hits as f64 / self.samples.len() as f64
+    }
+
+    /// Read-only view of the raw samples (unsorted order not guaranteed).
+    pub fn samples(&self) -> &[u64] {
+        &self.samples
+    }
+
+    /// Merges another histogram's samples into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+}
+
+impl FromIterator<u64> for Histogram {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        let mut h = Histogram::new();
+        for v in iter {
+            h.record(v);
+        }
+        h
+    }
+}
+
+impl Extend<u64> for Histogram {
+    fn extend<I: IntoIterator<Item = u64>>(&mut self, iter: I) {
+        for v in iter {
+            self.record(v);
+        }
+    }
+}
+
+/// Online mean / variance / extremes over `f64` observations
+/// (Welford's algorithm), for when storing every sample is wasteful.
+///
+/// ```
+/// use an2_sim::metrics::OnlineStats;
+/// let mut s = OnlineStats::new();
+/// for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.record(x);
+/// }
+/// assert_eq!(s.mean(), 5.0);
+/// assert_eq!(s.population_stddev(), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Empty statistics.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records an observation.
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean of the observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (0 when fewer than 2 observations).
+    pub fn population_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn population_stddev(&self) -> f64 {
+        self.population_variance().sqrt()
+    }
+
+    /// Minimum observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let mut c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.incr();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        assert_eq!(c.to_string(), "10");
+    }
+
+    #[test]
+    fn histogram_basic_stats() {
+        let mut h: Histogram = (1..=100).collect();
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.mean(), Some(50.5));
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(100));
+        assert_eq!(h.percentile(0.5), Some(50));
+        assert_eq!(h.percentile(0.99), Some(99));
+        assert_eq!(h.percentile(1.0), Some(100));
+        assert_eq!(h.percentile(0.0), Some(1));
+    }
+
+    #[test]
+    fn histogram_empty() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.percentile(0.5), None);
+        assert_eq!(h.fraction_at_most(10), 0.0);
+    }
+
+    #[test]
+    fn histogram_fraction_at_most() {
+        let h: Histogram = vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10].into_iter().collect();
+        assert_eq!(h.fraction_at_most(4), 0.4);
+        assert_eq!(h.fraction_at_most(0), 0.0);
+        assert_eq!(h.fraction_at_most(10), 1.0);
+    }
+
+    #[test]
+    fn histogram_merge_and_duration() {
+        let mut a = Histogram::new();
+        a.record_duration(SimDuration::from_micros(2));
+        let b: Histogram = vec![1000].into_iter().collect();
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), Some(1000));
+        assert_eq!(a.max(), Some(2000));
+    }
+
+    #[test]
+    fn histogram_percentile_after_interleaved_records() {
+        let mut h = Histogram::new();
+        h.record(5);
+        assert_eq!(h.percentile(0.5), Some(5));
+        h.record(1); // invalidates sort
+        assert_eq!(h.percentile(0.0), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn percentile_rejects_bad_q() {
+        let mut h: Histogram = vec![1].into_iter().collect();
+        let _ = h.percentile(1.5);
+    }
+
+    #[test]
+    fn histogram_extend() {
+        let mut h = Histogram::new();
+        h.extend([3u64, 1, 2]);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.percentile(1.0), Some(3));
+    }
+
+    #[test]
+    fn online_stats_welford() {
+        let mut s = OnlineStats::new();
+        assert_eq!(s.count(), 0);
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.population_stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn online_stats_single_sample_variance_zero() {
+        let mut s = OnlineStats::new();
+        s.record(42.0);
+        assert_eq!(s.population_variance(), 0.0);
+    }
+}

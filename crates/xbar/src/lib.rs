@@ -1,0 +1,62 @@
+//! # an2-xbar — crossbar scheduling for the AN2 switch (§3)
+//!
+//! Every cell slot, an AN2 switch must pair inputs with outputs across its
+//! 16×16 crossbar: "some pairing of inputs and outputs must be determined
+//! such that each input is paired with at most one output, and vice versa,
+//! considering only those pairs with a queued cell to transmit between them.
+//! This bi-partite matching problem must be solved every time slot, in the
+//! half microsecond required to transmit a cell."
+//!
+//! The paper's answer is **parallel iterative matching** ([`Pim`]): a
+//! distributed request/grant/accept protocol run by the line cards, using
+//! randomness for fairness and iteration to fill in the gaps. This crate
+//! implements PIM together with every baseline the paper discusses:
+//!
+//! * FIFO input queues with head-of-line blocking, whose throughput
+//!   saturates at ≈58% (Karol et al., cited §3) — see [`simulate`];
+//! * output queueing with internal speedup *k* — the "maximum attainable"
+//!   yardstick the paper compares PIM against — see [`simulate`];
+//! * [`GreedyMaximal`] — a centralized sequential maximal matcher;
+//! * [`MaximumMatching`] — a true maximum matcher (Hopcroft–Karp), which the
+//!   paper rejects both for speed and because it "can lead to starvation";
+//! * [`Islip`] — the round-robin descendant of PIM, included as an
+//!   extension baseline.
+//!
+//! The [`simulate`] module provides the slot-level switch simulator used by
+//! the experiments to measure throughput and latency under configurable
+//! arrival patterns, reproducing the §3 claims (E3, E4, E5, E6 in
+//! EXPERIMENTS.md).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod greedy;
+mod islip;
+mod matching;
+mod maximum;
+mod pim;
+pub mod simulate;
+
+pub use greedy::GreedyMaximal;
+pub use islip::Islip;
+pub use matching::{outputs_unique, DemandMatrix, Matching};
+pub use maximum::MaximumMatching;
+pub use pim::{Pim, PimOutcome};
+
+use an2_sim::SimRng;
+
+/// A crossbar scheduler: given the queued demand at each (input, output)
+/// pair, produce a legal matching for this cell slot.
+///
+/// Implementations may keep state across slots (e.g. iSLIP's round-robin
+/// pointers), which is why `schedule` takes `&mut self`.
+pub trait CrossbarScheduler {
+    /// A short human-readable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Computes the matching for one slot.
+    ///
+    /// The returned matching must be *legal*: each input paired with at most
+    /// one output and vice versa, and only pairs with queued demand matched.
+    fn schedule(&mut self, demand: &DemandMatrix, rng: &mut SimRng) -> Matching;
+}

@@ -1,0 +1,331 @@
+//! Demand matrices and matchings — the vocabulary of crossbar scheduling.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The queued demand of a switch at one instant: how many cells wait at each
+/// (input, output) virtual output queue.
+///
+/// ```
+/// use an2_xbar::DemandMatrix;
+/// let mut d = DemandMatrix::new(4);
+/// d.add(0, 2, 3);
+/// assert!(d.wants(0, 2));
+/// assert_eq!(d.queued(0, 2), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DemandMatrix {
+    n: usize,
+    queued: Vec<u64>,
+}
+
+impl DemandMatrix {
+    /// An `n × n` matrix with no demand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "switch size must be positive");
+        DemandMatrix {
+            n,
+            queued: vec![0; n * n],
+        }
+    }
+
+    /// Switch size.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// Cells queued from `input` to `output`.
+    pub fn queued(&self, input: usize, output: usize) -> u64 {
+        self.queued[input * self.n + output]
+    }
+
+    /// Whether any cell waits from `input` to `output`.
+    pub fn wants(&self, input: usize, output: usize) -> bool {
+        self.queued(input, output) > 0
+    }
+
+    /// Adds `cells` of demand.
+    pub fn add(&mut self, input: usize, output: usize, cells: u64) {
+        self.queued[input * self.n + output] += cells;
+    }
+
+    /// Removes one queued cell (used when a matching dispatches it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no cell is queued there.
+    pub fn take_one(&mut self, input: usize, output: usize) {
+        let q = &mut self.queued[input * self.n + output];
+        assert!(*q > 0, "no cell queued at ({input}, {output})");
+        *q -= 1;
+    }
+
+    /// Outputs requested by `input`, in ascending order.
+    pub fn requests_of(&self, input: usize) -> Vec<usize> {
+        (0..self.n).filter(|&o| self.wants(input, o)).collect()
+    }
+
+    /// Total queued cells.
+    pub fn total(&self) -> u64 {
+        self.queued.iter().sum()
+    }
+
+    /// Whether no demand exists at all.
+    pub fn is_empty(&self) -> bool {
+        self.queued.iter().all(|&q| q == 0)
+    }
+
+    /// Builds a matrix from a dense row-major table of queue lengths.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `table.len()` is a perfect square matching `n * n`.
+    pub fn from_table(n: usize, table: &[u64]) -> Self {
+        assert_eq!(table.len(), n * n, "table must be n*n entries");
+        let mut d = DemandMatrix::new(n);
+        d.queued.copy_from_slice(table);
+        d
+    }
+}
+
+/// A crossbar configuration for one slot: each input paired with at most one
+/// output and vice versa.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Matching {
+    /// `pair[i] = Some(o)` when input `i` transmits to output `o`.
+    pair: Vec<Option<usize>>,
+}
+
+impl Matching {
+    /// An empty matching for an `n`-port switch.
+    pub fn empty(n: usize) -> Self {
+        Matching {
+            pair: vec![None; n],
+        }
+    }
+
+    /// Builds from an explicit input→output table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two inputs claim the same output (illegal configuration).
+    pub fn from_pairs(n: usize, pairs: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        let mut m = Matching::empty(n);
+        for (i, o) in pairs {
+            m.set(i, o);
+        }
+        m
+    }
+
+    /// Switch size.
+    pub fn size(&self) -> usize {
+        self.pair.len()
+    }
+
+    /// The output matched to `input`, if any.
+    pub fn output_of(&self, input: usize) -> Option<usize> {
+        self.pair[input]
+    }
+
+    /// The input matched to `output`, if any.
+    pub fn input_of(&self, output: usize) -> Option<usize> {
+        self.pair.iter().position(|&p| p == Some(output))
+    }
+
+    /// Whether `input` is unmatched.
+    pub fn input_free(&self, input: usize) -> bool {
+        self.pair[input].is_none()
+    }
+
+    /// Whether `output` is unmatched.
+    pub fn output_free(&self, output: usize) -> bool {
+        !self.pair.contains(&Some(output))
+    }
+
+    /// Pairs `input` with `output`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either side is already matched — schedulers must only fill
+    /// gaps, never overwrite.
+    pub fn set(&mut self, input: usize, output: usize) {
+        assert!(self.input_free(input), "input {input} already matched");
+        assert!(self.output_free(output), "output {output} already matched");
+        self.pair[input] = Some(output);
+    }
+
+    /// Number of matched pairs.
+    pub fn len(&self) -> usize {
+        self.pair.iter().flatten().count()
+    }
+
+    /// `true` when nothing is matched.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates over `(input, output)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.pair
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &o)| o.map(|o| (i, o)))
+    }
+
+    /// A matching is *legal* for a demand matrix when every matched pair has
+    /// queued demand. (Pair uniqueness is enforced structurally.)
+    pub fn is_legal(&self, demand: &DemandMatrix) -> bool {
+        self.iter().all(|(i, o)| demand.wants(i, o))
+    }
+
+    /// A matching is *maximal* when no unmatched input still has demand for
+    /// an unmatched output — "there can be no head-of-line blocking, since
+    /// all potential connections are considered at each iteration" (§3).
+    pub fn is_maximal(&self, demand: &DemandMatrix) -> bool {
+        for i in 0..self.size() {
+            if !self.input_free(i) {
+                continue;
+            }
+            for o in 0..self.size() {
+                if self.output_free(o) && demand.wants(i, o) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Display for Matching {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        write!(f, "{{")?;
+        for (i, o) in self.iter() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{i}->{o}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Verifies the structural invariant that no output is matched twice.
+/// `Matching::set` makes violations unrepresentable, so this exists for
+/// property tests over scheduler outputs.
+pub fn outputs_unique(m: &Matching) -> bool {
+    let mut seen = vec![false; m.size()];
+    for (_, o) in m.iter() {
+        if seen[o] {
+            return false;
+        }
+        seen[o] = true;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demand_basics() {
+        let mut d = DemandMatrix::new(3);
+        assert!(d.is_empty());
+        d.add(0, 1, 2);
+        d.add(2, 0, 1);
+        assert_eq!(d.total(), 3);
+        assert_eq!(d.queued(0, 1), 2);
+        assert!(d.wants(2, 0));
+        assert!(!d.wants(1, 1));
+        assert_eq!(d.requests_of(0), vec![1]);
+        d.take_one(0, 1);
+        assert_eq!(d.queued(0, 1), 1);
+        assert_eq!(d.size(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "no cell queued")]
+    fn take_from_empty_panics() {
+        DemandMatrix::new(2).take_one(0, 0);
+    }
+
+    #[test]
+    fn from_table() {
+        let d = DemandMatrix::from_table(2, &[0, 1, 2, 0]);
+        assert_eq!(d.queued(0, 1), 1);
+        assert_eq!(d.queued(1, 0), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "n*n")]
+    fn from_table_wrong_len_panics() {
+        DemandMatrix::from_table(2, &[1, 2, 3]);
+    }
+
+    #[test]
+    fn matching_set_and_query() {
+        let mut m = Matching::empty(4);
+        assert!(m.is_empty());
+        m.set(0, 2);
+        m.set(3, 1);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.output_of(0), Some(2));
+        assert_eq!(m.input_of(1), Some(3));
+        assert_eq!(m.input_of(0), None);
+        assert!(m.input_free(1));
+        assert!(!m.output_free(2));
+        assert_eq!(m.to_string(), "{0->2, 3->1}");
+        assert!(outputs_unique(&m));
+    }
+
+    #[test]
+    #[should_panic(expected = "output 2 already matched")]
+    fn double_output_panics() {
+        let mut m = Matching::empty(3);
+        m.set(0, 2);
+        m.set(1, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "input 0 already matched")]
+    fn double_input_panics() {
+        let mut m = Matching::empty(3);
+        m.set(0, 2);
+        m.set(0, 1);
+    }
+
+    #[test]
+    fn legality_and_maximality() {
+        let mut d = DemandMatrix::new(3);
+        d.add(0, 0, 1);
+        d.add(0, 1, 1);
+        d.add(1, 1, 1);
+        // {0->0, 1->1} is legal and maximal.
+        let m = Matching::from_pairs(3, [(0, 0), (1, 1)]);
+        assert!(m.is_legal(&d));
+        assert!(m.is_maximal(&d));
+        // {0->0} alone is legal but not maximal: input 1 / output 1 could
+        // still be paired.
+        let m2 = Matching::from_pairs(3, [(0, 0)]);
+        assert!(m2.is_legal(&d));
+        assert!(!m2.is_maximal(&d), "1->1 still possible");
+        // A matching using a pair with no demand is illegal.
+        let m3 = Matching::from_pairs(3, [(2, 2)]);
+        assert!(!m3.is_legal(&d));
+    }
+
+    #[test]
+    fn empty_matching_maximal_iff_no_demand() {
+        let d = DemandMatrix::new(2);
+        assert!(Matching::empty(2).is_maximal(&d));
+        let mut d2 = DemandMatrix::new(2);
+        d2.add(1, 1, 1);
+        assert!(!Matching::empty(2).is_maximal(&d2));
+    }
+}

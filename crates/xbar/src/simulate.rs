@@ -1,0 +1,674 @@
+//! Slot-level simulation of a single switch under synthetic cell arrivals.
+//!
+//! This is the apparatus behind the §3 performance claims: it drives a
+//! buffering discipline (FIFO input queues, virtual output queues with a
+//! matching scheduler, or output queueing with internal speedup *k*) with a
+//! configurable arrival pattern and measures throughput and cell latency.
+//!
+//! "Simulation studies show that, for a 16×16 switch and a variety of cell
+//! arrival patterns, random-access input buffers plus parallel iterative
+//! matching yield throughput and latency nearly as good as that of output
+//! queueing with k = 16 and unbounded buffer capacity." (§3)
+
+use crate::matching::DemandMatrix;
+use crate::CrossbarScheduler;
+use an2_sim::metrics::Histogram;
+use an2_sim::SimRng;
+use std::collections::VecDeque;
+
+/// Synthetic cell arrival patterns, per input port per slot.
+#[derive(Debug, Clone)]
+pub enum Arrivals {
+    /// Bernoulli arrivals with probability `load`; output uniform over all
+    /// ports — the i.i.d. model under which FIFO saturates at 58%.
+    Uniform {
+        /// Offered load per input, in `[0, 1]`.
+        load: f64,
+    },
+    /// Bernoulli arrivals; a `hot_fraction` of cells target `hot_output`,
+    /// the rest are uniform.
+    Hotspot {
+        /// Offered load per input.
+        load: f64,
+        /// The overloaded output port.
+        hot_output: usize,
+        /// Fraction of cells aimed at the hot output.
+        hot_fraction: f64,
+    },
+    /// Bernoulli arrivals; input `i` always sends to `perm[i]` — the
+    /// contention-free pattern any input-queued switch should carry at full
+    /// rate.
+    Permutation {
+        /// Offered load per input.
+        load: f64,
+        /// Fixed destination of each input.
+        perm: Vec<usize>,
+    },
+    /// Bursty on/off traffic: geometric bursts of mean length `mean_burst`,
+    /// all cells of a burst to one (uniform random) output; idle gaps sized
+    /// so the long-run load is `load`. The correlated pattern LAN traffic
+    /// actually exhibits (§3 argues LAN traffic violates the i.i.d.
+    /// assumption output queueing analyses rely on).
+    Bursty {
+        /// Long-run offered load per input.
+        load: f64,
+        /// Mean burst length in cells.
+        mean_burst: f64,
+    },
+}
+
+/// Per-input generator state for [`Arrivals::Bursty`].
+#[derive(Debug, Clone, Default)]
+struct BurstState {
+    /// Remaining cells in the current burst.
+    remaining: u64,
+    /// Destination of the current burst.
+    dest: usize,
+    /// Remaining idle slots before the next burst.
+    idle: u64,
+}
+
+/// Drives an [`Arrivals`] pattern, holding per-input state.
+#[derive(Debug, Clone)]
+pub struct ArrivalGen {
+    pattern: Arrivals,
+    n: usize,
+    bursts: Vec<BurstState>,
+}
+
+impl ArrivalGen {
+    /// A generator for an `n`-port switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed patterns (load outside `[0,1]`, permutation of
+    /// the wrong length or with out-of-range entries, zero burst length).
+    pub fn new(n: usize, pattern: Arrivals) -> Self {
+        match &pattern {
+            Arrivals::Uniform { load } => {
+                assert!((0.0..=1.0).contains(load), "load must be in [0,1]");
+            }
+            Arrivals::Hotspot {
+                load,
+                hot_output,
+                hot_fraction,
+            } => {
+                assert!((0.0..=1.0).contains(load));
+                assert!(*hot_output < n, "hot output out of range");
+                assert!((0.0..=1.0).contains(hot_fraction));
+            }
+            Arrivals::Permutation { load, perm } => {
+                assert!((0.0..=1.0).contains(load));
+                assert_eq!(perm.len(), n, "permutation must cover all inputs");
+                assert!(
+                    perm.iter().all(|&o| o < n),
+                    "permutation entry out of range"
+                );
+            }
+            Arrivals::Bursty { load, mean_burst } => {
+                assert!((0.0..=1.0).contains(load));
+                assert!(*mean_burst >= 1.0, "mean burst below one cell");
+            }
+        }
+        ArrivalGen {
+            pattern,
+            n,
+            bursts: vec![BurstState::default(); n],
+        }
+    }
+
+    /// The destination of the cell arriving at `input` this slot, or `None`
+    /// for no arrival.
+    pub fn next(&mut self, input: usize, rng: &mut SimRng) -> Option<usize> {
+        match &self.pattern {
+            Arrivals::Uniform { load } => rng.gen_bool(*load).then(|| rng.gen_range(self.n)),
+            Arrivals::Hotspot {
+                load,
+                hot_output,
+                hot_fraction,
+            } => rng.gen_bool(*load).then(|| {
+                if rng.gen_bool(*hot_fraction) {
+                    *hot_output
+                } else {
+                    rng.gen_range(self.n)
+                }
+            }),
+            Arrivals::Permutation { load, perm } => rng.gen_bool(*load).then(|| perm[input]),
+            Arrivals::Bursty { load, mean_burst } => {
+                let st = &mut self.bursts[input];
+                if st.remaining == 0 && st.idle == 0 {
+                    // Start a new cycle: burst then gap sized for the load.
+                    st.remaining = rng.gen_geometric(1.0 / mean_burst);
+                    st.dest = rng.gen_range(self.n);
+                    let mean_gap = if *load > 0.0 {
+                        mean_burst * (1.0 - load) / load
+                    } else {
+                        f64::INFINITY
+                    };
+                    st.idle = if mean_gap.is_finite() && mean_gap > 0.0 {
+                        rng.gen_geometric(1.0 / (mean_gap + 1.0)) - 1
+                    } else {
+                        u64::MAX
+                    };
+                }
+                if st.remaining > 0 {
+                    st.remaining -= 1;
+                    Some(st.dest)
+                } else {
+                    st.idle = st.idle.saturating_sub(1);
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// The buffering discipline under test.
+pub enum Discipline {
+    /// Random-access input buffers (virtual output queues) with a crossbar
+    /// scheduler — the AN2 design.
+    Voq(Box<dyn CrossbarScheduler>),
+    /// One FIFO per input; only the head cell is eligible. Head-of-line
+    /// blocking limits throughput to ≈58% under uniform traffic.
+    Fifo,
+    /// Output queueing with internal speedup `k`: up to `k` cells may reach
+    /// one output per slot (excess waits at the input in FIFO order);
+    /// output buffers are unbounded. `k = n` is the paper's yardstick.
+    OutputQueued {
+        /// Internal fabric speedup factor.
+        speedup: usize,
+    },
+}
+
+impl std::fmt::Debug for Discipline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Discipline::Voq(s) => write!(f, "Voq({})", s.name()),
+            Discipline::Fifo => write!(f, "Fifo"),
+            Discipline::OutputQueued { speedup } => write!(f, "OutputQueued(k={speedup})"),
+        }
+    }
+}
+
+/// Results of a switch simulation run.
+#[derive(Debug)]
+pub struct SwitchReport {
+    /// Ports on the simulated switch.
+    pub ports: usize,
+    /// Cell slots simulated.
+    pub slots: u64,
+    /// Cells offered by the arrival process.
+    pub offered: u64,
+    /// Cells delivered out of the switch.
+    pub delivered: u64,
+    /// Cell delays in slots (arrival to departure, inclusive).
+    pub delay: Histogram,
+    /// Largest total backlog (cells buffered anywhere) observed.
+    pub peak_backlog: u64,
+}
+
+impl SwitchReport {
+    /// Delivered throughput as a fraction of aggregate link capacity.
+    pub fn throughput(&self) -> f64 {
+        self.delivered as f64 / (self.slots as f64 * self.ports as f64)
+    }
+
+    /// Offered load as a fraction of aggregate link capacity.
+    pub fn offered_load(&self) -> f64 {
+        self.offered as f64 / (self.slots as f64 * self.ports as f64)
+    }
+
+    /// Mean cell delay in slots, if any cell was delivered.
+    pub fn mean_delay(&self) -> Option<f64> {
+        self.delay.mean()
+    }
+}
+
+/// Simulates `slots` cell slots of an `n`-port switch.
+///
+/// Delay accounting: a cell arriving in slot `t` and crossing the switch in
+/// slot `t` has delay 1 (one slot of service time); every queued slot adds
+/// one. For output-queued disciplines the delay includes output-queue
+/// residence, making the comparison with input queueing fair.
+pub fn simulate(
+    n: usize,
+    discipline: &mut Discipline,
+    arrivals: &mut ArrivalGen,
+    slots: u64,
+    rng: &mut SimRng,
+) -> SwitchReport {
+    match discipline {
+        Discipline::Voq(scheduler) => simulate_voq(n, scheduler.as_mut(), arrivals, slots, rng),
+        Discipline::Fifo => simulate_fifo(n, arrivals, slots, rng),
+        Discipline::OutputQueued { speedup } => {
+            simulate_output_queued(n, *speedup, arrivals, slots, rng)
+        }
+    }
+}
+
+fn simulate_voq(
+    n: usize,
+    scheduler: &mut dyn CrossbarScheduler,
+    arrivals: &mut ArrivalGen,
+    slots: u64,
+    rng: &mut SimRng,
+) -> SwitchReport {
+    // Per (input, output): FIFO of arrival slots.
+    let mut voq: Vec<VecDeque<u64>> = vec![VecDeque::new(); n * n];
+    let mut offered = 0;
+    let mut delivered = 0;
+    let mut delay = Histogram::new();
+    let mut peak_backlog = 0u64;
+    let mut backlog = 0u64;
+    for slot in 0..slots {
+        for input in 0..n {
+            if let Some(output) = arrivals.next(input, rng) {
+                voq[input * n + output].push_back(slot);
+                offered += 1;
+                backlog += 1;
+            }
+        }
+        peak_backlog = peak_backlog.max(backlog);
+        let mut demand = DemandMatrix::new(n);
+        for input in 0..n {
+            for output in 0..n {
+                let q = voq[input * n + output].len() as u64;
+                if q > 0 {
+                    demand.add(input, output, q);
+                }
+            }
+        }
+        let matching = scheduler.schedule(&demand, rng);
+        debug_assert!(matching.is_legal(&demand));
+        for (input, output) in matching.iter() {
+            let arrived = voq[input * n + output].pop_front().expect("legal matching");
+            delivered += 1;
+            backlog -= 1;
+            delay.record(slot - arrived + 1);
+        }
+    }
+    SwitchReport {
+        ports: n,
+        slots,
+        offered,
+        delivered,
+        delay,
+        peak_backlog,
+    }
+}
+
+fn simulate_fifo(
+    n: usize,
+    arrivals: &mut ArrivalGen,
+    slots: u64,
+    rng: &mut SimRng,
+) -> SwitchReport {
+    // Per input: FIFO of (output, arrival slot).
+    let mut fifo: Vec<VecDeque<(usize, u64)>> = vec![VecDeque::new(); n];
+    let mut offered = 0;
+    let mut delivered = 0;
+    let mut delay = Histogram::new();
+    let mut peak_backlog = 0u64;
+    let mut backlog = 0u64;
+    for slot in 0..slots {
+        for (input, q) in fifo.iter_mut().enumerate() {
+            if let Some(output) = arrivals.next(input, rng) {
+                q.push_back((output, slot));
+                offered += 1;
+                backlog += 1;
+            }
+        }
+        peak_backlog = peak_backlog.max(backlog);
+        // Heads contend; each output picks one contender at random.
+        let mut contenders: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (input, q) in fifo.iter().enumerate() {
+            if let Some(&(output, _)) = q.front() {
+                contenders[output].push(input);
+            }
+        }
+        for contenders_for_output in &contenders {
+            if let Some(&winner) = rng.choose(contenders_for_output) {
+                let (_, arrived) = fifo[winner].pop_front().expect("head exists");
+                delivered += 1;
+                backlog -= 1;
+                delay.record(slot - arrived + 1);
+            }
+        }
+    }
+    SwitchReport {
+        ports: n,
+        slots,
+        offered,
+        delivered,
+        delay,
+        peak_backlog,
+    }
+}
+
+fn simulate_output_queued(
+    n: usize,
+    speedup: usize,
+    arrivals: &mut ArrivalGen,
+    slots: u64,
+    rng: &mut SimRng,
+) -> SwitchReport {
+    assert!(speedup > 0, "speedup must be positive");
+    // Staging FIFO per input (cells the fabric hasn't moved yet) and an
+    // unbounded queue per output.
+    let mut staging: Vec<VecDeque<(usize, u64)>> = vec![VecDeque::new(); n];
+    let mut out_q: Vec<VecDeque<u64>> = vec![VecDeque::new(); n];
+    let mut offered = 0;
+    let mut delivered = 0;
+    let mut delay = Histogram::new();
+    let mut peak_backlog = 0u64;
+    let mut backlog = 0u64;
+    for slot in 0..slots {
+        for (input, q) in staging.iter_mut().enumerate() {
+            if let Some(output) = arrivals.next(input, rng) {
+                q.push_back((output, slot));
+                offered += 1;
+                backlog += 1;
+            }
+        }
+        peak_backlog = peak_backlog.max(backlog);
+        // Fabric passes: up to `speedup` rounds; in each round every input
+        // may move its head cell unless the target output exhausted its
+        // per-slot transfer budget. Random input order for fairness.
+        let mut budget = vec![speedup; n];
+        for _round in 0..speedup {
+            let mut order: Vec<usize> = (0..n).collect();
+            rng.shuffle(&mut order);
+            let mut moved = false;
+            for &input in &order {
+                if let Some(&(output, arrived)) = staging[input].front() {
+                    if budget[output] > 0 {
+                        staging[input].pop_front();
+                        budget[output] -= 1;
+                        out_q[output].push_back(arrived);
+                        moved = true;
+                    }
+                }
+            }
+            if !moved {
+                break;
+            }
+        }
+        // Each output transmits one cell per slot.
+        for q in out_q.iter_mut() {
+            if let Some(arrived) = q.pop_front() {
+                delivered += 1;
+                backlog -= 1;
+                delay.record(slot - arrived + 1);
+            }
+        }
+    }
+    SwitchReport {
+        ports: n,
+        slots,
+        offered,
+        delivered,
+        delay,
+        peak_backlog,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pim::Pim;
+
+    fn run(
+        n: usize,
+        mut discipline: Discipline,
+        pattern: Arrivals,
+        slots: u64,
+        seed: u64,
+    ) -> SwitchReport {
+        let mut gen = ArrivalGen::new(n, pattern);
+        let mut rng = SimRng::new(seed);
+        simulate(n, &mut discipline, &mut gen, slots, &mut rng)
+    }
+
+    #[test]
+    fn fifo_saturates_near_58_percent() {
+        // Karol et al. (§3): head-of-line blocking limits FIFO throughput to
+        // 2 - sqrt(2) = 0.586 under saturated uniform traffic.
+        let r = run(
+            16,
+            Discipline::Fifo,
+            Arrivals::Uniform { load: 1.0 },
+            20_000,
+            1,
+        );
+        let tp = r.throughput();
+        assert!(
+            (0.55..0.62).contains(&tp),
+            "FIFO saturation throughput {tp:.3} not near 0.586"
+        );
+    }
+
+    #[test]
+    fn pim_voq_sustains_high_load() {
+        let r = run(
+            16,
+            Discipline::Voq(Box::new(Pim::an2())),
+            Arrivals::Uniform { load: 0.9 },
+            20_000,
+            2,
+        );
+        // Delivered ≈ offered: the switch keeps up at 90% load.
+        assert!(r.throughput() > 0.88, "throughput {:.3}", r.throughput());
+        assert!(r.mean_delay().unwrap() < 20.0);
+    }
+
+    #[test]
+    fn output_queueing_k16_is_the_yardstick() {
+        let r = run(
+            16,
+            Discipline::OutputQueued { speedup: 16 },
+            Arrivals::Uniform { load: 0.9 },
+            20_000,
+            3,
+        );
+        assert!(r.throughput() > 0.88);
+    }
+
+    #[test]
+    fn pim_close_to_output_queueing() {
+        // E5 in miniature: mean delays within a small factor at 80% load.
+        let pim = run(
+            16,
+            Discipline::Voq(Box::new(Pim::an2())),
+            Arrivals::Uniform { load: 0.8 },
+            30_000,
+            4,
+        );
+        let oq = run(
+            16,
+            Discipline::OutputQueued { speedup: 16 },
+            Arrivals::Uniform { load: 0.8 },
+            30_000,
+            4,
+        );
+        let ratio = pim.mean_delay().unwrap() / oq.mean_delay().unwrap();
+        assert!(
+            ratio < 3.0,
+            "PIM delay {:.2} vs OQ {:.2} (ratio {ratio:.2})",
+            pim.mean_delay().unwrap(),
+            oq.mean_delay().unwrap()
+        );
+    }
+
+    #[test]
+    fn permutation_traffic_full_rate_under_voq() {
+        let perm: Vec<usize> = (0..16).map(|i| (i + 5) % 16).collect();
+        let r = run(
+            16,
+            Discipline::Voq(Box::new(Pim::an2())),
+            Arrivals::Permutation { load: 1.0, perm },
+            10_000,
+            5,
+        );
+        assert!(
+            r.throughput() > 0.99,
+            "contention-free traffic must flow at line rate"
+        );
+        // Delay is exactly 1 slot for almost every cell.
+        assert!(r.mean_delay().unwrap() < 1.1);
+    }
+
+    #[test]
+    fn hotspot_bounded_by_hot_output_capacity() {
+        // 16 inputs at load 0.5 all aiming 50% of cells at output 0 offer
+        // 4x output 0's capacity; delivered hot traffic caps at 1 cell/slot.
+        let r = run(
+            16,
+            Discipline::Voq(Box::new(Pim::an2())),
+            Arrivals::Hotspot {
+                load: 0.5,
+                hot_output: 0,
+                hot_fraction: 0.5,
+            },
+            10_000,
+            6,
+        );
+        // Aggregate throughput ≤ (1 hot + 15 * uniform share) — just check
+        // the switch survives and delivers the feasible part.
+        assert!(r.delivered > 0);
+        assert!(r.throughput() < 0.5, "hot traffic cannot all be delivered");
+    }
+
+    #[test]
+    fn bursty_long_run_load_close_to_target() {
+        let mut gen = ArrivalGen::new(
+            8,
+            Arrivals::Bursty {
+                load: 0.6,
+                mean_burst: 10.0,
+            },
+        );
+        let mut rng = SimRng::new(7);
+        let slots = 200_000;
+        let mut arrivals = 0u64;
+        for _ in 0..slots {
+            for input in 0..8 {
+                if gen.next(input, &mut rng).is_some() {
+                    arrivals += 1;
+                }
+            }
+        }
+        let load = arrivals as f64 / (slots * 8) as f64;
+        assert!((load - 0.6).abs() < 0.05, "long-run bursty load {load:.3}");
+    }
+
+    #[test]
+    fn bursts_are_correlated() {
+        let mut gen = ArrivalGen::new(
+            8,
+            Arrivals::Bursty {
+                load: 0.9,
+                mean_burst: 16.0,
+            },
+        );
+        let mut rng = SimRng::new(8);
+        // Consecutive arrivals at one input mostly share a destination.
+        let mut same = 0;
+        let mut diff = 0;
+        let mut last: Option<usize> = None;
+        for _ in 0..10_000 {
+            if let Some(d) = gen.next(0, &mut rng) {
+                if let Some(l) = last {
+                    if l == d {
+                        same += 1;
+                    } else {
+                        diff += 1;
+                    }
+                }
+                last = Some(d);
+            }
+        }
+        assert!(
+            same > diff * 5,
+            "bursty traffic not correlated: {same} vs {diff}"
+        );
+    }
+
+    #[test]
+    fn zero_load_produces_nothing() {
+        let r = run(
+            4,
+            Discipline::Voq(Box::new(Pim::an2())),
+            Arrivals::Uniform { load: 0.0 },
+            1_000,
+            9,
+        );
+        assert_eq!(r.offered, 0);
+        assert_eq!(r.delivered, 0);
+        assert!(r.delay.is_empty());
+        assert_eq!(r.peak_backlog, 0);
+    }
+
+    #[test]
+    fn conservation_no_cell_lost() {
+        // delivered + still-buffered == offered. Buffered = offered-delivered
+        // must be small at modest load.
+        let r = run(
+            8,
+            Discipline::Voq(Box::new(Pim::an2())),
+            Arrivals::Uniform { load: 0.5 },
+            10_000,
+            10,
+        );
+        assert!(r.offered >= r.delivered);
+        assert!(
+            r.offered - r.delivered < 100,
+            "backlog exploded at load 0.5"
+        );
+    }
+
+    #[test]
+    fn report_accessors() {
+        let r = run(
+            4,
+            Discipline::Fifo,
+            Arrivals::Uniform { load: 0.3 },
+            5_000,
+            11,
+        );
+        assert!((r.offered_load() - 0.3).abs() < 0.03);
+        assert!(r.throughput() <= r.offered_load() + 1e-9);
+        assert!(r.peak_backlog > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation must cover")]
+    fn bad_permutation_rejected() {
+        ArrivalGen::new(
+            4,
+            Arrivals::Permutation {
+                load: 0.5,
+                perm: vec![0, 1],
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "hot output out of range")]
+    fn bad_hotspot_rejected() {
+        ArrivalGen::new(
+            4,
+            Arrivals::Hotspot {
+                load: 0.5,
+                hot_output: 4,
+                hot_fraction: 0.5,
+            },
+        );
+    }
+
+    #[test]
+    fn discipline_debug_strings() {
+        let d = Discipline::Voq(Box::new(Pim::an2()));
+        assert!(format!("{d:?}").contains("PIM"));
+        assert!(format!("{:?}", Discipline::OutputQueued { speedup: 4 }).contains("k=4"));
+    }
+}

@@ -1,0 +1,62 @@
+//! Quickstart: build a small AN2 installation, open a best-effort and a
+//! guaranteed circuit, move some packets, and print what happened.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use an2::{Network, Packet};
+
+fn main() -> Result<(), an2::NetError> {
+    // A Figure 1–style installation: 6 switches in a redundant backbone,
+    // 8 dual-homed workstations.
+    let mut net = Network::builder()
+        .src_installation(6, 8)
+        .frame_slots(256)
+        .seed(42)
+        .build();
+    let hosts: Vec<_> = net.hosts().collect();
+
+    println!(
+        "network: {} switches, {} hosts, {} links; slot = {}",
+        net.topology().switch_count(),
+        net.topology().host_count(),
+        net.topology().link_count(),
+        net.slot_duration(),
+    );
+
+    // A best-effort circuit (file transfer / RPC class, §1).
+    let be = net.open_best_effort(hosts[0], hosts[5])?;
+    println!(
+        "best-effort circuit {be:?} via {:?}",
+        net.circuit_path(be).unwrap()
+    );
+
+    // A guaranteed circuit with 64 cells per 256-slot frame (a 25% stream).
+    let gt = net.open_guaranteed(hosts[1], hosts[6], 64)?;
+    println!(
+        "guaranteed circuit {gt:?} via {:?} (64 cells/frame reserved)",
+        net.circuit_path(gt).unwrap()
+    );
+
+    // Send ten 1500-byte packets on each.
+    for k in 0..10u8 {
+        net.send_packet(be, Packet::from_bytes(vec![k; 1500]))?;
+        net.send_packet(gt, Packet::from_bytes(vec![k; 1500]))?;
+    }
+    net.step(50_000);
+
+    for (name, vc, dst) in [("best-effort", be, hosts[5]), ("guaranteed", gt, hosts[6])] {
+        let received = net.take_received(dst);
+        let stats = net.stats(vc);
+        let mean = stats.latency_slots.mean().unwrap_or(0.0);
+        println!(
+            "{name}: {} packets received, {} cells, mean cell latency {:.1} slots \
+             ({:.1} us at 622 Mb/s)",
+            received.len(),
+            stats.delivered_cells,
+            mean,
+            mean * net.slot_duration().as_nanos() as f64 / 1_000.0,
+        );
+        assert_eq!(received.len(), 10, "all packets must arrive");
+    }
+    Ok(())
+}

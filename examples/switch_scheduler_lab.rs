@@ -1,0 +1,89 @@
+//! A tour of §3: compare crossbar scheduling disciplines on a 16×16 switch
+//! and reproduce the numbers the paper quotes — FIFO's 58% head-of-line
+//! ceiling, PIM's convergence in ~log₂N iterations, and PIM ≈ output
+//! queueing with k = 16.
+//!
+//! Run with: `cargo run --example switch_scheduler_lab --release`
+
+use an2_sim::SimRng;
+use an2_xbar::simulate::{simulate, ArrivalGen, Arrivals, Discipline};
+use an2_xbar::{DemandMatrix, GreedyMaximal, Islip, Pim};
+
+const N: usize = 16;
+const SLOTS: u64 = 30_000;
+
+fn measure(mut d: Discipline, load: f64, seed: u64) -> (f64, f64) {
+    let mut gen = ArrivalGen::new(N, Arrivals::Uniform { load });
+    let mut rng = SimRng::new(seed);
+    let r = simulate(N, &mut d, &mut gen, SLOTS, &mut rng);
+    (r.throughput(), r.mean_delay().unwrap_or(f64::NAN))
+}
+
+fn main() {
+    println!("16x16 switch, uniform Bernoulli arrivals, {SLOTS} slots\n");
+    println!(
+        "{:<28} {:>8} {:>12}",
+        "discipline @ load 0.95", "thruput", "mean delay"
+    );
+    let cases: Vec<(&str, Discipline)> = vec![
+        ("FIFO input queues", Discipline::Fifo),
+        ("VOQ + PIM (3 iter)", Discipline::Voq(Box::new(Pim::an2()))),
+        ("VOQ + PIM (1 iter)", Discipline::Voq(Box::new(Pim::new(1)))),
+        (
+            "VOQ + iSLIP (3 iter)",
+            Discipline::Voq(Box::new(Islip::new(N, 3))),
+        ),
+        (
+            "VOQ + greedy maximal",
+            Discipline::Voq(Box::new(GreedyMaximal::new())),
+        ),
+        (
+            "output queueing k=4",
+            Discipline::OutputQueued { speedup: 4 },
+        ),
+        (
+            "output queueing k=16",
+            Discipline::OutputQueued { speedup: 16 },
+        ),
+    ];
+    for (name, d) in cases {
+        let (tp, delay) = measure(d, 0.95, 11);
+        println!("{name:<28} {tp:>8.3} {delay:>12.2}");
+    }
+
+    // FIFO saturation: the Karol et al. 58% ceiling (§3).
+    let (tp, _) = measure(Discipline::Fifo, 1.0, 12);
+    println!(
+        "\nFIFO at saturation: {tp:.3} (theory: 2 - sqrt(2) = {:.3})",
+        2.0 - 2f64.sqrt()
+    );
+
+    // PIM convergence (§3): expected iterations <= log2(N) + 4/3.
+    let mut rng = SimRng::new(13);
+    let trials = 10_000;
+    let mut total_iters = 0usize;
+    let mut within4 = 0usize;
+    for _ in 0..trials {
+        let mut demand = DemandMatrix::new(N);
+        for i in 0..N {
+            for o in 0..N {
+                if rng.gen_bool(0.75) {
+                    demand.add(i, o, 1);
+                }
+            }
+        }
+        let out = Pim::run_to_maximal(&demand, &mut rng);
+        total_iters += out.productive_iterations;
+        if out.productive_iterations <= 4 {
+            within4 += 1;
+        }
+    }
+    let mean = total_iters as f64 / trials as f64;
+    let bound = (N as f64).log2() + 4.0 / 3.0;
+    println!(
+        "\nPIM iterations to maximal: mean {mean:.2} (paper bound {bound:.2}); \
+         within 4 iterations {:.1}% (paper: >98%)",
+        100.0 * within4 as f64 / trials as f64
+    );
+    assert!(mean <= bound);
+}

@@ -1,0 +1,4 @@
+//! Workspace root package for the AN2 reproduction.
+//!
+//! The library lives in `crates/an2`; this package hosts the cross-crate
+//! integration tests (`tests/`) and the runnable examples (`examples/`).

@@ -1,0 +1,283 @@
+//! Property-based tests over the core algorithms and invariants, spanning
+//! crates. Each property is an explicit claim from the paper.
+
+use an2_cells::{Cell, CellHeader, CellKind, Packet, Reassembler, Segmenter, VcId};
+use an2_flow::{resync, CreditReceiver, CreditSender};
+use an2_schedule::nested::NestedFrameSchedule;
+use an2_schedule::{FrameSchedule, ReservationMatrix};
+use an2_sim::SimRng;
+use an2_topology::{generators, updown, SpanningTree, SwitchId};
+use an2_xbar::{outputs_unique, CrossbarScheduler, DemandMatrix, Islip, MaximumMatching, Pim};
+use proptest::prelude::*;
+
+fn arb_demand(n: usize) -> impl Strategy<Value = DemandMatrix> {
+    proptest::collection::vec(0u64..3, n * n)
+        .prop_map(move |cells| DemandMatrix::from_table(n, &cells))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// §3: PIM's result is always a legal matching, and run to quiescence
+    /// it is maximal.
+    #[test]
+    fn pim_always_legal_and_eventually_maximal(
+        demand in arb_demand(8),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SimRng::new(seed);
+        let mut pim = Pim::an2();
+        let m = pim.schedule(&demand, &mut rng);
+        prop_assert!(m.is_legal(&demand));
+        prop_assert!(outputs_unique(&m));
+        let out = Pim::run_to_maximal(&demand, &mut rng);
+        prop_assert!(out.matching.is_legal(&demand));
+        prop_assert!(out.matching.is_maximal(&demand));
+    }
+
+    /// A maximal matching is at least half a maximum matching, and never
+    /// larger.
+    #[test]
+    fn maximal_vs_maximum_bounds(demand in arb_demand(8), seed in any::<u64>()) {
+        let mut rng = SimRng::new(seed);
+        let maximal = Pim::run_to_maximal(&demand, &mut rng).matching.len();
+        let maximum = MaximumMatching::solve(&demand).len();
+        prop_assert!(maximal <= maximum);
+        prop_assert!(2 * maximal >= maximum);
+    }
+
+    /// §4 (Slepian–Duguid): any reservation set that over-commits no link
+    /// is schedulable, and every insertion stays within 2N displacement
+    /// moves.
+    #[test]
+    fn slepian_duguid_always_schedules_feasible_sets(
+        seed in any::<u64>(),
+        n in 2usize..8,
+        frame in 2u32..12,
+    ) {
+        let mut rng = SimRng::new(seed);
+        let mut res = ReservationMatrix::new(n, frame);
+        let mut sched = FrameSchedule::new(n, frame);
+        for _ in 0..(n as u32 * frame * 2) {
+            let i = rng.gen_range(n);
+            let o = rng.gen_range(n);
+            if res.reserve(i, o, 1).is_ok() {
+                let trace = sched.insert(i, o).expect("feasible must insert");
+                prop_assert!(trace.swaps() <= 2 * n);
+            }
+        }
+        prop_assert!(sched.satisfies(&res));
+    }
+
+    /// §5: up*/down* routes are legal and their channel-dependency graph is
+    /// acyclic on arbitrary connected topologies.
+    #[test]
+    fn updown_deadlock_freedom_on_random_graphs(
+        seed in any::<u64>(),
+        n in 2usize..16,
+        extra in 0usize..12,
+    ) {
+        let mut rng = SimRng::new(seed);
+        let topo = generators::random_connected(n, extra, &mut rng);
+        let tree = SpanningTree::bfs(&topo, SwitchId(0));
+        prop_assert!(updown::all_pairs_updown_deadlock_free(&topo, &tree));
+        for s in topo.switches() {
+            for t in topo.switches() {
+                let r = updown::route(&topo, &tree, s, t).expect("connected");
+                prop_assert!(updown::is_legal_path(&tree, &r));
+            }
+        }
+    }
+
+    /// §1: controller segmentation/reassembly is the identity on packets.
+    #[test]
+    fn segmentation_reassembly_identity(
+        data in proptest::collection::vec(any::<u8>(), 0..4000),
+        vc_raw in 0u32..VcId::MAX,
+    ) {
+        let vc = VcId::new(vc_raw);
+        let packet = Packet::from_bytes(data.clone());
+        let cells = Segmenter::new(vc).segment(&packet);
+        prop_assert_eq!(cells.len(), packet.cell_count());
+        let mut r = Reassembler::new();
+        let mut out = None;
+        for c in &cells {
+            out = r.push(c).expect("clean stream reassembles");
+        }
+        let (got_vc, got) = out.expect("complete");
+        prop_assert_eq!(got_vc, vc);
+        prop_assert_eq!(got.as_bytes(), &data[..]);
+    }
+
+    /// The ATM header round-trips through its wire form, and any single-bit
+    /// corruption is caught by the HEC.
+    #[test]
+    fn header_roundtrip_and_hec(
+        vc_raw in 0u32..VcId::MAX,
+        kind_pick in 0usize..4,
+        clp in any::<bool>(),
+        flip_byte in 0usize..5,
+        flip_bit in 0usize..8,
+    ) {
+        let kind = [CellKind::Data, CellKind::DataEnd, CellKind::Signal, CellKind::Management][kind_pick];
+        let h = CellHeader { vc: VcId::new(vc_raw), kind, low_priority: clp };
+        let mut wire = h.encode();
+        prop_assert_eq!(CellHeader::decode(&wire).unwrap(), h);
+        wire[flip_byte] ^= 1 << flip_bit;
+        prop_assert!(CellHeader::decode(&wire).is_err());
+    }
+
+    /// §5: under any pattern of credit loss and any service order, the
+    /// downstream buffer never overflows, and a resynchronization restores
+    /// the full balance once the pipe drains.
+    #[test]
+    fn credit_protocol_never_overflows_and_resyncs(
+        capacity in 1u32..16,
+        ops in proptest::collection::vec((0u8..4, any::<bool>()), 0..200),
+    ) {
+        let mut sender = CreditSender::new(capacity);
+        let mut receiver = CreditReceiver::new(capacity);
+        let mut in_flight_cells = 0u32;
+        for (op, lose_credit) in ops {
+            match op {
+                // Try to send a cell.
+                0 => {
+                    if sender.try_send() {
+                        in_flight_cells += 1;
+                    }
+                }
+                // Deliver one in-flight cell downstream: may never overflow.
+                1 => {
+                    if in_flight_cells > 0 {
+                        in_flight_cells -= 1;
+                        receiver.on_cell().expect("credit protocol prevents overflow");
+                    }
+                }
+                // Forward downstream; credit possibly lost.
+                2 => {
+                    if let Some(epoch) = receiver.forward() {
+                        if !lose_credit {
+                            sender.on_credit_with_epoch(epoch);
+                        }
+                    }
+                }
+                // Random resync at any point is safe.
+                _ => {
+                    let m = resync::begin(&mut sender);
+                    let rep = resync::handle_marker(&mut receiver, m);
+                    resync::finish(&mut sender, rep);
+                }
+            }
+        }
+        // Drain: deliver and forward everything, then resync.
+        while in_flight_cells > 0 {
+            in_flight_cells -= 1;
+            receiver.on_cell().expect("no overflow during drain");
+        }
+        while receiver.forward().is_some() {}
+        let m = resync::begin(&mut sender);
+        let rep = resync::handle_marker(&mut receiver, m);
+        resync::finish(&mut sender, rep);
+        prop_assert_eq!(sender.balance(), capacity);
+    }
+
+    /// Reconfiguration tags totally order concurrent configurations.
+    #[test]
+    fn tags_are_totally_ordered(
+        e1 in 0u64..100, i1 in 0u16..32,
+        e2 in 0u64..100, i2 in 0u16..32,
+    ) {
+        use an2_reconfig::Tag;
+        let a = Tag { epoch: e1, initiator: SwitchId(i1) };
+        let b = Tag { epoch: e2, initiator: SwitchId(i2) };
+        // Antisymmetric and total:
+        prop_assert_eq!(a == b, e1 == e2 && i1 == i2);
+        prop_assert!(a < b || b < a || a == b);
+        // Successor always dominates.
+        prop_assert!(a.successor(SwitchId(i2)) > a);
+    }
+
+    /// Cell encode/decode identity through the full 53-byte wire form.
+    #[test]
+    fn cell_wire_roundtrip(
+        vc_raw in 0u32..VcId::MAX,
+        payload in proptest::collection::vec(any::<u8>(), 48),
+    ) {
+        let mut buf = [0u8; 48];
+        buf.copy_from_slice(&payload);
+        let cell = Cell::new(VcId::new(vc_raw), CellKind::DataEnd, buf);
+        let decoded = Cell::decode(&cell.encode()).unwrap();
+        prop_assert_eq!(decoded, cell);
+    }
+
+    /// iSLIP with enough iterations always produces a legal, maximal match,
+    /// like PIM, without randomness.
+    #[test]
+    fn islip_always_legal_and_maximal(demand in arb_demand(8)) {
+        let mut rng = SimRng::new(0);
+        let mut islip = Islip::new(8, 8);
+        let m = islip.schedule(&demand, &mut rng);
+        prop_assert!(m.is_legal(&demand));
+        prop_assert!(m.is_maximal(&demand));
+        prop_assert!(outputs_unique(&m));
+    }
+
+    /// Nested frame schedules grant exactly the reserved bandwidth whenever
+    /// the headroom check admits the split.
+    #[test]
+    fn nested_frames_preserve_reservations(
+        seed in any::<u64>(),
+        per_pair in 1u32..4,
+    ) {
+        let n = 4;
+        let frame = 64u32;
+        let mut rng = SimRng::new(seed);
+        let mut res = an2_schedule::ReservationMatrix::new(n, frame);
+        for i in 0..n {
+            for o in 0..n {
+                if rng.gen_bool(0.5) {
+                    let _ = res.reserve(i, o, per_pair);
+                }
+            }
+        }
+        let subframes = 4;
+        prop_assume!(NestedFrameSchedule::fits(&res, subframes));
+        let nested = NestedFrameSchedule::build(&res, subframes);
+        for i in 0..n {
+            for o in 0..n {
+                prop_assert_eq!(nested.scheduled_cells(i, o), res.cells(i, o));
+            }
+        }
+    }
+
+    /// The link monitor's verdict only changes on the configured
+    /// thresholds: arbitrary ping sequences never panic and transitions
+    /// always alternate dead/working.
+    #[test]
+    fn monitor_transitions_alternate(
+        outcomes in proptest::collection::vec(any::<bool>(), 0..500),
+    ) {
+        use an2_reconfig::monitor::{LinkMonitor, LinkVerdict, MonitorConfig};
+        use an2_sim::{SimDuration, SimTime};
+        let mut m = LinkMonitor::new(MonitorConfig::default());
+        let mut now = SimTime::ZERO;
+        let mut last: Option<LinkVerdict> = None;
+        for ok in outcomes {
+            now += SimDuration::from_millis(10);
+            if let Some(t) = m.on_ping(ok, now) {
+                if let Some(prev) = last {
+                    prop_assert_ne!(prev, t.to, "consecutive transitions must alternate");
+                }
+                last = Some(t.to);
+            }
+        }
+    }
+
+    /// Packet cell counts follow the AAL5 arithmetic for any length.
+    #[test]
+    fn packet_cell_count_formula(len in 0usize..10_000) {
+        let p = Packet::from_bytes(vec![0; len]);
+        prop_assert_eq!(p.cell_count(), (len + 8).div_ceil(48));
+        prop_assert_eq!(p.len(), len);
+    }
+}
