@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, and the full test suite.
+#
+#   ./ci.sh            # everything (fmt + clippy + tests)
+#   ./ci.sh quick      # fmt + clippy only
+#
+# The workspace builds fully offline; all third-party deps resolve to the
+# stubs in compat/.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ "${1:-}" != "quick" ]]; then
+    echo "== cargo test"
+    cargo test -q --workspace
+fi
+
+echo "== ci.sh: all green"

@@ -1,0 +1,269 @@
+//! Offline stand-in for the `criterion` benchmarking crate.
+//!
+//! The registry is unreachable in this build environment, so this shim
+//! implements the criterion API surface the workspace's benches use —
+//! `criterion_group!` / `criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups with `bench_with_input` / `sample_size`, `Bencher::iter`
+//! and `iter_batched` — backed by a simple but honest measurement loop:
+//!
+//! 1. warm up, calibrating the per-sample iteration count to a time target;
+//! 2. take `sample_count` timed samples;
+//! 3. report the median, best, and mean ns/iteration on stdout.
+//!
+//! There is no statistical regression machinery; medians across ≥10 samples
+//! are stable enough to compare implementations in the same process run.
+//! Environment knobs: `AN2_BENCH_SAMPLE_MS` (per-sample budget, default 40)
+//! and `AN2_BENCH_SAMPLES` (override sample count).
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost (accepted, not acted on).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Re-run setup for every iteration.
+    PerIteration,
+}
+
+/// Identifies one benchmark within a group, e.g. `insert/n16`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter rendering.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Runs timed iterations for one benchmark.
+pub struct Bencher {
+    sample_count: usize,
+    /// Collected (iters, elapsed) samples.
+    samples: Vec<(u64, Duration)>,
+}
+
+impl Bencher {
+    fn new(sample_count: usize) -> Self {
+        Bencher {
+            sample_count,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Times `routine`, called repeatedly.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let budget = Duration::from_millis(env_u64("AN2_BENCH_SAMPLE_MS", 40));
+        // Calibrate: double the iteration count until one batch fills ~1/4
+        // of the sample budget.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed * 4 >= budget || iters >= u64::MAX / 2 {
+                let per_iter = elapsed.as_nanos().max(1) / iters as u128;
+                iters = (budget.as_nanos() / per_iter).clamp(1, u64::MAX as u128) as u64;
+                break;
+            }
+            iters *= 2;
+        }
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push((iters, start.elapsed()));
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        let budget = Duration::from_millis(env_u64("AN2_BENCH_SAMPLE_MS", 40));
+        let mut iters: u64 = 1;
+        loop {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let elapsed = start.elapsed();
+            if elapsed * 4 >= budget || iters >= 1 << 20 {
+                let per_iter = elapsed.as_nanos().max(1) / iters as u128;
+                iters = (budget.as_nanos() / per_iter).clamp(1, 1 << 20) as u64;
+                break;
+            }
+            iters *= 2;
+        }
+        for _ in 0..self.sample_count {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            self.samples.push((iters, start.elapsed()));
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.samples.is_empty() {
+            println!("{label:<44} (no samples)");
+            return;
+        }
+        let mut per_iter: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|(iters, d)| d.as_nanos() as f64 / *iters as f64)
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter[per_iter.len() / 2];
+        let best = per_iter[0];
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        println!(
+            "{label:<44} median {median:>12.1} ns/iter   (best {best:.1}, mean {mean:.1}, \
+             {} samples)",
+            per_iter.len()
+        );
+    }
+}
+
+/// Top-level benchmark driver (subset of `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    fn sample_count() -> usize {
+        env_u64("AN2_BENCH_SAMPLES", 10) as usize
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(name.to_string(), Self::sample_count(), f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_count: Self::sample_count(),
+        }
+    }
+}
+
+fn run_one(label: String, sample_count: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut bencher = Bencher::new(sample_count);
+    f(&mut bencher);
+    bencher.report(&label);
+}
+
+/// A group of benchmarks sharing a name prefix and sampling config.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_count: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.max(2);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function(&mut self, name: impl Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(format!("{}/{}", self.name, name), self.sample_count, f);
+        self
+    }
+
+    /// Runs a parameterized benchmark within the group.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(
+            format!("{}/{}", self.name, id.label),
+            self.sample_count,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        std::env::set_var("AN2_BENCH_SAMPLE_MS", "1");
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::new("sum", 4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

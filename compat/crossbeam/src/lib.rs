@@ -1,0 +1,97 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! The experiment harness only needs `crossbeam::thread::scope` — scoped
+//! threads that may borrow from the caller's stack. Since Rust 1.63 the
+//! standard library provides the same guarantee via `std::thread::scope`,
+//! so this shim wraps it behind crossbeam's API shape (closures receive the
+//! scope handle, `scope` returns a `Result`). Panics in spawned threads are
+//! propagated by `std::thread::scope` when the scope exits rather than
+//! surfaced through the returned `Result`; either way the process fails
+//! loudly, which is what the harness wants.
+
+#![forbid(unsafe_code)]
+
+pub mod thread {
+    //! Scoped threads (subset of `crossbeam::thread`).
+
+    use std::any::Any;
+
+    /// A scope in which borrowed-data threads can be spawned.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a thread spawned inside a [`Scope`].
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, returning its result.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread that may borrow from the enclosing scope. The
+        /// closure receives the scope handle so it can spawn further
+        /// threads, mirroring crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Creates a scope for spawning threads that borrow from the caller.
+    /// All spawned threads are joined before `scope` returns.
+    #[allow(clippy::unnecessary_wraps)] // Result shape mirrors crossbeam's API
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let counter = AtomicU64::new(0);
+        let counter_ref = &counter;
+        let out = super::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|i| {
+                    s.spawn(move |_| {
+                        counter_ref.fetch_add(i, Ordering::Relaxed);
+                        i * 2
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(out, 12);
+        assert_eq!(counter.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_handle() {
+        let out = super::thread::scope(|s| {
+            s.spawn(|s2| s2.spawn(|_| 21).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(out, 42);
+    }
+}

@@ -1,0 +1,38 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! `an2-sim`'s [`SimRng`](../an2_sim/struct.SimRng.html) implements
+//! `rand::RngCore` so that it can drive `rand` distributions when the real
+//! crate is present. With no registry access, this shim supplies the exact
+//! trait surface (rand 0.8 vintage) so the impl keeps compiling; the
+//! workspace's own generators never call through it.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+/// Error type for fallible RNG operations (never produced in this workspace).
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rng error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core random-number-generator trait (subset of `rand 0.8`).
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible variant of [`RngCore::fill_bytes`].
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}

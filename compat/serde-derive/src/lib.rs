@@ -1,0 +1,23 @@
+//! Inert `Serialize` / `Deserialize` derive macros.
+//!
+//! This build environment has no access to crates.io, so the real
+//! `serde_derive` cannot be compiled. The repository derives the serde
+//! traits purely as forward-looking annotations — nothing serializes
+//! anything yet — so the derives expand to nothing. The `attributes(serde)`
+//! declaration keeps `#[serde(...)]` helper attributes legal on annotated
+//! items. Swap this crate for the real one in `[workspace.dependencies]`
+//! when a registry is available.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,20 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The build environment has no registry access, so the real `serde` cannot
+//! be resolved. This repo only *annotates* types with the serde derives (no
+//! serializer is wired up anywhere), so an inert facade suffices: the
+//! derive macros expand to nothing and the marker traits exist so that
+//! `use serde::{Serialize, Deserialize}` keeps compiling. Replace the path
+//! entry in `[workspace.dependencies]` with the registry crate to restore
+//! real serialization support.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`. The inert derive does not
+/// implement it; nothing in this workspace bounds on it.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,10 +1,19 @@
 //! Criterion benches for crossbar scheduling (§3): the cost of one slot's
 //! matching decision under the disciplines the paper compares (E3–E5), and
 //! PIM's convergence workload (E4).
+//!
+//! Each bitmask scheduler is benched next to its `*_reference` twin — the
+//! pre-refactor scan-and-`Vec` implementation preserved in
+//! `an2_xbar::reference` — so the fast path's speedup is measured in the
+//! same process run. The acceptance bar for the bitmask refactor is ≥2× on
+//! the 16×16 configurations.
 
 use an2_sim::SimRng;
+use an2_xbar::reference::{ReferenceGreedy, ReferenceIslip, ReferencePim};
 use an2_xbar::simulate::{simulate, ArrivalGen, Arrivals, Discipline};
-use an2_xbar::{CrossbarScheduler, DemandMatrix, GreedyMaximal, Islip, MaximumMatching, Pim};
+use an2_xbar::{
+    CrossbarScheduler, DemandMatrix, GreedyMaximal, Islip, Matching, MaximumMatching, Pim, Scratch,
+};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
@@ -21,25 +30,55 @@ fn dense_demand(n: usize, fill: f64, seed: u64) -> DemandMatrix {
     d
 }
 
+/// Benches one scheduler on the production path: `schedule_into` with the
+/// scratch space and output matching reused across slots (zero per-slot
+/// allocation for the bitmask schedulers).
+fn bench_into(
+    group: &mut criterion::BenchmarkGroup<'_>,
+    label: &str,
+    n: usize,
+    demand: &DemandMatrix,
+    mut sched: impl CrossbarScheduler,
+) {
+    group.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
+        let mut rng = SimRng::new(2);
+        let mut scratch = Scratch::new();
+        let mut out = Matching::empty(n);
+        b.iter(|| {
+            sched.schedule_into(demand, &mut rng, &mut scratch, &mut out);
+            black_box(out.len())
+        })
+    });
+}
+
 fn bench_schedulers(c: &mut Criterion) {
     let mut group = c.benchmark_group("xbar_one_slot");
     for n in [8usize, 16, 32] {
         let demand = dense_demand(n, 0.6, 1);
-        group.bench_with_input(BenchmarkId::new("pim3", n), &n, |b, _| {
-            let mut pim = Pim::an2();
-            let mut rng = SimRng::new(2);
-            b.iter(|| black_box(pim.schedule(&demand, &mut rng)))
-        });
-        group.bench_with_input(BenchmarkId::new("islip3", n), &n, |b, &n| {
-            let mut islip = Islip::new(n, 3);
-            let mut rng = SimRng::new(2);
-            b.iter(|| black_box(islip.schedule(&demand, &mut rng)))
-        });
-        group.bench_with_input(BenchmarkId::new("greedy", n), &n, |b, _| {
-            let mut g = GreedyMaximal::new();
-            let mut rng = SimRng::new(2);
-            b.iter(|| black_box(g.schedule(&demand, &mut rng)))
-        });
+        bench_into(&mut group, "pim3", n, &demand, Pim::an2());
+        bench_into(
+            &mut group,
+            "pim3_reference",
+            n,
+            &demand,
+            ReferencePim::an2(),
+        );
+        bench_into(&mut group, "islip3", n, &demand, Islip::new(n, 3));
+        bench_into(
+            &mut group,
+            "islip3_reference",
+            n,
+            &demand,
+            ReferenceIslip::new(n, 3),
+        );
+        bench_into(&mut group, "greedy", n, &demand, GreedyMaximal::new());
+        bench_into(
+            &mut group,
+            "greedy_reference",
+            n,
+            &demand,
+            ReferenceGreedy::new(),
+        );
         group.bench_with_input(BenchmarkId::new("maximum", n), &n, |b, _| {
             b.iter(|| black_box(MaximumMatching::solve(&demand)))
         });
@@ -53,6 +92,10 @@ fn bench_pim_convergence(c: &mut Criterion) {
     c.bench_function("pim_run_to_maximal_16", |b| {
         let mut rng = SimRng::new(4);
         b.iter(|| black_box(Pim::run_to_maximal(&demand, &mut rng)))
+    });
+    c.bench_function("pim_run_to_maximal_16_reference", |b| {
+        let mut rng = SimRng::new(4);
+        b.iter(|| black_box(ReferencePim::run_to_maximal(&demand, &mut rng)))
     });
 }
 
@@ -68,6 +111,10 @@ fn bench_switch_simulation(c: &mut Criterion) {
         (
             "voq_pim3",
             Box::new(|| Discipline::Voq(Box::new(Pim::an2()))),
+        ),
+        (
+            "voq_pim3_reference",
+            Box::new(|| Discipline::Voq(Box::new(ReferencePim::an2()))),
         ),
         (
             "oq_k16",

@@ -4,98 +4,140 @@
 //! Usage:
 //!   cargo run -p an2-bench --bin experiments --release -- all
 //!   cargo run -p an2-bench --bin experiments --release -- e4 e5
+//!   cargo run -p an2-bench --bin experiments --release -- e3 e4 e5 --json
+//!
+//! With `--json`, per-experiment structured results and wall-clock timings
+//! are also written to `BENCH_results.json` in the current directory, so
+//! perf baselines can be diffed across commits. The sweep experiments
+//! (E3/E4/E5/E7) fan their grids across threads; set `AN2_BENCH_THREADS=1`
+//! to force a serial run (results are identical either way).
 //!
 //! Outputs are recorded against the paper's statements in EXPERIMENTS.md.
 
+use an2_bench::json::Json;
 use an2_bench::{
-    extensions_exp, figures, flow_exp, network_exp, reconfig_exp, schedule_exp, xbar_exp,
+    extensions_exp, figures, flow_exp, network_exp, parallel, reconfig_exp, schedule_exp, xbar_exp,
 };
+use std::time::Instant;
 
-fn run(id: &str) {
-    let banner = |s: &str| println!("\n=== {s} {}\n", "=".repeat(66 - s.len().min(60)));
+fn point_json(p: &xbar_exp::Point) -> Json {
+    Json::obj(vec![
+        ("name", Json::str(p.name.clone())),
+        ("load", Json::Num(p.load)),
+        ("throughput", Json::Num(p.throughput)),
+        ("mean_delay", Json::Num(p.mean_delay)),
+    ])
+}
+
+fn convergence_json(r: &xbar_exp::PimConvergence) -> Json {
+    Json::obj(vec![
+        ("n", Json::int(r.n as u64)),
+        ("mean_iterations", Json::Num(r.mean_iterations)),
+        ("bound", Json::Num(r.bound)),
+        ("within_4", Json::Num(r.within_4)),
+    ])
+}
+
+fn starvation_json(r: &xbar_exp::Starvation) -> Json {
+    Json::obj(vec![
+        ("scheduler", Json::str(r.scheduler.clone())),
+        ("easy_served", Json::int(r.easy_served)),
+        ("contested_served", Json::int(r.contested_served)),
+        ("rival_served", Json::int(r.rival_served)),
+    ])
+}
+
+fn insert_cost_json(r: &schedule_exp::InsertCost) -> Json {
+    Json::obj(vec![
+        ("n", Json::int(r.n as u64)),
+        ("frame", Json::int(r.frame as u64)),
+        ("insertions", Json::int(r.insertions)),
+        ("mean_moves", Json::Num(r.mean_moves)),
+        ("max_moves", Json::int(r.max_moves as u64)),
+    ])
+}
+
+fn title(id: &str) -> Option<&'static str> {
+    Some(match id {
+        "f1" => "F1: sample installation (Figure 1)",
+        "f2" => "F2: reservations and schedule (Figure 2)",
+        "f3" => "F3: Slepian-Duguid insertion (Figure 3)",
+        "f4" => "F4: credit flow control (Figure 4)",
+        "e1" => "E1: reconfiguration under 200ms",
+        "e2" => "E2: 2us cut-through latency",
+        "e3" => "E3: FIFO head-of-line blocking (58%)",
+        "e4" => "E4: PIM convergence (log2 N + 4/3)",
+        "e5" => "E5: PIM vs output queueing and rivals",
+        "e6" => "E6: maximum-matching starvation",
+        "e7" => "E7: Slepian-Duguid insertion cost",
+        "e8" => "E8: guaranteed latency bound p(2f+l)",
+        "e9" => "E9: packing vs spreading reserved slots",
+        "e10" => "E10: credit sizing, loss and resync",
+        "e11" => "E11: up*/down* deadlock freedom",
+        "e12" => "E12: reconfiguration behaviour",
+        "n1" => "N1: whole-network load sweep",
+        "x1" => "X1: the paper's extension proposals",
+        _ => return None,
+    })
+}
+
+/// Runs one experiment, returning its report text and (for the experiments
+/// with structured measurements) a JSON value for the baseline file.
+fn compute(id: &str) -> (String, Json) {
     match id {
-        "f1" => {
-            banner("F1: sample installation (Figure 1)");
-            print!("{}", figures::figure1(8, 16).render());
-        }
+        "f1" => (figures::figure1(8, 16).render(), Json::Null),
         "f2" => {
-            banner("F2: reservations and schedule (Figure 2)");
             let (_, _, text) = figures::figure2();
-            print!("{text}");
+            (text, Json::Null)
         }
-        "f3" => {
-            banner("F3: Slepian-Duguid insertion (Figure 3)");
-            print!("{}", figures::figure3());
-        }
-        "f4" => {
-            banner("F4: credit flow control (Figure 4)");
-            print!("{}", figures::figure4());
-        }
-        "e1" => {
-            banner("E1: reconfiguration under 200ms");
-            print!("{}", reconfig_exp::e1_pull_the_plug().1);
-        }
-        "e2" => {
-            banner("E2: 2us cut-through latency");
-            print!("{}", network_exp::e2_cut_through().1);
-        }
+        "f3" => (figures::figure3(), Json::Null),
+        "f4" => (figures::figure4(), Json::Null),
+        "e1" => (reconfig_exp::e1_pull_the_plug().1, Json::Null),
+        "e2" => (network_exp::e2_cut_through().1, Json::Null),
         "e3" => {
-            banner("E3: FIFO head-of-line blocking (58%)");
-            print!("{}", xbar_exp::e3_fifo_saturation(16, 30_000).1);
+            let (points, text) = xbar_exp::e3_fifo_saturation(16, 30_000);
+            (text, Json::Arr(points.iter().map(point_json).collect()))
         }
         "e4" => {
-            banner("E4: PIM convergence (log2 N + 4/3)");
-            print!("{}", xbar_exp::e4_pim_convergence(&[4, 8, 16, 32], 5_000).1);
+            let (rows, text) = xbar_exp::e4_pim_convergence(&[4, 8, 16, 32], 5_000);
+            (text, Json::Arr(rows.iter().map(convergence_json).collect()))
         }
         "e5" => {
-            banner("E5: PIM vs output queueing and rivals");
-            print!("{}", xbar_exp::e5_discipline_comparison(16, 30_000).1);
+            let (points, text) = xbar_exp::e5_discipline_comparison(16, 30_000);
+            (text, Json::Arr(points.iter().map(point_json).collect()))
         }
         "e6" => {
-            banner("E6: maximum-matching starvation");
-            print!("{}", xbar_exp::e6_starvation(10_000).1);
+            let (rows, text) = xbar_exp::e6_starvation(10_000);
+            (text, Json::Arr(rows.iter().map(starvation_json).collect()))
         }
         "e7" => {
-            banner("E7: Slepian-Duguid insertion cost");
-            print!("{}", schedule_exp::e7_insertion_cost().1);
+            let (rows, text) = schedule_exp::e7_insertion_cost();
+            (text, Json::Arr(rows.iter().map(insert_cost_json).collect()))
         }
-        "e8" => {
-            banner("E8: guaranteed latency bound p(2f+l)");
-            print!("{}", network_exp::e8_guaranteed_latency().1);
-        }
-        "e9" => {
-            banner("E9: packing vs spreading reserved slots");
-            print!("{}", schedule_exp::e9_arrangement(8, 128, 0.35).1);
-        }
+        "e8" => (network_exp::e8_guaranteed_latency().1, Json::Null),
+        "e9" => (schedule_exp::e9_arrangement(8, 128, 0.35).1, Json::Null),
         "e10" => {
-            banner("E10: credit sizing, loss and resync");
-            print!("{}", flow_exp::e10_credit_sizing().1);
-            println!();
-            print!("{}", flow_exp::e10_loss_and_resync().1);
+            let text = format!(
+                "{}\n{}",
+                flow_exp::e10_credit_sizing().1,
+                flow_exp::e10_loss_and_resync().1
+            );
+            (text, Json::Null)
         }
-        "e11" => {
-            banner("E11: up*/down* deadlock freedom");
-            print!("{}", flow_exp::e11_deadlock().1);
-        }
-        "e12" => {
-            banner("E12: reconfiguration behaviour");
-            print!("{}", reconfig_exp::e12_reconfig_behaviour().1);
-        }
-        "n1" => {
-            banner("N1: whole-network load sweep");
-            print!("{}", network_exp::n1_network_load_sweep().1);
-        }
+        "e11" => (flow_exp::e11_deadlock().1, Json::Null),
+        "e12" => (reconfig_exp::e12_reconfig_behaviour().1, Json::Null),
+        "n1" => (network_exp::n1_network_load_sweep().1, Json::Null),
         "x1" => {
-            banner("X1: the paper's extension proposals");
-            print!("{}", extensions_exp::x1_delta_vs_full().1);
-            println!();
-            print!("{}", extensions_exp::x1_page_out().1);
-            println!();
-            print!("{}", extensions_exp::x1_dynamic_buffers().1);
-            println!();
-            print!("{}", extensions_exp::x1_rebalance().1);
+            let text = format!(
+                "{}\n{}\n{}\n{}",
+                extensions_exp::x1_delta_vs_full().1,
+                extensions_exp::x1_page_out().1,
+                extensions_exp::x1_dynamic_buffers().1,
+                extensions_exp::x1_rebalance().1
+            );
+            (text, Json::Null)
         }
-        other => eprintln!("unknown experiment id '{other}' (use f1-f4, e1-e12, x1, all)"),
+        other => unreachable!("title() gated unknown id '{other}'"),
     }
 }
 
@@ -106,13 +148,49 @@ const ALL: &[&str] = &[
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() || args.iter().any(|a| a == "all") {
-        for id in ALL {
-            run(id);
-        }
+    let json_mode = args.iter().any(|a| a == "--json");
+    let named: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.as_str())
+        .collect();
+    let ids: Vec<&str> = if named.is_empty() || named.contains(&"all") {
+        ALL.to_vec()
     } else {
-        for id in &args {
-            run(id);
-        }
+        named
+    };
+
+    let harness_start = Instant::now();
+    let mut records = Vec::new();
+    for id in ids {
+        let Some(t) = title(id) else {
+            eprintln!("unknown experiment id '{id}' (use f1-f4, e1-e12, x1, n1, all)");
+            continue;
+        };
+        println!("\n=== {t} {}\n", "=".repeat(66 - t.len().min(60)));
+        let cell_start = Instant::now();
+        let (text, results) = compute(id);
+        let wall_ms = cell_start.elapsed().as_secs_f64() * 1e3;
+        print!("{text}");
+        records.push(Json::obj(vec![
+            ("id", Json::str(id)),
+            ("title", Json::str(t)),
+            ("wall_ms", Json::Num(wall_ms)),
+            ("results", results),
+        ]));
+    }
+
+    if json_mode {
+        let doc = Json::obj(vec![
+            ("threads", Json::int(parallel::worker_threads() as u64)),
+            (
+                "total_wall_ms",
+                Json::Num(harness_start.elapsed().as_secs_f64() * 1e3),
+            ),
+            ("experiments", Json::Arr(records)),
+        ]);
+        let path = "BENCH_results.json";
+        std::fs::write(path, doc.render() + "\n").unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("\nwrote {path}");
     }
 }

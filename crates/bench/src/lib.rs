@@ -16,7 +16,9 @@
 pub mod extensions_exp;
 pub mod figures;
 pub mod flow_exp;
+pub mod json;
 pub mod network_exp;
+pub mod parallel;
 pub mod reconfig_exp;
 pub mod schedule_exp;
 pub mod xbar_exp;

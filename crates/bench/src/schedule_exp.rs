@@ -1,5 +1,6 @@
 //! Experiments E7 and E9: Slepian–Duguid cost and schedule arrangement (§4).
 
+use crate::parallel;
 use an2_schedule::nested::{flat_max_interdeparture_gap, NestedFrameSchedule};
 use an2_schedule::packing::{best_effort_stats, build_packed, build_spread, mean_free_slots};
 use an2_schedule::{FrameSchedule, ReservationMatrix};
@@ -7,7 +8,7 @@ use an2_sim::SimRng;
 use std::fmt::Write;
 
 /// Insertion-cost measurements for one (N, frame) configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InsertCost {
     /// Switch size.
     pub n: usize,
@@ -21,42 +22,47 @@ pub struct InsertCost {
     pub max_moves: usize,
 }
 
+/// One E7 cell: fills an (N, frame) schedule to ~90% capacity, measuring
+/// displacement moves. Each cell seeds its own RNG from (N, frame), so
+/// cells can run on any thread in any order.
+pub fn e7_cell(n: usize, frame: u32) -> InsertCost {
+    let mut rng = SimRng::new(700 + n as u64 + frame as u64);
+    let mut res = ReservationMatrix::new(n, frame);
+    let mut sched = FrameSchedule::new(n, frame);
+    let target = (n as u64 * frame as u64) * 9 / 10;
+    let mut insertions = 0u64;
+    let mut total_moves = 0u64;
+    let mut max_moves = 0usize;
+    let mut attempts = 0u64;
+    while insertions < target && attempts < target * 20 {
+        attempts += 1;
+        let i = rng.gen_range(n);
+        let o = rng.gen_range(n);
+        if res.reserve(i, o, 1).is_ok() {
+            let trace = sched.insert(i, o).expect("feasible inserts");
+            insertions += 1;
+            total_moves += trace.swaps() as u64;
+            max_moves = max_moves.max(trace.swaps());
+        }
+    }
+    assert!(sched.satisfies(&res));
+    InsertCost {
+        n,
+        frame,
+        insertions,
+        mean_moves: total_moves as f64 / insertions.max(1) as f64,
+        max_moves,
+    }
+}
+
 /// E7 — Slepian–Duguid insertion cost is linear in switch size and
-/// independent of frame size (§4).
+/// independent of frame size (§4). Configurations run in parallel, each on
+/// a seed derived from (N, frame).
 pub fn e7_insertion_cost() -> (Vec<InsertCost>, String) {
-    let mut rows = Vec::new();
     // Sweep N at fixed frame, then frame at fixed N.
     let mut cases: Vec<(usize, u32)> = vec![(4, 64), (8, 64), (16, 64), (32, 64)];
     cases.extend([(16, 16), (16, 128), (16, 1024)]);
-    for (n, frame) in cases {
-        let mut rng = SimRng::new(700 + n as u64 + frame as u64);
-        let mut res = ReservationMatrix::new(n, frame);
-        let mut sched = FrameSchedule::new(n, frame);
-        let target = (n as u64 * frame as u64) * 9 / 10;
-        let mut insertions = 0u64;
-        let mut total_moves = 0u64;
-        let mut max_moves = 0usize;
-        let mut attempts = 0u64;
-        while insertions < target && attempts < target * 20 {
-            attempts += 1;
-            let i = rng.gen_range(n);
-            let o = rng.gen_range(n);
-            if res.reserve(i, o, 1).is_ok() {
-                let trace = sched.insert(i, o).expect("feasible inserts");
-                insertions += 1;
-                total_moves += trace.swaps() as u64;
-                max_moves = max_moves.max(trace.swaps());
-            }
-        }
-        assert!(sched.satisfies(&res));
-        rows.push(InsertCost {
-            n,
-            frame,
-            insertions,
-            mean_moves: total_moves as f64 / insertions.max(1) as f64,
-            max_moves,
-        });
-    }
+    let rows = parallel::par_map(cases, |(n, frame)| e7_cell(n, frame));
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -203,6 +209,14 @@ mod tests {
         let small = frames.iter().map(|r| r.max_moves).min().unwrap();
         let large = frames.iter().map(|r| r.max_moves).max().unwrap();
         assert!(large <= small.max(1) * 32 + 32, "frame size affected cost");
+    }
+
+    #[test]
+    fn e7_cells_order_independent() {
+        let cases = vec![(4usize, 16u32), (8, 16), (4, 32)];
+        let serial = parallel::par_map_threads(cases.clone(), 1, |(n, f)| e7_cell(n, f));
+        let threaded = parallel::par_map_threads(cases, 3, |(n, f)| e7_cell(n, f));
+        assert_eq!(serial, threaded);
     }
 
     #[test]

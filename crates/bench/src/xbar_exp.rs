@@ -2,13 +2,13 @@
 
 use an2_sim::SimRng;
 
-use crate::pct;
+use crate::{parallel, pct};
 use an2_xbar::simulate::{simulate, ArrivalGen, Arrivals, Discipline, SwitchReport};
 use an2_xbar::{CrossbarScheduler, DemandMatrix, GreedyMaximal, Islip, MaximumMatching, Pim};
 use std::fmt::Write;
 
 /// One measured point: a discipline under an arrival pattern.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Point {
     /// Discipline label.
     pub name: String,
@@ -18,6 +18,42 @@ pub struct Point {
     pub throughput: f64,
     /// Mean cell delay in slots (NaN when nothing was delivered).
     pub mean_delay: f64,
+}
+
+/// One cell of a sweep grid: everything a worker thread needs to run a
+/// single (discipline, pattern, load) simulation independently.
+///
+/// `Discipline` holds a `Box<dyn CrossbarScheduler>` and is not `Send`, so
+/// a cell carries a plain-function constructor and each worker builds the
+/// scheduler locally. Every cell also names its own RNG seed, making the
+/// grid order-independent: [`run_cell`] produces the same `Point` no matter
+/// which thread runs it or when.
+#[derive(Clone)]
+pub struct SweepCell {
+    /// Discipline label.
+    pub name: &'static str,
+    /// Builds the discipline for an `n`-port switch.
+    pub make: fn(usize) -> Discipline,
+    /// Arrival pattern (carries the offered load).
+    pub pattern: Arrivals,
+    /// Switch size.
+    pub n: usize,
+    /// Slots to simulate.
+    pub slots: u64,
+    /// Dedicated RNG seed for this cell.
+    pub seed: u64,
+}
+
+/// Runs one sweep cell to completion on the calling thread.
+pub fn run_cell(cell: SweepCell) -> Point {
+    run_one(
+        cell.name,
+        (cell.make)(cell.n),
+        cell.pattern,
+        cell.n,
+        cell.slots,
+        cell.seed,
+    )
 }
 
 fn run_one(
@@ -45,28 +81,34 @@ fn run_one(
     }
 }
 
+/// The E3 grid: (load × {FIFO, PIM-3+VOQ}) cells in report order.
+pub fn e3_cells(n: usize, slots: u64) -> Vec<SweepCell> {
+    let mut cells = Vec::new();
+    for load in [0.4, 0.5, 0.55, 0.6, 0.7, 0.85, 1.0] {
+        cells.push(SweepCell {
+            name: "FIFO",
+            make: |_| Discipline::Fifo,
+            pattern: Arrivals::Uniform { load },
+            n,
+            slots,
+            seed: 100,
+        });
+        cells.push(SweepCell {
+            name: "PIM-3+VOQ",
+            make: |_| Discipline::Voq(Box::new(Pim::an2())),
+            pattern: Arrivals::Uniform { load },
+            n,
+            slots,
+            seed: 100,
+        });
+    }
+    cells
+}
+
 /// E3 — FIFO input queueing saturates near 58% (Karol et al., §3):
 /// throughput versus offered load for FIFO and for PIM+VOQ.
 pub fn e3_fifo_saturation(n: usize, slots: u64) -> (Vec<Point>, String) {
-    let mut points = Vec::new();
-    for load in [0.4, 0.5, 0.55, 0.6, 0.7, 0.85, 1.0] {
-        points.push(run_one(
-            "FIFO",
-            Discipline::Fifo,
-            Arrivals::Uniform { load },
-            n,
-            slots,
-            100,
-        ));
-        points.push(run_one(
-            "PIM-3+VOQ",
-            Discipline::Voq(Box::new(Pim::an2())),
-            Arrivals::Uniform { load },
-            n,
-            slots,
-            100,
-        ));
-    }
+    let points = parallel::par_map(e3_cells(n, slots), run_cell);
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -99,7 +141,7 @@ pub fn e3_fifo_saturation(n: usize, slots: u64) -> (Vec<Point>, String) {
 }
 
 /// Convergence measurements for E4.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PimConvergence {
     /// Switch size.
     pub n: usize,
@@ -111,36 +153,41 @@ pub struct PimConvergence {
     pub within_4: f64,
 }
 
-/// E4 — PIM converges in expected ≤ log₂N + 4/3 iterations; ≥98% of slots
-/// within 4 (§3). Measured under dense random demand per size.
-pub fn e4_pim_convergence(sizes: &[usize], trials: u64) -> (Vec<PimConvergence>, String) {
-    let mut rows = Vec::new();
-    let mut rng = SimRng::new(42);
-    for &n in sizes {
-        let mut total = 0u64;
-        let mut within4 = 0u64;
-        for _ in 0..trials {
-            let mut d = DemandMatrix::new(n);
-            for i in 0..n {
-                for o in 0..n {
-                    if rng.gen_bool(0.75) {
-                        d.add(i, o, 1);
-                    }
+/// One E4 cell: convergence statistics for a single switch size, on a
+/// forked RNG stream derived from the size so the result is independent of
+/// which thread runs it.
+pub fn e4_cell(n: usize, trials: u64) -> PimConvergence {
+    let mut rng = SimRng::new(42).fork(n as u64);
+    let mut total = 0u64;
+    let mut within4 = 0u64;
+    for _ in 0..trials {
+        let mut d = DemandMatrix::new(n);
+        for i in 0..n {
+            for o in 0..n {
+                if rng.gen_bool(0.75) {
+                    d.add(i, o, 1);
                 }
             }
-            let out = Pim::run_to_maximal(&d, &mut rng);
-            total += out.productive_iterations as u64;
-            if out.productive_iterations <= 4 {
-                within4 += 1;
-            }
         }
-        rows.push(PimConvergence {
-            n,
-            mean_iterations: total as f64 / trials as f64,
-            bound: (n as f64).log2() + 4.0 / 3.0,
-            within_4: within4 as f64 / trials as f64,
-        });
+        let out = Pim::run_to_maximal(&d, &mut rng);
+        total += out.productive_iterations as u64;
+        if out.productive_iterations <= 4 {
+            within4 += 1;
+        }
     }
+    PimConvergence {
+        n,
+        mean_iterations: total as f64 / trials as f64,
+        bound: (n as f64).log2() + 4.0 / 3.0,
+        within_4: within4 as f64 / trials as f64,
+    }
+}
+
+/// E4 — PIM converges in expected ≤ log₂N + 4/3 iterations; ≥98% of slots
+/// within 4 (§3). Measured under dense random demand per size; the sizes
+/// run in parallel on per-size forked RNG streams.
+pub fn e4_pim_convergence(sizes: &[usize], trials: u64) -> (Vec<PimConvergence>, String) {
+    let rows = parallel::par_map(sizes.to_vec(), |n| e4_cell(n, trials));
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -171,10 +218,9 @@ pub fn e4_pim_convergence(sizes: &[usize], trials: u64) -> (Vec<PimConvergence>,
 /// A named discipline constructor for the comparison table.
 type DisciplineCase = (&'static str, fn(usize) -> Discipline);
 
-/// E5 — the §3 headline: PIM(3)+VOQ vs output queueing k=16 (and other
-/// disciplines) across loads and arrival patterns.
-pub fn e5_discipline_comparison(n: usize, slots: u64) -> (Vec<Point>, String) {
-    let disciplines: Vec<DisciplineCase> = vec![
+/// The eight disciplines compared in E5, in column order.
+fn e5_disciplines() -> Vec<DisciplineCase> {
+    vec![
         ("FIFO", |_| Discipline::Fifo),
         ("PIM-1", |_| Discipline::Voq(Box::new(Pim::new(1)))),
         ("PIM-3", |_| Discipline::Voq(Box::new(Pim::an2()))),
@@ -185,34 +231,62 @@ pub fn e5_discipline_comparison(n: usize, slots: u64) -> (Vec<Point>, String) {
         }),
         ("OQ-k4", |_| Discipline::OutputQueued { speedup: 4 }),
         ("OQ-k16", |_| Discipline::OutputQueued { speedup: 16 }),
-    ];
-    let mut points = Vec::new();
+    ]
+}
+
+/// A named arrival-pattern constructor for the comparison table.
+type PatternCase = (&'static str, fn(f64) -> Arrivals);
+
+/// The three arrival patterns compared in E5, in table order.
+fn e5_patterns() -> [PatternCase; 3] {
+    [
+        ("uniform", |load| Arrivals::Uniform { load }),
+        ("bursty(16)", |load| Arrivals::Bursty {
+            load,
+            mean_burst: 16.0,
+        }),
+        ("hotspot(25%->out0)", |load| Arrivals::Hotspot {
+            load,
+            hot_output: 0,
+            hot_fraction: 0.25,
+        }),
+    ]
+}
+
+/// The E5 grid: pattern × load × discipline cells, in report order.
+pub fn e5_cells(n: usize, slots: u64) -> Vec<SweepCell> {
+    let mut cells = Vec::new();
+    for (_, make_pattern) in e5_patterns() {
+        for load in [0.5, 0.8, 0.95] {
+            for (name, make) in e5_disciplines() {
+                cells.push(SweepCell {
+                    name,
+                    make,
+                    pattern: make_pattern(load),
+                    n,
+                    slots,
+                    seed: 200,
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// E5 — the §3 headline: PIM(3)+VOQ vs output queueing k=16 (and other
+/// disciplines) across loads and arrival patterns. The 72-cell grid runs in
+/// parallel; each cell seeds its own RNG so the table is identical to a
+/// serial run.
+pub fn e5_discipline_comparison(n: usize, slots: u64) -> (Vec<Point>, String) {
+    let points = parallel::par_map(e5_cells(n, slots), run_cell);
+    let disciplines = e5_disciplines();
     let mut out = String::new();
     let _ = writeln!(
         out,
         "E5  disciplines across loads and patterns, {n}x{n} switch"
     );
-    for (pattern_name, make_pattern) in [
-        (
-            "uniform",
-            Box::new(|load: f64| Arrivals::Uniform { load }) as Box<dyn Fn(f64) -> Arrivals>,
-        ),
-        (
-            "bursty(16)",
-            Box::new(|load: f64| Arrivals::Bursty {
-                load,
-                mean_burst: 16.0,
-            }),
-        ),
-        (
-            "hotspot(25%->out0)",
-            Box::new(|load: f64| Arrivals::Hotspot {
-                load,
-                hot_output: 0,
-                hot_fraction: 0.25,
-            }),
-        ),
-    ] {
+    let mut next = points.iter();
+    for (pattern_name, _) in e5_patterns() {
         let _ = writeln!(out, "\n[{pattern_name} arrivals]");
         let _ = write!(out, "{:<10}", "load");
         for (name, _) in &disciplines {
@@ -221,10 +295,9 @@ pub fn e5_discipline_comparison(n: usize, slots: u64) -> (Vec<Point>, String) {
         let _ = writeln!(out, "   (mean delay in slots)");
         for load in [0.5, 0.8, 0.95] {
             let _ = write!(out, "{load:<10.2}");
-            for (name, make) in &disciplines {
-                let p = run_one(name, make(n), make_pattern(load), n, slots, 200);
+            for _ in &disciplines {
+                let p = next.next().expect("grid size mismatch");
                 let _ = write!(out, " {:>9.1}", p.mean_delay);
-                points.push(p);
             }
             let _ = writeln!(out);
         }
@@ -355,6 +428,26 @@ mod tests {
             .find(|p| p.name == "OQ-k16" && (p.load - 0.8).abs() < 1e-9)
             .unwrap();
         assert!(pim.mean_delay / oq.mean_delay < 4.0);
+    }
+
+    #[test]
+    fn parallel_sweep_identical_to_single_thread() {
+        // The determinism contract behind the parallel harness: fanning the
+        // grid across threads yields byte-identical results to a forced
+        // single-thread run. Compared via Debug strings so NaN delays (which
+        // are not PartialEq-equal) still count as identical.
+        let serial = parallel::par_map_threads(e5_cells(8, 600), 1, run_cell);
+        let threaded = parallel::par_map_threads(e5_cells(8, 600), 6, run_cell);
+        assert_eq!(format!("{serial:?}"), format!("{threaded:?}"));
+
+        let serial = parallel::par_map_threads(e3_cells(8, 400), 1, run_cell);
+        let threaded = parallel::par_map_threads(e3_cells(8, 400), 3, run_cell);
+        assert_eq!(format!("{serial:?}"), format!("{threaded:?}"));
+
+        let sizes = vec![4usize, 8, 16];
+        let serial = parallel::par_map_threads(sizes.clone(), 1, |n| e4_cell(n, 50));
+        let threaded = parallel::par_map_threads(sizes, 3, |n| e4_cell(n, 50));
+        assert_eq!(serial, threaded);
     }
 
     #[test]

@@ -234,23 +234,7 @@ pub struct Cell {
     /// The decoded header.
     pub header: CellHeader,
     /// 48 bytes of payload.
-    #[serde(with = "serde_bytes48")]
     pub payload: [u8; PAYLOAD_BYTES],
-}
-
-mod serde_bytes48 {
-    use super::PAYLOAD_BYTES;
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
-
-    pub fn serialize<S: Serializer>(v: &[u8; PAYLOAD_BYTES], s: S) -> Result<S::Ok, S::Error> {
-        v.as_slice().serialize(s)
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<[u8; PAYLOAD_BYTES], D::Error> {
-        let v: Vec<u8> = Vec::deserialize(d)?;
-        v.try_into()
-            .map_err(|_| serde::de::Error::custom("payload must be 48 bytes"))
-    }
 }
 
 impl Cell {

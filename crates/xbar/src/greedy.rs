@@ -7,7 +7,8 @@
 //! hardware cannot afford within a cell slot. It serves as a quality
 //! reference: PIM should match its throughput while running distributed.
 
-use crate::matching::{DemandMatrix, Matching};
+use crate::matching::{nth_set_bit, DemandMatrix, Matching};
+use crate::scratch::Scratch;
 use crate::CrossbarScheduler;
 use an2_sim::SimRng;
 
@@ -27,20 +28,31 @@ impl CrossbarScheduler for GreedyMaximal {
         "greedy-maximal"
     }
 
-    fn schedule(&mut self, demand: &DemandMatrix, rng: &mut SimRng) -> Matching {
+    fn schedule_into(
+        &mut self,
+        demand: &DemandMatrix,
+        rng: &mut SimRng,
+        scratch: &mut Scratch,
+        out: &mut Matching,
+    ) {
         let n = demand.size();
-        let mut matching = Matching::empty(n);
-        let mut order: Vec<usize> = (0..n).collect();
-        rng.shuffle(&mut order);
-        for &input in &order {
-            let wanted: Vec<usize> = (0..n)
-                .filter(|&o| matching.output_free(o) && demand.wants(input, o))
-                .collect();
-            if let Some(&output) = rng.choose(&wanted) {
-                matching.set(input, output);
+        out.reset(n);
+        scratch.ensure(n);
+        let order = &mut scratch.order[..n];
+        for (slot, input) in order.iter_mut().enumerate() {
+            *input = slot;
+        }
+        rng.shuffle(order);
+        for idx in 0..n {
+            let input = scratch.order[idx];
+            // The input's candidate outputs in one AND: what it wants,
+            // restricted to outputs still free.
+            let wanted = demand.row_mask(input) & out.free_outputs();
+            if wanted != 0 {
+                let rank = rng.gen_range(wanted.count_ones() as usize);
+                out.set(input, nth_set_bit(wanted, rank));
             }
         }
-        matching
     }
 }
 

@@ -13,6 +13,7 @@
 //! starvation.
 
 use crate::matching::{DemandMatrix, Matching};
+use crate::scratch::Scratch;
 use crate::CrossbarScheduler;
 use an2_sim::SimRng;
 
@@ -40,9 +41,22 @@ impl Islip {
         }
     }
 
-    fn round_robin_pick(candidates: &[bool], ptr: usize) -> Option<usize> {
-        let n = candidates.len();
-        (0..n).map(|k| (ptr + k) % n).find(|&i| candidates[i])
+    /// The first set bit of `candidates` at or after `ptr`, wrapping to the
+    /// lowest set bit — round-robin priority over a port set in two
+    /// instructions. `ptr` must be below the switch size, so the shift
+    /// cannot overflow.
+    fn round_robin_pick(candidates: u64, ptr: usize) -> Option<usize> {
+        if candidates == 0 {
+            return None;
+        }
+        debug_assert!(ptr < 64);
+        let at_or_after = candidates & (u64::MAX << ptr);
+        let pick = if at_or_after != 0 {
+            at_or_after.trailing_zeros()
+        } else {
+            candidates.trailing_zeros()
+        };
+        Some(pick as usize)
     }
 }
 
@@ -51,61 +65,57 @@ impl CrossbarScheduler for Islip {
         "iSLIP"
     }
 
-    // Indexed loops mirror the per-port hardware phases; iterator chains
-    // here would obscure the grant/accept structure.
-    #[allow(clippy::needless_range_loop)]
-    fn schedule(&mut self, demand: &DemandMatrix, _rng: &mut SimRng) -> Matching {
+    fn schedule_into(
+        &mut self,
+        demand: &DemandMatrix,
+        _rng: &mut SimRng,
+        scratch: &mut Scratch,
+        out: &mut Matching,
+    ) {
         let n = demand.size();
         assert_eq!(
             n,
             self.grant_ptr.len(),
             "scheduler sized for another switch"
         );
-        let mut matching = Matching::empty(n);
+        out.reset(n);
+        scratch.ensure(n);
         for iter in 0..self.iterations {
-            // Grants.
-            let mut granted_to: Vec<Vec<usize>> = vec![Vec::new(); n]; // input -> outputs granting it
-            let mut grant_choice: Vec<Option<usize>> = vec![None; n]; // output -> input granted
-            for output in 0..n {
-                if !matching.output_free(output) {
-                    continue;
-                }
-                let candidates: Vec<bool> = (0..n)
-                    .map(|i| matching.input_free(i) && demand.wants(i, output))
-                    .collect();
-                if let Some(input) = Self::round_robin_pick(&candidates, self.grant_ptr[output]) {
-                    granted_to[input].push(output);
-                    grant_choice[output] = Some(input);
+            // Grants: each free output offers its round-robin favourite
+            // among the free inputs requesting it.
+            let grant_masks = &mut scratch.masks[..n];
+            grant_masks.fill(0);
+            let free_in = out.free_inputs();
+            let mut free_out = out.free_outputs();
+            while free_out != 0 {
+                let output = free_out.trailing_zeros() as usize;
+                free_out &= free_out - 1;
+                let candidates = demand.col_mask(output) & free_in;
+                if let Some(input) = Self::round_robin_pick(candidates, self.grant_ptr[output]) {
+                    grant_masks[input] |= 1 << output;
                 }
             }
-            // Accepts.
+            // Accepts: each granted input takes its round-robin favourite.
             let mut progressed = false;
             for input in 0..n {
-                if granted_to[input].is_empty() {
+                let grants = scratch.masks[input];
+                if grants == 0 {
                     continue;
                 }
-                let candidates: Vec<bool> = {
-                    let mut c = vec![false; n];
-                    for &o in &granted_to[input] {
-                        c[o] = true;
-                    }
-                    c
-                };
-                if let Some(output) = Self::round_robin_pick(&candidates, self.accept_ptr[input]) {
-                    matching.set(input, output);
-                    progressed = true;
-                    // Pointers move only on first-iteration accepts.
-                    if iter == 0 {
-                        self.grant_ptr[output] = (input + 1) % n;
-                        self.accept_ptr[input] = (output + 1) % n;
-                    }
+                let output = Self::round_robin_pick(grants, self.accept_ptr[input])
+                    .expect("non-empty grant set");
+                out.set(input, output);
+                progressed = true;
+                // Pointers move only on first-iteration accepts.
+                if iter == 0 {
+                    self.grant_ptr[output] = (input + 1) % n;
+                    self.accept_ptr[input] = (output + 1) % n;
                 }
             }
             if !progressed {
                 break;
             }
         }
-        matching
     }
 }
 
@@ -177,9 +187,10 @@ mod tests {
 
     #[test]
     fn round_robin_pick_wraps() {
-        assert_eq!(Islip::round_robin_pick(&[false, true, false], 2), Some(1));
-        assert_eq!(Islip::round_robin_pick(&[false, false, false], 0), None);
-        assert_eq!(Islip::round_robin_pick(&[true, true, true], 2), Some(2));
+        assert_eq!(Islip::round_robin_pick(0b010, 2), Some(1));
+        assert_eq!(Islip::round_robin_pick(0, 0), None);
+        assert_eq!(Islip::round_robin_pick(0b111, 2), Some(2));
+        assert_eq!(Islip::round_robin_pick(1 << 63, 63), Some(63));
     }
 
     #[test]

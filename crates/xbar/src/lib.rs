@@ -26,6 +26,22 @@
 //! the experiments to measure throughput and latency under configurable
 //! arrival patterns, reproducing the §3 claims (E3, E4, E5, E6 in
 //! EXPERIMENTS.md).
+//!
+//! ## The bitmask fast path
+//!
+//! Port sets — "which inputs request output `o`", "which outputs are still
+//! free" — are represented as `u64` bitmasks throughout ([`DemandMatrix`]
+//! keeps per-row and per-column request masks alongside the queue-length
+//! table, [`Matching`] keeps matched-port masks). Scheduler inner loops walk
+//! set bits instead of scanning `0..n`, and all per-slot working state lives
+//! in a caller-supplied [`Scratch`], so a multi-thousand-slot simulation
+//! performs no per-slot heap allocation. Switches are capped at
+//! [`MAX_PORTS`] = 64 ports, four times the AN2 hardware's 16.
+//!
+//! The pre-refactor scan-and-`Vec` schedulers are preserved verbatim in
+//! [`reference`]; property tests assert the fast path produces bit-identical
+//! matchings from the same RNG stream, and the Criterion benches measure the
+//! speedup against them.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,13 +51,16 @@ mod islip;
 mod matching;
 mod maximum;
 mod pim;
+pub mod reference;
+mod scratch;
 pub mod simulate;
 
 pub use greedy::GreedyMaximal;
 pub use islip::Islip;
-pub use matching::{outputs_unique, DemandMatrix, Matching};
+pub use matching::{outputs_unique, DemandMatrix, Matching, MAX_PORTS};
 pub use maximum::MaximumMatching;
 pub use pim::{Pim, PimOutcome};
+pub use scratch::Scratch;
 
 use an2_sim::SimRng;
 
@@ -49,14 +68,39 @@ use an2_sim::SimRng;
 /// pair, produce a legal matching for this cell slot.
 ///
 /// Implementations may keep state across slots (e.g. iSLIP's round-robin
-/// pointers), which is why `schedule` takes `&mut self`.
+/// pointers), which is why scheduling takes `&mut self`.
+///
+/// Implementors provide [`schedule_into`](CrossbarScheduler::schedule_into),
+/// the allocation-free entry point used by the slot-level simulator; the
+/// convenience wrapper [`schedule`](CrossbarScheduler::schedule) allocates a
+/// fresh matching per call and is fine anywhere off the hot path.
 pub trait CrossbarScheduler {
     /// A short human-readable name for reports.
     fn name(&self) -> &'static str;
 
-    /// Computes the matching for one slot.
+    /// Computes the matching for one slot into `out`, reusing `scratch` for
+    /// working state. `out` is reset to an empty matching of the demand's
+    /// size first; callers need not clear it between slots.
     ///
-    /// The returned matching must be *legal*: each input paired with at most
-    /// one output and vice versa, and only pairs with queued demand matched.
-    fn schedule(&mut self, demand: &DemandMatrix, rng: &mut SimRng) -> Matching;
+    /// The resulting matching must be *legal*: each input paired with at
+    /// most one output and vice versa, and only pairs with queued demand
+    /// matched.
+    fn schedule_into(
+        &mut self,
+        demand: &DemandMatrix,
+        rng: &mut SimRng,
+        scratch: &mut Scratch,
+        out: &mut Matching,
+    );
+
+    /// Computes the matching for one slot, allocating the result.
+    ///
+    /// Equivalent to [`schedule_into`](CrossbarScheduler::schedule_into) with
+    /// throwaway buffers — identical output, per-call allocations.
+    fn schedule(&mut self, demand: &DemandMatrix, rng: &mut SimRng) -> Matching {
+        let mut scratch = Scratch::new();
+        let mut out = Matching::empty(demand.size());
+        self.schedule_into(demand, rng, &mut scratch, &mut out);
+        out
+    }
 }

@@ -1,10 +1,51 @@
 //! Demand matrices and matchings — the vocabulary of crossbar scheduling.
+//!
+//! Both types are backed by `u64` port-set bitmasks (bit `i` of a mask names
+//! port `i`), which caps switches at 64 ports — far beyond AN2's 16×16
+//! crossbar — and turns the schedulers' inner loops into word operations:
+//! "which unmatched inputs want this output" is a single `AND` instead of an
+//! `N`-element scan.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// Largest switch the bitmask representation supports.
+pub const MAX_PORTS: usize = 64;
+
+/// A mask with bits `0..n` set: the full port set of an `n`-port switch.
+#[inline]
+pub(crate) fn all_ports(n: usize) -> u64 {
+    debug_assert!(n <= MAX_PORTS);
+    if n == MAX_PORTS {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+/// The index of the `k`-th (0-based) set bit of `mask`, counting from the
+/// least significant bit. Used to turn "pick requester `k` of this port
+/// set" into the same element an index into the sorted port list would give.
+///
+/// # Panics
+///
+/// Debug-asserts that `mask` has more than `k` set bits.
+#[inline]
+pub(crate) fn nth_set_bit(mask: u64, k: usize) -> usize {
+    debug_assert!((mask.count_ones() as usize) > k, "rank out of range");
+    let mut m = mask;
+    for _ in 0..k {
+        m &= m - 1; // clear lowest set bit
+    }
+    m.trailing_zeros() as usize
+}
+
 /// The queued demand of a switch at one instant: how many cells wait at each
 /// (input, output) virtual output queue.
+///
+/// Alongside the dense queue-length table, the matrix maintains per-input
+/// and per-output request bitmasks so schedulers can intersect "inputs that
+/// want output `o`" with "currently unmatched inputs" in one instruction.
 ///
 /// ```
 /// use an2_xbar::DemandMatrix;
@@ -12,11 +53,17 @@ use std::fmt;
 /// d.add(0, 2, 3);
 /// assert!(d.wants(0, 2));
 /// assert_eq!(d.queued(0, 2), 3);
+/// assert_eq!(d.row_mask(0), 0b100);
+/// assert_eq!(d.col_mask(2), 0b001);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DemandMatrix {
     n: usize,
     queued: Vec<u64>,
+    /// `row_masks[i]`: outputs input `i` has at least one cell for.
+    row_masks: Vec<u64>,
+    /// `col_masks[o]`: inputs holding at least one cell for output `o`.
+    col_masks: Vec<u64>,
 }
 
 impl DemandMatrix {
@@ -24,12 +71,19 @@ impl DemandMatrix {
     ///
     /// # Panics
     ///
-    /// Panics if `n == 0`.
+    /// Panics if `n == 0` or `n >` [`MAX_PORTS`] (the bitmask fast path
+    /// packs a port set into one `u64`).
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "switch size must be positive");
+        assert!(
+            n <= MAX_PORTS,
+            "bitmask port sets support at most {MAX_PORTS} ports (got {n})"
+        );
         DemandMatrix {
             n,
             queued: vec![0; n * n],
+            row_masks: vec![0; n],
+            col_masks: vec![0; n],
         }
     }
 
@@ -44,13 +98,31 @@ impl DemandMatrix {
     }
 
     /// Whether any cell waits from `input` to `output`.
+    #[inline]
     pub fn wants(&self, input: usize, output: usize) -> bool {
-        self.queued(input, output) > 0
+        self.row_masks[input] & (1 << output) != 0
+    }
+
+    /// The outputs requested by `input`, as a bitmask.
+    #[inline]
+    pub fn row_mask(&self, input: usize) -> u64 {
+        self.row_masks[input]
+    }
+
+    /// The inputs requesting `output`, as a bitmask.
+    #[inline]
+    pub fn col_mask(&self, output: usize) -> u64 {
+        self.col_masks[output]
     }
 
     /// Adds `cells` of demand.
     pub fn add(&mut self, input: usize, output: usize, cells: u64) {
-        self.queued[input * self.n + output] += cells;
+        let q = &mut self.queued[input * self.n + output];
+        *q += cells;
+        if *q > 0 {
+            self.row_masks[input] |= 1 << output;
+            self.col_masks[output] |= 1 << input;
+        }
     }
 
     /// Removes one queued cell (used when a matching dispatches it).
@@ -62,11 +134,21 @@ impl DemandMatrix {
         let q = &mut self.queued[input * self.n + output];
         assert!(*q > 0, "no cell queued at ({input}, {output})");
         *q -= 1;
+        if *q == 0 {
+            self.row_masks[input] &= !(1 << output);
+            self.col_masks[output] &= !(1 << input);
+        }
     }
 
     /// Outputs requested by `input`, in ascending order.
     pub fn requests_of(&self, input: usize) -> Vec<usize> {
-        (0..self.n).filter(|&o| self.wants(input, o)).collect()
+        let mut out = Vec::with_capacity(self.row_masks[input].count_ones() as usize);
+        let mut mask = self.row_masks[input];
+        while mask != 0 {
+            out.push(mask.trailing_zeros() as usize);
+            mask &= mask - 1;
+        }
+        out
     }
 
     /// Total queued cells.
@@ -76,7 +158,7 @@ impl DemandMatrix {
 
     /// Whether no demand exists at all.
     pub fn is_empty(&self) -> bool {
-        self.queued.iter().all(|&q| q == 0)
+        self.row_masks.iter().all(|&m| m == 0)
     }
 
     /// Builds a matrix from a dense row-major table of queue lengths.
@@ -88,23 +170,49 @@ impl DemandMatrix {
         assert_eq!(table.len(), n * n, "table must be n*n entries");
         let mut d = DemandMatrix::new(n);
         d.queued.copy_from_slice(table);
+        for i in 0..n {
+            for o in 0..n {
+                if d.queued[i * n + o] > 0 {
+                    d.row_masks[i] |= 1 << o;
+                    d.col_masks[o] |= 1 << i;
+                }
+            }
+        }
         d
     }
 }
 
 /// A crossbar configuration for one slot: each input paired with at most one
 /// output and vice versa.
+///
+/// Matched-port bitmasks make `input_free` / `output_free` single bit tests
+/// and give schedulers the free-port sets ([`Matching::free_inputs`],
+/// [`Matching::free_outputs`]) as whole words.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Matching {
     /// `pair[i] = Some(o)` when input `i` transmits to output `o`.
     pair: Vec<Option<usize>>,
+    /// Bit `i` set when input `i` is matched.
+    matched_in: u64,
+    /// Bit `o` set when output `o` is matched.
+    matched_out: u64,
 }
 
 impl Matching {
     /// An empty matching for an `n`-port switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > ` [`MAX_PORTS`].
     pub fn empty(n: usize) -> Self {
+        assert!(
+            n <= MAX_PORTS,
+            "bitmask port sets support at most {MAX_PORTS} ports (got {n})"
+        );
         Matching {
             pair: vec![None; n],
+            matched_in: 0,
+            matched_out: 0,
         }
     }
 
@@ -119,6 +227,18 @@ impl Matching {
             m.set(i, o);
         }
         m
+    }
+
+    /// Resets to the empty matching of size `n`, reusing the allocation.
+    pub fn reset(&mut self, n: usize) {
+        assert!(
+            n <= MAX_PORTS,
+            "bitmask port sets support at most {MAX_PORTS} ports (got {n})"
+        );
+        self.pair.clear();
+        self.pair.resize(n, None);
+        self.matched_in = 0;
+        self.matched_out = 0;
     }
 
     /// Switch size.
@@ -137,13 +257,27 @@ impl Matching {
     }
 
     /// Whether `input` is unmatched.
+    #[inline]
     pub fn input_free(&self, input: usize) -> bool {
-        self.pair[input].is_none()
+        self.matched_in & (1 << input) == 0
     }
 
     /// Whether `output` is unmatched.
+    #[inline]
     pub fn output_free(&self, output: usize) -> bool {
-        !self.pair.contains(&Some(output))
+        self.matched_out & (1 << output) == 0
+    }
+
+    /// The unmatched inputs, as a bitmask.
+    #[inline]
+    pub fn free_inputs(&self) -> u64 {
+        !self.matched_in & all_ports(self.pair.len())
+    }
+
+    /// The unmatched outputs, as a bitmask.
+    #[inline]
+    pub fn free_outputs(&self) -> u64 {
+        !self.matched_out & all_ports(self.pair.len())
     }
 
     /// Pairs `input` with `output`.
@@ -156,16 +290,18 @@ impl Matching {
         assert!(self.input_free(input), "input {input} already matched");
         assert!(self.output_free(output), "output {output} already matched");
         self.pair[input] = Some(output);
+        self.matched_in |= 1 << input;
+        self.matched_out |= 1 << output;
     }
 
     /// Number of matched pairs.
     pub fn len(&self) -> usize {
-        self.pair.iter().flatten().count()
+        self.matched_in.count_ones() as usize
     }
 
     /// `true` when nothing is matched.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.matched_in == 0
     }
 
     /// Iterates over `(input, output)` pairs.
@@ -186,14 +322,13 @@ impl Matching {
     /// an unmatched output — "there can be no head-of-line blocking, since
     /// all potential connections are considered at each iteration" (§3).
     pub fn is_maximal(&self, demand: &DemandMatrix) -> bool {
-        for i in 0..self.size() {
-            if !self.input_free(i) {
-                continue;
-            }
-            for o in 0..self.size() {
-                if self.output_free(o) && demand.wants(i, o) {
-                    return false;
-                }
+        let free_out = self.free_outputs();
+        let mut free_in = self.free_inputs();
+        while free_in != 0 {
+            let i = free_in.trailing_zeros() as usize;
+            free_in &= free_in - 1;
+            if demand.row_mask(i) & free_out != 0 {
+                return false;
             }
         }
         true
@@ -250,6 +385,32 @@ mod tests {
     }
 
     #[test]
+    fn masks_track_demand() {
+        let mut d = DemandMatrix::new(4);
+        d.add(1, 2, 1);
+        d.add(1, 3, 2);
+        d.add(0, 2, 1);
+        assert_eq!(d.row_mask(1), 0b1100);
+        assert_eq!(d.col_mask(2), 0b0011);
+        d.take_one(1, 2);
+        assert_eq!(d.row_mask(1), 0b1000, "bit clears when queue empties");
+        assert_eq!(d.col_mask(2), 0b0001);
+        d.take_one(1, 3);
+        assert_eq!(d.row_mask(1), 0b1000, "two queued: bit survives one take");
+        d.take_one(1, 3);
+        assert_eq!(d.row_mask(1), 0);
+    }
+
+    #[test]
+    fn add_zero_cells_leaves_no_demand() {
+        let mut d = DemandMatrix::new(2);
+        d.add(0, 1, 0);
+        assert!(!d.wants(0, 1));
+        assert_eq!(d.row_mask(0), 0);
+        assert!(d.is_empty());
+    }
+
+    #[test]
     #[should_panic(expected = "no cell queued")]
     fn take_from_empty_panics() {
         DemandMatrix::new(2).take_one(0, 0);
@@ -260,12 +421,31 @@ mod tests {
         let d = DemandMatrix::from_table(2, &[0, 1, 2, 0]);
         assert_eq!(d.queued(0, 1), 1);
         assert_eq!(d.queued(1, 0), 2);
+        assert_eq!(d.row_mask(0), 0b10);
+        assert_eq!(d.col_mask(0), 0b10);
     }
 
     #[test]
     #[should_panic(expected = "n*n")]
     fn from_table_wrong_len_panics() {
         DemandMatrix::from_table(2, &[1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64 ports")]
+    fn oversized_switch_rejected() {
+        DemandMatrix::new(65);
+    }
+
+    #[test]
+    fn full_width_switch_supported() {
+        let mut d = DemandMatrix::new(64);
+        d.add(63, 63, 1);
+        assert_eq!(d.row_mask(63), 1 << 63);
+        let mut m = Matching::empty(64);
+        assert_eq!(m.free_inputs(), u64::MAX);
+        m.set(63, 0);
+        assert_eq!(m.free_inputs(), u64::MAX >> 1);
     }
 
     #[test]
@@ -280,8 +460,22 @@ mod tests {
         assert_eq!(m.input_of(0), None);
         assert!(m.input_free(1));
         assert!(!m.output_free(2));
+        assert_eq!(m.free_inputs(), 0b0110);
+        assert_eq!(m.free_outputs(), 0b1001);
         assert_eq!(m.to_string(), "{0->2, 3->1}");
         assert!(outputs_unique(&m));
+    }
+
+    #[test]
+    fn reset_reuses_allocation() {
+        let mut m = Matching::empty(4);
+        m.set(1, 1);
+        m.reset(4);
+        assert!(m.is_empty());
+        assert_eq!(m.free_outputs(), 0b1111);
+        m.reset(2);
+        assert_eq!(m.size(), 2);
+        assert_eq!(m.free_inputs(), 0b11);
     }
 
     #[test]
@@ -327,5 +521,15 @@ mod tests {
         let mut d2 = DemandMatrix::new(2);
         d2.add(1, 1, 1);
         assert!(!Matching::empty(2).is_maximal(&d2));
+    }
+
+    #[test]
+    fn bit_helpers() {
+        assert_eq!(all_ports(64), u64::MAX);
+        assert_eq!(all_ports(3), 0b111);
+        assert_eq!(nth_set_bit(0b1011, 0), 0);
+        assert_eq!(nth_set_bit(0b1011, 1), 1);
+        assert_eq!(nth_set_bit(0b1011, 2), 3);
+        assert_eq!(nth_set_bit(1 << 63, 0), 63);
     }
 }

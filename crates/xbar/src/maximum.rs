@@ -12,6 +12,7 @@
 //! is any fixed rule.
 
 use crate::matching::{DemandMatrix, Matching};
+use crate::scratch::Scratch;
 use crate::CrossbarScheduler;
 use an2_sim::SimRng;
 use std::collections::VecDeque;
@@ -28,6 +29,15 @@ impl MaximumMatching {
 
     /// Computes a maximum matching for `demand` (no randomness involved).
     pub fn solve(demand: &DemandMatrix) -> Matching {
+        let mut m = Matching::empty(demand.size());
+        Self::solve_into(demand, &mut m);
+        m
+    }
+
+    /// Like [`solve`](MaximumMatching::solve), writing into `out` (reset
+    /// first). Hopcroft–Karp's layer structures are still allocated per
+    /// call — this scheduler is the rejected baseline, not the hot path.
+    pub fn solve_into(demand: &DemandMatrix, out: &mut Matching) {
         let n = demand.size();
         const NIL: usize = usize::MAX;
         let adj: Vec<Vec<usize>> = (0..n).map(|i| demand.requests_of(i)).collect();
@@ -91,13 +101,12 @@ impl MaximumMatching {
             }
         }
 
-        let mut m = Matching::empty(n);
+        out.reset(n);
         for (u, &v) in pair_u.iter().enumerate() {
             if v != NIL {
-                m.set(u, v);
+                out.set(u, v);
             }
         }
-        m
     }
 }
 
@@ -106,8 +115,14 @@ impl CrossbarScheduler for MaximumMatching {
         "maximum (Hopcroft-Karp)"
     }
 
-    fn schedule(&mut self, demand: &DemandMatrix, _rng: &mut SimRng) -> Matching {
-        Self::solve(demand)
+    fn schedule_into(
+        &mut self,
+        demand: &DemandMatrix,
+        _rng: &mut SimRng,
+        _scratch: &mut Scratch,
+        out: &mut Matching,
+    ) {
+        Self::solve_into(demand, out);
     }
 }
 

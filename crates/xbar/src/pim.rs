@@ -19,8 +19,17 @@
 //! iteration computes all requests, then all grants, then all accepts, with
 //! no ordering between ports inside a phase — so the distributed character
 //! of the algorithm is preserved even though it runs in one address space.
+//!
+//! The request sets themselves are `u64` bitmasks: an output's requesters
+//! are `demand.col_mask(output) & matching.free_inputs()` — one AND, where
+//! the reference implementation scans all N inputs. Random selection picks a
+//! uniform rank and extracts that set bit, which chooses the same port the
+//! reference's sorted-`Vec` indexing would, so both implementations consume
+//! the RNG stream identically and produce identical matchings (see
+//! [`crate::reference`]).
 
-use crate::matching::{DemandMatrix, Matching};
+use crate::matching::{nth_set_bit, DemandMatrix, Matching};
+use crate::scratch::Scratch;
 use crate::CrossbarScheduler;
 use an2_sim::SimRng;
 
@@ -76,40 +85,43 @@ impl Pim {
     }
 
     /// One request/grant/accept round, extending `matching` in place.
-    /// Returns the number of new pairs formed.
-    // Indexed loops mirror the per-port hardware phases.
-    #[allow(clippy::needless_range_loop)]
-    fn iterate(demand: &DemandMatrix, matching: &mut Matching, rng: &mut SimRng) -> usize {
+    /// `grant_masks[i]` accumulates the outputs granting input `i` this
+    /// round. Returns the number of new pairs formed.
+    fn iterate(
+        demand: &DemandMatrix,
+        matching: &mut Matching,
+        rng: &mut SimRng,
+        grant_masks: &mut [u64],
+    ) -> usize {
         let n = demand.size();
+        grant_masks[..n].fill(0);
         // Phase 1 — requests: every unmatched input requests every output it
         // has a cell for. (Unmatched outputs consider only unmatched inputs;
-        // matched pairs from earlier iterations are retained.)
+        // matched pairs from earlier iterations are retained.) The request
+        // set of an output is one AND of its demand column with the free
+        // inputs.
         // Phase 2 — grants: each unmatched output picks one requester
         // uniformly at random.
-        let mut grants: Vec<Option<usize>> = vec![None; n]; // per input: granted output
-        let mut grant_lists: Vec<Vec<usize>> = vec![Vec::new(); n]; // per input: all grants
-        for output in 0..n {
-            if !matching.output_free(output) {
-                continue;
-            }
-            let requesters: Vec<usize> = (0..n)
-                .filter(|&i| matching.input_free(i) && demand.wants(i, output))
-                .collect();
-            if let Some(&winner) = rng.choose(&requesters) {
-                grant_lists[winner].push(output);
+        let free_in = matching.free_inputs();
+        let mut free_out = matching.free_outputs();
+        while free_out != 0 {
+            let output = free_out.trailing_zeros() as usize;
+            free_out &= free_out - 1;
+            let requesters = demand.col_mask(output) & free_in;
+            if requesters != 0 {
+                let rank = rng.gen_range(requesters.count_ones() as usize);
+                let winner = nth_set_bit(requesters, rank);
+                grant_masks[winner] |= 1 << output;
             }
         }
         // Phase 3 — accepts: each input that received grants picks one.
         // The paper does not fix the choice rule; hardware uses the random
         // tie-break, which we follow.
-        for input in 0..n {
-            if let Some(&choice) = rng.choose(&grant_lists[input]) {
-                grants[input] = Some(choice);
-            }
-        }
         let mut new_pairs = 0;
-        for input in 0..n {
-            if let Some(output) = grants[input] {
+        for (input, &grants) in grant_masks[..n].iter().enumerate() {
+            if grants != 0 {
+                let rank = rng.gen_range(grants.count_ones() as usize);
+                let output = nth_set_bit(grants, rank);
                 matching.set(input, output);
                 new_pairs += 1;
             }
@@ -122,9 +134,10 @@ impl Pim {
     /// took — the quantity bounded by `log₂ N + 4/3` in expectation (§3).
     pub fn run_to_maximal(demand: &DemandMatrix, rng: &mut SimRng) -> PimOutcome {
         let mut matching = Matching::empty(demand.size());
+        let mut grant_masks = vec![0u64; demand.size()];
         let mut productive = 0;
         loop {
-            let new_pairs = Self::iterate(demand, &mut matching, rng);
+            let new_pairs = Self::iterate(demand, &mut matching, rng, &mut grant_masks);
             if new_pairs == 0 {
                 break;
             }
@@ -143,14 +156,21 @@ impl CrossbarScheduler for Pim {
         "PIM"
     }
 
-    fn schedule(&mut self, demand: &DemandMatrix, rng: &mut SimRng) -> Matching {
-        let mut matching = Matching::empty(demand.size());
+    fn schedule_into(
+        &mut self,
+        demand: &DemandMatrix,
+        rng: &mut SimRng,
+        scratch: &mut Scratch,
+        out: &mut Matching,
+    ) {
+        let n = demand.size();
+        out.reset(n);
+        scratch.ensure(n);
         for _ in 0..self.iterations {
-            if Self::iterate(demand, &mut matching, rng) == 0 {
+            if Self::iterate(demand, out, rng, &mut scratch.masks) == 0 {
                 break; // already maximal; further iterations are no-ops
             }
         }
-        matching
     }
 }
 
@@ -304,6 +324,21 @@ mod tests {
         let a = Pim::run_to_maximal(&d, &mut SimRng::new(9));
         let b = Pim::run_to_maximal(&d, &mut SimRng::new(9));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn schedule_into_reuses_buffers_across_sizes() {
+        let mut pim = Pim::an2();
+        let mut scratch = Scratch::new();
+        let mut out = Matching::empty(1);
+        let mut rng = SimRng::new(4);
+        for &n in &[4usize, 16, 8, 64] {
+            let d = full_demand(n);
+            pim.schedule_into(&d, &mut rng, &mut scratch, &mut out);
+            assert_eq!(out.size(), n);
+            assert!(out.is_legal(&d));
+            assert!(!out.is_empty());
+        }
     }
 
     #[test]

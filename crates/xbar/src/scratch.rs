@@ -1,0 +1,58 @@
+//! Reusable scheduler working memory.
+//!
+//! Every scheduler needs a little per-slot working state — PIM and iSLIP a
+//! grant mask per input, the greedy matcher a visit order. Allocating those
+//! inside `schedule` puts a heap allocation on the per-cell-slot hot path;
+//! threading a [`Scratch`] through [`crate::CrossbarScheduler::schedule_into`]
+//! instead lets a simulation run millions of slots with zero per-slot
+//! allocation.
+
+/// Reusable working buffers for crossbar schedulers.
+///
+/// A `Scratch` is sized lazily on first use and grows to the largest switch
+/// it has served; one instance can be shared across schedulers and switch
+/// sizes. Contents are unspecified between calls — schedulers must
+/// re-initialise the prefix they use.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    /// One `u64` port set per port (grant masks, candidate sets, ...).
+    pub(crate) masks: Vec<u64>,
+    /// One index per port (visit orders, permutations, ...).
+    pub(crate) order: Vec<usize>,
+}
+
+impl Scratch {
+    /// An empty scratch; buffers are allocated on first use.
+    pub fn new() -> Self {
+        Scratch::default()
+    }
+
+    /// Grows the buffers to serve an `n`-port switch. Never shrinks, so a
+    /// scratch bounced between switch sizes settles at the largest.
+    pub(crate) fn ensure(&mut self, n: usize) {
+        if self.masks.len() < n {
+            self.masks.resize(n, 0);
+        }
+        if self.order.len() < n {
+            self.order.resize(n, 0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grows_and_never_shrinks() {
+        let mut s = Scratch::new();
+        assert!(s.masks.is_empty());
+        s.ensure(8);
+        assert_eq!(s.masks.len(), 8);
+        assert_eq!(s.order.len(), 8);
+        s.ensure(4);
+        assert_eq!(s.masks.len(), 8, "ensure never shrinks");
+        s.ensure(16);
+        assert_eq!(s.order.len(), 16);
+    }
+}

@@ -9,12 +9,20 @@
 //! arrival patterns, random-access input buffers plus parallel iterative
 //! matching yield throughput and latency nearly as good as that of output
 //! queueing with k = 16 and unbounded buffer capacity." (§3)
+//!
+//! The inner loops are allocation-free after warm-up: queues are index-based
+//! ring buffers that grow geometrically and are then reused, the VOQ
+//! simulator maintains its [`DemandMatrix`] incrementally (add on arrival,
+//! take on dispatch) instead of rebuilding an `n × n` table every slot, and
+//! the scheduler runs through
+//! [`schedule_into`](crate::CrossbarScheduler::schedule_into) with a single
+//! [`Scratch`] and output [`Matching`] shared across all slots.
 
 use crate::matching::DemandMatrix;
-use crate::CrossbarScheduler;
+use crate::scratch::Scratch;
+use crate::{CrossbarScheduler, Matching};
 use an2_sim::metrics::Histogram;
 use an2_sim::SimRng;
-use std::collections::VecDeque;
 
 /// Synthetic cell arrival patterns, per input port per slot.
 #[derive(Debug, Clone)]
@@ -163,6 +171,82 @@ impl ArrivalGen {
     }
 }
 
+/// A flat index-based FIFO ring buffer of `Copy` records.
+///
+/// Power-of-two capacity, geometric growth, no per-push allocation once
+/// warm: the queue workhorse of the simulators, replacing `VecDeque` so the
+/// whole simulation state is plain `Vec`s indexed by head/length counters.
+#[derive(Debug, Clone)]
+struct Ring<T> {
+    buf: Vec<T>,
+    head: usize,
+    len: usize,
+}
+
+impl<T: Copy + Default> Ring<T> {
+    fn new() -> Self {
+        Ring {
+            buf: Vec::new(),
+            head: 0,
+            len: 0,
+        }
+    }
+
+    #[cfg(test)]
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    fn push(&mut self, value: T) {
+        if self.len == self.buf.len() {
+            self.grow();
+        }
+        let mask = self.buf.len() - 1;
+        self.buf[(self.head + self.len) & mask] = value;
+        self.len += 1;
+    }
+
+    #[inline]
+    fn front(&self) -> Option<T> {
+        (self.len > 0).then(|| self.buf[self.head])
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<T> {
+        if self.len == 0 {
+            return None;
+        }
+        let value = self.buf[self.head];
+        self.head = (self.head + 1) & (self.buf.len() - 1);
+        self.len -= 1;
+        Some(value)
+    }
+
+    #[cold]
+    fn grow(&mut self) {
+        let old_cap = self.buf.len();
+        if old_cap == 0 {
+            self.buf = vec![T::default(); 4];
+            self.head = 0;
+            return;
+        }
+        let mut grown = vec![T::default(); old_cap * 2];
+        for (slot, grown_slot) in grown.iter_mut().enumerate().take(self.len) {
+            *grown_slot = self.buf[(self.head + slot) & (old_cap - 1)];
+        }
+        self.buf = grown;
+        self.head = 0;
+    }
+}
+
+/// A cell waiting in an input-side FIFO: its destination and arrival slot.
+#[derive(Debug, Clone, Copy, Default)]
+struct QueuedCell {
+    output: u32,
+    arrived: u64,
+}
+
 /// The buffering discipline under test.
 pub enum Discipline {
     /// Random-access input buffers (virtual output queues) with a crossbar
@@ -253,8 +337,13 @@ fn simulate_voq(
     slots: u64,
     rng: &mut SimRng,
 ) -> SwitchReport {
-    // Per (input, output): FIFO of arrival slots.
-    let mut voq: Vec<VecDeque<u64>> = vec![VecDeque::new(); n * n];
+    // Per (input, output): ring of arrival slots. The demand matrix mirrors
+    // the ring lengths and is maintained incrementally, so no per-slot
+    // rebuild and — with `schedule_into` — no per-slot allocation at all.
+    let mut voq: Vec<Ring<u64>> = (0..n * n).map(|_| Ring::new()).collect();
+    let mut demand = DemandMatrix::new(n);
+    let mut matching = Matching::empty(n);
+    let mut scratch = Scratch::new();
     let mut offered = 0;
     let mut delivered = 0;
     let mut delay = Histogram::new();
@@ -263,30 +352,24 @@ fn simulate_voq(
     for slot in 0..slots {
         for input in 0..n {
             if let Some(output) = arrivals.next(input, rng) {
-                voq[input * n + output].push_back(slot);
+                voq[input * n + output].push(slot);
+                demand.add(input, output, 1);
                 offered += 1;
                 backlog += 1;
             }
         }
         peak_backlog = peak_backlog.max(backlog);
-        let mut demand = DemandMatrix::new(n);
-        for input in 0..n {
-            for output in 0..n {
-                let q = voq[input * n + output].len() as u64;
-                if q > 0 {
-                    demand.add(input, output, q);
-                }
-            }
-        }
-        let matching = scheduler.schedule(&demand, rng);
+        scheduler.schedule_into(&demand, rng, &mut scratch, &mut matching);
         debug_assert!(matching.is_legal(&demand));
         for (input, output) in matching.iter() {
-            let arrived = voq[input * n + output].pop_front().expect("legal matching");
+            let arrived = voq[input * n + output].pop().expect("legal matching");
+            demand.take_one(input, output);
             delivered += 1;
             backlog -= 1;
             delay.record(slot - arrived + 1);
         }
     }
+    debug_assert_eq!(demand.total(), backlog, "demand mirrors ring lengths");
     SwitchReport {
         ports: n,
         slots,
@@ -303,8 +386,10 @@ fn simulate_fifo(
     slots: u64,
     rng: &mut SimRng,
 ) -> SwitchReport {
-    // Per input: FIFO of (output, arrival slot).
-    let mut fifo: Vec<VecDeque<(usize, u64)>> = vec![VecDeque::new(); n];
+    // Per input: ring of queued cells. Head contention is a bitmask per
+    // output, resolved in ascending output order as before.
+    let mut fifo: Vec<Ring<QueuedCell>> = (0..n).map(|_| Ring::new()).collect();
+    let mut contenders: Vec<u64> = vec![0; n]; // per output: inputs whose head wants it
     let mut offered = 0;
     let mut delivered = 0;
     let mut delay = Histogram::new();
@@ -313,25 +398,30 @@ fn simulate_fifo(
     for slot in 0..slots {
         for (input, q) in fifo.iter_mut().enumerate() {
             if let Some(output) = arrivals.next(input, rng) {
-                q.push_back((output, slot));
+                q.push(QueuedCell {
+                    output: output as u32,
+                    arrived: slot,
+                });
                 offered += 1;
                 backlog += 1;
             }
         }
         peak_backlog = peak_backlog.max(backlog);
         // Heads contend; each output picks one contender at random.
-        let mut contenders: Vec<Vec<usize>> = vec![Vec::new(); n];
+        contenders.fill(0);
         for (input, q) in fifo.iter().enumerate() {
-            if let Some(&(output, _)) = q.front() {
-                contenders[output].push(input);
+            if let Some(cell) = q.front() {
+                contenders[cell.output as usize] |= 1 << input;
             }
         }
-        for contenders_for_output in &contenders {
-            if let Some(&winner) = rng.choose(contenders_for_output) {
-                let (_, arrived) = fifo[winner].pop_front().expect("head exists");
+        for &mask in &contenders {
+            if mask != 0 {
+                let rank = rng.gen_range(mask.count_ones() as usize);
+                let winner = crate::matching::nth_set_bit(mask, rank);
+                let cell = fifo[winner].pop().expect("head exists");
                 delivered += 1;
                 backlog -= 1;
-                delay.record(slot - arrived + 1);
+                delay.record(slot - cell.arrived + 1);
             }
         }
     }
@@ -353,10 +443,13 @@ fn simulate_output_queued(
     rng: &mut SimRng,
 ) -> SwitchReport {
     assert!(speedup > 0, "speedup must be positive");
-    // Staging FIFO per input (cells the fabric hasn't moved yet) and an
-    // unbounded queue per output.
-    let mut staging: Vec<VecDeque<(usize, u64)>> = vec![VecDeque::new(); n];
-    let mut out_q: Vec<VecDeque<u64>> = vec![VecDeque::new(); n];
+    // Staging ring per input (cells the fabric hasn't moved yet) and an
+    // unbounded ring per output. The per-round visit order and per-slot
+    // output budgets are hoisted out of the slot loop and refilled in place.
+    let mut staging: Vec<Ring<QueuedCell>> = (0..n).map(|_| Ring::new()).collect();
+    let mut out_q: Vec<Ring<u64>> = (0..n).map(|_| Ring::new()).collect();
+    let mut budget: Vec<usize> = vec![0; n];
+    let mut order: Vec<usize> = vec![0; n];
     let mut offered = 0;
     let mut delivered = 0;
     let mut delay = Histogram::new();
@@ -365,7 +458,10 @@ fn simulate_output_queued(
     for slot in 0..slots {
         for (input, q) in staging.iter_mut().enumerate() {
             if let Some(output) = arrivals.next(input, rng) {
-                q.push_back((output, slot));
+                q.push(QueuedCell {
+                    output: output as u32,
+                    arrived: slot,
+                });
                 offered += 1;
                 backlog += 1;
             }
@@ -373,18 +469,22 @@ fn simulate_output_queued(
         peak_backlog = peak_backlog.max(backlog);
         // Fabric passes: up to `speedup` rounds; in each round every input
         // may move its head cell unless the target output exhausted its
-        // per-slot transfer budget. Random input order for fairness.
-        let mut budget = vec![speedup; n];
+        // per-slot transfer budget. Random input order for fairness,
+        // freshly shuffled from identity each round as before.
+        budget.fill(speedup);
         for _round in 0..speedup {
-            let mut order: Vec<usize> = (0..n).collect();
+            for (slot_idx, input) in order.iter_mut().enumerate() {
+                *input = slot_idx;
+            }
             rng.shuffle(&mut order);
             let mut moved = false;
             for &input in &order {
-                if let Some(&(output, arrived)) = staging[input].front() {
+                if let Some(cell) = staging[input].front() {
+                    let output = cell.output as usize;
                     if budget[output] > 0 {
-                        staging[input].pop_front();
+                        staging[input].pop();
                         budget[output] -= 1;
-                        out_q[output].push_back(arrived);
+                        out_q[output].push(cell.arrived);
                         moved = true;
                     }
                 }
@@ -395,7 +495,7 @@ fn simulate_output_queued(
         }
         // Each output transmits one cell per slot.
         for q in out_q.iter_mut() {
-            if let Some(arrived) = q.pop_front() {
+            if let Some(arrived) = q.pop() {
                 delivered += 1;
                 backlog -= 1;
                 delay.record(slot - arrived + 1);
@@ -427,6 +527,29 @@ mod tests {
         let mut gen = ArrivalGen::new(n, pattern);
         let mut rng = SimRng::new(seed);
         simulate(n, &mut discipline, &mut gen, slots, &mut rng)
+    }
+
+    #[test]
+    fn ring_fifo_order_and_growth() {
+        let mut r: Ring<u64> = Ring::new();
+        assert_eq!(r.pop(), None);
+        for v in 0..100 {
+            r.push(v);
+        }
+        assert_eq!(r.len(), 100);
+        assert_eq!(r.front(), Some(0));
+        for v in 0..60 {
+            assert_eq!(r.pop(), Some(v));
+        }
+        // Interleave push/pop across the wrap point.
+        for v in 100..140 {
+            r.push(v);
+        }
+        for v in 60..140 {
+            assert_eq!(r.pop(), Some(v));
+        }
+        assert_eq!(r.len(), 0);
+        assert_eq!(r.pop(), None);
     }
 
     #[test]
@@ -624,6 +747,31 @@ mod tests {
             r.offered - r.delivered < 100,
             "backlog exploded at load 0.5"
         );
+    }
+
+    #[test]
+    fn voq_matches_reference_scheduler_run() {
+        // The whole simulator — incremental demand, ring buffers,
+        // schedule_into — must produce the same numbers as driving the
+        // reference scheduler, because both consume the RNG identically.
+        let fast = run(
+            8,
+            Discipline::Voq(Box::new(Pim::an2())),
+            Arrivals::Uniform { load: 0.7 },
+            5_000,
+            12,
+        );
+        let slow = run(
+            8,
+            Discipline::Voq(Box::new(crate::reference::ReferencePim::an2())),
+            Arrivals::Uniform { load: 0.7 },
+            5_000,
+            12,
+        );
+        assert_eq!(fast.offered, slow.offered);
+        assert_eq!(fast.delivered, slow.delivered);
+        assert_eq!(fast.peak_backlog, slow.peak_backlog);
+        assert_eq!(fast.mean_delay(), slow.mean_delay());
     }
 
     #[test]

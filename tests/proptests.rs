@@ -7,7 +7,10 @@ use an2_schedule::nested::NestedFrameSchedule;
 use an2_schedule::{FrameSchedule, ReservationMatrix};
 use an2_sim::SimRng;
 use an2_topology::{generators, updown, SpanningTree, SwitchId};
-use an2_xbar::{outputs_unique, CrossbarScheduler, DemandMatrix, Islip, MaximumMatching, Pim};
+use an2_xbar::{
+    outputs_unique, reference, CrossbarScheduler, DemandMatrix, GreedyMaximal, Islip,
+    MaximumMatching, Pim,
+};
 use proptest::prelude::*;
 
 fn arb_demand(n: usize) -> impl Strategy<Value = DemandMatrix> {
@@ -220,6 +223,28 @@ proptest! {
         prop_assert!(m.is_legal(&demand));
         prop_assert!(m.is_maximal(&demand));
         prop_assert!(outputs_unique(&m));
+    }
+
+    /// The bitmask fast-path schedulers are drop-in replacements: for any
+    /// demand matrix and seed they consume the RNG stream exactly like the
+    /// pre-refactor implementations (preserved in `an2_xbar::reference`)
+    /// and return bit-identical matchings.
+    #[test]
+    fn bitmask_schedulers_match_reference(
+        demand in arb_demand(8),
+        seed in any::<u64>(),
+    ) {
+        let m = Pim::an2().schedule(&demand, &mut SimRng::new(seed));
+        let r = reference::ReferencePim::an2().schedule(&demand, &mut SimRng::new(seed));
+        prop_assert_eq!(m, r, "PIM diverged from reference");
+
+        let m = GreedyMaximal::new().schedule(&demand, &mut SimRng::new(seed));
+        let r = reference::ReferenceGreedy::new().schedule(&demand, &mut SimRng::new(seed));
+        prop_assert_eq!(m, r, "greedy diverged from reference");
+
+        let m = Islip::new(8, 3).schedule(&demand, &mut SimRng::new(seed));
+        let r = reference::ReferenceIslip::new(8, 3).schedule(&demand, &mut SimRng::new(seed));
+        prop_assert_eq!(m, r, "iSLIP diverged from reference");
     }
 
     /// Nested frame schedules grant exactly the reserved bandwidth whenever
