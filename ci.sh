@@ -18,6 +18,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 if [[ "${1:-}" != "quick" ]]; then
     echo "== cargo test"
     cargo test -q --workspace
+
+    echo "== cargo bench --no-run (benches must compile)"
+    cargo bench --workspace --no-run
+
+    echo "== fabric determinism (slab vs reference oracle)"
+    cargo test -q -p an2 --test reference_equiv
+    cargo test -q -p an2-bench --release fabric_exp
 fi
 
 echo "== ci.sh: all green"

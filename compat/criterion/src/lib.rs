@@ -83,7 +83,7 @@ impl Bencher {
             }
             let elapsed = start.elapsed();
             if elapsed * 4 >= budget || iters >= u64::MAX / 2 {
-                let per_iter = elapsed.as_nanos().max(1) / iters as u128;
+                let per_iter = (elapsed.as_nanos() / iters as u128).max(1);
                 iters = (budget.as_nanos() / per_iter).clamp(1, u64::MAX as u128) as u64;
                 break;
             }
@@ -116,7 +116,7 @@ impl Bencher {
             }
             let elapsed = start.elapsed();
             if elapsed * 4 >= budget || iters >= 1 << 20 {
-                let per_iter = elapsed.as_nanos().max(1) / iters as u128;
+                let per_iter = (elapsed.as_nanos() / iters as u128).max(1);
                 iters = (budget.as_nanos() / per_iter).clamp(1, 1 << 20) as u64;
                 break;
             }

@@ -14,11 +14,13 @@
 //! the heuristics the paper cites from the Paris network work.
 
 use an2_topology::{HostId, LinkState, Node, SwitchId, Topology};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
-/// Directed capacity key: a link used in the direction `from_a` (from the
-/// link's `a` endpoint toward `b`) or the reverse.
-type DirLink = (an2_topology::LinkId, bool);
+/// Index of a directed link in the flat ledger: link id × direction, where
+/// the direction bit is `from_a` (from the link's `a` endpoint toward `b`).
+fn dir_slot(link: an2_topology::LinkId, from_a: bool) -> usize {
+    link.0 as usize * 2 + from_a as usize
+}
 
 /// The bandwidth-central service. In this first realization it "resides at
 /// a single switch, chosen during reconfiguration"; as a library object it
@@ -26,20 +28,20 @@ type DirLink = (an2_topology::LinkId, bool);
 #[derive(Debug, Clone)]
 pub struct BandwidthCentral {
     frame: u32,
-    /// Remaining unreserved cells/frame, per directed link.
-    remaining: HashMap<DirLink, u32>,
+    /// Remaining unreserved cells/frame, indexed by [`dir_slot`]. Link ids
+    /// are dense (the topology allocates them from 0), so a flat vector
+    /// replaces the hash ledger with two-instruction lookups.
+    remaining: Vec<u32>,
 }
 
 impl BandwidthCentral {
     /// A fresh ledger: every working link direction starts with a full
     /// frame of unreserved capacity.
     pub fn new(topo: &Topology, frame: u32) -> Self {
-        let mut remaining = HashMap::new();
-        for l in topo.links() {
-            remaining.insert((l, true), frame);
-            remaining.insert((l, false), frame);
+        BandwidthCentral {
+            frame,
+            remaining: vec![frame; topo.link_count() * 2],
         }
-        BandwidthCentral { frame, remaining }
     }
 
     /// The frame size reservations are expressed against.
@@ -49,7 +51,10 @@ impl BandwidthCentral {
 
     /// Remaining capacity of a directed link.
     pub fn remaining(&self, link: an2_topology::LinkId, from_a: bool) -> u32 {
-        self.remaining.get(&(link, from_a)).copied().unwrap_or(0)
+        self.remaining
+            .get(dir_slot(link, from_a))
+            .copied()
+            .unwrap_or(0)
     }
 
     fn dir_of(topo: &Topology, link: an2_topology::LinkId, from: Node) -> bool {
@@ -130,7 +135,7 @@ impl BandwidthCentral {
             let dir = Self::dir_of(topo, link, Node::Switch(switches[k]));
             let r = self
                 .remaining
-                .get_mut(&(link, dir))
+                .get_mut(dir_slot(link, dir))
                 .expect("link exists in ledger");
             assert!(*r >= cells, "over-committing {link}");
             *r -= cells;
@@ -139,7 +144,7 @@ impl BandwidthCentral {
             let dir = Self::dir_of(topo, link, from);
             let r = self
                 .remaining
-                .get_mut(&(link, dir))
+                .get_mut(dir_slot(link, dir))
                 .expect("host link exists in ledger");
             assert!(*r >= cells, "over-committing host {link}");
             *r -= cells;
@@ -157,11 +162,17 @@ impl BandwidthCentral {
     ) {
         for (k, &link) in links.iter().enumerate() {
             let dir = Self::dir_of(topo, link, Node::Switch(switches[k]));
-            *self.remaining.get_mut(&(link, dir)).expect("ledger entry") += cells;
+            *self
+                .remaining
+                .get_mut(dir_slot(link, dir))
+                .expect("ledger entry") += cells;
         }
         for &(link, from) in host_links {
             let dir = Self::dir_of(topo, link, from);
-            *self.remaining.get_mut(&(link, dir)).expect("ledger entry") += cells;
+            *self
+                .remaining
+                .get_mut(dir_slot(link, dir))
+                .expect("ledger entry") += cells;
         }
     }
 

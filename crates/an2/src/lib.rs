@@ -44,6 +44,7 @@ mod central;
 mod error;
 mod fabric;
 mod network;
+pub mod reference;
 
 pub use central::BandwidthCentral;
 pub use error::NetError;

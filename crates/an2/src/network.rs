@@ -307,31 +307,31 @@ impl Network {
         cells_per_frame: u16,
     ) -> Result<VcId, NetError> {
         let cells = cells_per_frame as u32;
-        let topo = self.topology().clone();
-        let (src_link, src_sw) = self
-            .central
-            .best_attachment(&topo, src, cells, true)
-            .ok_or(NetError::InsufficientBandwidth {
+        // Borrow the topology from the fabric; `central` is a disjoint
+        // field, so no clone is needed.
+        let topo = self.fabric.topology();
+        let (src_link, src_sw) = self.central.best_attachment(topo, src, cells, true).ok_or(
+            NetError::InsufficientBandwidth {
                 requested: cells_per_frame,
-            })?;
+            },
+        )?;
         let (dst_link, dst_sw) = self
             .central
-            .best_attachment(&topo, dst, cells, false)
+            .best_attachment(topo, dst, cells, false)
             .ok_or(NetError::InsufficientBandwidth {
                 requested: cells_per_frame,
             })?;
-        let (switches, links) = self
-            .central
-            .find_route(&topo, src_sw, dst_sw, cells)
-            .ok_or(NetError::InsufficientBandwidth {
+        let (switches, links) = self.central.find_route(topo, src_sw, dst_sw, cells).ok_or(
+            NetError::InsufficientBandwidth {
                 requested: cells_per_frame,
-            })?;
+            },
+        )?;
         let host_links = vec![
             (src_link, Node::Host(src)),
             (dst_link, Node::Switch(dst_sw)),
         ];
         self.central
-            .commit(&topo, &switches, &links, &host_links, cells);
+            .commit(topo, &switches, &links, &host_links, cells);
         let vc = self.fresh_vc();
         let class = TrafficClass::Guaranteed { cells_per_frame };
         self.fabric.open_circuit(
@@ -365,9 +365,13 @@ impl Network {
     pub fn close(&mut self, vc: VcId) -> Result<VcStats, NetError> {
         let meta = self.meta.remove(&vc).ok_or(NetError::UnknownCircuit(vc))?;
         if let Some((switches, links, host_links, cells)) = meta.reservation {
-            let topo = self.topology().clone();
-            self.central
-                .release(&topo, &switches, &links, &host_links, cells);
+            self.central.release(
+                self.fabric.topology(),
+                &switches,
+                &links,
+                &host_links,
+                cells,
+            );
         }
         if let Some(stats) = self.broken.remove(&vc) {
             return Ok(stats);
@@ -536,24 +540,26 @@ impl Network {
         for vc in victims {
             let meta = self.meta[&vc].clone();
             let current_len = self.fabric.circuit_path(vc).map_or(usize::MAX, <[_]>::len);
-            // Search for an equally short path avoiding the hot link: probe
-            // on a copy of the topology with the hot link removed.
-            let mut probe = self.topology().clone();
-            probe.set_link_state(hot_link, an2_topology::LinkState::Dead);
-            let Some(route) = an2_topology::paths::host_route(&probe, meta.src, meta.dst) else {
+            // Search for an equally short path avoiding the hot link,
+            // probing the borrowed topology directly (no clone).
+            let topo = self.fabric.topology();
+            let Some(route) =
+                an2_topology::paths::host_route_avoiding(topo, meta.src, meta.dst, hot_link)
+            else {
                 continue;
             };
             if route.switches.len() > current_len {
                 continue; // only sideways moves: no latency penalty
             }
             // Materialize concrete links, preferring the least-loaded
-            // parallel link per hop.
+            // parallel link per hop (never the hot link itself).
             let mut links = Vec::new();
             let mut ok = true;
             for w in route.switches.windows(2) {
-                match probe
+                match topo
                     .links_between(w[0], w[1])
                     .into_iter()
+                    .filter(|&l| l != hot_link)
                     .min_by_key(|&l| load_of(l))
                 {
                     Some(l) => links.push(l),
@@ -572,12 +578,12 @@ impl Network {
             if links.iter().any(|&l| load_of(l) + 1 >= hot_count) {
                 continue;
             }
-            let src_link = probe
+            let src_link = topo
                 .host_attachments(meta.src)
                 .into_iter()
                 .find(|&(_, s)| s == route.switches[0])
                 .map(|(l, _)| l);
-            let dst_link = probe
+            let dst_link = topo
                 .host_attachments(meta.dst)
                 .into_iter()
                 .find(|&(_, s)| Some(s) == route.switches.last().copied())
@@ -622,23 +628,23 @@ impl Network {
             TrafficClass::Guaranteed { cells_per_frame } => {
                 let cells = cells_per_frame as u32;
                 // Release the old reservation (links that died release
-                // capacity nobody can use; harmless).
-                let topo = self.topology().clone();
+                // capacity nobody can use; harmless). Borrowed topology:
+                // `central` and `meta` are disjoint fields.
+                let topo = self.fabric.topology();
                 if let Some((switches, links, host_links, amount)) =
                     self.meta.get_mut(&vc).and_then(|m| m.reservation.take())
                 {
                     self.central
-                        .release(&topo, &switches, &links, &host_links, amount);
+                        .release(topo, &switches, &links, &host_links, amount);
                 }
                 let admitted = self
                     .central
-                    .best_attachment(&topo, meta.src, cells, true)
+                    .best_attachment(topo, meta.src, cells, true)
                     .and_then(|(src_link, src_sw)| {
-                        let (dst_link, dst_sw) = self
-                            .central
-                            .best_attachment(&topo, meta.dst, cells, false)?;
+                        let (dst_link, dst_sw) =
+                            self.central.best_attachment(topo, meta.dst, cells, false)?;
                         let (switches, links) =
-                            self.central.find_route(&topo, src_sw, dst_sw, cells)?;
+                            self.central.find_route(topo, src_sw, dst_sw, cells)?;
                         Some((src_link, dst_link, dst_sw, switches, links))
                     });
                 match admitted {
@@ -648,7 +654,7 @@ impl Network {
                             (dst_link, Node::Switch(dst_sw)),
                         ];
                         self.central
-                            .commit(&topo, &switches, &links, &host_links, cells);
+                            .commit(topo, &switches, &links, &host_links, cells);
                         self.fabric.reroute_circuit(
                             vc,
                             switches.clone(),

@@ -1,81 +1,25 @@
-//! The cell-level network fabric: switches, links, host controllers and
-//! credits, stepped slot by slot.
+//! The pre-slab fabric data plane, preserved verbatim as an oracle.
 //!
-//! The fabric is the data plane of the reproduction. Control decisions
-//! (route choice, admission) are made by [`crate::Network`]; the fabric
-//! executes them: it owns the per-switch data planes ([`an2_switch::Switch`]),
-//! propagates cells and credits along links with latency, segments nothing
-//! (hosts hand it cells), reassembles packets at destination controllers,
-//! and enforces §5's credit flow control on every best-effort hop.
+//! This is the map-based implementation the slab rewrite in
+//! [`crate::fabric`] replaced: `HashMap` circuit tables, per-host
+//! `BTreeMap<VcId, VecDeque<Cell>>` outboxes and credit tables, a
+//! `BTreeMap<u64, Vec<Event>>` agenda, and the pre-slab
+//! [`an2_switch::reference::ReferenceSwitch`] per switch. It is kept (a) as
+//! the baseline side of the criterion `fabric` benches and (b) as the
+//! behavioural oracle for the reference-equivalence property tests — both
+//! fabrics must produce byte-identical `VcStats`, latency histograms and
+//! delivered packets on any seeded workload.
 //!
-//! ## Storage layout
-//!
-//! The fabric interns VC ids into a slab: a flat `lookup` table maps the
-//! 24-bit id to a slot holding the circuit, its pending setup plan, and the
-//! source host's credit/token gate. Host outboxes are id-sorted vectors of
-//! [`CellQueue`] handles into one shared [`CellPool`], the switch port map
-//! is a flat array indexed by `(switch, port)`, and the event agenda is a
-//! calendar queue — a power-of-two ring of due-stamped buckets sized to the
-//! maximum scheduling horizon (signal processing + link latency). Together
-//! these remove every per-slot B-tree/hash lookup and allocation from the
-//! hot path while producing byte-identical results to the preserved
-//! map-based oracle in [`crate::reference`] (enforced by property tests).
+//! Mirrors the PR 1 pattern of `an2_xbar::reference`. Do not optimise this
+//! module; its value is that it stays exactly what shipped before.
 
+use crate::fabric::{FabricConfig, VcStats};
 use an2_cells::signal::{SignalMsg, TrafficClass};
-use an2_cells::{Cell, CellKind, CellPool, CellQueue, Packet, Reassembler, VcId};
-use an2_sim::metrics::Histogram;
+use an2_cells::{Cell, CellKind, Packet, Reassembler, VcId};
 use an2_sim::SimRng;
-use an2_switch::{Departure, Switch, SwitchConfig};
+use an2_switch::reference::ReferenceSwitch;
 use an2_topology::{HostId, LinkId, LinkState, Node, SwitchId, Topology};
-use std::collections::VecDeque;
-
-/// Fabric-wide configuration.
-#[derive(Debug, Clone)]
-pub struct FabricConfig {
-    /// Per-switch configuration.
-    pub switch: SwitchConfig,
-    /// Link propagation delay in cell slots (uniform across links).
-    pub link_latency_slots: u64,
-    /// Downstream buffers (= initial credits) per best-effort circuit per
-    /// hop. Should be at least `2 * link_latency_slots` for full-rate flow
-    /// (§5); the default leaves headroom.
-    pub be_credits: u32,
-    /// Line-card software time, in slots, to process one signaling cell
-    /// (§2: setup cells "are passed to the processor on the line card").
-    pub signal_processing_slots: u64,
-}
-
-impl Default for FabricConfig {
-    fn default() -> Self {
-        FabricConfig {
-            switch: SwitchConfig::default(),
-            link_latency_slots: 2,
-            be_credits: 8,
-            signal_processing_slots: 30,
-        }
-    }
-}
-
-/// Per-circuit statistics.
-#[derive(Debug, Clone, Default)]
-pub struct VcStats {
-    /// Cells injected by the source controller.
-    pub sent_cells: u64,
-    /// Cells delivered to the destination controller.
-    pub delivered_cells: u64,
-    /// Cells dropped by reroutes.
-    pub dropped_cells: u64,
-    /// Host-to-host cell latency, in slots.
-    pub latency_slots: Histogram,
-    /// Packets fully reassembled at the destination.
-    pub packets_delivered: u64,
-    /// Packets lost to drops (detected by the reassembler's checks).
-    pub packets_corrupted: u64,
-    /// Times the circuit was paged out (§2's resource reclamation).
-    pub pages_out: u64,
-    /// Times the circuit was paged back in.
-    pub pages_in: u64,
-}
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 #[derive(Debug, Clone, Copy)]
 enum Attachment {
@@ -90,7 +34,7 @@ enum Attachment {
     },
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug)]
 enum Event {
     CellToSwitch {
         switch: SwitchId,
@@ -109,89 +53,26 @@ enum Event {
         link: LinkId,
     },
     CreditToHost {
+        host: HostId,
         vc: VcId,
         link: LinkId,
     },
 }
 
-/// A calendar queue over the fabric's bounded scheduling horizon: a
-/// power-of-two ring of buckets holding `(due_slot, Event)` pairs. Pushes
-/// and per-slot drains are O(bucket length); purges scan every bucket, like
-/// the `BTreeMap` agenda they replaced. Entries whose due slot has already
-/// passed (possible only with `link_latency_slots == 0`, where the old
-/// agenda stranded same-slot pushes after the slot was drained) simply stay
-/// in their bucket, preserving the oracle's semantics.
-#[derive(Debug)]
-struct Agenda {
-    buckets: Vec<Vec<(u64, Event)>>,
-    mask: u64,
-}
-
-impl Agenda {
-    /// A calendar sized for events at most `horizon` slots in the future.
-    fn new(horizon: u64) -> Self {
-        let len = (horizon + 2).next_power_of_two().max(2);
-        Agenda {
-            buckets: (0..len).map(|_| Vec::new()).collect(),
-            mask: len - 1,
-        }
-    }
-
-    fn push(&mut self, due: u64, event: Event) {
-        self.buckets[(due & self.mask) as usize].push((due, event));
-    }
-
-    /// Moves every event due exactly at `slot` into `out` (which must be
-    /// empty), in push order, keeping other entries. With nonzero link
-    /// latency every entry in the bucket is due — the calendar ring is
-    /// wider than the scheduling horizon — so the whole bucket is swapped
-    /// out without copying; entries whose slot already passed (only with
-    /// `link_latency_slots == 0`) take the stable in-place compaction path.
-    fn take_due(&mut self, slot: u64, out: &mut Vec<(u64, Event)>) {
-        let bucket = &mut self.buckets[(slot & self.mask) as usize];
-        if bucket.iter().all(|&(due, _)| due == slot) {
-            std::mem::swap(bucket, out);
-            return;
-        }
-        let mut kept = 0;
-        for i in 0..bucket.len() {
-            let (due, event) = bucket[i];
-            if due == slot {
-                out.push((due, event));
-            } else {
-                bucket[kept] = (due, event);
-                kept += 1;
-            }
-        }
-        bucket.truncate(kept);
-    }
-
-    /// Keeps only the events `f` accepts (teardown/failure purges).
-    fn retain(&mut self, mut f: impl FnMut(&Event) -> bool) {
-        for bucket in &mut self.buckets {
-            bucket.retain(|(_, e)| f(e));
-        }
-    }
-}
-
 #[derive(Debug, Default)]
 struct HostState {
-    /// Cells waiting to be injected, per circuit: `(raw vc, queue)` sorted
-    /// by id, the iteration order of the `BTreeMap` it replaced. Entries
-    /// persist when drained (the injection rotor counts them) and are
-    /// removed only at circuit close.
-    outbox: Vec<(u32, CellQueue)>,
+    /// Cells waiting to be injected, per circuit.
+    outbox: BTreeMap<VcId, VecDeque<Cell>>,
+    /// Credits toward the first switch, per best-effort circuit.
+    credits: BTreeMap<VcId, u32>,
+    /// Per-frame token buckets for guaranteed circuits (refilled each
+    /// frame): the controller "prevents a host from sending more than its
+    /// reserved bandwidth" (§5).
+    gt_tokens: BTreeMap<VcId, u32>,
     reassembler: Reassembler,
     received: Vec<(VcId, Packet)>,
     /// Round-robin cursor over circuits for the one-cell-per-slot link.
     rotor: usize,
-}
-
-impl HostState {
-    /// Index of the outbox entry for `raw`, or where to insert one.
-    fn outbox_entry(&self, raw: u32) -> Result<usize, usize> {
-        self.outbox.binary_search_by_key(&raw, |e| e.0)
-    }
 }
 
 #[derive(Debug)]
@@ -214,13 +95,6 @@ struct Circuit {
     /// Whether the circuit is paged out: routing entries and buffers
     /// released, state retained so it can be paged back in.
     paged_out: bool,
-    /// Credits toward the first switch (best-effort only; `None` when
-    /// ungated or paged out). Lives here rather than in a per-host map —
-    /// a circuit has exactly one source host.
-    host_credits: Option<u32>,
-    /// Per-frame token bucket (guaranteed only): the controller "prevents a
-    /// host from sending more than its reserved bandwidth" (§5).
-    gt_tokens: Option<u32>,
 }
 
 /// The route a travelling setup cell will install, hop by hop.
@@ -232,42 +106,20 @@ struct SetupPlan {
     dst_link: LinkId,
 }
 
-/// The interned slot-number a VC id maps to; `NO_IDX` = never seen.
-const NO_IDX: u32 = u32::MAX;
-
-/// Everything keyed by one VC id. Slots are never freed (ids are interned
-/// monotonically); a closed circuit leaves `circuit: None` behind.
-#[derive(Debug)]
-struct VcEntry {
-    vc: VcId,
-    circuit: Option<Circuit>,
-    /// Set while a signaled setup cell is still travelling: routing
-    /// entries are installed hop by hop as the cell passes (§2).
-    setup: Option<SetupPlan>,
-}
-
-/// The slot-stepped network data plane: switches, links, host controllers
-/// and credit flow control, advanced one cell slot at a time.
+/// The pre-slab fabric. Behaviourally identical to [`crate::Fabric`].
 pub struct Fabric {
     topo: Topology,
     cfg: FabricConfig,
-    switches: Vec<Switch>,
+    switches: Vec<ReferenceSwitch>,
     hosts: Vec<HostState>,
-    /// Raw VC id → slot in `vcs` (`NO_IDX` when unseen).
-    lookup: Vec<u32>,
-    vcs: Vec<VcEntry>,
-    /// `(switch, port)` → what the port connects to, flattened at
-    /// `switch * port_stride + port`. Rebuilt on link failures.
-    port_map: Vec<Option<Attachment>>,
-    port_stride: usize,
-    agenda: Agenda,
-    /// Shared arena for outbox cells.
-    pool: CellPool,
+    circuits: HashMap<VcId, Circuit>,
+    /// Circuits opened via signaling whose setup cell is still travelling:
+    /// routing entries are installed hop by hop as the cell passes (§2).
+    pending_setups: HashMap<VcId, SetupPlan>,
+    port_map: HashMap<(SwitchId, usize), Attachment>,
+    agenda: BTreeMap<u64, Vec<Event>>,
     slot: u64,
     rng: SimRng,
-    // Reused per-slot buffers.
-    events_scratch: Vec<(u64, Event)>,
-    departures_scratch: Vec<Departure>,
 }
 
 impl std::fmt::Debug for Fabric {
@@ -275,10 +127,7 @@ impl std::fmt::Debug for Fabric {
         f.debug_struct("Fabric")
             .field("switches", &self.switches.len())
             .field("hosts", &self.hosts.len())
-            .field(
-                "circuits",
-                &self.vcs.iter().filter(|e| e.circuit.is_some()).count(),
-            )
+            .field("circuits", &self.circuits.len())
             .field("slot", &self.slot)
             .finish()
     }
@@ -287,47 +136,30 @@ impl std::fmt::Debug for Fabric {
 impl Fabric {
     /// Builds the data plane for a topology.
     pub fn new(topo: Topology, cfg: FabricConfig, seed: u64) -> Self {
-        let switches: Vec<Switch> = (0..topo.switch_count())
-            .map(|_| Switch::new(cfg.switch.clone()))
+        let switches = (0..topo.switch_count())
+            .map(|_| ReferenceSwitch::new(cfg.switch.clone()))
             .collect();
         let hosts = (0..topo.host_count())
             .map(|_| HostState::default())
             .collect();
-        // Ports are bounded by the switch config, but be safe against
-        // topologies wired wider than the config claims.
-        let max_port = topo
-            .links()
-            .flat_map(|l| {
-                let (a, b) = topo.endpoints(l);
-                [a, b]
-            })
-            .map(|end| end.port.0 as usize + 1)
-            .max()
-            .unwrap_or(0);
-        let port_stride = cfg.switch.ports.max(max_port);
-        let horizon = cfg.signal_processing_slots + cfg.link_latency_slots;
         let mut fabric = Fabric {
-            port_map: vec![None; topo.switch_count() * port_stride],
-            port_stride,
-            agenda: Agenda::new(horizon),
             topo,
             cfg,
             switches,
             hosts,
-            lookup: Vec::new(),
-            vcs: Vec::new(),
-            pool: CellPool::new(),
+            circuits: HashMap::new(),
+            pending_setups: HashMap::new(),
+            port_map: HashMap::new(),
+            agenda: BTreeMap::new(),
             slot: 0,
             rng: SimRng::new(seed),
-            events_scratch: Vec::new(),
-            departures_scratch: Vec::new(),
         };
         fabric.rebuild_port_map();
         fabric
     }
 
     fn rebuild_port_map(&mut self) {
-        self.port_map.fill(None);
+        self.port_map.clear();
         for link in self.topo.links() {
             if self.topo.link_state(link) != LinkState::Working {
                 continue;
@@ -343,45 +175,10 @@ impl Fabric {
                         },
                         Node::Host(h) => Attachment::ToHost { host: h, link },
                     };
-                    self.port_map[s.0 as usize * self.port_stride + near.port.0 as usize] =
-                        Some(attachment);
+                    self.port_map.insert((s, near.port.0 as usize), attachment);
                 }
             }
         }
-    }
-
-    /// The interned slot for `vc`, creating it on first sight.
-    fn ensure_vc(&mut self, vc: VcId) -> usize {
-        let raw = vc.raw() as usize;
-        if raw >= self.lookup.len() {
-            self.lookup.resize(raw + 1, NO_IDX);
-        }
-        if self.lookup[raw] == NO_IDX {
-            self.lookup[raw] = self.vcs.len() as u32;
-            self.vcs.push(VcEntry {
-                vc,
-                circuit: None,
-                setup: None,
-            });
-        }
-        self.lookup[raw] as usize
-    }
-
-    /// The interned slot for `vc`, if it has ever been seen.
-    fn idx_of(&self, vc: VcId) -> Option<usize> {
-        self.lookup
-            .get(vc.raw() as usize)
-            .copied()
-            .filter(|&i| i != NO_IDX)
-            .map(|i| i as usize)
-    }
-
-    fn circuit(&self, vc: VcId) -> Option<&Circuit> {
-        self.idx_of(vc).and_then(|i| self.vcs[i].circuit.as_ref())
-    }
-
-    fn circuit_mut(&mut self, vc: VcId) -> Option<&mut Circuit> {
-        self.idx_of(vc).and_then(|i| self.vcs[i].circuit.as_mut())
     }
 
     /// Current slot.
@@ -395,7 +192,7 @@ impl Fabric {
     }
 
     /// Mutable access to a switch's data plane (for schedule surgery).
-    pub fn switch_mut(&mut self, s: SwitchId) -> &mut Switch {
+    pub fn switch_mut(&mut self, s: SwitchId) -> &mut ReferenceSwitch {
         &mut self.switches[s.0 as usize]
     }
 
@@ -405,17 +202,17 @@ impl Fabric {
     ///
     /// Panics on an unknown circuit.
     pub fn stats(&self, vc: VcId) -> &VcStats {
-        &self.circuit(vc).expect("unknown circuit").stats
+        &self.circuits[&vc].stats
     }
 
     /// Whether the circuit exists.
     pub fn has_circuit(&self, vc: VcId) -> bool {
-        self.circuit(vc).is_some()
+        self.circuits.contains_key(&vc)
     }
 
     /// The switch path of a circuit.
     pub fn circuit_path(&self, vc: VcId) -> Option<&[SwitchId]> {
-        self.circuit(vc).map(|c| c.switches.as_slice())
+        self.circuits.get(&vc).map(|c| c.switches.as_slice())
     }
 
     fn port_on(&self, link: LinkId, node: Node) -> usize {
@@ -446,7 +243,7 @@ impl Fabric {
         src_link: LinkId,
         dst_link: LinkId,
     ) {
-        assert!(!self.has_circuit(vc), "{vc} already open");
+        assert!(!self.circuits.contains_key(&vc), "{vc} already open");
         assert_eq!(links.len() + 1, switches.len(), "malformed path");
         // Install routing entries hop by hop, as the setup cell would (§2).
         for (k, &s) in switches.iter().enumerate() {
@@ -459,14 +256,14 @@ impl Fabric {
                 .install_route(vc, out_port, class)
                 .expect("route installation on a validated path");
         }
-        let mut host_credits = None;
-        let mut gt_tokens = None;
         match class {
             TrafficClass::BestEffort => {
                 // Credit gates: host→first switch, and each switch toward
                 // its successor. The final hop (last switch → host) is
                 // ungated: controllers always accept.
-                host_credits = Some(self.cfg.be_credits);
+                self.hosts[src.0 as usize]
+                    .credits
+                    .insert(vc, self.cfg.be_credits);
                 for &s in &switches[..switches.len().saturating_sub(1)] {
                     self.switches[s.0 as usize].set_credits(vc, self.cfg.be_credits);
                 }
@@ -492,39 +289,37 @@ impl Fabric {
                             .expect("admission control guarantees feasibility");
                     }
                 }
-                gt_tokens = Some(cells_per_frame as u32);
+                self.hosts[src.0 as usize]
+                    .gt_tokens
+                    .insert(vc, cells_per_frame as u32);
             }
         }
-        let slot_now = self.slot;
-        let idx = self.ensure_vc(vc);
-        self.vcs[idx].circuit = Some(Circuit {
-            src,
-            dst,
-            class,
-            switches,
-            links,
-            src_link,
-            dst_link,
-            inject_slots: VecDeque::new(),
-            stats: VcStats::default(),
-            last_activity: slot_now,
-            paged_out: false,
-            host_credits,
-            gt_tokens,
-        });
+        self.circuits.insert(
+            vc,
+            Circuit {
+                src,
+                dst,
+                class,
+                switches,
+                links,
+                src_link,
+                dst_link,
+                inject_slots: VecDeque::new(),
+                stats: VcStats::default(),
+                last_activity: self.slot,
+                paged_out: false,
+            },
+        );
     }
 
     /// Removes a circuit: routing entries, schedule slots, credits, queued
     /// and in-flight cells. Returns its final statistics.
     pub fn close_circuit(&mut self, vc: VcId) -> Option<VcStats> {
-        let idx = self.idx_of(vc)?;
-        let circuit = self.vcs[idx].circuit.take()?;
+        let circuit = self.circuits.remove(&vc)?;
         self.teardown_path(vc, &circuit);
-        let src_host = &mut self.hosts[circuit.src.0 as usize];
-        if let Ok(e) = src_host.outbox_entry(vc.raw()) {
-            let (_, mut q) = src_host.outbox.remove(e);
-            self.pool.clear(&mut q);
-        }
+        self.hosts[circuit.src.0 as usize].outbox.remove(&vc);
+        self.hosts[circuit.src.0 as usize].credits.remove(&vc);
+        self.hosts[circuit.src.0 as usize].gt_tokens.remove(&vc);
         self.hosts[circuit.dst.0 as usize]
             .reassembler
             .reset_circuit(vc);
@@ -533,9 +328,7 @@ impl Fabric {
 
     fn teardown_path(&mut self, vc: VcId, circuit: &Circuit) -> u64 {
         // A setup cell still in flight must not resurrect the circuit.
-        if let Some(idx) = self.idx_of(vc) {
-            self.vcs[idx].setup = None;
-        }
+        self.pending_setups.remove(&vc);
         let mut dropped = 0u64;
         for (k, &s) in circuit.switches.iter().enumerate() {
             dropped += self.switches[s.0 as usize].remove_route(vc) as u64;
@@ -563,19 +356,21 @@ impl Fabric {
             }
         }
         // Purge in-flight cells and credits of this circuit.
-        self.agenda.retain(|e| match e {
-            Event::CellToSwitch { cell, .. } | Event::CellToHost { cell, .. } => {
-                if cell.vc() == vc {
-                    dropped += 1;
-                    false
-                } else {
-                    true
+        for events in self.agenda.values_mut() {
+            events.retain(|e| match e {
+                Event::CellToSwitch { cell, .. } | Event::CellToHost { cell, .. } => {
+                    if cell.vc() == vc {
+                        dropped += 1;
+                        false
+                    } else {
+                        true
+                    }
                 }
-            }
-            Event::CreditToSwitch { vc: cvc, .. } | Event::CreditToHost { vc: cvc, .. } => {
-                *cvc != vc
-            }
-        });
+                Event::CreditToSwitch { vc: cvc, .. } | Event::CreditToHost { vc: cvc, .. } => {
+                    *cvc != vc
+                }
+            });
+        }
         dropped
     }
 
@@ -593,10 +388,9 @@ impl Fabric {
         src_link: LinkId,
         dst_link: LinkId,
     ) {
-        let idx = self.idx_of(vc).expect("rerouting unknown circuit");
-        let circuit = self.vcs[idx]
-            .circuit
-            .take()
+        let circuit = self
+            .circuits
+            .remove(&vc)
             .expect("rerouting unknown circuit");
         let dropped = self.teardown_path(vc, &circuit);
         self.hosts[circuit.dst.0 as usize]
@@ -609,11 +403,16 @@ impl Fabric {
         for _ in 0..dropped {
             inject_slots.pop_front();
         }
-        // The source outbox entry survives a reroute untouched.
+        let outbox_kept = self.hosts[src.0 as usize].outbox.remove(&vc);
+        self.hosts[src.0 as usize].credits.remove(&vc);
+        self.hosts[src.0 as usize].gt_tokens.remove(&vc);
         self.open_circuit(vc, src, dst, class, switches, links, src_link, dst_link);
-        let c = self.circuit_mut(vc).expect("just opened");
+        let c = self.circuits.get_mut(&vc).expect("just opened");
         c.stats = stats;
         c.inject_slots = inject_slots;
+        if let Some(q) = outbox_kept {
+            self.hosts[src.0 as usize].outbox.insert(vc, q);
+        }
     }
 
     /// Opens a circuit the way AN2 actually does it (§2): a setup cell is
@@ -640,36 +439,41 @@ impl Fabric {
         src_link: LinkId,
         dst_link: LinkId,
     ) {
-        assert!(!self.has_circuit(vc), "{vc} already open");
+        assert!(!self.circuits.contains_key(&vc), "{vc} already open");
         assert_eq!(links.len() + 1, switches.len(), "malformed path");
         let class = TrafficClass::BestEffort;
         // Credit gates and host state as in open_circuit.
+        self.hosts[src.0 as usize]
+            .credits
+            .insert(vc, self.cfg.be_credits);
         for &s in &switches[..switches.len().saturating_sub(1)] {
             self.switches[s.0 as usize].set_credits(vc, self.cfg.be_credits);
         }
-        let slot_now = self.slot;
-        let idx = self.ensure_vc(vc);
-        self.vcs[idx].circuit = Some(Circuit {
-            src,
-            dst,
-            class,
-            switches: switches.clone(),
-            links: links.clone(),
-            src_link,
-            dst_link,
-            inject_slots: VecDeque::new(),
-            stats: VcStats::default(),
-            last_activity: slot_now,
-            paged_out: false,
-            host_credits: Some(self.cfg.be_credits),
-            gt_tokens: None,
-        });
-        self.vcs[idx].setup = Some(SetupPlan {
-            class,
-            switches,
-            links,
-            dst_link,
-        });
+        self.circuits.insert(
+            vc,
+            Circuit {
+                src,
+                dst,
+                class,
+                switches: switches.clone(),
+                links: links.clone(),
+                src_link,
+                dst_link,
+                inject_slots: VecDeque::new(),
+                stats: VcStats::default(),
+                last_activity: self.slot,
+                paged_out: false,
+            },
+        );
+        self.pending_setups.insert(
+            vc,
+            SetupPlan {
+                class,
+                switches,
+                links,
+                dst_link,
+            },
+        );
         // The setup cell leads the circuit's cell stream from the host.
         let setup = SignalMsg::Setup {
             circuit: vc,
@@ -677,29 +481,17 @@ impl Fabric {
             dst_host: dst.0 as u32,
             class,
         };
-        self.push_outbox(src, vc, setup.to_cell(vc));
-    }
-
-    /// Appends a cell to a host's per-circuit outbox queue.
-    fn push_outbox(&mut self, host: HostId, vc: VcId, cell: Cell) {
-        let h = &mut self.hosts[host.0 as usize];
-        let e = match h.outbox_entry(vc.raw()) {
-            Ok(e) => e,
-            Err(pos) => {
-                h.outbox.insert(pos, (vc.raw(), CellQueue::new()));
-                pos
-            }
-        };
-        self.pool.push_back(&mut h.outbox[e].1, cell, 0, 0);
+        self.hosts[src.0 as usize]
+            .outbox
+            .entry(vc)
+            .or_default()
+            .push_back(setup.to_cell(vc));
     }
 
     /// Whether a signaled circuit's setup cell has reached the destination
     /// (instantly true for circuits opened with [`Fabric::open_circuit`]).
     pub fn is_established(&self, vc: VcId) -> bool {
-        self.idx_of(vc).is_some_and(|i| {
-            let e = &self.vcs[i];
-            e.circuit.is_some() && e.setup.is_none()
-        })
+        self.circuits.contains_key(&vc) && !self.pending_setups.contains_key(&vc)
     }
 
     /// Line-card software: handles a signaling cell arriving at a switch.
@@ -707,7 +499,7 @@ impl Fabric {
     /// processing delay.
     fn handle_signal_at_switch(&mut self, at: SwitchId, cell: Cell) {
         let vc = cell.vc();
-        let Some(plan) = self.idx_of(vc).and_then(|i| self.vcs[i].setup.clone()) else {
+        let Some(plan) = self.pending_setups.get(&vc).cloned() else {
             return; // stale or unknown signal: the line card drops it
         };
         let Some(k) = plan.switches.iter().position(|&s| s == at) else {
@@ -729,20 +521,22 @@ impl Fabric {
             let next = plan.switches[k + 1];
             let link = plan.links[k];
             let input = self.port_on(link, Node::Switch(next));
-            self.agenda.push(
-                depart + latency,
-                Event::CellToSwitch {
+            self.agenda
+                .entry(depart + latency)
+                .or_default()
+                .push(Event::CellToSwitch {
                     switch: next,
                     input,
                     cell,
                     link,
-                },
-            );
+                });
         } else {
             let link = plan.dst_link;
-            let host = self.circuit(vc).expect("signaled circuit exists").dst;
+            let host = self.circuits[&vc].dst;
             self.agenda
-                .push(depart + latency, Event::CellToHost { host, cell, link });
+                .entry(depart + latency)
+                .or_default()
+                .push(Event::CellToHost { host, cell, link });
         }
         // The host consumed one credit to inject the setup cell; the first
         // line card frees that buffer once the cell is processed.
@@ -755,7 +549,7 @@ impl Fabric {
     /// queued at the source, nothing in flight, and no activity for
     /// `idle_slots`.
     pub fn is_idle(&self, vc: VcId, idle_slots: u64) -> bool {
-        let Some(c) = self.circuit(vc) else {
+        let Some(c) = self.circuits.get(&vc) else {
             return false;
         };
         c.inject_slots.is_empty()
@@ -765,7 +559,7 @@ impl Fabric {
 
     /// Whether the circuit is currently paged out.
     pub fn is_paged_out(&self, vc: VcId) -> bool {
-        self.circuit(vc).is_some_and(|c| c.paged_out)
+        self.circuits.get(&vc).is_some_and(|c| c.paged_out)
     }
 
     /// Pages an idle best-effort circuit out (§2): releases its routing
@@ -776,15 +570,15 @@ impl Fabric {
         if !self.is_idle(vc, 0) || self.is_paged_out(vc) {
             return false;
         }
-        let idx = self.idx_of(vc).expect("checked above");
-        let mut circuit = self.vcs[idx].circuit.take().expect("checked above");
+        let circuit = self.circuits.remove(&vc).expect("checked above");
         let dropped = self.teardown_path(vc, &circuit);
         debug_assert_eq!(dropped, 0, "idle circuit had in-flight cells");
-        circuit.host_credits = None;
-        circuit.gt_tokens = None;
+        self.hosts[circuit.src.0 as usize].credits.remove(&vc);
+        self.hosts[circuit.src.0 as usize].gt_tokens.remove(&vc);
+        let mut circuit = circuit;
         circuit.paged_out = true;
         circuit.stats.pages_out += 1;
-        self.vcs[idx].circuit = Some(circuit);
+        self.circuits.insert(vc, circuit);
         true
     }
 
@@ -803,17 +597,16 @@ impl Fabric {
         src_link: LinkId,
         dst_link: LinkId,
     ) {
-        let idx = self.idx_of(vc).expect("paging in unknown circuit");
-        let circuit = self.vcs[idx]
-            .circuit
-            .take()
+        let circuit = self
+            .circuits
+            .remove(&vc)
             .expect("paging in unknown circuit");
         assert!(circuit.paged_out, "{vc} is not paged out");
         let (src, dst, class) = (circuit.src, circuit.dst, circuit.class);
         let mut stats = circuit.stats;
         stats.pages_in += 1;
         self.open_circuit(vc, src, dst, class, switches, links, src_link, dst_link);
-        let c = self.circuit_mut(vc).expect("just opened");
+        let c = self.circuits.get_mut(&vc).expect("just opened");
         c.stats = stats;
     }
 
@@ -823,19 +616,21 @@ impl Fabric {
     ///
     /// Panics on an unknown circuit.
     pub fn send_cells(&mut self, vc: VcId, cells: impl IntoIterator<Item = Cell>) {
-        let src = self.circuit(vc).expect("unknown circuit").src;
-        for cell in cells {
-            self.push_outbox(src, vc, cell);
-        }
+        let src = self.circuits[&vc].src;
+        self.hosts[src.0 as usize]
+            .outbox
+            .entry(vc)
+            .or_default()
+            .extend(cells);
     }
 
     /// Cells still waiting at the source controller.
     pub fn outbox_len(&self, vc: VcId) -> usize {
-        let src = self.circuit(vc).expect("unknown circuit").src;
-        let h = &self.hosts[src.0 as usize];
-        h.outbox_entry(vc.raw())
-            .map(|e| h.outbox[e].1.len())
-            .unwrap_or(0)
+        let src = self.circuits[&vc].src;
+        self.hosts[src.0 as usize]
+            .outbox
+            .get(&vc)
+            .map_or(0, VecDeque::len)
     }
 
     /// Takes all packets delivered to a host since the last call.
@@ -854,26 +649,27 @@ impl Fabric {
         // Cells and credits in flight on the failed link are lost. Account
         // drops against their circuits so latency queues stay aligned.
         let mut dropped_by_vc: Vec<VcId> = Vec::new();
-        self.agenda.retain(|e| {
-            let (l, lost_cell_vc) = match e {
-                Event::CellToSwitch { link, cell, .. } | Event::CellToHost { link, cell, .. } => {
-                    (*link, Some(cell.vc()))
+        for events in self.agenda.values_mut() {
+            events.retain(|e| {
+                let (l, lost_cell_vc) = match e {
+                    Event::CellToSwitch { link, cell, .. }
+                    | Event::CellToHost { link, cell, .. } => (*link, Some(cell.vc())),
+                    Event::CreditToSwitch { link, .. } | Event::CreditToHost { link, .. } => {
+                        (*link, None)
+                    }
+                };
+                if l == link {
+                    if let Some(vc) = lost_cell_vc {
+                        dropped_by_vc.push(vc);
+                    }
+                    false
+                } else {
+                    true
                 }
-                Event::CreditToSwitch { link, .. } | Event::CreditToHost { link, .. } => {
-                    (*link, None)
-                }
-            };
-            if l == link {
-                if let Some(vc) = lost_cell_vc {
-                    dropped_by_vc.push(vc);
-                }
-                false
-            } else {
-                true
-            }
-        });
+            });
+        }
         for vc in dropped_by_vc {
-            if let Some(c) = self.circuit_mut(vc) {
+            if let Some(c) = self.circuits.get_mut(&vc) {
                 c.stats.dropped_cells += 1;
                 c.inject_slots.pop_front();
             }
@@ -893,7 +689,7 @@ impl Fabric {
             })
             .map(|l| (l, 0))
             .collect();
-        for c in self.vcs.iter().filter_map(|e| e.circuit.as_ref()) {
+        for c in self.circuits.values() {
             if c.paged_out || !matches!(c.class, TrafficClass::BestEffort) {
                 continue;
             }
@@ -910,11 +706,10 @@ impl Fabric {
     /// attachment links) — the set needing reroute after a failure.
     pub fn circuits_using(&self, link: LinkId) -> Vec<VcId> {
         let mut out: Vec<VcId> = self
-            .vcs
+            .circuits
             .iter()
-            .filter_map(|e| e.circuit.as_ref().map(|c| (e.vc, c)))
             .filter(|(_, c)| c.links.contains(&link) || c.src_link == link || c.dst_link == link)
-            .map(|(vc, _)| vc)
+            .map(|(&vc, _)| vc)
             .collect();
         out.sort_unstable();
         out
@@ -929,74 +724,74 @@ impl Fabric {
 
     fn step_one(&mut self) {
         // 1. Deliveries scheduled for this slot.
-        let mut events = std::mem::take(&mut self.events_scratch);
-        events.clear();
-        self.agenda.take_due(self.slot, &mut events);
-        for (_, event) in events.drain(..) {
-            match event {
-                Event::CellToSwitch {
-                    switch,
-                    input,
-                    cell,
-                    ..
-                } => {
-                    if cell.header.kind == CellKind::Signal {
-                        self.handle_signal_at_switch(switch, cell);
-                    } else {
-                        self.switches[switch.0 as usize]
-                            .enqueue(input, cell)
-                            .expect("port map produced a valid input port");
-                    }
-                }
-                Event::CellToHost { host, cell, .. } => {
-                    if cell.header.kind == CellKind::Signal {
-                        // Setup complete: the destination controller
-                        // acknowledges by accepting the circuit.
-                        if let Some(idx) = self.idx_of(cell.vc()) {
-                            self.vcs[idx].setup = None;
+        if let Some(events) = self.agenda.remove(&self.slot) {
+            for event in events {
+                match event {
+                    Event::CellToSwitch {
+                        switch,
+                        input,
+                        cell,
+                        ..
+                    } => {
+                        if cell.header.kind == CellKind::Signal {
+                            self.handle_signal_at_switch(switch, cell);
+                        } else {
+                            self.switches[switch.0 as usize]
+                                .enqueue(input, cell)
+                                .expect("port map produced a valid input port");
                         }
-                    } else {
-                        self.deliver_to_host(host, cell);
                     }
-                }
-                Event::CreditToSwitch { switch, vc, .. } => {
-                    self.switches[switch.0 as usize].try_add_credit(vc);
-                }
-                Event::CreditToHost { vc, .. } => {
-                    if let Some(c) = self.circuit_mut(vc).and_then(|c| c.host_credits.as_mut()) {
-                        *c += 1;
+                    Event::CellToHost { host, cell, .. } => {
+                        if cell.header.kind == CellKind::Signal {
+                            // Setup complete: the destination controller
+                            // acknowledges by accepting the circuit.
+                            self.pending_setups.remove(&cell.vc());
+                        } else {
+                            self.deliver_to_host(host, cell);
+                        }
+                    }
+                    Event::CreditToSwitch { switch, vc, .. } => {
+                        if self.switches[switch.0 as usize]
+                            .credit_balance(vc)
+                            .is_some()
+                        {
+                            self.switches[switch.0 as usize].add_credit(vc);
+                        }
+                    }
+                    Event::CreditToHost { host, vc, .. } => {
+                        if let Some(c) = self.hosts[host.0 as usize].credits.get_mut(&vc) {
+                            *c += 1;
+                        }
                     }
                 }
             }
         }
-        self.events_scratch = events;
         // 2. Hosts inject (one cell per host per slot: the link rate).
         self.inject_from_hosts();
         // 3. Switches advance; departures propagate.
-        let mut departures = std::mem::take(&mut self.departures_scratch);
         for idx in 0..self.switches.len() {
-            self.switches[idx].step_into(&mut self.rng, &mut departures);
-            let batch = std::mem::take(&mut departures);
-            for d in &batch {
+            let departures = self.switches[idx].step(&mut self.rng);
+            for d in departures {
                 self.propagate(SwitchId(idx as u16), d.output, d.cell);
             }
-            departures = batch;
         }
-        departures.clear();
-        self.departures_scratch = departures;
         // 4. Refill guaranteed token buckets at frame boundaries.
         let frame = self.cfg.switch.frame_slots as u64;
         if (self.slot + 1).is_multiple_of(frame) {
-            for entry in &mut self.vcs {
-                let Some(c) = entry.circuit.as_mut() else {
-                    continue;
-                };
-                if c.gt_tokens.is_some() {
-                    let k = match c.class {
-                        TrafficClass::Guaranteed { cells_per_frame } => cells_per_frame as u32,
-                        TrafficClass::BestEffort => 0,
-                    };
-                    c.gt_tokens = Some(k);
+            for host in &mut self.hosts {
+                let refill: Vec<(VcId, u32)> = host
+                    .gt_tokens
+                    .keys()
+                    .map(|&vc| {
+                        let k = match self.circuits[&vc].class {
+                            TrafficClass::Guaranteed { cells_per_frame } => cells_per_frame as u32,
+                            TrafficClass::BestEffort => 0,
+                        };
+                        (vc, k)
+                    })
+                    .collect();
+                for (vc, k) in refill {
+                    host.gt_tokens.insert(vc, k);
                 }
             }
         }
@@ -1006,70 +801,68 @@ impl Fabric {
     fn inject_from_hosts(&mut self) {
         let latency = self.cfg.link_latency_slots;
         for h in 0..self.hosts.len() {
-            let n = self.hosts[h].outbox.len();
-            if n == 0 {
+            let vcs: Vec<VcId> = self.hosts[h].outbox.keys().copied().collect();
+            if vcs.is_empty() {
                 continue;
             }
-            let start = self.hosts[h].rotor % n;
+            let start = self.hosts[h].rotor % vcs.len();
             // One cell per slot; round-robin over ready circuits for
             // fairness on the shared host link.
             let mut injected = false;
-            for k in 0..n {
-                let e = (start + k) % n;
-                let vc = VcId::new(self.hosts[h].outbox[e].0);
-                // One interned-slot lookup serves both the read below and
-                // the mutation after the pop.
-                let Some(idx) = self.idx_of(vc) else {
-                    continue;
-                };
-                let Some(circuit) = self.vcs[idx].circuit.as_ref() else {
+            for k in 0..vcs.len() {
+                let vc = vcs[(start + k) % vcs.len()];
+                let Some(circuit) = self.circuits.get(&vc) else {
                     continue;
                 };
                 let ready = match circuit.class {
-                    TrafficClass::BestEffort => circuit.host_credits.unwrap_or(0) > 0,
-                    TrafficClass::Guaranteed { .. } => circuit.gt_tokens.unwrap_or(0) > 0,
+                    TrafficClass::BestEffort => {
+                        self.hosts[h].credits.get(&vc).copied().unwrap_or(0) > 0
+                    }
+                    TrafficClass::Guaranteed { .. } => {
+                        self.hosts[h].gt_tokens.get(&vc).copied().unwrap_or(0) > 0
+                    }
                 };
-                if !ready || self.hosts[h].outbox[e].1.is_empty() {
+                if !ready || self.hosts[h].outbox[&vc].is_empty() {
                     continue;
+                }
+                let cell = self.hosts[h]
+                    .outbox
+                    .get_mut(&vc)
+                    .and_then(VecDeque::pop_front)
+                    .expect("checked non-empty");
+                let is_signal = cell.header.kind == CellKind::Signal;
+                match circuit.class {
+                    TrafficClass::BestEffort => {
+                        *self.hosts[h].credits.get_mut(&vc).unwrap() -= 1;
+                    }
+                    TrafficClass::Guaranteed { .. } => {
+                        *self.hosts[h].gt_tokens.get_mut(&vc).unwrap() -= 1;
+                    }
                 }
                 let first = circuit.switches[0];
                 let link = circuit.src_link;
-                let (cell, _, _) = self
-                    .pool
-                    .pop_front(&mut self.hosts[h].outbox[e].1)
-                    .expect("checked non-empty");
-                let is_signal = cell.header.kind == CellKind::Signal;
                 let input = self.port_on(link, Node::Switch(first));
-                self.agenda.push(
-                    self.slot + latency,
-                    Event::CellToSwitch {
+                self.agenda
+                    .entry(self.slot + latency)
+                    .or_default()
+                    .push(Event::CellToSwitch {
                         switch: first,
                         input,
                         cell,
                         link,
-                    },
-                );
-                let slot_now = self.slot;
-                let c = self.vcs[idx].circuit.as_mut().expect("checked above");
-                match c.class {
-                    TrafficClass::BestEffort => {
-                        *c.host_credits.as_mut().expect("gated best-effort") -= 1;
-                    }
-                    TrafficClass::Guaranteed { .. } => {
-                        *c.gt_tokens.as_mut().expect("token bucket exists") -= 1;
-                    }
-                }
+                    });
+                let c = self.circuits.get_mut(&vc).unwrap();
                 if !is_signal {
-                    c.inject_slots.push_back(slot_now);
+                    c.inject_slots.push_back(self.slot);
                     c.stats.sent_cells += 1;
                 }
-                c.last_activity = slot_now;
-                self.hosts[h].rotor = (start + k + 1) % n;
+                c.last_activity = self.slot;
+                self.hosts[h].rotor = (start + k + 1) % vcs.len();
                 injected = true;
                 break;
             }
             if !injected {
-                self.hosts[h].rotor = (start + 1) % n;
+                self.hosts[h].rotor = (start + 1) % vcs.len();
             }
         }
     }
@@ -1077,9 +870,9 @@ impl Fabric {
     fn propagate(&mut self, from: SwitchId, output: usize, cell: Cell) {
         let vc = cell.vc();
         let latency = self.cfg.link_latency_slots;
-        let Some(attachment) = self.port_map[from.0 as usize * self.port_stride + output] else {
+        let Some(&attachment) = self.port_map.get(&(from, output)) else {
             // The outbound link died after the cell was scheduled: lost.
-            if let Some(c) = self.circuit_mut(vc) {
+            if let Some(c) = self.circuits.get_mut(&vc) {
                 c.stats.dropped_cells += 1;
                 c.inject_slots.pop_front();
             }
@@ -1094,25 +887,27 @@ impl Fabric {
                 input,
                 link,
             } => {
-                self.agenda.push(
-                    self.slot + latency,
-                    Event::CellToSwitch {
+                self.agenda
+                    .entry(self.slot + latency)
+                    .or_default()
+                    .push(Event::CellToSwitch {
                         switch,
                         input,
                         cell,
                         link,
-                    },
-                );
+                    });
             }
             Attachment::ToHost { host, link } => {
                 self.agenda
-                    .push(self.slot + latency, Event::CellToHost { host, cell, link });
+                    .entry(self.slot + latency)
+                    .or_default()
+                    .push(Event::CellToHost { host, cell, link });
             }
         }
     }
 
     fn return_credit(&mut self, forwarder: SwitchId, vc: VcId) {
-        let Some(circuit) = self.circuit(vc) else {
+        let Some(circuit) = self.circuits.get(&vc) else {
             return;
         };
         if !matches!(circuit.class, TrafficClass::BestEffort) {
@@ -1124,6 +919,7 @@ impl Fabric {
         };
         let event = if idx == 0 {
             Event::CreditToHost {
+                host: circuit.src,
                 vc,
                 link: circuit.src_link,
             }
@@ -1134,29 +930,31 @@ impl Fabric {
                 link: circuit.links[idx - 1],
             }
         };
-        self.agenda.push(self.slot + latency, event);
+        self.agenda
+            .entry(self.slot + latency)
+            .or_default()
+            .push(event);
     }
 
     fn deliver_to_host(&mut self, host: HostId, cell: Cell) {
         let vc = cell.vc();
-        let slot_now = self.slot;
-        if let Some(c) = self.circuit_mut(vc) {
+        if let Some(c) = self.circuits.get_mut(&vc) {
             c.stats.delivered_cells += 1;
-            c.last_activity = slot_now;
+            c.last_activity = self.slot;
             if let Some(injected) = c.inject_slots.pop_front() {
-                c.stats.latency_slots.record(slot_now - injected);
+                c.stats.latency_slots.record(self.slot - injected);
             }
         }
         match self.hosts[host.0 as usize].reassembler.push(&cell) {
             Ok(Some((vc, packet))) => {
-                if let Some(c) = self.circuit_mut(vc) {
+                if let Some(c) = self.circuits.get_mut(&vc) {
                     c.stats.packets_delivered += 1;
                 }
                 self.hosts[host.0 as usize].received.push((vc, packet));
             }
             Ok(None) => {}
             Err(_) => {
-                if let Some(c) = self.circuit_mut(vc) {
+                if let Some(c) = self.circuits.get_mut(&vc) {
                     c.stats.packets_corrupted += 1;
                 }
             }

@@ -1,0 +1,35 @@
+//! Criterion benches for the fabric data plane (N2): the slab fabric
+//! (interned VC ids, pooled cells, calendar agenda) against the map-based
+//! reference on the same 4-switch / 64-circuit / 10k-slot workload. The
+//! two deliver identical cells; only the per-slot data-structure work
+//! differs. The workload (routes, segmented packets) and the control-plane
+//! setup (circuit open, outbox preload) are rebuilt per batch outside the
+//! timed region, so the measurement is the slot loop alone.
+
+use an2_bench::fabric_exp::{self, Scenario};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn bench_fabric(c: &mut Criterion) {
+    let scenario = Scenario::new(64);
+    let mut group = c.benchmark_group("fabric");
+    group.sample_size(10);
+    group.bench_function("slab_4sw_64vc_10k_slots", |b| {
+        b.iter_batched(
+            || fabric_exp::prepare_slab(&scenario, 7),
+            |mut f| black_box(fabric_exp::run_slab(&mut f, &scenario, 10_000)),
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("reference_4sw_64vc_10k_slots", |b| {
+        b.iter_batched(
+            || fabric_exp::prepare_reference(&scenario, 7),
+            |mut f| black_box(fabric_exp::run_reference(&mut f, &scenario, 10_000)),
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fabric);
+criterion_main!(benches);

@@ -7,8 +7,9 @@
 //!   cargo run -p an2-bench --bin experiments --release -- e3 e4 e5 --json
 //!
 //! With `--json`, per-experiment structured results and wall-clock timings
-//! are also written to `BENCH_results.json` in the current directory, so
-//! perf baselines can be diffed across commits. The sweep experiments
+//! are also *appended* to `BENCH_results.json` in the current directory (an
+//! array of runs, newest last), so perf baselines accumulate and can be
+//! diffed across commits. The sweep experiments
 //! (E3/E4/E5/E7) fan their grids across threads; set `AN2_BENCH_THREADS=1`
 //! to force a serial run (results are identical either way).
 //!
@@ -16,7 +17,8 @@
 
 use an2_bench::json::Json;
 use an2_bench::{
-    extensions_exp, figures, flow_exp, network_exp, parallel, reconfig_exp, schedule_exp, xbar_exp,
+    extensions_exp, fabric_exp, figures, flow_exp, network_exp, parallel, reconfig_exp,
+    schedule_exp, xbar_exp,
 };
 use std::time::Instant;
 
@@ -57,6 +59,17 @@ fn insert_cost_json(r: &schedule_exp::InsertCost) -> Json {
     ])
 }
 
+fn fabric_perf_json(r: &fabric_exp::FabricPerf) -> Json {
+    Json::obj(vec![
+        ("circuits", Json::int(r.circuits as u64)),
+        ("slots", Json::int(r.slots)),
+        ("reference_ms", Json::Num(r.reference_ms)),
+        ("slab_ms", Json::Num(r.slab_ms)),
+        ("speedup", Json::Num(r.speedup)),
+        ("delivered_cells", Json::int(r.delivered_cells)),
+    ])
+}
+
 fn title(id: &str) -> Option<&'static str> {
     Some(match id {
         "f1" => "F1: sample installation (Figure 1)",
@@ -76,6 +89,7 @@ fn title(id: &str) -> Option<&'static str> {
         "e11" => "E11: up*/down* deadlock freedom",
         "e12" => "E12: reconfiguration behaviour",
         "n1" => "N1: whole-network load sweep",
+        "n2" => "N2: fabric data plane, slab vs reference",
         "x1" => "X1: the paper's extension proposals",
         _ => return None,
     })
@@ -127,6 +141,10 @@ fn compute(id: &str) -> (String, Json) {
         "e11" => (flow_exp::e11_deadlock().1, Json::Null),
         "e12" => (reconfig_exp::e12_reconfig_behaviour().1, Json::Null),
         "n1" => (network_exp::n1_network_load_sweep().1, Json::Null),
+        "n2" => {
+            let (rows, text) = fabric_exp::n2_fabric_dataplane();
+            (text, Json::Arr(rows.iter().map(fabric_perf_json).collect()))
+        }
         "x1" => {
             let text = format!(
                 "{}\n{}\n{}\n{}",
@@ -143,7 +161,7 @@ fn compute(id: &str) -> (String, Json) {
 
 const ALL: &[&str] = &[
     "f1", "f2", "f3", "f4", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
-    "e12", "x1", "n1",
+    "e12", "x1", "n1", "n2",
 ];
 
 fn main() {
@@ -164,7 +182,7 @@ fn main() {
     let mut records = Vec::new();
     for id in ids {
         let Some(t) = title(id) else {
-            eprintln!("unknown experiment id '{id}' (use f1-f4, e1-e12, x1, n1, all)");
+            eprintln!("unknown experiment id '{id}' (use f1-f4, e1-e12, x1, n1, n2, all)");
             continue;
         };
         println!("\n=== {t} {}\n", "=".repeat(66 - t.len().min(60)));
@@ -190,7 +208,32 @@ fn main() {
             ("experiments", Json::Arr(records)),
         ]);
         let path = "BENCH_results.json";
-        std::fs::write(path, doc.render() + "\n").unwrap_or_else(|e| panic!("writing {path}: {e}"));
-        eprintln!("\nwrote {path}");
+        let content = append_run(std::fs::read_to_string(path).ok(), &doc.render());
+        std::fs::write(path, content).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!("\nappended to {path}");
     }
+}
+
+/// Appends this run to the baseline file instead of overwriting it, so
+/// results accumulate across commits. The file holds either a single run
+/// object (the pre-append format) or an array of them; either way the
+/// result is an array with `new_run` last. The hand-rolled [`Json`] has no
+/// parser, so this is plain string surgery on the outermost brackets.
+fn append_run(previous: Option<String>, new_run: &str) -> String {
+    let prev = previous.as_deref().map(str::trim).unwrap_or("");
+    if prev.is_empty() {
+        return format!("[{new_run}]\n");
+    }
+    if let Some(body) = prev
+        .strip_prefix('[')
+        .and_then(|p| p.strip_suffix(']'))
+        .map(str::trim)
+    {
+        if body.is_empty() {
+            return format!("[{new_run}]\n");
+        }
+        return format!("[{body},\n{new_run}]\n");
+    }
+    // Pre-append format: a bare run object becomes the first array element.
+    format!("[{prev},\n{new_run}]\n")
 }

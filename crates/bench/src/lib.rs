@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 
 pub mod extensions_exp;
+pub mod fabric_exp;
 pub mod figures;
 pub mod flow_exp;
 pub mod json;

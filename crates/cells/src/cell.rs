@@ -220,7 +220,8 @@ impl CellHeader {
 /// A complete 53-byte ATM cell: header plus 48-byte payload.
 ///
 /// `Cell` is the unit moved by every queue, crossbar and link in the
-/// reproduction.
+/// reproduction. It is `Copy` (53 bytes of plain data) so pooled queues can
+/// move cells between slots without touching the allocator.
 ///
 /// ```
 /// use an2_cells::{Cell, CellKind, VcId};
@@ -229,7 +230,7 @@ impl CellHeader {
 /// assert_eq!(wire.len(), 53);
 /// assert_eq!(Cell::decode(&wire).unwrap(), cell);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Cell {
     /// The decoded header.
     pub header: CellHeader,

@@ -16,6 +16,9 @@
 //!   a packet is marked in the payload-type field.
 //! * [`signal`] — the encoding of the signaling cells used for virtual
 //!   circuit setup (§2) and bandwidth reservation (§4).
+//! * [`CellPool`] / [`CellQueue`] — a shared slab of cell nodes with
+//!   intrusive FIFO handles, so per-VC queues in the switch and fabric cost
+//!   no allocation in steady state.
 //! * [`LinkRate`] — the 155 Mb/s and 622 Mb/s link speeds of AN2 (plus the
 //!   1 Gb/s rate the paper uses for its frame-latency arithmetic), with the
 //!   derived cell-slot durations.
@@ -25,6 +28,7 @@
 
 mod cell;
 mod packet;
+mod pool;
 mod rate;
 pub mod signal;
 
@@ -32,4 +36,5 @@ pub use cell::{
     Cell, CellHeader, CellKind, HecError, VcId, CELL_BYTES, HEADER_BYTES, PAYLOAD_BYTES,
 };
 pub use packet::{Packet, Reassembler, ReassemblyError, Segmenter};
+pub use pool::{CellPool, CellQueue, CellQueueIter};
 pub use rate::LinkRate;

@@ -13,7 +13,6 @@
 use crate::cell::{Cell, CellKind, VcId, PAYLOAD_BYTES};
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::fmt;
 
 const TRAILER_BYTES: usize = 8;
@@ -75,19 +74,37 @@ impl From<Vec<u8>> for Packet {
     }
 }
 
-/// CRC-32 (IEEE 802.3 polynomial, reflected), bit-by-bit. Line-card hardware
-/// would use a table or parallel circuit; the simulator favours obviousness.
-pub(crate) fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc: u32 = 0xFFFF_FFFF;
-    for &b in bytes {
-        crc ^= b as u32;
-        for _ in 0..8 {
+/// Byte-at-a-time CRC-32 table for the IEEE 802.3 polynomial (reflected),
+/// built at compile time from the same bit-by-bit recurrence the earlier
+/// implementation ran per input bit.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
             crc = if crc & 1 != 0 {
                 (crc >> 1) ^ 0xEDB8_8320
             } else {
                 crc >> 1
             };
+            bit += 1;
         }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected), one table lookup per byte.
+/// Line-card hardware would use a parallel circuit; segmentation and
+/// reassembly both checksum every packet body, so the simulator uses the
+/// classic table form rather than the 8-iterations-per-byte bit loop.
+pub(crate) fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
     }
     !crc
 }
@@ -199,7 +216,10 @@ impl std::error::Error for ReassemblyError {}
 /// circuits.
 #[derive(Debug, Clone, Default)]
 pub struct Reassembler {
-    partial: HashMap<VcId, Vec<u8>>,
+    /// Per-VC partial packet bodies. A controller terminates a handful of
+    /// circuits at a time, so a linear scan over a small vector beats
+    /// hashing the id on every arriving cell.
+    partial: Vec<(VcId, Vec<u8>)>,
 }
 
 impl Reassembler {
@@ -219,14 +239,21 @@ impl Reassembler {
     pub fn push(&mut self, cell: &Cell) -> Result<Option<(VcId, Packet)>, ReassemblyError> {
         match cell.header.kind {
             CellKind::Data => {
-                self.partial
-                    .entry(cell.vc())
-                    .or_default()
-                    .extend_from_slice(&cell.payload);
+                let buf = match self.partial.iter().position(|(v, _)| *v == cell.vc()) {
+                    Some(i) => &mut self.partial[i].1,
+                    None => {
+                        self.partial.push((cell.vc(), Vec::new()));
+                        &mut self.partial.last_mut().expect("just pushed").1
+                    }
+                };
+                buf.extend_from_slice(&cell.payload);
                 Ok(None)
             }
             CellKind::DataEnd => {
-                let mut buf = self.partial.remove(&cell.vc()).unwrap_or_default();
+                let mut buf = match self.partial.iter().position(|(v, _)| *v == cell.vc()) {
+                    Some(i) => self.partial.swap_remove(i).1,
+                    None => Vec::new(),
+                };
                 buf.extend_from_slice(&cell.payload);
                 let total = buf.len();
                 debug_assert_eq!(total % PAYLOAD_BYTES, 0);
@@ -258,7 +285,9 @@ impl Reassembler {
     /// Drops any partial packet state for `vc` (used when a circuit is torn
     /// down or rerouted and in-flight cells were lost).
     pub fn reset_circuit(&mut self, vc: VcId) {
-        self.partial.remove(&vc);
+        if let Some(i) = self.partial.iter().position(|(v, _)| *v == vc) {
+            self.partial.swap_remove(i);
+        }
     }
 }
 

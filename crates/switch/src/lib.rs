@@ -21,6 +21,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod reference;
 mod switch;
 
 pub use switch::{Departure, Switch, SwitchConfig, SwitchError};

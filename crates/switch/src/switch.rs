@@ -1,11 +1,26 @@
-//! The slot-synchronous switch model.
+//! The slot-synchronous switch model, on dense slab storage.
+//!
+//! Per-circuit state is interned into a slab: the 24-bit VC id indexes a
+//! flat `lookup` table of slot numbers, and everything about a circuit —
+//! route, credit balance, per-input queues, pending buffer — lives in one
+//! `VcSlot`. Cells are `Copy` and queued in a shared [`CellPool`]
+//! (free-list arena), so the per-slot hot path relinks `u32` indices
+//! instead of walking B-trees and touching the allocator.
+//!
+//! Per input port the switch keeps two *active lists* — slab slots with a
+//! non-empty best-effort / guaranteed queue at that input, **sorted by raw
+//! VC id**. The sort order matters: the pre-slab implementation iterated
+//! `BTreeMap<VcId, _>` in ascending id order, and its oldest-cell
+//! tie-breaks resolve toward the smallest id. The slab switch walks the
+//! active lists in the same order, so departures, credit consumption and
+//! PIM's RNG stream are byte-identical to [`crate::reference`] (enforced
+//! by the reference-equivalence property tests in the `an2` crate).
 
 use an2_cells::signal::TrafficClass;
-use an2_cells::{Cell, VcId};
+use an2_cells::{Cell, CellPool, CellQueue, VcId};
 use an2_schedule::FrameSchedule;
 use an2_sim::SimRng;
-use an2_xbar::{CrossbarScheduler, DemandMatrix, Matching, Pim};
-use std::collections::{BTreeMap, VecDeque};
+use an2_xbar::{CrossbarScheduler, DemandMatrix, Matching, Pim, Scratch};
 use std::fmt;
 
 /// Configuration of one switch.
@@ -66,36 +81,90 @@ pub struct Departure {
     pub enqueued_slot: u64,
 }
 
-#[derive(Debug, Clone)]
-struct QueuedCell {
-    cell: Cell,
-    enqueued_slot: u64,
-}
-
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct Route {
     output: usize,
     class: TrafficClass,
 }
 
+/// The slab slot number a VC id maps to; `NO_SLOT` = never seen.
+const NO_SLOT: u32 = u32::MAX;
+
+/// Everything the switch knows about one circuit. A circuit's per-input
+/// queues live in the switch-wide `queues` array (`si * ports + input`);
+/// the class of the route says whether they hold best-effort or guaranteed
+/// cells — a circuit has exactly one class at a time.
+#[derive(Debug)]
+struct VcSlot {
+    vc: VcId,
+    route: Option<Route>,
+    /// Credit balance gating best-effort transmission (§5); `None` =
+    /// ungated (e.g. the final hop to a host).
+    credits: Option<u32>,
+    /// Cells that arrived before the routing entry existed: "they will be
+    /// buffered until the routing table entry is filled in" (§2). The
+    /// queue's `aux` tag records the arrival input port.
+    pending_q: CellQueue,
+}
+
+/// An active-list entry: the raw VC id in the high half (the sort key) and
+/// the slab slot in the low half. Packing the key into the entry keeps the
+/// hot binary searches inside the list's own cache lines instead of
+/// chasing into the slab per probe.
+fn entry(vcs: &[VcSlot], si: u32) -> u64 {
+    ((vcs[si as usize].vc.raw() as u64) << 32) | si as u64
+}
+
+/// The slab slot of an active-list entry.
+fn entry_slot(e: u64) -> u32 {
+    e as u32
+}
+
+/// Inserts `si` into an active list kept sorted by raw VC id. No-op if
+/// already present.
+fn activate(list: &mut Vec<u64>, vcs: &[VcSlot], si: u32) {
+    let e = entry(vcs, si);
+    if let Err(pos) = list.binary_search(&e) {
+        list.insert(pos, e);
+    }
+}
+
+/// Removes `si` from an active list if present.
+fn deactivate(list: &mut Vec<u64>, vcs: &[VcSlot], si: u32) {
+    let e = entry(vcs, si);
+    if let Ok(pos) = list.binary_search(&e) {
+        list.remove(pos);
+    }
+}
+
 /// One AN2 switch. See the [crate documentation](crate) for the model.
 pub struct Switch {
     cfg: SwitchConfig,
-    routing: BTreeMap<VcId, Route>,
-    /// Best-effort queues: per input port, per circuit.
-    best_effort: Vec<BTreeMap<VcId, VecDeque<QueuedCell>>>,
-    /// Guaranteed queues: per input port, per circuit (separate pools, §4).
-    guaranteed: Vec<BTreeMap<VcId, VecDeque<QueuedCell>>>,
-    /// Cells for circuits with no routing entry yet: "they will be buffered
-    /// until the routing table entry is filled in" (§2).
-    pending: BTreeMap<VcId, VecDeque<(usize, QueuedCell)>>,
+    /// Raw VC id → slab slot (`NO_SLOT` when unseen). Grown on demand; ids
+    /// are 24-bit so the worst case is bounded, and in practice the fabric
+    /// hands out small sequential ids.
+    lookup: Vec<u32>,
+    vcs: Vec<VcSlot>,
+    /// All per-circuit per-input queues, flattened at `si * ports + input`
+    /// (one indexed load on the hot path instead of a chase through a
+    /// per-circuit vector).
+    queues: Vec<CellQueue>,
+    /// Per input: packed entries (see [`entry`]) for slab slots with a
+    /// non-empty best-effort queue there, sorted by raw VC id (see module
+    /// docs).
+    be_active: Vec<Vec<u64>>,
+    /// Per input: packed entries for slab slots with a non-empty
+    /// guaranteed queue there.
+    gt_active: Vec<Vec<u64>>,
+    pool: CellPool,
     schedule: FrameSchedule,
     pim: Pim,
     slot: u64,
-    /// Credit balances gating best-effort circuits on their outbound link
-    /// (§5). Circuits without an entry are ungated (e.g. the final hop to a
-    /// host, whose controller always has buffers).
-    credits: BTreeMap<VcId, u32>,
+    // Reused per-step buffers (allocation-free steady state).
+    demand: DemandMatrix,
+    matching: Matching,
+    crossbar: Matching,
+    scratch: Scratch,
 }
 
 impl fmt::Debug for Switch {
@@ -103,7 +172,10 @@ impl fmt::Debug for Switch {
         f.debug_struct("Switch")
             .field("ports", &self.cfg.ports)
             .field("slot", &self.slot)
-            .field("routes", &self.routing.len())
+            .field(
+                "routes",
+                &self.vcs.iter().filter(|s| s.route.is_some()).count(),
+            )
             .finish()
     }
 }
@@ -116,27 +188,64 @@ impl Switch {
         let pim = Pim::new(cfg.pim_iterations);
         Switch {
             cfg,
-            routing: BTreeMap::new(),
-            best_effort: vec![BTreeMap::new(); ports],
-            guaranteed: vec![BTreeMap::new(); ports],
-            pending: BTreeMap::new(),
+            lookup: Vec::new(),
+            vcs: Vec::new(),
+            queues: Vec::new(),
+            be_active: vec![Vec::new(); ports],
+            gt_active: vec![Vec::new(); ports],
+            pool: CellPool::new(),
             schedule: FrameSchedule::new(ports, frame),
             pim,
             slot: 0,
-            credits: BTreeMap::new(),
+            demand: DemandMatrix::new(ports),
+            matching: Matching::empty(ports),
+            crossbar: Matching::empty(ports),
+            scratch: Scratch::new(),
         }
+    }
+
+    /// The slab slot for `vc`, interning it on first sight.
+    fn ensure_slot(&mut self, vc: VcId) -> usize {
+        let raw = vc.raw() as usize;
+        if raw >= self.lookup.len() {
+            self.lookup.resize(raw + 1, NO_SLOT);
+        }
+        if self.lookup[raw] == NO_SLOT {
+            self.lookup[raw] = self.vcs.len() as u32;
+            self.vcs.push(VcSlot {
+                vc,
+                route: None,
+                credits: None,
+                pending_q: CellQueue::new(),
+            });
+            self.queues
+                .extend((0..self.cfg.ports).map(|_| CellQueue::new()));
+        }
+        self.lookup[raw] as usize
+    }
+
+    /// The slab slot for `vc`, if it has ever been seen.
+    fn slot_of(&self, vc: VcId) -> Option<usize> {
+        self.lookup
+            .get(vc.raw() as usize)
+            .copied()
+            .filter(|&s| s != NO_SLOT)
+            .map(|s| s as usize)
     }
 
     /// Gates a best-effort circuit's outbound transmissions behind a credit
     /// balance (§5). The fabric sets this to the downstream buffer count at
     /// circuit setup.
     pub fn set_credits(&mut self, vc: VcId, credits: u32) {
-        self.credits.insert(vc, credits);
+        let si = self.ensure_slot(vc);
+        self.vcs[si].credits = Some(credits);
     }
 
     /// Removes the credit gate for a circuit (used on teardown).
     pub fn clear_credits(&mut self, vc: VcId) {
-        self.credits.remove(&vc);
+        if let Some(si) = self.slot_of(vc) {
+            self.vcs[si].credits = None;
+        }
     }
 
     /// One credit returned from downstream: a buffer was freed there.
@@ -146,20 +255,31 @@ impl Switch {
     /// Panics if the circuit is ungated — a stray credit indicates a fabric
     /// accounting bug.
     pub fn add_credit(&mut self, vc: VcId) {
-        let c = self
-            .credits
-            .get_mut(&vc)
+        let si = self.slot_of(vc);
+        let c = si
+            .and_then(|si| self.vcs[si].credits.as_mut())
             .expect("credit for an ungated circuit");
         *c += 1;
     }
 
     /// The circuit's current credit balance (`None` = ungated).
     pub fn credit_balance(&self, vc: VcId) -> Option<u32> {
-        self.credits.get(&vc).copied()
+        self.slot_of(vc).and_then(|si| self.vcs[si].credits)
     }
 
-    fn has_credit(&self, vc: VcId) -> bool {
-        self.credits.get(&vc).is_none_or(|&c| c > 0)
+    /// As [`Switch::add_credit`] but silently ignoring ungated circuits;
+    /// returns whether a credit was added. One slab lookup instead of the
+    /// `credit_balance` + `add_credit` pair on the fabric's hot path.
+    pub fn try_add_credit(&mut self, vc: VcId) -> bool {
+        if let Some(c) = self
+            .slot_of(vc)
+            .and_then(|si| self.vcs[si].credits.as_mut())
+        {
+            *c += 1;
+            true
+        } else {
+            false
+        }
     }
 
     /// Ports on this switch.
@@ -198,13 +318,24 @@ impl Switch {
         if output >= self.cfg.ports {
             return Err(SwitchError::BadPort(output));
         }
-        if self.routing.contains_key(&vc) {
+        let si = self.ensure_slot(vc);
+        if self.vcs[si].route.is_some() {
             return Err(SwitchError::RouteExists(vc));
         }
-        self.routing.insert(vc, Route { output, class });
-        if let Some(held) = self.pending.remove(&vc) {
-            for (input, qc) in held {
-                self.queue_for(vc, input).push_back(qc);
+        self.vcs[si].route = Some(Route { output, class });
+        // Release held cells in arrival order, preserving their stamps.
+        let mut held = std::mem::take(&mut self.vcs[si].pending_q);
+        while let Some((cell, stamp, input)) = self.pool.pop_front(&mut held) {
+            let input = input as usize;
+            let q = &mut self.queues[si * self.cfg.ports + input];
+            let was_empty = q.is_empty();
+            self.pool.push_back(q, cell, stamp, 0);
+            if was_empty {
+                let list = match class {
+                    TrafficClass::BestEffort => &mut self.be_active[input],
+                    TrafficClass::Guaranteed { .. } => &mut self.gt_active[input],
+                };
+                activate(list, &self.vcs, si as u32);
             }
         }
         Ok(())
@@ -214,27 +345,29 @@ impl Switch {
     /// any queued cells of the circuit. Returns how many cells were
     /// discarded.
     pub fn remove_route(&mut self, vc: VcId) -> usize {
-        self.routing.remove(&vc);
+        let Some(si) = self.slot_of(vc) else {
+            return 0;
+        };
+        self.vcs[si].route = None;
         let mut dropped = 0;
         for input in 0..self.cfg.ports {
-            dropped += self.best_effort[input].remove(&vc).map_or(0, |q| q.len());
-            dropped += self.guaranteed[input].remove(&vc).map_or(0, |q| q.len());
+            let n = self
+                .pool
+                .clear(&mut self.queues[si * self.cfg.ports + input]);
+            if n > 0 {
+                deactivate(&mut self.be_active[input], &self.vcs, si as u32);
+                deactivate(&mut self.gt_active[input], &self.vcs, si as u32);
+            }
+            dropped += n;
         }
-        dropped + self.pending.remove(&vc).map_or(0, |q| q.len())
+        dropped + self.pool.clear(&mut self.vcs[si].pending_q)
     }
 
     /// The output port a circuit is routed to, if any.
     pub fn route_of(&self, vc: VcId) -> Option<usize> {
-        self.routing.get(&vc).map(|r| r.output)
-    }
-
-    fn queue_for(&mut self, vc: VcId, input: usize) -> &mut VecDeque<QueuedCell> {
-        let class = self.routing[&vc].class;
-        let pool = match class {
-            TrafficClass::BestEffort => &mut self.best_effort[input],
-            TrafficClass::Guaranteed { .. } => &mut self.guaranteed[input],
-        };
-        pool.entry(vc).or_default()
+        self.slot_of(vc)
+            .and_then(|si| self.vcs[si].route)
+            .map(|r| r.output)
     }
 
     /// Accepts a cell on an input port. Routed cells join their circuit's
@@ -247,121 +380,120 @@ impl Switch {
         if input >= self.cfg.ports {
             return Err(SwitchError::BadPort(input));
         }
-        let vc = cell.vc();
-        let qc = QueuedCell {
-            cell,
-            enqueued_slot: self.slot,
-        };
-        if self.routing.contains_key(&vc) {
-            self.queue_for(vc, input).push_back(qc);
-        } else {
-            self.pending.entry(vc).or_default().push_back((input, qc));
+        let si = self.ensure_slot(cell.vc());
+        let slot = self.slot;
+        match self.vcs[si].route {
+            Some(route) => {
+                let q = &mut self.queues[si * self.cfg.ports + input];
+                let was_empty = q.is_empty();
+                self.pool.push_back(q, cell, slot, 0);
+                if was_empty {
+                    let list = match route.class {
+                        TrafficClass::BestEffort => &mut self.be_active[input],
+                        TrafficClass::Guaranteed { .. } => &mut self.gt_active[input],
+                    };
+                    activate(list, &self.vcs, si as u32);
+                }
+            }
+            None => {
+                let q = &mut self.vcs[si].pending_q;
+                self.pool.push_back(q, cell, slot, input as u32);
+            }
         }
         Ok(())
     }
 
     /// Cells queued for a circuit at an input port (any pool).
     pub fn backlog(&self, input: usize, vc: VcId) -> usize {
-        self.best_effort[input].get(&vc).map_or(0, |q| q.len())
-            + self.guaranteed[input].get(&vc).map_or(0, |q| q.len())
+        self.slot_of(vc)
+            .map_or(0, |si| self.queues[si * self.cfg.ports + input].len())
     }
 
-    /// Total cells buffered anywhere in the switch.
+    /// Total cells buffered anywhere in the switch (including pending).
     pub fn total_backlog(&self) -> usize {
-        let pools = self.best_effort.iter().chain(self.guaranteed.iter());
-        pools
-            .map(|p| p.values().map(VecDeque::len).sum::<usize>())
-            .sum::<usize>()
-            + self.pending.values().map(VecDeque::len).sum::<usize>()
-    }
-
-    /// Whether a queued cell is old enough to have cleared the cut-through
-    /// pipeline.
-    fn eligible(&self, qc: &QueuedCell) -> bool {
-        self.slot >= qc.enqueued_slot + self.cfg.pipeline_slots
-    }
-
-    /// The oldest eligible guaranteed cell at `input` routed to `output`.
-    fn take_guaranteed(&mut self, input: usize, output: usize) -> Option<QueuedCell> {
-        let best_vc = self.guaranteed[input]
-            .iter()
-            .filter(|(vc, q)| {
-                self.routing.get(vc).map(|r| r.output) == Some(output)
-                    && q.front().is_some_and(|qc| self.eligible(qc))
-            })
-            .min_by_key(|(_, q)| q.front().map(|qc| qc.enqueued_slot))
-            .map(|(&vc, _)| vc)?;
-        self.guaranteed[input]
-            .get_mut(&best_vc)
-            .and_then(VecDeque::pop_front)
-    }
-
-    /// The oldest eligible, credit-holding best-effort cell at `input`
-    /// routed to `output`. Consumes one credit for the chosen circuit.
-    fn take_best_effort(&mut self, input: usize, output: usize) -> Option<QueuedCell> {
-        let best_vc = self.best_effort[input]
-            .iter()
-            .filter(|(vc, q)| {
-                self.routing.get(vc).map(|r| r.output) == Some(output)
-                    && self.has_credit(**vc)
-                    && q.front().is_some_and(|qc| self.eligible(qc))
-            })
-            .min_by_key(|(_, q)| q.front().map(|qc| qc.enqueued_slot))
-            .map(|(&vc, _)| vc)?;
-        if let Some(c) = self.credits.get_mut(&best_vc) {
-            *c -= 1;
-        }
-        self.best_effort[input]
-            .get_mut(&best_vc)
-            .and_then(VecDeque::pop_front)
+        // Every queue in the switch draws from the one pool, so its live
+        // count *is* the total backlog.
+        self.pool.live()
     }
 
     /// Advances one cell slot: serves the frame schedule first, donates idle
     /// reserved slots, runs PIM for best-effort traffic over the remaining
     /// ports, and returns every departing cell.
     pub fn step(&mut self, rng: &mut SimRng) -> Vec<Departure> {
+        let mut departures = Vec::new();
+        self.step_into(rng, &mut departures);
+        departures
+    }
+
+    /// As [`Switch::step`], but appending into a caller-owned buffer
+    /// (cleared first) so the fabric's slot loop reuses one allocation.
+    pub fn step_into(&mut self, rng: &mut SimRng, departures: &mut Vec<Departure>) {
+        departures.clear();
         let n = self.cfg.ports;
         let frame_slot = (self.slot % self.cfg.frame_slots as u64) as u32;
-        let mut departures = Vec::new();
-        let mut crossbar = Matching::empty(n);
+        self.crossbar.reset(n);
 
         // Phase 1 — guaranteed traffic takes its reserved pairings (§4).
-        for input in 0..n {
-            if let Some(output) = self.schedule.output_in_slot(frame_slot, input) {
-                if let Some(qc) = self.take_guaranteed(input, output) {
-                    crossbar.set(input, output);
-                    departures.push(Departure {
+        // With no guaranteed cell buffered anywhere the phase cannot touch
+        // the crossbar (an idle reservation leaves its pair free), so an
+        // all-best-effort switch skips the schedule lookups entirely.
+        if self.gt_active.iter().any(|l| !l.is_empty()) {
+            for input in 0..n {
+                if let Some(output) = self.schedule.output_in_slot(frame_slot, input) {
+                    if let Some((cell, enqueued_slot)) = take_oldest(
+                        &mut self.pool,
+                        &mut self.vcs,
+                        &mut self.queues,
+                        &mut self.gt_active[input],
+                        self.slot,
+                        self.cfg.pipeline_slots,
+                        self.cfg.ports,
+                        input,
                         output,
-                        cell: qc.cell,
-                        enqueued_slot: qc.enqueued_slot,
-                    });
+                        false,
+                    ) {
+                        self.crossbar.set(input, output);
+                        departures.push(Departure {
+                            output,
+                            cell,
+                            enqueued_slot,
+                        });
+                    }
+                    // "Best-effort cells can use an allocated slot if no cell
+                    // from the scheduled virtual circuit is present" — by not
+                    // claiming the pair here, it stays free for phase 2.
                 }
-                // "Best-effort cells can use an allocated slot if no cell
-                // from the scheduled virtual circuit is present" — by not
-                // claiming the pair here, it stays free for phase 2.
             }
         }
 
-        // Phase 2 — PIM over everything still free (§3). Demand counts only
-        // eligible cells whose route leads to a free output.
-        let mut demand = DemandMatrix::new(n);
+        // Phase 2 — PIM over everything still free (§3). Demand marks the
+        // (input, output) pairs with an eligible cell behind a free output.
+        // Stamps are non-decreasing along each queue (FIFO of a monotone
+        // clock), so eligibility is decided by the front cell alone — and
+        // PIM's grant/accept rounds read only the request *masks*, never the
+        // queue depths, so registering one cell per pair yields the same
+        // matching and the same RNG stream as registering the full count.
+        self.demand.clear();
+        let mut any_demand = false;
         for input in 0..n {
-            if !crossbar.input_free(input) {
+            if !self.crossbar.input_free(input) {
                 continue;
             }
-            for (vc, q) in &self.best_effort[input] {
-                let Some(route) = self.routing.get(vc) else {
+            for &e in &self.be_active[input] {
+                let si = entry_slot(e) as usize;
+                let s = &self.vcs[si];
+                let Some(route) = s.route else {
                     continue;
                 };
-                if !crossbar.output_free(route.output) || !self.has_credit(*vc) {
+                if !self.crossbar.output_free(route.output) || s.credits.is_some_and(|c| c == 0) {
                     continue;
                 }
-                let eligible = q
-                    .iter()
-                    .filter(|qc| self.slot >= qc.enqueued_slot + self.cfg.pipeline_slots)
-                    .count() as u64;
-                if eligible > 0 {
-                    demand.add(input, route.output, eligible);
+                // Active lists only hold non-empty queues, and the queue
+                // handle mirrors its head stamp — no pool access needed.
+                if self.slot >= self.queues[si * n + input].front_stamp() + self.cfg.pipeline_slots
+                {
+                    self.demand.add(input, route.output, 1);
+                    any_demand = true;
                 }
             }
             // Guaranteed circuits with backlog may also use free slots via
@@ -370,24 +502,87 @@ impl Switch {
             // the paper gives spare slots to best-effort cells, so
             // guaranteed queues wait for their reservations).
         }
-        let matching = self.pim.schedule(&demand, rng);
-        for (input, output) in matching.iter() {
-            let qc = self
-                .take_best_effort(input, output)
+        // PIM on an empty demand matrix grants nothing and consumes no
+        // randomness (no output has requesters), so skipping it — and the
+        // walk over the stale matching — is observationally identical.
+        if any_demand {
+            self.pim
+                .schedule_into(&self.demand, rng, &mut self.scratch, &mut self.matching);
+            for (input, output) in self.matching.iter() {
+                let (cell, enqueued_slot) = take_oldest(
+                    &mut self.pool,
+                    &mut self.vcs,
+                    &mut self.queues,
+                    &mut self.be_active[input],
+                    self.slot,
+                    self.cfg.pipeline_slots,
+                    self.cfg.ports,
+                    input,
+                    output,
+                    true,
+                )
                 .expect("PIM matched a pair with demand");
-            crossbar.set(input, output);
-            departures.push(Departure {
-                output,
-                cell: qc.cell,
-                enqueued_slot: qc.enqueued_slot,
-            });
+                self.crossbar.set(input, output);
+                departures.push(Departure {
+                    output,
+                    cell,
+                    enqueued_slot,
+                });
+            }
         }
 
         self.slot += 1;
-        departures
     }
 }
 
+/// Dequeues the oldest eligible cell at `input` routed to `output` from the
+/// circuits on `active` (sorted by VC id, so ties on age resolve toward the
+/// smallest id — the B-tree iteration order of the reference switch). With
+/// `consume_credit`, skips credit-starved circuits and charges the winner.
+#[allow(clippy::too_many_arguments)]
+fn take_oldest(
+    pool: &mut CellPool,
+    vcs: &mut [VcSlot],
+    queues: &mut [CellQueue],
+    active: &mut Vec<u64>,
+    slot: u64,
+    pipeline_slots: u64,
+    ports: usize,
+    input: usize,
+    output: usize,
+    consume_credit: bool,
+) -> Option<(Cell, u64)> {
+    let mut best: Option<(u32, u64)> = None;
+    for &e in active.iter() {
+        let si = entry_slot(e);
+        let s = &vcs[si as usize];
+        let routed_here = s.route.map(|r| r.output) == Some(output);
+        if !routed_here || (consume_credit && s.credits.is_some_and(|c| c == 0)) {
+            continue;
+        }
+        // Active lists only hold non-empty queues; the handle's mirrored
+        // head stamp avoids a pool-node dereference per candidate.
+        let stamp = queues[si as usize * ports + input].front_stamp();
+        if slot < stamp + pipeline_slots {
+            continue;
+        }
+        if best.is_none_or(|(_, b)| stamp < b) {
+            best = Some((si, stamp));
+        }
+    }
+    let (si, _) = best?;
+    if consume_credit {
+        if let Some(c) = vcs[si as usize].credits.as_mut() {
+            *c -= 1;
+        }
+    }
+    let q = &mut queues[si as usize * ports + input];
+    let (cell, stamp, _) = pool.pop_front(q).expect("chosen queue is non-empty");
+    if q.is_empty() {
+        deactivate(active, vcs, si);
+    }
+    Some((cell, stamp))
+}
 #[cfg(test)]
 mod tests {
     use super::*;

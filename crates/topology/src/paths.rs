@@ -6,7 +6,7 @@
 //! tables, and host-to-host route construction through each host's attached
 //! switches.
 
-use crate::graph::{HostId, SwitchId, Topology};
+use crate::graph::{HostId, LinkId, SwitchId, Topology};
 use std::collections::VecDeque;
 
 /// Hop distances from `src` to every switch over working links
@@ -92,6 +92,85 @@ pub fn host_route(topo: &Topology, src: HostId, dst: HostId) -> Option<HostRoute
     for (_, s) in &src_att {
         for (_, d) in &dst_att {
             if let Some(path) = shortest_path(topo, *s, *d) {
+                if best.as_ref().is_none_or(|b| path.len() < b.len()) {
+                    best = Some(path);
+                }
+            }
+        }
+    }
+    best.map(|switches| HostRoute { src, dst, switches })
+}
+
+/// Like [`shortest_path`], but treating `avoid` as if it had failed —
+/// equivalent to probing a clone of the topology with that link marked
+/// dead, without the clone. Same lower-numbered-switch tie-break.
+pub fn shortest_path_avoiding(
+    topo: &Topology,
+    src: SwitchId,
+    dst: SwitchId,
+    avoid: LinkId,
+) -> Option<Vec<SwitchId>> {
+    let neighbors = |s: SwitchId| {
+        let mut out: Vec<SwitchId> = topo
+            .working_links_of(crate::graph::Node::Switch(s))
+            .into_iter()
+            .filter(|&(l, _)| l != avoid)
+            .filter_map(|(_, far)| match far.node {
+                crate::graph::Node::Switch(t) => Some(t),
+                crate::graph::Node::Host(_) => None,
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    };
+    if src == dst {
+        return Some(vec![src]);
+    }
+    let mut prev: Vec<Option<SwitchId>> = vec![None; topo.switch_count()];
+    let mut seen = vec![false; topo.switch_count()];
+    seen[src.0 as usize] = true;
+    let mut q = VecDeque::new();
+    q.push_back(src);
+    while let Some(s) = q.pop_front() {
+        for t in neighbors(s) {
+            if !seen[t.0 as usize] {
+                seen[t.0 as usize] = true;
+                prev[t.0 as usize] = Some(s);
+                if t == dst {
+                    let mut path = vec![dst];
+                    let mut cur = dst;
+                    while let Some(p) = prev[cur.0 as usize] {
+                        path.push(p);
+                        cur = p;
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                q.push_back(t);
+            }
+        }
+    }
+    None
+}
+
+/// Like [`host_route`], but treating `avoid` as if it had failed (the
+/// load-balancing reroute probes "what if this hot link were gone" without
+/// cloning the topology).
+pub fn host_route_avoiding(
+    topo: &Topology,
+    src: HostId,
+    dst: HostId,
+    avoid: LinkId,
+) -> Option<HostRoute> {
+    let mut src_att = topo.host_attachments(src);
+    let mut dst_att = topo.host_attachments(dst);
+    src_att.retain(|&(l, _)| l != avoid);
+    dst_att.retain(|&(l, _)| l != avoid);
+    let mut best: Option<Vec<SwitchId>> = None;
+    for (_, s) in &src_att {
+        for (_, d) in &dst_att {
+            if let Some(path) = shortest_path_avoiding(topo, *s, *d, avoid) {
                 if best.as_ref().is_none_or(|b| path.len() < b.len()) {
                     best = Some(path);
                 }
@@ -210,6 +289,34 @@ mod tests {
         topo.set_link_state(primary, LinkState::Dead);
         let r = host_route(&topo, h1, h2).unwrap();
         assert_eq!(r.switches, vec![SwitchId(1), SwitchId(0)]);
+    }
+
+    #[test]
+    fn avoiding_helpers_match_a_dead_link_probe() {
+        // The `_avoiding` variants must agree exactly with probing a clone
+        // of the topology that has the link marked dead (the pattern they
+        // replaced in the rebalancer).
+        let mut topo = generators::src_installation(4, 4);
+        let h0 = crate::graph::HostId(0);
+        let h1 = crate::graph::HostId(2);
+        let all: Vec<_> = topo.links().collect();
+        // Include a pre-existing failure so the working subgraph is
+        // non-trivial.
+        topo.set_link_state(all[0], LinkState::Dead);
+        for &avoid in &all {
+            let mut probe = topo.clone();
+            probe.set_link_state(avoid, LinkState::Dead);
+            assert_eq!(
+                shortest_path_avoiding(&topo, SwitchId(0), SwitchId(2), avoid),
+                shortest_path(&probe, SwitchId(0), SwitchId(2)),
+                "switch path diverges avoiding {avoid}"
+            );
+            assert_eq!(
+                host_route_avoiding(&topo, h0, h1, avoid),
+                host_route(&probe, h0, h1),
+                "host route diverges avoiding {avoid}"
+            );
+        }
     }
 
     #[test]

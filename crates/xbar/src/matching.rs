@@ -125,6 +125,25 @@ impl DemandMatrix {
         }
     }
 
+    /// Resets all demand to zero, keeping the allocation and size. Lets a
+    /// caller that rebuilds demand every slot (the switch data plane) reuse
+    /// one matrix instead of allocating three vectors per slot. Zeroes only
+    /// the entries the row masks mark non-zero (every positive entry has its
+    /// mask bit set), so clearing a sparsely used matrix touches a handful
+    /// of words instead of memsetting the whole `n × n` table.
+    pub fn clear(&mut self) {
+        for input in 0..self.n {
+            let mut mask = self.row_masks[input];
+            while mask != 0 {
+                let output = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                self.queued[input * self.n + output] = 0;
+            }
+            self.row_masks[input] = 0;
+        }
+        self.col_masks.fill(0);
+    }
+
     /// Removes one queued cell (used when a matching dispatches it).
     ///
     /// # Panics
