@@ -25,6 +25,9 @@ if [[ "${1:-}" != "quick" ]]; then
     echo "== fabric determinism (slab vs reference oracle)"
     cargo test -q -p an2 --test reference_equiv
     cargo test -q -p an2-bench --release fabric_exp
+
+    echo "== fault soak (N3 asserts its claims in-process)"
+    cargo run -q -p an2-bench --release --bin experiments -- n3 --json
 fi
 
 echo "== ci.sh: all green"

@@ -1,7 +1,7 @@
 //! The network-level error type.
 
 use an2_cells::VcId;
-use an2_topology::HostId;
+use an2_topology::{HostId, LinkId};
 use std::fmt;
 
 /// Errors surfaced by the [`crate::Network`] API.
@@ -25,6 +25,12 @@ pub enum NetError {
     /// The circuit is currently broken (its path crossed a failed link and
     /// no reroute has succeeded yet).
     CircuitDown(VcId),
+    /// The operation needs a working link, but this one is dead (monitor
+    /// verdict or injected failure).
+    LinkDead(LinkId),
+    /// A credit resynchronization is still in flight on the circuit; its
+    /// balance has not yet been confirmed.
+    ResyncPending(VcId),
 }
 
 impl fmt::Display for NetError {
@@ -36,6 +42,8 @@ impl fmt::Display for NetError {
             }
             NetError::UnknownCircuit(vc) => write!(f, "unknown circuit {vc}"),
             NetError::CircuitDown(vc) => write!(f, "circuit {vc} is down"),
+            NetError::LinkDead(link) => write!(f, "{link} is dead"),
+            NetError::ResyncPending(vc) => write!(f, "credit resync pending on {vc}"),
         }
     }
 }
@@ -63,5 +71,9 @@ mod tests {
         assert!(NetError::CircuitDown(VcId::new(3))
             .to_string()
             .contains("down"));
+        assert!(NetError::LinkDead(LinkId(9)).to_string().contains("dead"));
+        assert!(NetError::ResyncPending(VcId::new(4))
+            .to_string()
+            .contains("resync"));
     }
 }

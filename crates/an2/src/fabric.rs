@@ -23,6 +23,8 @@
 
 use an2_cells::signal::{SignalMsg, TrafficClass};
 use an2_cells::{Cell, CellKind, CellPool, CellQueue, Packet, Reassembler, VcId};
+use an2_faults::{Fate, FaultInjector, FaultSpec, HEADER_BITS};
+use an2_flow::{resync, CreditReceiver, CreditSender};
 use an2_sim::metrics::Histogram;
 use an2_sim::SimRng;
 use an2_switch::{Departure, Switch, SwitchConfig};
@@ -75,6 +77,14 @@ pub struct VcStats {
     pub pages_out: u64,
     /// Times the circuit was paged back in.
     pub pages_in: u64,
+    /// Cells destroyed by injected faults (wire loss, flapped links,
+    /// line-card crashes) — distinct from `dropped_cells`, which counts
+    /// cells discarded by reroutes and teardowns.
+    pub lost_cells: u64,
+    /// Cells hit by injected bit corruption. Header hits are discarded by
+    /// the receiving port's HEC check; payload hits are delivered and must
+    /// be caught end-to-end by the reassembler.
+    pub corrupted_cells: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -107,11 +117,45 @@ enum Event {
         switch: SwitchId,
         vc: VcId,
         link: LinkId,
+        /// Resync epoch stamped by the downstream end (0 until a resync
+        /// has run; always 0 with no fault layer attached).
+        epoch: u32,
     },
     CreditToHost {
         vc: VcId,
         link: LinkId,
+        epoch: u32,
     },
+    /// A §5 resync marker travelling downstream on a hop's link. Markers
+    /// ride the same FIFO channel as data cells (same jitter clamp), which
+    /// is what makes the lossy reply sound — see
+    /// [`an2_flow::resync::handle_marker_lossy`].
+    ResyncMarker {
+        vc: VcId,
+        link: LinkId,
+        marker: resync::Marker,
+    },
+    /// The downstream end's reply, travelling upstream. Replies may
+    /// reorder freely against credits (only a transient under-estimate).
+    ResyncReply {
+        vc: VcId,
+        link: LinkId,
+        reply: resync::Reply,
+    },
+}
+
+impl Event {
+    /// The link the event is travelling on.
+    fn link(&self) -> LinkId {
+        match *self {
+            Event::CellToSwitch { link, .. }
+            | Event::CellToHost { link, .. }
+            | Event::CreditToSwitch { link, .. }
+            | Event::CreditToHost { link, .. }
+            | Event::ResyncMarker { link, .. }
+            | Event::ResyncReply { link, .. } => link,
+        }
+    }
 }
 
 /// A calendar queue over the fabric's bounded scheduling horizon: a
@@ -172,6 +216,14 @@ impl Agenda {
             bucket.retain(|(_, e)| f(e));
         }
     }
+
+    /// Counts scheduled events matching `f` (soak/test observability).
+    fn count_matching(&self, mut f: impl FnMut(&Event) -> bool) -> usize {
+        self.buckets
+            .iter()
+            .map(|b| b.iter().filter(|(_, e)| f(e)).count())
+            .sum()
+    }
 }
 
 #[derive(Debug, Default)]
@@ -192,6 +244,18 @@ impl HostState {
     fn outbox_entry(&self, raw: u32) -> Result<usize, usize> {
         self.outbox.binary_search_by_key(&raw, |e| e.0)
     }
+}
+
+/// One credit-gated hop's §5 flow-control endpoints, shadowing the hardware
+/// gates when the fault layer is attached (see [`Circuit::hops`]).
+#[derive(Debug)]
+struct HopFlow {
+    sender: CreditSender,
+    receiver: CreditReceiver,
+    /// The link this hop's cells cross (credits cross it the other way).
+    link: LinkId,
+    /// Epoch of a resync still in flight on this hop, if any.
+    pending_epoch: Option<u32>,
 }
 
 #[derive(Debug)]
@@ -221,6 +285,14 @@ struct Circuit {
     /// Per-frame token bucket (guaranteed only): the controller "prevents a
     /// host from sending more than its reserved bandwidth" (§5).
     gt_tokens: Option<u32>,
+    /// Shadow credit gates, one per gated hop (fault mode, best-effort
+    /// only; empty otherwise). `hops[0]`'s sender mirrors `host_credits`
+    /// over `src_link`; `hops[k]`'s sender mirrors switch `switches[k-1]`'s
+    /// hardware gate over `links[k-1]`; every hop's receiver mirrors the
+    /// cells buffered at `switches[k]`. The shadows carry what the hardware
+    /// gates cannot: the absolute sent/forwarded counters and the resync
+    /// epoch that §5's recovery protocol needs.
+    hops: Vec<HopFlow>,
 }
 
 /// The route a travelling setup cell will install, hop by hop.
@@ -246,6 +318,41 @@ struct VcEntry {
     setup: Option<SetupPlan>,
 }
 
+/// Aggregate fault-layer observations for one run (all zero until faults
+/// are attached; queried via [`Fabric::fault_counters`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Cells destroyed on wires: loss draws, flapped links, header hits
+    /// caught by the HEC check, and arrivals at crashed line cards.
+    pub cells_lost: u64,
+    /// Cells hit by bit corruption (header or payload).
+    pub cells_corrupted: u64,
+    /// Credit messages lost on wires or addressed to crashed switches.
+    pub credits_lost: u64,
+    /// Resync markers emitted (§5).
+    pub markers_sent: u64,
+    /// Resync markers destroyed before reaching the downstream end.
+    pub markers_lost: u64,
+    /// Resync replies destroyed before reaching the upstream end.
+    pub replies_lost: u64,
+    /// Resyncs whose reply matched the in-flight epoch and was applied.
+    pub resyncs_completed: u64,
+    /// Cells destroyed inside switch buffers by line-card crashes.
+    pub crash_dropped_cells: u64,
+    /// Invariant-checker violations (credit conservation, buffer bounds,
+    /// shadow/hardware divergence). Zero in a correct run.
+    pub invariant_violations: u64,
+}
+
+/// The attached fault layer: injector plus policy knobs and counters.
+#[derive(Debug)]
+struct FaultLayer {
+    injector: FaultInjector,
+    resync_interval: u64,
+    check_invariants: bool,
+    counters: FaultCounters,
+}
+
 /// The slot-stepped network data plane: switches, links, host controllers
 /// and credit flow control, advanced one cell slot at a time.
 pub struct Fabric {
@@ -265,6 +372,10 @@ pub struct Fabric {
     pool: CellPool,
     slot: u64,
     rng: SimRng,
+    /// Deterministic fault layer (`None` until [`Fabric::attach_faults`]);
+    /// every hot-path hook is gated on it being present, so a fault-free
+    /// fabric runs byte-identically to one that never had the field.
+    fault: Option<Box<FaultLayer>>,
     // Reused per-slot buffers.
     events_scratch: Vec<(u64, Event)>,
     departures_scratch: Vec<Departure>,
@@ -319,6 +430,7 @@ impl Fabric {
             pool: CellPool::new(),
             slot: 0,
             rng: SimRng::new(seed),
+            fault: None,
             events_scratch: Vec::new(),
             departures_scratch: Vec::new(),
         };
@@ -403,9 +515,15 @@ impl Fabric {
     ///
     /// # Panics
     ///
-    /// Panics on an unknown circuit.
+    /// Panics on an unknown circuit; [`Fabric::try_stats`] does not.
     pub fn stats(&self, vc: VcId) -> &VcStats {
-        &self.circuit(vc).expect("unknown circuit").stats
+        self.try_stats(vc).expect("unknown circuit")
+    }
+
+    /// Per-circuit statistics, or `None` for a circuit that was never
+    /// opened or is already closed.
+    pub fn try_stats(&self, vc: VcId) -> Option<&VcStats> {
+        self.circuit(vc).map(|c| &c.stats)
     }
 
     /// Whether the circuit exists.
@@ -495,6 +613,11 @@ impl Fabric {
                 gt_tokens = Some(cells_per_frame as u32);
             }
         }
+        let hops = if self.fault.is_some() && matches!(class, TrafficClass::BestEffort) {
+            Self::make_hops(self.cfg.be_credits, switches.len(), &links, src_link)
+        } else {
+            Vec::new()
+        };
         let slot_now = self.slot;
         let idx = self.ensure_vc(vc);
         self.vcs[idx].circuit = Some(Circuit {
@@ -511,15 +634,33 @@ impl Fabric {
             paged_out: false,
             host_credits,
             gt_tokens,
+            hops,
         });
+    }
+
+    /// Builds the shadow flow-control gates for a best-effort path (fault
+    /// mode): hop 0 crosses `src_link`, hop `k ≥ 1` crosses `links[k-1]`.
+    fn make_hops(cap: u32, n_switches: usize, links: &[LinkId], src_link: LinkId) -> Vec<HopFlow> {
+        (0..n_switches)
+            .map(|k| HopFlow {
+                sender: CreditSender::new(cap),
+                receiver: CreditReceiver::new(cap),
+                link: if k == 0 { src_link } else { links[k - 1] },
+                pending_epoch: None,
+            })
+            .collect()
     }
 
     /// Removes a circuit: routing entries, schedule slots, credits, queued
     /// and in-flight cells. Returns its final statistics.
     pub fn close_circuit(&mut self, vc: VcId) -> Option<VcStats> {
         let idx = self.idx_of(vc)?;
-        let circuit = self.vcs[idx].circuit.take()?;
-        self.teardown_path(vc, &circuit);
+        let mut circuit = self.vcs[idx].circuit.take()?;
+        // Cells the teardown reaps (buffered in switches or in flight) are
+        // drops; the returned stats must balance sent against delivered +
+        // dropped + lost.
+        let reaped = self.teardown_path(vc, &circuit);
+        circuit.stats.dropped_cells += reaped;
         let src_host = &mut self.hosts[circuit.src.0 as usize];
         if let Ok(e) = src_host.outbox_entry(vc.raw()) {
             let (_, mut q) = src_host.outbox.remove(e);
@@ -562,19 +703,26 @@ impl Fabric {
                 }
             }
         }
-        // Purge in-flight cells and credits of this circuit.
+        // Purge in-flight cells, credits and resync traffic of this circuit.
         self.agenda.retain(|e| match e {
             Event::CellToSwitch { cell, .. } | Event::CellToHost { cell, .. } => {
                 if cell.vc() == vc {
-                    dropped += 1;
+                    // Signal cells never entered `sent_cells` or the
+                    // `inject_slots` latency queue; counting them as drops
+                    // desynced both (the drop count pops one latency entry
+                    // per dropped *data* cell).
+                    if cell.header.kind != CellKind::Signal {
+                        dropped += 1;
+                    }
                     false
                 } else {
                     true
                 }
             }
-            Event::CreditToSwitch { vc: cvc, .. } | Event::CreditToHost { vc: cvc, .. } => {
-                *cvc != vc
-            }
+            Event::CreditToSwitch { vc: cvc, .. }
+            | Event::CreditToHost { vc: cvc, .. }
+            | Event::ResyncMarker { vc: cvc, .. }
+            | Event::ResyncReply { vc: cvc, .. } => *cvc != vc,
         });
         dropped
     }
@@ -647,6 +795,11 @@ impl Fabric {
         for &s in &switches[..switches.len().saturating_sub(1)] {
             self.switches[s.0 as usize].set_credits(vc, self.cfg.be_credits);
         }
+        let hops = if self.fault.is_some() {
+            Self::make_hops(self.cfg.be_credits, switches.len(), &links, src_link)
+        } else {
+            Vec::new()
+        };
         let slot_now = self.slot;
         let idx = self.ensure_vc(vc);
         self.vcs[idx].circuit = Some(Circuit {
@@ -663,6 +816,7 @@ impl Fabric {
             paged_out: false,
             host_credits: Some(self.cfg.be_credits),
             gt_tokens: None,
+            hops,
         });
         self.vcs[idx].setup = Some(SetupPlan {
             class,
@@ -713,11 +867,21 @@ impl Fabric {
         let Some(k) = plan.switches.iter().position(|&s| s == at) else {
             return;
         };
-        let out_port = if k + 1 < plan.switches.len() {
-            self.port_on(plan.links[k], Node::Switch(at))
+        // The link the setup must travel next. If it died while the setup
+        // was in flight, the line card drops the setup rather than launching
+        // it onto a dead wire (the circuit never establishes; the `Network`
+        // repair path reroutes it). Launching anyway was a bug: the cell
+        // was pushed after the failure purge and so resurrected downstream
+        // state on a link the fabric had already declared dead.
+        let fwd_link = if k + 1 < plan.switches.len() {
+            plan.links[k]
         } else {
-            self.port_on(plan.dst_link, Node::Switch(at))
+            plan.dst_link
         };
+        if self.topo.link_state(fwd_link) != LinkState::Working {
+            return;
+        }
+        let out_port = self.port_on(fwd_link, Node::Switch(at));
         self.switches[at.0 as usize]
             .install_route(vc, out_port, plan.class)
             .expect("signaled path was validated at open");
@@ -729,25 +893,36 @@ impl Fabric {
             let next = plan.switches[k + 1];
             let link = plan.links[k];
             let input = self.port_on(link, Node::Switch(next));
-            self.agenda.push(
-                depart + latency,
-                Event::CellToSwitch {
-                    switch: next,
-                    input,
-                    cell,
-                    link,
-                },
-            );
+            let mut cell = cell;
+            let (arrives, _, due) =
+                self.wire_cross(link, Node::Switch(next), &mut cell, depart + latency);
+            if arrives {
+                self.agenda.push(
+                    due,
+                    Event::CellToSwitch {
+                        switch: next,
+                        input,
+                        cell,
+                        link,
+                    },
+                );
+            }
         } else {
             let link = plan.dst_link;
             let host = self.circuit(vc).expect("signaled circuit exists").dst;
-            self.agenda
-                .push(depart + latency, Event::CellToHost { host, cell, link });
+            let mut cell = cell;
+            let (arrives, _, due) =
+                self.wire_cross(link, Node::Host(host), &mut cell, depart + latency);
+            if arrives {
+                self.agenda
+                    .push(due, Event::CellToHost { host, cell, link });
+            }
         }
         // The host consumed one credit to inject the setup cell; the first
-        // line card frees that buffer once the cell is processed.
+        // line card frees that buffer once the cell is processed. No data
+        // cell was forwarded, so the shadow receiver has nothing to pop.
         if k == 0 {
-            self.return_credit(at, vc);
+            self.return_credit(at, vc, false);
         }
     }
 
@@ -782,6 +957,7 @@ impl Fabric {
         debug_assert_eq!(dropped, 0, "idle circuit had in-flight cells");
         circuit.host_credits = None;
         circuit.gt_tokens = None;
+        circuit.hops.clear();
         circuit.paged_out = true;
         circuit.stats.pages_out += 1;
         self.vcs[idx].circuit = Some(circuit);
@@ -830,12 +1006,24 @@ impl Fabric {
     }
 
     /// Cells still waiting at the source controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown circuit; [`Fabric::try_outbox_len`] does not.
     pub fn outbox_len(&self, vc: VcId) -> usize {
-        let src = self.circuit(vc).expect("unknown circuit").src;
+        self.try_outbox_len(vc).expect("unknown circuit")
+    }
+
+    /// Cells still waiting at the source controller, or `None` for a
+    /// circuit that was never opened or is already closed.
+    pub fn try_outbox_len(&self, vc: VcId) -> Option<usize> {
+        let src = self.circuit(vc)?.src;
         let h = &self.hosts[src.0 as usize];
-        h.outbox_entry(vc.raw())
-            .map(|e| h.outbox[e].1.len())
-            .unwrap_or(0)
+        Some(
+            h.outbox_entry(vc.raw())
+                .map(|e| h.outbox[e].1.len())
+                .unwrap_or(0),
+        )
     }
 
     /// Takes all packets delivered to a host since the last call.
@@ -857,11 +1045,16 @@ impl Fabric {
         self.agenda.retain(|e| {
             let (l, lost_cell_vc) = match e {
                 Event::CellToSwitch { link, cell, .. } | Event::CellToHost { link, cell, .. } => {
-                    (*link, Some(cell.vc()))
+                    // Signal cells never entered `sent_cells` or the
+                    // latency queue; they vanish without the per-circuit
+                    // drop accounting data cells need.
+                    let data_vc = (cell.header.kind != CellKind::Signal).then(|| cell.vc());
+                    (*link, data_vc)
                 }
-                Event::CreditToSwitch { link, .. } | Event::CreditToHost { link, .. } => {
-                    (*link, None)
-                }
+                Event::CreditToSwitch { link, .. }
+                | Event::CreditToHost { link, .. }
+                | Event::ResyncMarker { link, .. }
+                | Event::ResyncReply { link, .. } => (*link, None),
             };
             if l == link {
                 if let Some(vc) = lost_cell_vc {
@@ -928,6 +1121,11 @@ impl Fabric {
     }
 
     fn step_one(&mut self) {
+        // 0. Fault layer: crashes, flaps and scheduled resync markers take
+        // effect before this slot's deliveries.
+        if self.fault.is_some() {
+            self.fault_begin_slot();
+        }
         // 1. Deliveries scheduled for this slot.
         let mut events = std::mem::take(&mut self.events_scratch);
         events.clear();
@@ -940,9 +1138,16 @@ impl Fabric {
                     cell,
                     ..
                 } => {
+                    if self.switch_is_crashed(switch) {
+                        self.account_cell_eaten_by_crash(&cell);
+                        continue;
+                    }
                     if cell.header.kind == CellKind::Signal {
                         self.handle_signal_at_switch(switch, cell);
                     } else {
+                        if self.fault.is_some() {
+                            self.shadow_on_cell(switch, cell.vc());
+                        }
                         self.switches[switch.0 as usize]
                             .enqueue(input, cell)
                             .expect("port map produced a valid input port");
@@ -959,14 +1164,29 @@ impl Fabric {
                         self.deliver_to_host(host, cell);
                     }
                 }
-                Event::CreditToSwitch { switch, vc, .. } => {
-                    self.switches[switch.0 as usize].try_add_credit(vc);
+                Event::CreditToSwitch {
+                    switch,
+                    vc,
+                    link,
+                    epoch,
+                } => {
+                    if self.fault.is_some() {
+                        self.apply_credit_to_switch(switch, vc, link, epoch);
+                    } else {
+                        self.switches[switch.0 as usize].try_add_credit(vc);
+                    }
                 }
-                Event::CreditToHost { vc, .. } => {
-                    if let Some(c) = self.circuit_mut(vc).and_then(|c| c.host_credits.as_mut()) {
+                Event::CreditToHost { vc, link, epoch } => {
+                    if self.fault.is_some() {
+                        self.apply_credit_to_host(vc, link, epoch);
+                    } else if let Some(c) =
+                        self.circuit_mut(vc).and_then(|c| c.host_credits.as_mut())
+                    {
                         *c += 1;
                     }
                 }
+                Event::ResyncMarker { vc, link, marker } => self.deliver_marker(vc, link, marker),
+                Event::ResyncReply { vc, link, reply } => self.deliver_reply(vc, link, reply),
             }
         }
         self.events_scratch = events;
@@ -999,6 +1219,11 @@ impl Fabric {
                     c.gt_tokens = Some(k);
                 }
             }
+        }
+        // 5. Invariant checkers (soak mode): every gate, shadow and buffer
+        // is settled now, before the slot counter advances.
+        if self.fault.as_ref().is_some_and(|f| f.check_invariants) {
+            self.check_invariants_slot();
         }
         self.slot += 1;
     }
@@ -1034,21 +1259,25 @@ impl Fabric {
                 }
                 let first = circuit.switches[0];
                 let link = circuit.src_link;
-                let (cell, _, _) = self
+                let (mut cell, _, _) = self
                     .pool
                     .pop_front(&mut self.hosts[h].outbox[e].1)
                     .expect("checked non-empty");
                 let is_signal = cell.header.kind == CellKind::Signal;
                 let input = self.port_on(link, Node::Switch(first));
-                self.agenda.push(
-                    self.slot + latency,
-                    Event::CellToSwitch {
-                        switch: first,
-                        input,
-                        cell,
-                        link,
-                    },
-                );
+                let (arrives, corrupted, due) =
+                    self.wire_cross(link, Node::Switch(first), &mut cell, self.slot + latency);
+                if arrives {
+                    self.agenda.push(
+                        due,
+                        Event::CellToSwitch {
+                            switch: first,
+                            input,
+                            cell,
+                            link,
+                        },
+                    );
+                }
                 let slot_now = self.slot;
                 let c = self.vcs[idx].circuit.as_mut().expect("checked above");
                 match c.class {
@@ -1059,9 +1288,26 @@ impl Fabric {
                         *c.gt_tokens.as_mut().expect("token bucket exists") -= 1;
                     }
                 }
+                // Mirror the spend into the hop-0 shadow sender (fault mode).
+                if let Some(h0) = c.hops.first_mut() {
+                    if !h0.sender.try_send() {
+                        self.fault
+                            .as_mut()
+                            .expect("hops exist only in fault mode")
+                            .counters
+                            .invariant_violations += 1;
+                    }
+                }
                 if !is_signal {
-                    c.inject_slots.push_back(slot_now);
                     c.stats.sent_cells += 1;
+                    if corrupted {
+                        c.stats.corrupted_cells += 1;
+                    }
+                    if arrives {
+                        c.inject_slots.push_back(slot_now);
+                    } else {
+                        c.stats.lost_cells += 1;
+                    }
                 }
                 c.last_activity = slot_now;
                 self.hosts[h].rotor = (start + k + 1) % n;
@@ -1074,11 +1320,23 @@ impl Fabric {
         }
     }
 
-    fn propagate(&mut self, from: SwitchId, output: usize, cell: Cell) {
+    fn propagate(&mut self, from: SwitchId, output: usize, mut cell: Cell) {
         let vc = cell.vc();
         let latency = self.cfg.link_latency_slots;
+        if self.fault.is_some() {
+            // The hardware gate at `from` already spent a credit inside
+            // `step_into`; mirror it into the next hop's shadow sender
+            // before anything can destroy the cell.
+            self.shadow_try_send_from(from, vc);
+        }
         let Some(attachment) = self.port_map[from.0 as usize * self.port_stride + output] else {
             // The outbound link died after the cell was scheduled: lost.
+            // The shadow receiver still forwards (the hardware freed the
+            // buffer); the credit itself is not returned on a dead link —
+            // resync recovers it.
+            if self.fault.is_some() {
+                self.shadow_forward_discard(from, vc);
+            }
             if let Some(c) = self.circuit_mut(vc) {
                 c.stats.dropped_cells += 1;
                 c.inject_slots.pop_front();
@@ -1087,15 +1345,20 @@ impl Fabric {
         };
         // §5: forwarding this cell freed a buffer in `from`; return a credit
         // to the upstream hop (only best-effort circuits are gated).
-        self.return_credit(from, vc);
+        self.return_credit(from, vc, true);
         match attachment {
             Attachment::ToSwitch {
                 switch,
                 input,
                 link,
             } => {
+                let (arrives, corrupted, due) =
+                    self.wire_cross(link, Node::Switch(switch), &mut cell, self.slot + latency);
+                if !self.account_mid_path(vc, arrives, corrupted) {
+                    return;
+                }
                 self.agenda.push(
-                    self.slot + latency,
+                    due,
                     Event::CellToSwitch {
                         switch,
                         input,
@@ -1105,36 +1368,720 @@ impl Fabric {
                 );
             }
             Attachment::ToHost { host, link } => {
+                let (arrives, corrupted, due) =
+                    self.wire_cross(link, Node::Host(host), &mut cell, self.slot + latency);
+                if !self.account_mid_path(vc, arrives, corrupted) {
+                    return;
+                }
                 self.agenda
-                    .push(self.slot + latency, Event::CellToHost { host, cell, link });
+                    .push(due, Event::CellToHost { host, cell, link });
             }
         }
     }
 
-    fn return_credit(&mut self, forwarder: SwitchId, vc: VcId) {
-        let Some(circuit) = self.circuit(vc) else {
+    /// Per-circuit stats for a mid-path wire crossing; returns whether the
+    /// cell survived to be scheduled.
+    fn account_mid_path(&mut self, vc: VcId, arrives: bool, corrupted: bool) -> bool {
+        if corrupted || !arrives {
+            if let Some(c) = self.circuit_mut(vc) {
+                if corrupted {
+                    c.stats.corrupted_cells += 1;
+                }
+                if !arrives {
+                    c.stats.lost_cells += 1;
+                    c.inject_slots.pop_front();
+                }
+            }
+        }
+        arrives
+    }
+
+    /// Returns a credit for one buffer freed at `forwarder` to the upstream
+    /// hop. `forwarded_data` is true when a data cell left the switch's
+    /// queues (the shadow receiver must pop the matching cell); false for
+    /// the signal-processing path, where the line card frees the setup
+    /// cell's buffer without a data forward.
+    fn return_credit(&mut self, forwarder: SwitchId, vc: VcId, forwarded_data: bool) {
+        let Some(ci) = self.idx_of(vc) else { return };
+        let (pos, link, upstream) = {
+            let Some(c) = self.vcs[ci].circuit.as_ref() else {
+                return;
+            };
+            if !matches!(c.class, TrafficClass::BestEffort) {
+                return;
+            }
+            let Some(pos) = c.switches.iter().position(|&s| s == forwarder) else {
+                return;
+            };
+            if pos == 0 {
+                (pos, c.src_link, None)
+            } else {
+                (pos, c.links[pos - 1], Some(c.switches[pos - 1]))
+            }
+        };
+        let mut epoch = 0;
+        if self.fault.is_some() {
+            let mut violation = false;
+            if let Some(h) = self.vcs[ci]
+                .circuit
+                .as_mut()
+                .and_then(|c| c.hops.get_mut(pos))
+            {
+                epoch = if forwarded_data {
+                    match h.receiver.forward() {
+                        Some(e) => e,
+                        None => {
+                            // The hardware forwarded a cell the shadow
+                            // never saw: the mirrors have diverged.
+                            violation = true;
+                            h.receiver.credit_epoch()
+                        }
+                    }
+                } else {
+                    h.receiver.credit_epoch()
+                };
+            }
+            if let Some(fault) = self.fault.as_mut() {
+                if violation {
+                    fault.counters.invariant_violations += 1;
+                }
+                // Credits are control traffic: the upstream wire may eat
+                // them.
+                if !fault.injector.transmit_ctrl(link) {
+                    fault.counters.credits_lost += 1;
+                    return;
+                }
+            }
+        }
+        let event = match upstream {
+            None => Event::CreditToHost { vc, link, epoch },
+            Some(switch) => Event::CreditToSwitch {
+                switch,
+                vc,
+                link,
+                epoch,
+            },
+        };
+        self.agenda
+            .push(self.slot + self.cfg.link_latency_slots, event);
+    }
+
+    // ------------------------------------------------------------------
+    // Fault layer (§2 failures + §5 credit resynchronization).
+    // ------------------------------------------------------------------
+
+    /// Attaches a deterministic fault layer built from `(spec, seed)`.
+    /// Replaying the same pair over the same workload is byte-identical.
+    ///
+    /// Call before traffic flows: existing best-effort circuits get fresh
+    /// shadow gates at full credit, which is only accurate while their
+    /// hardware gates are still full.
+    pub fn attach_faults(&mut self, spec: &FaultSpec, seed: u64) {
+        let injector =
+            FaultInjector::new(spec, seed, self.topo.link_count(), self.topo.switch_count());
+        self.fault = Some(Box::new(FaultLayer {
+            injector,
+            resync_interval: spec.resync_interval_slots,
+            check_invariants: spec.check_invariants,
+            counters: FaultCounters::default(),
+        }));
+        let cap = self.cfg.be_credits;
+        for entry in &mut self.vcs {
+            if let Some(c) = entry.circuit.as_mut() {
+                if matches!(c.class, TrafficClass::BestEffort) && !c.paged_out && c.hops.is_empty()
+                {
+                    c.hops = Self::make_hops(cap, c.switches.len(), &c.links, c.src_link);
+                }
+            }
+        }
+    }
+
+    /// The fault layer's counters, if one is attached.
+    pub fn fault_counters(&self) -> Option<FaultCounters> {
+        self.fault.as_ref().map(|f| f.counters)
+    }
+
+    /// One monitor ping over `link` (§2): true when neither endpoint line
+    /// card is crashed and both the request and the ack survive the wire.
+    /// Pings probe *physical* health — the topology's working/dead state is
+    /// the monitor's output, not its input, so a link voted dead keeps
+    /// answering pings once its fault clears and can earn its way back.
+    pub fn ping_link(&mut self, link: LinkId) -> bool {
+        let (a, b) = self.topo.endpoints(link);
+        let Some(fault) = self.fault.as_mut() else {
+            return true;
+        };
+        for end in [a, b] {
+            if let Node::Switch(s) = end.node {
+                if fault.injector.crashed(s) {
+                    return false;
+                }
+            }
+        }
+        fault.injector.ping(link)
+    }
+
+    /// Reverses a [`Fabric::fail_link`] verdict: the link carries traffic
+    /// again. Returns false if the link was not dead. Circuit re-attachment
+    /// is the `Network` layer's job.
+    pub fn revive_link(&mut self, link: LinkId) -> bool {
+        if self.topo.link_state(link) == LinkState::Working {
+            return false;
+        }
+        self.topo.set_link_state(link, LinkState::Working);
+        self.rebuild_port_map();
+        true
+    }
+
+    /// Restores statistics onto a circuit (used by the `Network` layer when
+    /// re-opening a circuit that survived a failure administratively).
+    pub(crate) fn restore_stats(&mut self, vc: VcId, stats: VcStats) {
+        if let Some(c) = self.circuit_mut(vc) {
+            c.stats = stats;
+        }
+    }
+
+    /// In-flight events (cells, credits, markers, replies) on `link`.
+    pub fn inflight_on_link(&self, link: LinkId) -> usize {
+        self.agenda.count_matching(|e| e.link() == link)
+    }
+
+    /// Starts a resync on every hop of `vc` that is missing credits.
+    /// Returns false without a fault layer or shadow gates.
+    pub fn force_resync(&mut self, vc: VcId) -> bool {
+        if self.fault.is_none() {
+            return false;
+        }
+        let Some(ci) = self.idx_of(vc) else {
+            return false;
+        };
+        if self.vcs[ci]
+            .circuit
+            .as_ref()
+            .is_none_or(|c| c.hops.is_empty())
+        {
+            return false;
+        }
+        self.emit_markers_for(ci);
+        true
+    }
+
+    /// Whether any hop of `vc` has a resync in flight.
+    pub fn resync_pending(&self, vc: VcId) -> bool {
+        self.circuit(vc)
+            .is_some_and(|c| c.hops.iter().any(|h| h.pending_epoch.is_some()))
+    }
+
+    /// Whether every gated hop of `vc` holds its full credit capacity —
+    /// the post-resync quiescent state.
+    pub fn credits_fully_restored(&self, vc: VcId) -> bool {
+        self.circuit(vc).is_some_and(|c| {
+            !c.hops.is_empty()
+                && c.hops
+                    .iter()
+                    .all(|h| h.sender.balance() == h.sender.capacity())
+        })
+    }
+
+    /// The first non-working link on the circuit's current path, if any.
+    pub fn dead_link_on_path(&self, vc: VcId) -> Option<LinkId> {
+        let c = self.circuit(vc)?;
+        std::iter::once(c.src_link)
+            .chain(c.links.iter().copied())
+            .chain(std::iter::once(c.dst_link))
+            .find(|&l| self.topo.link_state(l) != LinkState::Working)
+    }
+
+    /// Direction index of a transmission on `link` arriving at `to` (0 when
+    /// `to` is the link's first endpoint, 1 otherwise).
+    fn link_dir(&self, link: LinkId, to: Node) -> usize {
+        let (a, _) = self.topo.endpoints(link);
+        usize::from(a.node != to)
+    }
+
+    /// Runs one cell transmission through the injector (the identity when
+    /// no fault layer is attached): returns `(arrives, corrupted, due)`.
+    /// A corrupt payload bit is flipped in place; header hits and corrupted
+    /// signal cells count as losses (HEC and the signaling checksum catch
+    /// them at the receiving port). Global counters are updated here;
+    /// per-circuit stats are the caller's job.
+    fn wire_cross(
+        &mut self,
+        link: LinkId,
+        to: Node,
+        cell: &mut Cell,
+        base_due: u64,
+    ) -> (bool, bool, u64) {
+        if self.fault.is_none() {
+            return (true, false, base_due);
+        }
+        let dir = self.link_dir(link, to);
+        let fault = self.fault.as_mut().expect("checked above");
+        let fate = fault.injector.transmit_cell(link, dir, base_due);
+        let corrupted = matches!(fate, Fate::Corrupt { .. });
+        let is_signal = cell.header.kind == CellKind::Signal;
+        let arrives = fate.arrives() && !(is_signal && corrupted);
+        let due = match fate {
+            Fate::Deliver { due } | Fate::Corrupt { due, .. } => due,
+            Fate::Lose => base_due,
+        };
+        if corrupted {
+            fault.counters.cells_corrupted += 1;
+        }
+        if !arrives {
+            fault.counters.cells_lost += 1;
+        } else if let Fate::Corrupt { bit, .. } = fate {
+            let b = (bit - HEADER_BITS) as usize;
+            cell.payload[b / 8] ^= 1 << (b % 8);
+        }
+        (arrives, corrupted, due)
+    }
+
+    fn switch_is_crashed(&self, s: SwitchId) -> bool {
+        self.fault.as_ref().is_some_and(|f| f.injector.crashed(s))
+    }
+
+    /// A cell arrived at a crashed line card: destroyed on arrival.
+    fn account_cell_eaten_by_crash(&mut self, cell: &Cell) {
+        if cell.header.kind != CellKind::Signal {
+            let vc = cell.vc();
+            if let Some(c) = self.circuit_mut(vc) {
+                c.stats.lost_cells += 1;
+                c.inject_slots.pop_front();
+            }
+        }
+        self.fault
+            .as_mut()
+            .expect("crash verdicts exist only in fault mode")
+            .counters
+            .cells_lost += 1;
+    }
+
+    /// Mirrors a data-cell arrival at `switch` into the shadow receiver of
+    /// the hop that ends there.
+    fn shadow_on_cell(&mut self, switch: SwitchId, vc: VcId) {
+        let Some(ci) = self.idx_of(vc) else { return };
+        let Some(c) = self.vcs[ci].circuit.as_mut() else {
             return;
         };
-        if !matches!(circuit.class, TrafficClass::BestEffort) {
+        let Some(p) = c.switches.iter().position(|&s| s == switch) else {
+            return;
+        };
+        let Some(h) = c.hops.get_mut(p) else { return };
+        if h.receiver.on_cell().is_err() {
+            // More cells arrived than the gate ever granted: the credit
+            // protocol over-estimated somewhere.
+            self.fault
+                .as_mut()
+                .expect("hops exist only in fault mode")
+                .counters
+                .invariant_violations += 1;
+        }
+    }
+
+    /// Mirrors a departure from `from` into the next hop's shadow sender
+    /// (hop `j+1` when `from == switches[j]`; the final host-bound hop is
+    /// ungated and has no shadow).
+    fn shadow_try_send_from(&mut self, from: SwitchId, vc: VcId) {
+        let Some(ci) = self.idx_of(vc) else { return };
+        let Some(c) = self.vcs[ci].circuit.as_mut() else {
+            return;
+        };
+        if c.hops.is_empty() {
             return;
         }
-        let latency = self.cfg.link_latency_slots;
-        let Some(idx) = circuit.switches.iter().position(|&s| s == forwarder) else {
+        let Some(j) = c.switches.iter().position(|&s| s == from) else {
             return;
         };
-        let event = if idx == 0 {
-            Event::CreditToHost {
-                vc,
-                link: circuit.src_link,
-            }
-        } else {
-            Event::CreditToSwitch {
-                switch: circuit.switches[idx - 1],
-                vc,
-                link: circuit.links[idx - 1],
-            }
+        let mut violation = false;
+        if let Some(h) = c.hops.get_mut(j + 1) {
+            // The hardware sent with an empty shadow gate: divergence.
+            violation = !h.sender.try_send();
+        }
+        if violation {
+            self.fault
+                .as_mut()
+                .expect("hops exist only in fault mode")
+                .counters
+                .invariant_violations += 1;
+        }
+    }
+
+    /// Pops one cell from the shadow receiver at `from` without returning
+    /// a credit (dead-link drop: the hardware freed the buffer; the credit
+    /// is recovered later by resync).
+    fn shadow_forward_discard(&mut self, from: SwitchId, vc: VcId) {
+        let Some(ci) = self.idx_of(vc) else { return };
+        let Some(c) = self.vcs[ci].circuit.as_mut() else {
+            return;
         };
-        self.agenda.push(self.slot + latency, event);
+        let Some(p) = c.switches.iter().position(|&s| s == from) else {
+            return;
+        };
+        if let Some(h) = c.hops.get_mut(p) {
+            let _ = h.receiver.forward();
+        }
+    }
+
+    /// Fault-mode delivery of a credit to the hardware gate at `switch`:
+    /// the shadow sender vets it (epoch staleness, over-capacity) before
+    /// the gate is topped up.
+    fn apply_credit_to_switch(&mut self, switch: SwitchId, vc: VcId, link: LinkId, epoch: u32) {
+        if self.switch_is_crashed(switch) {
+            self.fault
+                .as_mut()
+                .expect("crash verdicts exist only in fault mode")
+                .counters
+                .credits_lost += 1;
+            return;
+        }
+        let mut accept = true;
+        let mut violation = false;
+        if let Some(ci) = self.idx_of(vc) {
+            if let Some(c) = self.vcs[ci].circuit.as_mut() {
+                if let Some(h) = c.hops.iter_mut().find(|h| h.link == link) {
+                    if h.sender.balance() >= h.sender.capacity() {
+                        // A credit beyond capacity: drop it rather than
+                        // overflowing the gate.
+                        accept = false;
+                        violation = true;
+                    } else {
+                        accept = h.sender.on_credit_with_epoch(epoch);
+                    }
+                }
+            }
+        }
+        if violation {
+            self.fault
+                .as_mut()
+                .expect("fault mode")
+                .counters
+                .invariant_violations += 1;
+        }
+        if accept {
+            self.switches[switch.0 as usize].try_add_credit(vc);
+        }
+    }
+
+    /// Fault-mode delivery of a credit to the source host's gate.
+    fn apply_credit_to_host(&mut self, vc: VcId, link: LinkId, epoch: u32) {
+        let Some(ci) = self.idx_of(vc) else { return };
+        let mut violation = false;
+        if let Some(c) = self.vcs[ci].circuit.as_mut() {
+            let mut accept = true;
+            if let Some(h) = c.hops.iter_mut().find(|h| h.link == link) {
+                if h.sender.balance() >= h.sender.capacity() {
+                    accept = false;
+                    violation = true;
+                } else {
+                    accept = h.sender.on_credit_with_epoch(epoch);
+                }
+            }
+            if accept {
+                if let Some(hc) = c.host_credits.as_mut() {
+                    *hc += 1;
+                }
+            }
+        }
+        if violation {
+            self.fault
+                .as_mut()
+                .expect("fault mode")
+                .counters
+                .invariant_violations += 1;
+        }
+    }
+
+    /// A resync marker reached the downstream end of its hop: compute the
+    /// lossy reply and send it back upstream (itself subject to loss).
+    fn deliver_marker(&mut self, vc: VcId, link: LinkId, marker: resync::Marker) {
+        let mut reply = None;
+        if let Some(ci) = self.idx_of(vc) {
+            if let Some(c) = self.vcs[ci].circuit.as_mut() {
+                if let Some(p) = c.hops.iter().position(|h| h.link == link) {
+                    let downstream_dead = self
+                        .fault
+                        .as_ref()
+                        .is_some_and(|f| f.injector.crashed(c.switches[p]));
+                    if !downstream_dead {
+                        reply = Some(resync::handle_marker_lossy(&mut c.hops[p].receiver, marker));
+                    }
+                }
+            }
+        }
+        let Some(reply) = reply else {
+            self.fault
+                .as_mut()
+                .expect("markers exist only in fault mode")
+                .counters
+                .markers_lost += 1;
+            return;
+        };
+        let latency = self.cfg.link_latency_slots;
+        let due = self.slot + latency;
+        let fault = self
+            .fault
+            .as_mut()
+            .expect("markers exist only in fault mode");
+        if fault.injector.transmit_ctrl(link) {
+            self.agenda
+                .push(due, Event::ResyncReply { vc, link, reply });
+        } else {
+            fault.counters.replies_lost += 1;
+        }
+    }
+
+    /// A resync reply reached the upstream end of its hop: apply it and
+    /// sync the hardware gate to the recovered balance.
+    fn deliver_reply(&mut self, vc: VcId, link: LinkId, reply: resync::Reply) {
+        enum Gate {
+            Host(u32),
+            Switch(SwitchId, u32),
+            None,
+        }
+        let Some(ci) = self.idx_of(vc) else { return };
+        let mut gate = Gate::None;
+        let mut completed = false;
+        let mut upstream_dead = false;
+        {
+            let Some(c) = self.vcs[ci].circuit.as_mut() else {
+                return;
+            };
+            let Some(p) = c.hops.iter().position(|h| h.link == link) else {
+                return;
+            };
+            if p >= 1 {
+                let up = c.switches[p - 1];
+                if self.fault.as_ref().is_some_and(|f| f.injector.crashed(up)) {
+                    upstream_dead = true;
+                }
+            }
+            if !upstream_dead {
+                let h = &mut c.hops[p];
+                if reply.epoch == h.sender.epoch() {
+                    resync::finish(&mut h.sender, reply);
+                    completed = true;
+                    if h.pending_epoch == Some(reply.epoch) {
+                        h.pending_epoch = None;
+                    }
+                    let bal = h.sender.balance();
+                    gate = if p == 0 {
+                        if c.host_credits.is_some() {
+                            Gate::Host(bal)
+                        } else {
+                            Gate::None
+                        }
+                    } else {
+                        Gate::Switch(c.switches[p - 1], bal)
+                    };
+                }
+                // Replies to superseded markers are ignored (§5: any later
+                // resync reconciles everything an older one would have).
+            }
+        }
+        let counters = &mut self
+            .fault
+            .as_mut()
+            .expect("replies exist only in fault mode")
+            .counters;
+        if upstream_dead {
+            counters.replies_lost += 1;
+            return;
+        }
+        if completed {
+            counters.resyncs_completed += 1;
+        }
+        match gate {
+            Gate::Host(bal) => {
+                if let Some(c) = self.vcs[ci].circuit.as_mut() {
+                    c.host_credits = Some(bal);
+                }
+            }
+            Gate::Switch(sw, bal) => self.switches[sw.0 as usize].set_credits(vc, bal),
+            Gate::None => {}
+        }
+    }
+
+    /// Applies this slot's scheduled fault transitions and emits periodic
+    /// resync markers. Called at the top of `step_one` in fault mode.
+    fn fault_begin_slot(&mut self) {
+        let slot = self.slot;
+        let sf = self
+            .fault
+            .as_mut()
+            .expect("caller checked")
+            .injector
+            .begin_slot(slot);
+        for s in sf.crashes {
+            self.crash_switch(s);
+        }
+        // Restarts are warm: routes, schedules and credit gates live in
+        // the hardware map and survive; only the buffered cells (already
+        // dropped at crash time) are gone.
+        for l in sf.flaps_down {
+            self.flap_down(l);
+        }
+        // Nothing to do on flaps_up: the fabric keeps transmitting into
+        // the void until the monitor's verdict flips (Network layer), and
+        // the injector resumes delivering as soon as the link is up.
+        let interval = self.fault.as_ref().expect("caller checked").resync_interval;
+        if interval > 0 && slot > 0 && slot.is_multiple_of(interval) {
+            for ci in 0..self.vcs.len() {
+                self.emit_markers_for(ci);
+            }
+        }
+    }
+
+    /// A line card crashes: every cell buffered in the switch vanishes.
+    /// Routing tables, schedules and hardware credit gates survive (they
+    /// are reloaded from the hardware map on restart).
+    fn crash_switch(&mut self, s: SwitchId) {
+        let dropped = self.switches[s.0 as usize].drop_queued_cells();
+        let mut total = 0u64;
+        for (vc, n) in dropped {
+            total += n as u64;
+            let Some(ci) = self.idx_of(vc) else { continue };
+            if let Some(c) = self.vcs[ci].circuit.as_mut() {
+                c.stats.lost_cells += n as u64;
+                for _ in 0..n {
+                    c.inject_slots.pop_front();
+                }
+                // The shadow receiver loses the same buffered cells; their
+                // credits come back via the next lossy-marker resync.
+                if let Some(p) = c.switches.iter().position(|&x| x == s) {
+                    if let Some(h) = c.hops.get_mut(p) {
+                        h.receiver.drop_buffered(n as u32);
+                    }
+                }
+            }
+        }
+        let counters = &mut self.fault.as_mut().expect("fault mode").counters;
+        counters.crash_dropped_cells += total;
+        counters.cells_lost += total;
+    }
+
+    /// A link goes physically down: everything in flight on it is
+    /// destroyed, with per-kind accounting. New transmissions keep being
+    /// attempted (and lost) until the monitor's verdict removes the link.
+    fn flap_down(&mut self, link: LinkId) {
+        let mut lost_cells: Vec<(VcId, bool)> = Vec::new();
+        let mut credits = 0u64;
+        let mut markers = 0u64;
+        let mut replies = 0u64;
+        self.agenda.retain(|e| {
+            if e.link() != link {
+                return true;
+            }
+            match e {
+                Event::CellToSwitch { cell, .. } | Event::CellToHost { cell, .. } => {
+                    lost_cells.push((cell.vc(), cell.header.kind == CellKind::Signal));
+                }
+                Event::CreditToSwitch { .. } | Event::CreditToHost { .. } => credits += 1,
+                Event::ResyncMarker { .. } => markers += 1,
+                Event::ResyncReply { .. } => replies += 1,
+            }
+            false
+        });
+        let cells = lost_cells.len() as u64;
+        for (vc, is_signal) in lost_cells {
+            if !is_signal {
+                if let Some(c) = self.circuit_mut(vc) {
+                    c.stats.lost_cells += 1;
+                    c.inject_slots.pop_front();
+                }
+            }
+        }
+        let counters = &mut self.fault.as_mut().expect("fault mode").counters;
+        counters.cells_lost += cells;
+        counters.credits_lost += credits;
+        counters.markers_lost += markers;
+        counters.replies_lost += replies;
+    }
+
+    /// Starts a resync on every hop of circuit slot `ci` that is missing
+    /// credits or already has one pending (§5: "the upstream switch
+    /// periodically trigger[s] a re-synchronization of credits").
+    fn emit_markers_for(&mut self, ci: usize) {
+        let latency = self.cfg.link_latency_slots;
+        let slot = self.slot;
+        let n = match self.vcs[ci].circuit.as_ref() {
+            Some(c) if !c.paged_out => c.hops.len(),
+            _ => return,
+        };
+        for p in 0..n {
+            let vc = self.vcs[ci].vc;
+            let (marker, link, to) = {
+                let c = self.vcs[ci].circuit.as_mut().expect("checked above");
+                let h = &mut c.hops[p];
+                if h.sender.balance() == h.sender.capacity() && h.pending_epoch.is_none() {
+                    continue; // nothing to reconcile on this hop
+                }
+                let m = resync::begin(&mut h.sender);
+                h.pending_epoch = Some(m.epoch);
+                (m, h.link, Node::Switch(c.switches[p]))
+            };
+            // The marker rides the data channel (same FIFO clamp), which
+            // is what makes the lossy reply safe.
+            let dir = self.link_dir(link, to);
+            let fault = self.fault.as_mut().expect("fault mode");
+            fault.counters.markers_sent += 1;
+            match fault.injector.transmit_cell(link, dir, slot + latency) {
+                Fate::Deliver { due } => {
+                    self.agenda
+                        .push(due, Event::ResyncMarker { vc, link, marker });
+                }
+                // A corrupted marker fails its CRC at the far end: lost.
+                _ => fault.counters.markers_lost += 1,
+            }
+        }
+    }
+
+    /// Soak-mode invariant checks, run once per slot after every phase has
+    /// settled: credit conservation per hop, shadow/hardware gate
+    /// agreement, and shadow/hardware buffer agreement.
+    fn check_invariants_slot(&mut self) {
+        let mut violations = 0u64;
+        for entry in &self.vcs {
+            let Some(c) = entry.circuit.as_ref() else {
+                continue;
+            };
+            if c.hops.is_empty() || c.paged_out {
+                continue;
+            }
+            if let Some(hc) = c.host_credits {
+                if hc != c.hops[0].sender.balance() {
+                    violations += 1;
+                }
+            }
+            for (p, h) in c.hops.iter().enumerate() {
+                // Conservation: credits held plus cells buffered can never
+                // exceed the hop's buffer capacity (§5's core guarantee —
+                // loss may shrink the sum, never grow it).
+                if h.sender.balance() + h.receiver.occupied() > h.sender.capacity() {
+                    violations += 1;
+                }
+                if p >= 1 {
+                    let sw = c.switches[p - 1];
+                    if self.switches[sw.0 as usize].credit_balance(entry.vc)
+                        != Some(h.sender.balance())
+                    {
+                        violations += 1;
+                    }
+                }
+                let buffered =
+                    self.switches[c.switches[p].0 as usize].buffered_cells(entry.vc) as u32;
+                if h.receiver.occupied() != buffered {
+                    violations += 1;
+                }
+            }
+        }
+        if violations > 0 {
+            self.fault
+                .as_mut()
+                .expect("caller checked")
+                .counters
+                .invariant_violations += violations;
+        }
     }
 
     fn deliver_to_host(&mut self, host: HostId, cell: Cell) {

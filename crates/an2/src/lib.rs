@@ -48,9 +48,10 @@ pub mod reference;
 
 pub use central::BandwidthCentral;
 pub use error::NetError;
-pub use fabric::{Fabric, FabricConfig, VcStats};
+pub use fabric::{Fabric, FabricConfig, FaultCounters, VcStats};
 pub use network::{Network, NetworkBuilder};
 
 pub use an2_cells::signal::TrafficClass;
 pub use an2_cells::{Packet, VcId};
+pub use an2_faults::{CrashEvent, FaultSpec, FlapEvent, LinkFaultModel, LossModel};
 pub use an2_topology::{HostId, LinkId, SwitchId};

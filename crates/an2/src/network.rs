@@ -2,9 +2,11 @@
 
 use crate::central::BandwidthCentral;
 use crate::error::NetError;
-use crate::fabric::{Fabric, FabricConfig, VcStats};
+use crate::fabric::{Fabric, FabricConfig, FaultCounters, VcStats};
 use an2_cells::signal::TrafficClass;
 use an2_cells::{LinkRate, Packet, Segmenter, VcId};
+use an2_faults::FaultSpec;
+use an2_reconfig::monitor::{LinkMonitor, LinkVerdict};
 use an2_sim::{SimDuration, SimTime};
 use an2_topology::{generators, paths, HostId, LinkId, Node, SwitchId, Topology};
 use std::collections::HashMap;
@@ -112,6 +114,7 @@ impl NetworkBuilder {
             broken: HashMap::new(),
             next_vc: 32, // leave room below for well-known circuits
             rate: self.rate,
+            faults: None,
         }
     }
 }
@@ -120,6 +123,20 @@ impl NetworkBuilder {
 /// links, the host attachment links (with their direction anchors), and the
 /// cells per frame.
 type Reservation = (Vec<SwitchId>, Vec<LinkId>, Vec<(LinkId, Node)>, u32);
+
+/// Network-layer fault machinery: the per-link monitors that turn ping
+/// outcomes into dead/working verdicts (§2), and the reconfiguration log.
+#[derive(Debug)]
+struct FaultCtl {
+    /// One monitor per inter-switch link (host attachments are not
+    /// monitored; a dead attachment is the host's problem).
+    monitors: Vec<(LinkId, LinkMonitor)>,
+    /// Slots between ping rounds, derived from the spec's ping interval at
+    /// the configured link rate.
+    ping_every_slots: u64,
+    /// Every verdict transition: (slot, link, now-working?).
+    log: Vec<(u64, LinkId, bool)>,
+}
 
 #[derive(Debug, Clone)]
 struct CircuitMeta {
@@ -143,6 +160,7 @@ pub struct Network {
     broken: HashMap<VcId, VcStats>,
     next_vc: u32,
     rate: LinkRate,
+    faults: Option<FaultCtl>,
 }
 
 impl Network {
@@ -448,9 +466,60 @@ impl Network {
         Ok(())
     }
 
-    /// Advances the network by `slots` cell slots.
+    /// Advances the network by `slots` cell slots. With a fault layer
+    /// attached, switch software pings each inter-switch link every
+    /// monitor interval (§2); a monitor verdict transition triggers the
+    /// same reconfiguration as an explicit [`Network::fail_link`] (or, on
+    /// recovery, re-attaches circuits the failure had stranded).
     pub fn step(&mut self, slots: u64) {
-        self.fabric.step(slots);
+        if self.faults.is_none() {
+            self.fabric.step(slots);
+            return;
+        }
+        let mut remaining = slots;
+        while remaining > 0 {
+            let every = self
+                .faults
+                .as_ref()
+                .map_or(u64::MAX, |c| c.ping_every_slots.max(1));
+            // Run up to (and including) the next ping boundary.
+            let to_boundary = every - self.fabric.slot() % every;
+            let chunk = to_boundary.min(remaining);
+            self.fabric.step(chunk);
+            remaining -= chunk;
+            if self.fabric.slot().is_multiple_of(every) {
+                self.run_pings();
+            }
+        }
+    }
+
+    /// One ping round: probe every monitored link, feed each monitor, and
+    /// act on verdict transitions.
+    fn run_pings(&mut self) {
+        // Detach the controller so monitor callbacks can reconfigure
+        // through `&mut self` (fail_link / revive_link touch fabric,
+        // central, meta, and broken — everything but `faults`).
+        let Some(mut ctl) = self.faults.take() else {
+            return;
+        };
+        let slot = self.fabric.slot();
+        let now = SimTime::ZERO + self.rate.slot_duration() * slot;
+        for (link, monitor) in ctl.monitors.iter_mut() {
+            let ok = self.fabric.ping_link(*link);
+            if let Some(t) = monitor.on_ping(ok, now) {
+                match t.to {
+                    LinkVerdict::Dead => {
+                        ctl.log.push((slot, *link, false));
+                        self.fail_link(*link);
+                    }
+                    LinkVerdict::Working => {
+                        ctl.log.push((slot, *link, true));
+                        self.revive_link(*link);
+                    }
+                }
+            }
+        }
+        self.faults = Some(ctl);
     }
 
     /// Takes packets delivered to `host` since the last call.
@@ -506,6 +575,164 @@ impl Network {
         for vc in victims {
             self.repair(vc);
         }
+    }
+
+    /// Attaches a deterministic fault layer: the injector described by
+    /// `spec` drives every link's loss/corruption/jitter and the scripted
+    /// flaps and line-card crashes, and one [`LinkMonitor`] per
+    /// inter-switch link starts pinging at the spec's interval. The same
+    /// `(spec, seed)` pair replays byte-identically. Call before driving
+    /// traffic; attaching mid-flight leaves earlier cells un-faulted.
+    pub fn attach_faults(&mut self, spec: &FaultSpec, seed: u64) {
+        self.fabric.attach_faults(spec, seed);
+        let topo = self.fabric.topology();
+        let monitors: Vec<(LinkId, LinkMonitor)> = topo
+            .links()
+            .filter(|&l| {
+                let (a, b) = topo.endpoints(l);
+                matches!(a.node, Node::Switch(_)) && matches!(b.node, Node::Switch(_))
+            })
+            .map(|l| (l, LinkMonitor::new(spec.monitor)))
+            .collect();
+        let slot_ns = self.rate.slot_duration().as_nanos().max(1);
+        let ping_every_slots = (spec.monitor.ping_interval.as_nanos() / slot_ns).max(1);
+        self.faults = Some(FaultCtl {
+            monitors,
+            ping_every_slots,
+            log: Vec::new(),
+        });
+    }
+
+    /// The fault layer's counters, if one is attached.
+    pub fn fault_counters(&self) -> Option<FaultCounters> {
+        self.fabric.fault_counters()
+    }
+
+    /// Every monitor verdict transition so far: `(slot, link, working)`.
+    /// Empty without a fault layer.
+    pub fn reconfig_log(&self) -> &[(u64, LinkId, bool)] {
+        self.faults.as_ref().map_or(&[], |c| c.log.as_slice())
+    }
+
+    /// Declares a dead link working again (the monitor's recovery verdict)
+    /// and re-attaches any circuits that were stranded broken for lack of
+    /// capacity.
+    pub fn revive_link(&mut self, link: LinkId) {
+        if !self.fabric.revive_link(link) {
+            return;
+        }
+        let mut stranded: Vec<VcId> = self.broken.keys().copied().collect();
+        stranded.sort_unstable();
+        for vc in stranded {
+            self.reattach_broken(vc);
+        }
+    }
+
+    /// Tries to rebuild one broken circuit on the current topology,
+    /// restoring the statistics it had accumulated before the failure.
+    fn reattach_broken(&mut self, vc: VcId) {
+        let Some(meta) = self.meta.get(&vc).cloned() else {
+            return;
+        };
+        match meta.class {
+            TrafficClass::BestEffort => {
+                let Ok((switches, links, src_link, dst_link)) =
+                    self.best_effort_route(meta.src, meta.dst)
+                else {
+                    return;
+                };
+                self.fabric.open_circuit(
+                    vc,
+                    meta.src,
+                    meta.dst,
+                    TrafficClass::BestEffort,
+                    switches,
+                    links,
+                    src_link,
+                    dst_link,
+                );
+            }
+            TrafficClass::Guaranteed { cells_per_frame } => {
+                let cells = cells_per_frame as u32;
+                let topo = self.fabric.topology();
+                let admitted = self
+                    .central
+                    .best_attachment(topo, meta.src, cells, true)
+                    .and_then(|(src_link, src_sw)| {
+                        let (dst_link, dst_sw) =
+                            self.central.best_attachment(topo, meta.dst, cells, false)?;
+                        let (switches, links) =
+                            self.central.find_route(topo, src_sw, dst_sw, cells)?;
+                        Some((src_link, dst_link, dst_sw, switches, links))
+                    });
+                let Some((src_link, dst_link, dst_sw, switches, links)) = admitted else {
+                    return;
+                };
+                let host_links = vec![
+                    (src_link, Node::Host(meta.src)),
+                    (dst_link, Node::Switch(dst_sw)),
+                ];
+                self.central
+                    .commit(topo, &switches, &links, &host_links, cells);
+                self.fabric.open_circuit(
+                    vc,
+                    meta.src,
+                    meta.dst,
+                    meta.class,
+                    switches.clone(),
+                    links.clone(),
+                    src_link,
+                    dst_link,
+                );
+                if let Some(m) = self.meta.get_mut(&vc) {
+                    m.reservation = Some((switches, links, host_links, cells));
+                }
+            }
+        }
+        if let Some(stats) = self.broken.remove(&vc) {
+            self.fabric.restore_stats(vc, stats);
+        }
+    }
+
+    /// Kicks off an end-to-end credit resynchronization on a circuit (§5):
+    /// a marker rides the data channel through every hop; each hop's reply
+    /// reports how many cells actually arrived, and the sender's balance is
+    /// rebuilt from that count, recovering credits lost to the wire.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownCircuit`] / [`NetError::CircuitDown`] for
+    /// unusable circuits; [`NetError::LinkDead`] when a hop of the path is
+    /// down (resync over a dead link cannot complete — repair the route
+    /// first); [`NetError::ResyncPending`] when an earlier resync is still
+    /// in flight.
+    pub fn force_resync(&mut self, vc: VcId) -> Result<(), NetError> {
+        if !self.meta.contains_key(&vc) {
+            return Err(NetError::UnknownCircuit(vc));
+        }
+        if self.broken.contains_key(&vc) {
+            return Err(NetError::CircuitDown(vc));
+        }
+        if let Some(dead) = self.fabric.dead_link_on_path(vc) {
+            return Err(NetError::LinkDead(dead));
+        }
+        if self.fabric.resync_pending(vc) {
+            return Err(NetError::ResyncPending(vc));
+        }
+        self.fabric.force_resync(vc);
+        Ok(())
+    }
+
+    /// Whether a credit resynchronization is still in flight on the
+    /// circuit.
+    pub fn resync_pending(&self, vc: VcId) -> bool {
+        self.fabric.resync_pending(vc)
+    }
+
+    /// Whether every hop of a best-effort circuit is back at its full
+    /// credit allocation (meaningful once traffic has drained).
+    pub fn credits_fully_restored(&self, vc: VcId) -> bool {
+        self.fabric.credits_fully_restored(vc)
     }
 
     /// §2's speculative extension: "a more speculative option is to reroute

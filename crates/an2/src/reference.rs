@@ -315,8 +315,12 @@ impl Fabric {
     /// Removes a circuit: routing entries, schedule slots, credits, queued
     /// and in-flight cells. Returns its final statistics.
     pub fn close_circuit(&mut self, vc: VcId) -> Option<VcStats> {
-        let circuit = self.circuits.remove(&vc)?;
-        self.teardown_path(vc, &circuit);
+        let mut circuit = self.circuits.remove(&vc)?;
+        // Cells the teardown reaps (buffered in switches or in flight) are
+        // drops; the returned stats must balance sent against delivered +
+        // dropped + lost.
+        let reaped = self.teardown_path(vc, &circuit);
+        circuit.stats.dropped_cells += reaped;
         self.hosts[circuit.src.0 as usize].outbox.remove(&vc);
         self.hosts[circuit.src.0 as usize].credits.remove(&vc);
         self.hosts[circuit.src.0 as usize].gt_tokens.remove(&vc);
@@ -360,7 +364,12 @@ impl Fabric {
             events.retain(|e| match e {
                 Event::CellToSwitch { cell, .. } | Event::CellToHost { cell, .. } => {
                     if cell.vc() == vc {
-                        dropped += 1;
+                        // Signal cells never entered `sent_cells` or the
+                        // `inject_slots` latency queue; counting them as
+                        // drops desynced both.
+                        if cell.header.kind != CellKind::Signal {
+                            dropped += 1;
+                        }
                         false
                     } else {
                         true
@@ -505,11 +514,21 @@ impl Fabric {
         let Some(k) = plan.switches.iter().position(|&s| s == at) else {
             return;
         };
-        let out_port = if k + 1 < plan.switches.len() {
-            self.port_on(plan.links[k], Node::Switch(at))
+        // The link the setup must travel next. If it died while the setup
+        // was in flight, the line card drops the setup rather than launching
+        // it onto a dead wire (the circuit never establishes; the `Network`
+        // repair path reroutes it). Launching anyway was a bug: the cell
+        // was pushed after the failure purge and so resurrected downstream
+        // state on a link the fabric had already declared dead.
+        let fwd_link = if k + 1 < plan.switches.len() {
+            plan.links[k]
         } else {
-            self.port_on(plan.dst_link, Node::Switch(at))
+            plan.dst_link
         };
+        if self.topo.link_state(fwd_link) != LinkState::Working {
+            return;
+        }
+        let out_port = self.port_on(fwd_link, Node::Switch(at));
         self.switches[at.0 as usize]
             .install_route(vc, out_port, plan.class)
             .expect("signaled path was validated at open");
@@ -653,7 +672,13 @@ impl Fabric {
             events.retain(|e| {
                 let (l, lost_cell_vc) = match e {
                     Event::CellToSwitch { link, cell, .. }
-                    | Event::CellToHost { link, cell, .. } => (*link, Some(cell.vc())),
+                    | Event::CellToHost { link, cell, .. } => {
+                        // Signal cells never entered `sent_cells` or the
+                        // latency queue; they vanish without the
+                        // per-circuit drop accounting data cells need.
+                        let data_vc = (cell.header.kind != CellKind::Signal).then(|| cell.vc());
+                        (*link, data_vc)
+                    }
                     Event::CreditToSwitch { link, .. } | Event::CreditToHost { link, .. } => {
                         (*link, None)
                     }

@@ -17,7 +17,7 @@
 
 use an2_bench::json::Json;
 use an2_bench::{
-    extensions_exp, fabric_exp, figures, flow_exp, network_exp, parallel, reconfig_exp,
+    extensions_exp, fabric_exp, faults_exp, figures, flow_exp, network_exp, parallel, reconfig_exp,
     schedule_exp, xbar_exp,
 };
 use std::time::Instant;
@@ -59,6 +59,20 @@ fn insert_cost_json(r: &schedule_exp::InsertCost) -> Json {
     ])
 }
 
+fn chaos_json(r: &faults_exp::ChaosRow) -> Json {
+    Json::obj(vec![
+        ("cell", Json::str(r.cell.clone())),
+        ("sent_cells", Json::int(r.sent_cells)),
+        ("delivered_cells", Json::int(r.delivered_cells)),
+        ("lost_cells", Json::int(r.lost_cells)),
+        ("violations", Json::int(r.violations)),
+        ("resyncs", Json::int(r.resyncs)),
+        ("detect_ms", Json::Num(r.detect_ms)),
+        ("restored", Json::Bool(r.restored)),
+        ("replay_ok", Json::Bool(r.replay_ok)),
+    ])
+}
+
 fn fabric_perf_json(r: &fabric_exp::FabricPerf) -> Json {
     Json::obj(vec![
         ("circuits", Json::int(r.circuits as u64)),
@@ -90,6 +104,7 @@ fn title(id: &str) -> Option<&'static str> {
         "e12" => "E12: reconfiguration behaviour",
         "n1" => "N1: whole-network load sweep",
         "n2" => "N2: fabric data plane, slab vs reference",
+        "n3" => "N3: chaos soak — loss, flaps, crashes, resync",
         "x1" => "X1: the paper's extension proposals",
         _ => return None,
     })
@@ -145,6 +160,10 @@ fn compute(id: &str) -> (String, Json) {
             let (rows, text) = fabric_exp::n2_fabric_dataplane();
             (text, Json::Arr(rows.iter().map(fabric_perf_json).collect()))
         }
+        "n3" => {
+            let (rows, text) = faults_exp::n3_chaos_soak();
+            (text, Json::Arr(rows.iter().map(chaos_json).collect()))
+        }
         "x1" => {
             let text = format!(
                 "{}\n{}\n{}\n{}",
@@ -161,7 +180,7 @@ fn compute(id: &str) -> (String, Json) {
 
 const ALL: &[&str] = &[
     "f1", "f2", "f3", "f4", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
-    "e12", "x1", "n1", "n2",
+    "e12", "x1", "n1", "n2", "n3",
 ];
 
 fn main() {
@@ -182,7 +201,7 @@ fn main() {
     let mut records = Vec::new();
     for id in ids {
         let Some(t) = title(id) else {
-            eprintln!("unknown experiment id '{id}' (use f1-f4, e1-e12, x1, n1, n2, all)");
+            eprintln!("unknown experiment id '{id}' (use f1-f4, e1-e12, x1, n1-n3, all)");
             continue;
         };
         println!("\n=== {t} {}\n", "=".repeat(66 - t.len().min(60)));

@@ -1,0 +1,419 @@
+//! Experiment N3: chaos soak — the deterministic fault layer end to end.
+//!
+//! Five cells, each a claim the robustness work must hold:
+//!
+//! - **inert**: an attached-but-empty fault spec is free — the run is
+//!   byte-identical to one with no fault layer at all.
+//! - **loss**: ~1% bursty (Gilbert–Elliott) cell loss degrades throughput
+//!   but never wedges it; periodic + forced credit resync (§5) returns
+//!   every hop to its full allocation once traffic drains, with zero
+//!   invariant violations.
+//! - **flap**: a scripted link flap is detected by the per-millisecond
+//!   ping monitor and reconfigured around well inside 200 ms of simulated
+//!   time; the skeptic readmits the link after the flap ends.
+//! - **crash**: a line-card crash eats its buffers, yet the single failure
+//!   never partitions the (dual-homed, redundant-backbone) installation,
+//!   and delivery resumes after the scripted restart.
+//! - **soak**: loss + flap + crash together, invariant checker on every
+//!   slot; the run drains clean and replays byte-identically from the
+//!   same `(spec, seed)`.
+
+use an2::{CrashEvent, FaultSpec, FlapEvent, LinkFaultModel, LossModel, Network, VcId};
+use an2_cells::Packet;
+use an2_sim::SimDuration;
+use an2_topology::LinkId;
+use std::fmt::Write;
+
+/// One cell's measured outcome, for the JSON baseline.
+pub struct ChaosRow {
+    /// Cell name (inert / loss / flap / crash / soak).
+    pub cell: String,
+    /// Cells injected by source controllers, summed over circuits.
+    pub sent_cells: u64,
+    /// Cells delivered to destination controllers.
+    pub delivered_cells: u64,
+    /// Cells destroyed by injected faults.
+    pub lost_cells: u64,
+    /// Invariant-checker violations (must be 0).
+    pub violations: u64,
+    /// Resyncs completed (§5 markers whose reply was applied).
+    pub resyncs: u64,
+    /// Fault detection latency in simulated milliseconds (flap cell; 0
+    /// elsewhere).
+    pub detect_ms: f64,
+    /// Whether every circuit ended with its full credit allocation.
+    pub restored: bool,
+    /// Whether a replay from the same `(spec, seed)` was byte-identical.
+    pub replay_ok: bool,
+}
+
+/// Everything observable about one finished run, digested for replay
+/// comparison.
+struct Outcome {
+    sent: u64,
+    delivered: u64,
+    lost: u64,
+    violations: u64,
+    resyncs: u64,
+    restored: bool,
+    log: Vec<(u64, LinkId, bool)>,
+    digest: u64,
+}
+
+fn fnv(h: &mut u64, x: u64) {
+    for b in x.to_le_bytes() {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x1_0000_01b3);
+    }
+}
+
+/// Drives `circuits` best-effort circuits over a 4-switch SRC installation
+/// for `slots` slots, sending a small packet per circuit every `gap`
+/// slots, then drains and (with a fault layer) forces resyncs until every
+/// hop is whole or the retry budget runs out.
+fn soak(spec: Option<&FaultSpec>, fault_seed: u64, slots: u64, gap: u64) -> Outcome {
+    let mut net = Network::builder().src_installation(4, 12).seed(17).build();
+    let hosts: Vec<_> = net.hosts().collect();
+    let mut vcs: Vec<(VcId, usize)> = Vec::new();
+    for i in 0..6 {
+        // Offset 6 ≡ 2 (mod 4): routes cross the backbone.
+        let (src, dst) = (hosts[i], hosts[(i + 6) % hosts.len()]);
+        let vc = net.open_best_effort(src, dst).expect("route exists");
+        vcs.push((vc, (i + 6) % hosts.len()));
+    }
+    if let Some(spec) = spec {
+        net.attach_faults(spec, fault_seed);
+    }
+    // 480-byte packets: 10 cells each, small enough that ~1% cell loss
+    // still delivers most packets whole.
+    let mut t = 0;
+    let mut tag = 0u8;
+    while t < slots {
+        for &(vc, _) in &vcs {
+            if !net.is_broken(vc) {
+                let _ = net.send_packet(vc, Packet::from_bytes(vec![tag; 480]));
+            }
+        }
+        tag = tag.wrapping_add(1);
+        net.step(gap);
+        t += gap;
+    }
+    net.step(25_000); // drain the pipeline
+    if spec.is_some() {
+        for _ in 0..60 {
+            let whole = vcs
+                .iter()
+                .all(|&(vc, _)| net.is_broken(vc) || net.credits_fully_restored(vc));
+            if whole {
+                break;
+            }
+            for &(vc, _) in &vcs {
+                if !net.is_broken(vc) && !net.credits_fully_restored(vc) {
+                    let _ = net.force_resync(vc);
+                }
+            }
+            net.step(3_000);
+        }
+    }
+    let mut out = Outcome {
+        sent: 0,
+        delivered: 0,
+        lost: 0,
+        violations: 0,
+        resyncs: 0,
+        restored: true,
+        log: net.reconfig_log().to_vec(),
+        digest: 0xcbf2_9ce4_8422_2325,
+    };
+    for &(vc, host_idx) in &vcs {
+        let broken = net.is_broken(vc);
+        let s = net.stats(vc).clone();
+        out.sent += s.sent_cells;
+        out.delivered += s.delivered_cells;
+        out.lost += s.lost_cells;
+        if spec.is_some() && !broken && !net.credits_fully_restored(vc) {
+            out.restored = false;
+        }
+        for x in [
+            s.sent_cells,
+            s.delivered_cells,
+            s.dropped_cells,
+            s.lost_cells,
+            s.corrupted_cells,
+            s.packets_delivered,
+            s.packets_corrupted,
+        ] {
+            fnv(&mut out.digest, x);
+        }
+        for &l in s.latency_slots.samples() {
+            fnv(&mut out.digest, l);
+        }
+        for (pvc, p) in net.take_received(hosts[host_idx]) {
+            fnv(&mut out.digest, pvc.raw() as u64);
+            fnv(&mut out.digest, p.as_bytes().len() as u64);
+            for &b in p.as_bytes().iter().take(8) {
+                fnv(&mut out.digest, b as u64);
+            }
+        }
+    }
+    if let Some(c) = net.fault_counters() {
+        out.violations = c.invariant_violations;
+        out.resyncs = c.resyncs_completed;
+        for x in [
+            c.cells_lost,
+            c.cells_corrupted,
+            c.credits_lost,
+            c.markers_sent,
+            c.markers_lost,
+            c.replies_lost,
+            c.resyncs_completed,
+            c.crash_dropped_cells,
+            c.invariant_violations,
+        ] {
+            fnv(&mut out.digest, x);
+        }
+    }
+    for &(slot, link, up) in &out.log {
+        fnv(&mut out.digest, slot);
+        fnv(&mut out.digest, link.0 as u64);
+        fnv(&mut out.digest, up as u64);
+    }
+    out
+}
+
+/// ~1% average loss: the GE chain spends ~2% of slots in the bad state
+/// (0.002 / (0.002 + 0.1)), losing half the cells it sees there.
+fn bursty_percent_loss() -> LinkFaultModel {
+    LinkFaultModel {
+        loss: LossModel::GilbertElliott {
+            p_good_to_bad: 0.002,
+            p_bad_to_good: 0.1,
+            loss_good: 0.0,
+            loss_bad: 0.5,
+        },
+        ..Default::default()
+    }
+}
+
+fn per_ms_monitor(spec: &mut FaultSpec) {
+    spec.monitor.ping_interval = SimDuration::from_millis(1);
+}
+
+/// Runs all five cells. Panics (failing the harness) on any violated
+/// claim, so CI can gate on `experiments n3`.
+pub fn n3_chaos_soak() -> (Vec<ChaosRow>, String) {
+    let mut rows = Vec::new();
+    let mut text = String::new();
+
+    // --- inert: the fault layer must be free when nothing is configured.
+    let bare = soak(None, 0, 20_000, 600);
+    let inert = soak(Some(&FaultSpec::default()), 9, 20_000, 600);
+    // The bare run digests no counters and no log; compare traffic only.
+    assert_eq!(
+        (bare.sent, bare.delivered, bare.lost),
+        (inert.sent, inert.delivered, inert.lost),
+        "inert fault layer changed traffic"
+    );
+    assert_eq!(inert.violations, 0);
+    writeln!(
+        text,
+        "inert:  {} cells sent, {} delivered — identical with and without \
+         the (empty) fault layer attached",
+        bare.sent, bare.delivered
+    )
+    .unwrap();
+    rows.push(ChaosRow {
+        cell: "inert".into(),
+        sent_cells: inert.sent,
+        delivered_cells: inert.delivered,
+        lost_cells: inert.lost,
+        violations: inert.violations,
+        resyncs: inert.resyncs,
+        detect_ms: 0.0,
+        restored: inert.restored,
+        replay_ok: true,
+    });
+
+    // --- loss: degraded, never broken; resync makes the credits whole.
+    let mut loss_spec = FaultSpec {
+        default_link: bursty_percent_loss(),
+        resync_interval_slots: 2_000,
+        check_invariants: true,
+        ..Default::default()
+    };
+    per_ms_monitor(&mut loss_spec);
+    let lossy = soak(Some(&loss_spec), 41, 30_000, 600);
+    let replay = soak(Some(&loss_spec), 41, 30_000, 600);
+    let replay_ok = lossy.digest == replay.digest;
+    assert!(replay_ok, "same (spec, seed) must replay byte-identically");
+    assert!(lossy.lost > 0, "the lossy links never fired");
+    assert!(
+        lossy.delivered as f64 >= 0.90 * lossy.sent as f64,
+        "1% loss should still deliver ≥90% of cells ({} of {})",
+        lossy.delivered,
+        lossy.sent
+    );
+    assert_eq!(lossy.violations, 0, "invariant checker fired under loss");
+    assert!(lossy.restored, "credits not restored after drain + resync");
+    assert!(lossy.resyncs > 0);
+    writeln!(
+        text,
+        "loss:   {} of {} cells delivered under ~1% bursty loss ({} lost, \
+         {} resyncs, credits whole again, 0 violations)",
+        lossy.delivered, lossy.sent, lossy.lost, lossy.resyncs
+    )
+    .unwrap();
+    rows.push(ChaosRow {
+        cell: "loss".into(),
+        sent_cells: lossy.sent,
+        delivered_cells: lossy.delivered,
+        lost_cells: lossy.lost,
+        violations: lossy.violations,
+        resyncs: lossy.resyncs,
+        detect_ms: 0.0,
+        restored: lossy.restored,
+        replay_ok,
+    });
+
+    // --- flap: monitor detection inside 200 ms, then skeptic recovery.
+    // Link 0 is an inter-switch backbone link in src_installation.
+    let slot_ns = an2_cells::LinkRate::Mbps622.slot_duration().as_nanos();
+    let down_at = 30_000u64;
+    let up_at = 300_000u64;
+    let mut flap_spec = FaultSpec {
+        flaps: vec![FlapEvent {
+            link: LinkId(0),
+            down_at,
+            up_at,
+        }],
+        check_invariants: true,
+        ..Default::default()
+    };
+    per_ms_monitor(&mut flap_spec);
+    // One long run (~0.4 s simulated) so the skeptic's 100 ms wait and the
+    // ten recovery pings both fit.
+    let flap = soak(Some(&flap_spec), 5, 700_000, 5_000);
+    let death = flap
+        .log
+        .iter()
+        .find(|&&(_, l, up)| l == LinkId(0) && !up)
+        .unwrap_or_else(|| panic!("monitor never declared the flap dead; log={:?}", flap.log));
+    let detect_ms = (death.0 - down_at) as f64 * slot_ns as f64 / 1e6;
+    assert!(
+        detect_ms < 200.0,
+        "flap detection took {detect_ms:.1} ms (≥ 200 ms)"
+    );
+    let revived = flap
+        .log
+        .iter()
+        .any(|&(slot, l, up)| l == LinkId(0) && up && slot > up_at);
+    assert!(revived, "skeptic never readmitted the flapped link");
+    assert_eq!(flap.violations, 0);
+    assert!(
+        flap.delivered > 0,
+        "traffic must keep flowing around the flap"
+    );
+    writeln!(
+        text,
+        "flap:   link0 declared dead {detect_ms:.2} ms after going down \
+         (< 200 ms), readmitted after the flap; {} of {} cells delivered",
+        flap.delivered, flap.sent
+    )
+    .unwrap();
+    rows.push(ChaosRow {
+        cell: "flap".into(),
+        sent_cells: flap.sent,
+        delivered_cells: flap.delivered,
+        lost_cells: flap.lost,
+        violations: flap.violations,
+        resyncs: flap.resyncs,
+        detect_ms,
+        restored: flap.restored,
+        replay_ok: true,
+    });
+
+    // --- crash: one line card dies and restarts; no partition (dual-homed
+    // hosts, redundant backbone), delivery resumes.
+    let mut crash_spec = FaultSpec {
+        crashes: vec![CrashEvent {
+            switch: an2_topology::SwitchId(1),
+            at: 40_000,
+            restart_at: 120_000,
+        }],
+        resync_interval_slots: 4_000,
+        check_invariants: true,
+        ..Default::default()
+    };
+    per_ms_monitor(&mut crash_spec);
+    let crash = soak(Some(&crash_spec), 13, 600_000, 5_000);
+    assert_eq!(crash.violations, 0);
+    assert!(
+        crash.delivered > crash.sent / 2,
+        "a single line-card crash must not halve delivery ({} of {})",
+        crash.delivered,
+        crash.sent
+    );
+    writeln!(
+        text,
+        "crash:  switch1 down for 80k slots; {} of {} cells still \
+         delivered, no partition, 0 violations",
+        crash.delivered, crash.sent
+    )
+    .unwrap();
+    rows.push(ChaosRow {
+        cell: "crash".into(),
+        sent_cells: crash.sent,
+        delivered_cells: crash.delivered,
+        lost_cells: crash.lost,
+        violations: crash.violations,
+        resyncs: crash.resyncs,
+        detect_ms: 0.0,
+        restored: crash.restored,
+        replay_ok: true,
+    });
+
+    // --- soak: everything at once, replayed.
+    let mut soak_spec = FaultSpec {
+        default_link: bursty_percent_loss(),
+        flaps: vec![FlapEvent {
+            link: LinkId(0),
+            down_at: 50_000,
+            up_at: 200_000,
+        }],
+        crashes: vec![CrashEvent {
+            switch: an2_topology::SwitchId(2),
+            at: 250_000,
+            restart_at: 320_000,
+        }],
+        resync_interval_slots: 2_000,
+        check_invariants: true,
+        ..Default::default()
+    };
+    per_ms_monitor(&mut soak_spec);
+    let chaos = soak(Some(&soak_spec), 77, 500_000, 5_000);
+    let chaos2 = soak(Some(&soak_spec), 77, 500_000, 5_000);
+    let chaos_replay_ok = chaos.digest == chaos2.digest;
+    assert!(chaos_replay_ok, "chaos soak must replay byte-identically");
+    assert_eq!(chaos.violations, 0, "invariant checker fired in the soak");
+    assert!(chaos.delivered > 0);
+    writeln!(
+        text,
+        "soak:   loss + flap + crash together: {} of {} cells delivered, \
+         {} lost, {} resyncs, 0 violations, byte-identical replay",
+        chaos.delivered, chaos.sent, chaos.lost, chaos.resyncs
+    )
+    .unwrap();
+    rows.push(ChaosRow {
+        cell: "soak".into(),
+        sent_cells: chaos.sent,
+        delivered_cells: chaos.delivered,
+        lost_cells: chaos.lost,
+        violations: chaos.violations,
+        resyncs: chaos.resyncs,
+        detect_ms: 0.0,
+        restored: chaos.restored,
+        replay_ok: chaos_replay_ok,
+    });
+
+    (rows, text)
+}

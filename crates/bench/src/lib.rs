@@ -15,6 +15,7 @@
 
 pub mod extensions_exp;
 pub mod fabric_exp;
+pub mod faults_exp;
 pub mod figures;
 pub mod flow_exp;
 pub mod json;

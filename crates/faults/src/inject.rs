@@ -1,0 +1,517 @@
+//! The runtime fault injector.
+//!
+//! One [`FaultInjector`] is built per run from `(spec, seed)`. Every link
+//! gets its own RNG stream (forked from the seed in link-id order), so the
+//! fate of a transmission depends only on the spec, the seed, and the
+//! deterministic order of transmissions on that link — never on traffic
+//! elsewhere. Gilbert–Elliott chains advance once per slot in
+//! [`FaultInjector::begin_slot`], keyed to *time* rather than traffic, so a
+//! burst hits whatever happens to be in flight.
+
+use crate::spec::{FaultSpec, LinkFaultModel, LossModel};
+use crate::{CELL_BITS, HEADER_BITS};
+use an2_sim::SimRng;
+use an2_topology::{LinkId, SwitchId};
+
+/// What happens to one cell transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fate {
+    /// Delivered intact, arriving at `due` (base latency plus any jitter,
+    /// clamped so the link stays FIFO per direction).
+    Deliver {
+        /// Arrival slot.
+        due: u64,
+    },
+    /// Lost on the wire.
+    Lose,
+    /// Delivered with wire bit `bit` flipped. Bits below
+    /// [`HEADER_BITS`](crate::HEADER_BITS) are header hits: the HEC check
+    /// discards the cell at the receiving port (equivalent to a loss, but
+    /// counted as corruption). Payload hits are delivered and must be
+    /// caught end-to-end by the reassembler.
+    Corrupt {
+        /// Which of the 424 wire bits flipped.
+        bit: u16,
+        /// Arrival slot.
+        due: u64,
+    },
+}
+
+impl Fate {
+    /// True when the cell reaches the far end (possibly corrupted in the
+    /// payload). Header corruption does not arrive: the port drops it.
+    pub fn arrives(&self) -> bool {
+        match *self {
+            Fate::Deliver { .. } => true,
+            Fate::Lose => false,
+            Fate::Corrupt { bit, .. } => bit >= HEADER_BITS,
+        }
+    }
+}
+
+/// Scheduled state changes taking effect at the start of a slot.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SlotFaults {
+    /// Switches crashing this slot (buffered cells are lost).
+    pub crashes: Vec<SwitchId>,
+    /// Switches restarting this slot.
+    pub restarts: Vec<SwitchId>,
+    /// Links going physically down this slot.
+    pub flaps_down: Vec<LinkId>,
+    /// Links coming back up this slot.
+    pub flaps_up: Vec<LinkId>,
+}
+
+impl SlotFaults {
+    /// True when nothing happens this slot.
+    pub fn is_empty(&self) -> bool {
+        self.crashes.is_empty()
+            && self.restarts.is_empty()
+            && self.flaps_down.is_empty()
+            && self.flaps_up.is_empty()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum TransitionKind {
+    // Order matters: downs/crashes apply before ups/restarts in a slot, so
+    // a zero-length flap still pulses the link.
+    FlapDown(LinkId),
+    Crash(SwitchId),
+    FlapUp(LinkId),
+    Restart(SwitchId),
+}
+
+#[derive(Debug, Clone)]
+struct LinkRt {
+    model: LinkFaultModel,
+    rng: SimRng,
+    up: bool,
+    /// Gilbert–Elliott chain state: currently in the bad (bursty) state?
+    ge_bad: bool,
+    /// Latest delivery slot handed out per direction — the FIFO clamp that
+    /// keeps jittered links order-preserving.
+    last_due: [u64; 2],
+}
+
+/// Per-run fault state: link RNG streams, Gilbert–Elliott chains, physical
+/// link up/down and switch crashed/alive status, and the sorted transition
+/// script derived from the spec's flap and crash events.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    links: Vec<LinkRt>,
+    crashed: Vec<bool>,
+    script: Vec<(u64, TransitionKind)>,
+    cursor: usize,
+}
+
+impl FaultInjector {
+    /// Builds the injector for a run. `link_count` and `switch_count` come
+    /// from the topology; per-link RNG streams are forked from `seed` in
+    /// link-id order so the construction is deterministic.
+    pub fn new(spec: &FaultSpec, seed: u64, link_count: usize, switch_count: usize) -> Self {
+        let mut root = SimRng::new(seed);
+        let links = (0..link_count)
+            .map(|i| LinkRt {
+                model: spec.model_for(LinkId(i as u32)),
+                rng: root.fork(i as u64),
+                up: true,
+                ge_bad: false,
+                last_due: [0, 0],
+            })
+            .collect();
+        let mut script: Vec<(u64, TransitionKind)> = Vec::new();
+        for f in &spec.flaps {
+            script.push((f.down_at, TransitionKind::FlapDown(f.link)));
+            script.push((f.up_at, TransitionKind::FlapUp(f.link)));
+        }
+        for c in &spec.crashes {
+            script.push((c.at, TransitionKind::Crash(c.switch)));
+            script.push((c.restart_at, TransitionKind::Restart(c.switch)));
+        }
+        script.sort_unstable();
+        FaultInjector {
+            links,
+            crashed: vec![false; switch_count],
+            script,
+            cursor: 0,
+        }
+    }
+
+    /// Advances per-slot state: Gilbert–Elliott chains step once per link
+    /// (keyed to time, not traffic), then any flap/crash transitions due at
+    /// `slot` are applied and returned for the fabric to act on.
+    pub fn begin_slot(&mut self, slot: u64) -> SlotFaults {
+        for l in &mut self.links {
+            if let LossModel::GilbertElliott {
+                p_good_to_bad,
+                p_bad_to_good,
+                ..
+            } = l.model.loss
+            {
+                let u = l.rng.gen_f64();
+                if l.ge_bad {
+                    if u < p_bad_to_good {
+                        l.ge_bad = false;
+                    }
+                } else if u < p_good_to_bad {
+                    l.ge_bad = true;
+                }
+            }
+        }
+        let mut out = SlotFaults::default();
+        while self.cursor < self.script.len() && self.script[self.cursor].0 <= slot {
+            let (_, kind) = self.script[self.cursor];
+            self.cursor += 1;
+            match kind {
+                TransitionKind::FlapDown(l) => {
+                    self.links[l.0 as usize].up = false;
+                    out.flaps_down.push(l);
+                }
+                TransitionKind::FlapUp(l) => {
+                    self.links[l.0 as usize].up = true;
+                    out.flaps_up.push(l);
+                }
+                TransitionKind::Crash(s) => {
+                    self.crashed[s.0 as usize] = true;
+                    out.crashes.push(s);
+                }
+                TransitionKind::Restart(s) => {
+                    self.crashed[s.0 as usize] = false;
+                    out.restarts.push(s);
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether the link is physically up (flap scripts only; the monitor's
+    /// *verdict* lives in the topology's [`LinkState`](an2_topology::LinkState)).
+    pub fn link_up(&self, link: LinkId) -> bool {
+        self.links[link.0 as usize].up
+    }
+
+    /// Whether the switch is currently crashed.
+    pub fn crashed(&self, switch: SwitchId) -> bool {
+        self.crashed[switch.0 as usize]
+    }
+
+    fn loss_draw(l: &mut LinkRt) -> bool {
+        let p = match l.model.loss {
+            LossModel::None => return false,
+            LossModel::Independent { p } => p,
+            LossModel::GilbertElliott {
+                loss_good,
+                loss_bad,
+                ..
+            } => {
+                if l.ge_bad {
+                    loss_bad
+                } else {
+                    loss_good
+                }
+            }
+        };
+        p > 0.0 && l.rng.gen_f64() < p
+    }
+
+    /// Decides the fate of one *cell* transmission on `link` in direction
+    /// `dir` (0 or 1, by receiving endpoint), which would normally arrive
+    /// at `base_due`. Applies loss, corruption and jitter in that order,
+    /// then the per-direction FIFO clamp.
+    pub fn transmit_cell(&mut self, link: LinkId, dir: usize, base_due: u64) -> Fate {
+        let l = &mut self.links[link.0 as usize];
+        if !l.up {
+            return Fate::Lose;
+        }
+        if Self::loss_draw(l) {
+            return Fate::Lose;
+        }
+        let corrupt_bit =
+            if l.model.corrupt_per_cell > 0.0 && l.rng.gen_f64() < l.model.corrupt_per_cell {
+                Some(l.rng.gen_range(CELL_BITS as usize) as u16)
+            } else {
+                None
+            };
+        let mut due = base_due;
+        if l.model.jitter_slots > 0 {
+            due += l.rng.gen_range(l.model.jitter_slots as usize + 1) as u64;
+        }
+        let due = due.max(l.last_due[dir]);
+        l.last_due[dir] = due;
+        match corrupt_bit {
+            Some(bit) => Fate::Corrupt { bit, due },
+            None => Fate::Deliver { due },
+        }
+    }
+
+    /// Decides whether one *control* transmission (credit, resync marker or
+    /// reply) survives the link. Control messages ride tiny cells: they see
+    /// the same loss process but no payload corruption or jitter.
+    pub fn transmit_ctrl(&mut self, link: LinkId) -> bool {
+        let l = &mut self.links[link.0 as usize];
+        l.up && !Self::loss_draw(l)
+    }
+
+    /// Outcome of one monitor ping over `link`: the request and the ack
+    /// each traverse the link once, so both must survive. Both draws are
+    /// always taken, keeping the stream's draw count independent of the
+    /// first outcome.
+    pub fn ping(&mut self, link: LinkId) -> bool {
+        let l = &mut self.links[link.0 as usize];
+        let lost_req = Self::loss_draw(l);
+        let lost_ack = Self::loss_draw(l);
+        l.up && !lost_req && !lost_ack
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{CrashEvent, FlapEvent};
+
+    fn spec_with(default_link: LinkFaultModel) -> FaultSpec {
+        FaultSpec {
+            default_link,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn inert_spec_delivers_everything_on_time() {
+        let mut inj = FaultInjector::new(&FaultSpec::default(), 7, 4, 2);
+        for slot in 0..100 {
+            assert!(inj.begin_slot(slot).is_empty());
+            for link in 0..4u32 {
+                assert_eq!(
+                    inj.transmit_cell(LinkId(link), (slot % 2) as usize, slot + 2),
+                    Fate::Deliver { due: slot + 2 }
+                );
+                assert!(inj.transmit_ctrl(LinkId(link)));
+                assert!(inj.ping(LinkId(link)));
+            }
+        }
+    }
+
+    #[test]
+    fn replay_is_byte_identical() {
+        let spec = FaultSpec {
+            default_link: LinkFaultModel {
+                loss: LossModel::GilbertElliott {
+                    p_good_to_bad: 0.05,
+                    p_bad_to_good: 0.2,
+                    loss_good: 0.001,
+                    loss_bad: 0.5,
+                },
+                corrupt_per_cell: 0.01,
+                jitter_slots: 3,
+            },
+            ..Default::default()
+        };
+        let mut a = FaultInjector::new(&spec, 42, 3, 2);
+        let mut b = FaultInjector::new(&spec, 42, 3, 2);
+        for slot in 0..2_000 {
+            assert_eq!(a.begin_slot(slot), b.begin_slot(slot));
+            for link in 0..3u32 {
+                assert_eq!(
+                    a.transmit_cell(LinkId(link), 0, slot + 2),
+                    b.transmit_cell(LinkId(link), 0, slot + 2)
+                );
+                assert_eq!(a.ping(LinkId(link)), b.ping(LinkId(link)));
+            }
+        }
+    }
+
+    #[test]
+    fn seeds_decorrelate_links_and_runs() {
+        let spec = spec_with(LinkFaultModel {
+            loss: LossModel::Independent { p: 0.5 },
+            ..Default::default()
+        });
+        let mut a = FaultInjector::new(&spec, 1, 2, 1);
+        let mut b = FaultInjector::new(&spec, 2, 2, 1);
+        let fates = |inj: &mut FaultInjector, link: u32| -> Vec<bool> {
+            (0..256)
+                .map(|s| inj.transmit_cell(LinkId(link), 0, s + 2).arrives())
+                .collect()
+        };
+        let a0 = fates(&mut a, 0);
+        let a1 = fates(&mut a, 1);
+        let b0 = fates(&mut b, 0);
+        assert_ne!(a0, a1, "links draw from independent streams");
+        assert_ne!(a0, b0, "different seeds give different runs");
+    }
+
+    #[test]
+    fn independent_loss_hits_at_about_p() {
+        let spec = spec_with(LinkFaultModel {
+            loss: LossModel::Independent { p: 0.1 },
+            ..Default::default()
+        });
+        let mut inj = FaultInjector::new(&spec, 11, 1, 1);
+        let n = 100_000;
+        let lost = (0..n)
+            .filter(|&s| inj.transmit_cell(LinkId(0), 0, s + 2) == Fate::Lose)
+            .count();
+        let rate = lost as f64 / n as f64;
+        assert!((rate - 0.1).abs() < 0.01, "loss rate {rate}");
+    }
+
+    #[test]
+    fn gilbert_elliott_losses_are_bursty() {
+        // Same marginal loss rate two ways: independent vs bursty. The GE
+        // chain (mean burst 1/0.05 = 20 slots) must produce far fewer but
+        // longer loss runs than the independent process.
+        let marginal = 0.0026 / (0.0026 + 0.05); // stationary bad * loss_bad
+        let ge = spec_with(LinkFaultModel {
+            loss: LossModel::GilbertElliott {
+                p_good_to_bad: 0.0026,
+                p_bad_to_good: 0.05,
+                loss_good: 0.0,
+                loss_bad: 1.0,
+            },
+            ..Default::default()
+        });
+        let iid = spec_with(LinkFaultModel {
+            loss: LossModel::Independent { p: marginal },
+            ..Default::default()
+        });
+        let run_stats = |spec: &FaultSpec| -> (f64, usize) {
+            let mut inj = FaultInjector::new(spec, 5, 1, 1);
+            let n = 200_000u64;
+            let mut lost = 0usize;
+            let mut runs = 0usize;
+            let mut in_run = false;
+            for slot in 0..n {
+                inj.begin_slot(slot);
+                let l = inj.transmit_cell(LinkId(0), 0, slot + 2) == Fate::Lose;
+                if l {
+                    lost += 1;
+                    if !in_run {
+                        runs += 1;
+                    }
+                }
+                in_run = l;
+            }
+            (lost as f64 / n as f64, runs)
+        };
+        let (ge_rate, ge_runs) = run_stats(&ge);
+        let (iid_rate, iid_runs) = run_stats(&iid);
+        assert!(
+            (ge_rate - iid_rate).abs() < 0.02,
+            "marginal rates comparable: {ge_rate} vs {iid_rate}"
+        );
+        assert!(
+            ge_runs * 3 < iid_runs,
+            "bursty losses clump into fewer runs: {ge_runs} vs {iid_runs}"
+        );
+    }
+
+    #[test]
+    fn corruption_splits_header_and_payload() {
+        let spec = spec_with(LinkFaultModel {
+            corrupt_per_cell: 1.0,
+            ..Default::default()
+        });
+        let mut inj = FaultInjector::new(&spec, 3, 1, 1);
+        let mut header = 0;
+        let mut payload = 0;
+        for slot in 0..10_000u64 {
+            match inj.transmit_cell(LinkId(0), 0, slot + 2) {
+                Fate::Corrupt { bit, .. } => {
+                    assert!(bit < CELL_BITS);
+                    if bit < HEADER_BITS {
+                        header += 1;
+                    } else {
+                        payload += 1;
+                    }
+                }
+                f => panic!("corrupt_per_cell = 1.0 but got {f:?}"),
+            }
+        }
+        // 40 of 424 bits are header: expect ~9.4% header hits.
+        let frac = header as f64 / (header + payload) as f64;
+        assert!((frac - 40.0 / 424.0).abs() < 0.02, "header fraction {frac}");
+    }
+
+    #[test]
+    fn jitter_preserves_fifo_per_direction() {
+        let spec = spec_with(LinkFaultModel {
+            jitter_slots: 8,
+            ..Default::default()
+        });
+        let mut inj = FaultInjector::new(&spec, 9, 1, 1);
+        let mut last = [0u64; 2];
+        let mut jittered = false;
+        for slot in 0..5_000u64 {
+            for (dir, floor) in last.iter_mut().enumerate() {
+                match inj.transmit_cell(LinkId(0), dir, slot + 2) {
+                    Fate::Deliver { due } => {
+                        assert!(due >= *floor, "FIFO violated in dir {dir}");
+                        assert!(due >= slot + 2 && due <= slot + 2 + 8 || due == *floor);
+                        if due > slot + 2 {
+                            jittered = true;
+                        }
+                        *floor = due;
+                    }
+                    f => panic!("jitter-only model lost a cell: {f:?}"),
+                }
+            }
+        }
+        assert!(jittered, "jitter_slots = 8 never delayed anything");
+    }
+
+    #[test]
+    fn flap_script_downs_and_revives_the_link() {
+        let spec = FaultSpec {
+            flaps: vec![FlapEvent {
+                link: LinkId(1),
+                down_at: 10,
+                up_at: 20,
+            }],
+            ..Default::default()
+        };
+        let mut inj = FaultInjector::new(&spec, 1, 2, 1);
+        for slot in 0..30u64 {
+            let sf = inj.begin_slot(slot);
+            match slot {
+                10 => assert_eq!(sf.flaps_down, vec![LinkId(1)]),
+                20 => assert_eq!(sf.flaps_up, vec![LinkId(1)]),
+                _ => assert!(sf.is_empty()),
+            }
+            let up = !(10..20).contains(&slot);
+            assert_eq!(inj.link_up(LinkId(1)), up);
+            assert_eq!(inj.ping(LinkId(1)), up);
+            assert_eq!(
+                inj.transmit_cell(LinkId(1), 0, slot + 2).arrives(),
+                up,
+                "slot {slot}"
+            );
+            assert!(inj.link_up(LinkId(0)), "other links unaffected");
+        }
+    }
+
+    #[test]
+    fn crash_script_marks_switch_dead_until_restart() {
+        let spec = FaultSpec {
+            crashes: vec![CrashEvent {
+                switch: SwitchId(1),
+                at: 5,
+                restart_at: 9,
+            }],
+            ..Default::default()
+        };
+        let mut inj = FaultInjector::new(&spec, 1, 1, 3);
+        for slot in 0..15u64 {
+            let sf = inj.begin_slot(slot);
+            match slot {
+                5 => assert_eq!(sf.crashes, vec![SwitchId(1)]),
+                9 => assert_eq!(sf.restarts, vec![SwitchId(1)]),
+                _ => assert!(sf.is_empty()),
+            }
+            assert_eq!(inj.crashed(SwitchId(1)), (5..9).contains(&slot));
+            assert!(!inj.crashed(SwitchId(0)));
+            assert!(!inj.crashed(SwitchId(2)));
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Monitor/skeptic behaviour under Gilbert–Elliott ping outcomes (§2).
+//!
+//! The paper's link monitor must tell transient noise from real failure:
+//! bursty loss whose bursts are shorter than the failure window must *not*
+//! flap a link, while sustained loss must kill it within the configured
+//! window. Here the ping outcomes come from the fault injector's
+//! Gilbert–Elliott chains rather than hand-written sequences, closing the
+//! loop between the fault model and the reconfiguration layer.
+
+use an2_faults::{FaultInjector, FaultSpec, LinkFaultModel, LossModel};
+use an2_reconfig::monitor::{LinkMonitor, LinkVerdict, MonitorConfig};
+use an2_reconfig::skeptic::SkepticConfig;
+use an2_sim::{SimDuration, SimTime};
+use an2_topology::LinkId;
+
+const PING_EVERY_SLOTS: u64 = 10;
+
+fn monitor_cfg() -> MonitorConfig {
+    MonitorConfig {
+        ping_interval: SimDuration::from_millis(10),
+        fail_threshold: 3,
+        recover_threshold: 10,
+        skeptic: SkepticConfig::default(),
+    }
+}
+
+/// Drives a monitor with ping outcomes from the injector for `pings`
+/// pings, advancing the Gilbert–Elliott chain between pings. Returns the
+/// number of verdict transitions and the slot of the first Dead verdict.
+fn drive(spec: &FaultSpec, seed: u64, pings: u64) -> (u32, Option<u64>, LinkVerdict) {
+    let mut inj = FaultInjector::new(spec, seed, 1, 1);
+    let mut mon = LinkMonitor::new(monitor_cfg());
+    let mut transitions = 0;
+    let mut first_dead = None;
+    let mut slot = 0u64;
+    for k in 0..pings {
+        for _ in 0..PING_EVERY_SLOTS {
+            inj.begin_slot(slot);
+            slot += 1;
+        }
+        let ok = inj.ping(LinkId(0));
+        let now = SimTime::ZERO + monitor_cfg().ping_interval * (k + 1);
+        if let Some(t) = mon.on_ping(ok, now) {
+            transitions += 1;
+            if t.to == LinkVerdict::Dead && first_dead.is_none() {
+                first_dead = Some(slot);
+            }
+        }
+    }
+    (transitions, first_dead, mon.verdict())
+}
+
+#[test]
+fn bursty_loss_below_threshold_does_not_flap() {
+    // Bad bursts last ~2 slots (p_bad_to_good = 0.5) — far shorter than
+    // the 3-consecutive-ping failure window at 10 slots per ping — so
+    // bursts almost never line up with three straight pings. Several seeds
+    // guard against one lucky stream.
+    let spec = FaultSpec {
+        default_link: LinkFaultModel {
+            loss: LossModel::GilbertElliott {
+                p_good_to_bad: 0.005,
+                p_bad_to_good: 0.5,
+                loss_good: 0.0,
+                loss_bad: 0.5,
+            },
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    for seed in [1, 2, 3, 4, 5] {
+        let (transitions, first_dead, verdict) = drive(&spec, seed, 5_000);
+        assert_eq!(
+            transitions, 0,
+            "seed {seed}: bursty-but-brief loss flapped the link (first dead at {first_dead:?})"
+        );
+        assert_eq!(verdict, LinkVerdict::Working);
+    }
+}
+
+#[test]
+fn sustained_loss_kills_within_window() {
+    // Once the chain enters an absorbing bad state with total loss, every
+    // ping fails; the monitor must declare the link dead after exactly
+    // fail_threshold pings — the "configured window".
+    let spec = FaultSpec {
+        default_link: LinkFaultModel {
+            loss: LossModel::GilbertElliott {
+                p_good_to_bad: 1.0,
+                p_bad_to_good: 0.0,
+                loss_good: 0.0,
+                loss_bad: 1.0,
+            },
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    for seed in [7, 8, 9] {
+        let (transitions, first_dead, verdict) = drive(&spec, seed, 100);
+        assert_eq!(verdict, LinkVerdict::Dead);
+        assert_eq!(transitions, 1, "dead once, never resurrects under loss");
+        let window = monitor_cfg().fail_threshold as u64 * PING_EVERY_SLOTS;
+        assert_eq!(
+            first_dead,
+            Some(window),
+            "seed {seed}: link must die exactly at the {window}-slot window"
+        );
+    }
+}
+
+#[test]
+fn heavy_but_subcritical_loss_eventually_recovers_via_skeptic() {
+    // A long bad burst kills the link; once the chain exits the burst the
+    // monitor sees clean pings, and after the skeptic's wait plus the
+    // recover threshold the link must come back — the §2 working/dead
+    // round trip under a *stochastic* adversary.
+    let spec = FaultSpec {
+        default_link: LinkFaultModel {
+            loss: LossModel::GilbertElliott {
+                // Bursts average 2 000 slots (200 pings) — plenty to kill.
+                p_good_to_bad: 0.001,
+                p_bad_to_good: 0.0005,
+                loss_good: 0.0,
+                loss_bad: 1.0,
+            },
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let (transitions, first_dead, _) = drive(&spec, 13, 60_000);
+    assert!(first_dead.is_some(), "a 2000-slot loss burst must kill");
+    assert!(
+        transitions >= 2,
+        "link must also recover after the burst (saw {transitions} transitions)"
+    );
+}

@@ -229,6 +229,14 @@ impl CreditReceiver {
         self.epoch = epoch;
         self.forwarded
     }
+
+    /// Discards `n` buffered cells without forwarding them — a line-card
+    /// crash losing its buffers. The forwarded counter is *not* advanced:
+    /// the dropped cells stay outstanding until a resync reconciles them
+    /// against the sender's `sent` counter.
+    pub fn drop_buffered(&mut self, n: u32) {
+        self.occupied = self.occupied.saturating_sub(n);
+    }
 }
 
 #[cfg(test)]

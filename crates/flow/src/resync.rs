@@ -34,8 +34,9 @@ use serde::{Deserialize, Serialize};
 pub struct Marker {
     /// The new credit epoch.
     pub epoch: u32,
-    /// The sender's absolute sent counter at marker time (diagnostic; the
-    /// receiver does not need it, but it makes traces self-describing).
+    /// The sender's absolute sent counter at marker time. The plain
+    /// [`handle_marker`] ignores it (and makes traces self-describing);
+    /// [`handle_marker_lossy`] uses it to reconcile cells lost on the link.
     pub sent: u64,
 }
 
@@ -62,6 +63,30 @@ pub fn handle_marker(receiver: &mut CreditReceiver, marker: Marker) -> Reply {
     Reply {
         epoch: marker.epoch,
         forwarded,
+    }
+}
+
+/// Handles a marker at the downstream end of a link that may *lose cells in
+/// flight* (a faulty wire or a crashed line card), producing the reply.
+///
+/// The plain [`handle_marker`] reply reports the receiver's own `forwarded`
+/// counter, which never accounts for cells that vanished between the ends —
+/// their credits would stay lost forever. This variant instead reports
+/// `marker.sent − occupied`: every cell the sender had sent by marker time
+/// that is not sitting in a buffer right now has either been forwarded or
+/// destroyed, and both deserve their credit back.
+///
+/// **Safety requirement:** the marker must travel the same FIFO channel as
+/// the data cells, so that when it arrives every cell sent before it has
+/// either arrived (occupied or forwarded) or been lost. Then
+/// `reply.forwarded ≤ marker.sent ≤ sender.sent`, the balance computed by
+/// [`finish`] never exceeds `capacity − in-flight`, and over-estimation
+/// remains impossible.
+pub fn handle_marker_lossy(receiver: &mut CreditReceiver, marker: Marker) -> Reply {
+    let _own_forwarded = receiver.handle_marker(marker.epoch); // stamps the epoch
+    Reply {
+        epoch: marker.epoch,
+        forwarded: marker.sent.saturating_sub(receiver.occupied() as u64),
     }
 }
 
@@ -179,6 +204,76 @@ mod tests {
         let reply2 = handle_marker(&mut r, marker2);
         finish(&mut s, reply2);
         assert_eq!(s.balance(), 4);
+    }
+
+    #[test]
+    fn lossy_marker_recovers_cells_destroyed_on_the_link() {
+        let mut s = CreditSender::new(4);
+        let mut r = CreditReceiver::new(4);
+        // Three cells sent; one destroyed on the wire, one buffered, one
+        // forwarded with its credit also lost.
+        for _ in 0..3 {
+            assert!(s.try_send());
+        }
+        r.on_cell().unwrap(); // survives, stays buffered
+        r.on_cell().unwrap();
+        let _lost_credit = r.forward().unwrap();
+        assert_eq!(s.balance(), 1);
+        let marker = begin(&mut s);
+        // Plain handle_marker would report forwarded=1, leaving the
+        // destroyed cell outstanding forever (balance 2 of 4). The lossy
+        // variant reports sent − occupied = 3 − 1 = 2: the destroyed cell's
+        // credit comes back, only the buffered cell stays outstanding.
+        let reply = handle_marker_lossy(&mut r, marker);
+        assert_eq!(reply.forwarded, 2);
+        finish(&mut s, reply);
+        assert_eq!(s.balance(), 3);
+        // The buffered cell drains normally under the new epoch.
+        let e = r.forward().unwrap();
+        assert!(s.on_credit_with_epoch(e));
+        assert_eq!(s.balance(), 4);
+    }
+
+    #[test]
+    fn lossy_marker_recovers_crash_dropped_buffers() {
+        let mut s = CreditSender::new(4);
+        let mut r = CreditReceiver::new(4);
+        for _ in 0..3 {
+            assert!(s.try_send());
+            r.on_cell().unwrap();
+        }
+        // Line card crashes: all three buffered cells vanish.
+        r.drop_buffered(3);
+        assert_eq!(r.occupied(), 0);
+        assert_eq!(s.balance(), 1);
+        let marker = begin(&mut s);
+        let reply = handle_marker_lossy(&mut r, marker);
+        finish(&mut s, reply);
+        assert_eq!(
+            s.balance(),
+            4,
+            "crash-dropped cells give their credits back"
+        );
+    }
+
+    #[test]
+    fn lossy_marker_never_over_estimates() {
+        // Cells sent after the marker are still counted as outstanding.
+        let mut s = CreditSender::new(8);
+        let mut r = CreditReceiver::new(8);
+        for _ in 0..2 {
+            assert!(s.try_send());
+            r.on_cell().unwrap();
+        }
+        let marker = begin(&mut s);
+        // Two more cells leave after the marker (still in flight).
+        assert!(s.try_send());
+        assert!(s.try_send());
+        let reply = handle_marker_lossy(&mut r, marker);
+        finish(&mut s, reply);
+        // sent=4, reply.forwarded = 2−2 = 0 → all four outstanding.
+        assert_eq!(s.balance(), 4);
+        assert!(s.balance() + r.occupied() <= s.capacity());
     }
 
     #[test]

@@ -1,0 +1,185 @@
+//! Adversarial-schedule property tests for credit resynchronization (§5).
+//!
+//! An adversary drives one flow-controlled hop — a FIFO wire downstream
+//! (cells and markers), a FIFO wire upstream (credits and replies) — and
+//! may lose any item, crash the receiver's buffers, and start resyncs at
+//! arbitrary points. Two properties must survive every schedule:
+//!
+//! 1. **Never over-estimate:** the sender's balance never exceeds
+//!    `capacity − occupied − in-flight`, so the receiver can never
+//!    overflow ("with credits, a lost message can only cause reduced
+//!    performance").
+//! 2. **Eventually recover:** once losses stop and one resync completes
+//!    cleanly, the balance returns to `capacity − in-flight`, which at
+//!    quiescence is full capacity.
+
+use an2_flow::resync::{self, Marker, Reply};
+use an2_flow::{CreditReceiver, CreditSender};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// In-flight item on the downstream wire (sender → receiver). FIFO order
+/// between cells and markers is what makes the lossy reply sound.
+#[derive(Debug, Clone, Copy)]
+enum Down {
+    Cell,
+    Marker(Marker),
+}
+
+/// In-flight item on the upstream wire (receiver → sender).
+#[derive(Debug, Clone, Copy)]
+enum Up {
+    Credit(u32),
+    Reply(Reply),
+}
+
+struct Hop {
+    s: CreditSender,
+    r: CreditReceiver,
+    down: VecDeque<Down>,
+    up: VecDeque<Up>,
+}
+
+impl Hop {
+    fn new(capacity: u32) -> Self {
+        Hop {
+            s: CreditSender::new(capacity),
+            r: CreditReceiver::new(capacity),
+            down: VecDeque::new(),
+            up: VecDeque::new(),
+        }
+    }
+
+    /// Cells on the downstream wire (these will arrive; lost ones are
+    /// removed from the queue immediately).
+    fn cells_in_flight(&self) -> u64 {
+        self.down.iter().filter(|i| matches!(i, Down::Cell)).count() as u64
+    }
+
+    /// The safety bound: credits the sender holds can never exceed the
+    /// buffers not already spoken for by buffered or in-flight cells.
+    fn check_no_over_estimate(&self) {
+        let spoken_for = self.r.occupied() as u64 + self.cells_in_flight();
+        assert!(
+            self.s.balance() as u64 + spoken_for <= self.s.capacity() as u64,
+            "over-estimate: balance {} + occupied {} + in-flight {} > capacity {}",
+            self.s.balance(),
+            self.r.occupied(),
+            self.cells_in_flight(),
+            self.s.capacity()
+        );
+    }
+
+    /// Applies one adversary action (the opcode space wraps around).
+    fn step(&mut self, op: u8) {
+        match op % 8 {
+            // Sender transmits if it has credit.
+            0 => {
+                if self.s.try_send() {
+                    self.down.push_back(Down::Cell);
+                }
+            }
+            // Deliver the oldest downstream item.
+            1 => match self.down.pop_front() {
+                Some(Down::Cell) => {
+                    self.r
+                        .on_cell()
+                        .expect("receiver overflow: the credit protocol over-estimated under loss");
+                }
+                Some(Down::Marker(m)) => {
+                    let reply = resync::handle_marker_lossy(&mut self.r, m);
+                    self.up.push_back(Up::Reply(reply));
+                }
+                None => {}
+            },
+            // Lose the oldest downstream item (cell or marker).
+            2 => {
+                self.down.pop_front();
+            }
+            // Receiver forwards a buffered cell; its credit heads upstream.
+            3 => {
+                if let Some(epoch) = self.r.forward() {
+                    self.up.push_back(Up::Credit(epoch));
+                }
+            }
+            // Deliver the oldest upstream item.
+            4 => match self.up.pop_front() {
+                Some(Up::Credit(epoch)) => {
+                    // A fresh over-capacity credit would panic inside
+                    // on_credit_with_epoch — exactly the over-estimate this
+                    // test exists to rule out.
+                    self.s.on_credit_with_epoch(epoch);
+                }
+                Some(Up::Reply(reply)) => {
+                    resync::finish(&mut self.s, reply);
+                }
+                None => {}
+            },
+            // Lose the oldest upstream item (credit or reply).
+            5 => {
+                self.up.pop_front();
+            }
+            // Start a resync; the marker rides the downstream FIFO.
+            6 => {
+                let m = resync::begin(&mut self.s);
+                self.down.push_back(Down::Marker(m));
+            }
+            // Crash the receiver's line card: buffered cells vanish.
+            _ => {
+                let n = self.r.occupied();
+                self.r.drop_buffered(n);
+            }
+        }
+    }
+
+    /// Fault-free drain: deliver and forward everything in flight, then one
+    /// clean resync round trip.
+    fn recover(&mut self) {
+        while let Some(item) = self.down.pop_front() {
+            match item {
+                Down::Cell => self.r.on_cell().expect("overflow during drain"),
+                Down::Marker(m) => {
+                    let reply = resync::handle_marker_lossy(&mut self.r, m);
+                    self.up.push_back(Up::Reply(reply));
+                }
+            }
+        }
+        while let Some(epoch) = self.r.forward() {
+            self.up.push_back(Up::Credit(epoch));
+        }
+        while let Some(item) = self.up.pop_front() {
+            match item {
+                Up::Credit(epoch) => {
+                    self.s.on_credit_with_epoch(epoch);
+                }
+                Up::Reply(reply) => resync::finish(&mut self.s, reply),
+            }
+        }
+        // One clean marker/reply round trip reconciles everything lost.
+        let m = resync::begin(&mut self.s);
+        let reply = resync::handle_marker_lossy(&mut self.r, m);
+        resync::finish(&mut self.s, reply);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn balance_never_over_estimates_and_recovers(
+        capacity in 1u32..12,
+        ops in proptest::collection::vec(any::<u8>(), 1..400),
+    ) {
+        let mut hop = Hop::new(capacity);
+        for &op in &ops {
+            hop.step(op);
+            hop.check_no_over_estimate();
+        }
+        hop.recover();
+        prop_assert_eq!(hop.r.occupied(), 0);
+        prop_assert_eq!(
+            hop.s.balance(),
+            hop.s.capacity(),
+            "after a clean resync at quiescence the full capacity is back"
+        );
+    }
+}

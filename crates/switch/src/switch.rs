@@ -403,6 +403,46 @@ impl Switch {
         Ok(())
     }
 
+    /// Cells of `vc` buffered anywhere in the switch: every input queue
+    /// plus the unrouted pending buffer. This is the line-card occupancy a
+    /// fault layer's shadow credit receiver must mirror.
+    pub fn buffered_cells(&self, vc: VcId) -> usize {
+        let Some(si) = self.slot_of(vc) else {
+            return 0;
+        };
+        let mut n = self.vcs[si].pending_q.len();
+        for input in 0..self.cfg.ports {
+            n += self.queues[si * self.cfg.ports + input].len();
+        }
+        n
+    }
+
+    /// Drops every buffered cell — a line-card crash losing its cell
+    /// memory. Routing tables, schedules and credit gates survive (a warm
+    /// restart); only the buffered cells are gone. Returns how many cells
+    /// each circuit lost, in slab order, so the fabric can charge the loss
+    /// to the right circuits and shadow receivers.
+    pub fn drop_queued_cells(&mut self) -> Vec<(VcId, usize)> {
+        let mut out = Vec::new();
+        for si in 0..self.vcs.len() {
+            let mut n = self.pool.clear(&mut self.vcs[si].pending_q);
+            for input in 0..self.cfg.ports {
+                let dropped = self
+                    .pool
+                    .clear(&mut self.queues[si * self.cfg.ports + input]);
+                if dropped > 0 {
+                    deactivate(&mut self.be_active[input], &self.vcs, si as u32);
+                    deactivate(&mut self.gt_active[input], &self.vcs, si as u32);
+                }
+                n += dropped;
+            }
+            if n > 0 {
+                out.push((self.vcs[si].vc, n));
+            }
+        }
+        out
+    }
+
     /// Cells queued for a circuit at an input port (any pool).
     pub fn backlog(&self, input: usize, vc: VcId) -> usize {
         self.slot_of(vc)
