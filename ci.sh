@@ -28,6 +28,12 @@ if [[ "${1:-}" != "quick" ]]; then
 
     echo "== fault soak (N3 asserts its claims in-process)"
     cargo run -q -p an2-bench --release --bin experiments -- n3 --json
+
+    echo "== embedded control plane (N4 asserts its claims in-process)"
+    cargo run -q -p an2-bench --release --bin experiments -- n4 --json
+
+    echo "== cargo doc (deny warnings)"
+    RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 fi
 
 echo "== ci.sh: all green"

@@ -219,7 +219,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use std::ops::Range;
 
-    /// Length specification for [`vec`]: an exact length or a half-open
+    /// Length specification for [`vec()`]: an exact length or a half-open
     /// range.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
@@ -246,7 +246,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         elem: S,

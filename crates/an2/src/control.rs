@@ -1,0 +1,345 @@
+//! The embedded control plane: distributed reconfiguration inside the
+//! live network (§2).
+//!
+//! The pre-existing `an2-reconfig` harness runs the reconfiguration
+//! protocol in its own actor world, on its own clock, over perfect links.
+//! This module embeds the *same* [`SwitchAgent`] state machines in the
+//! fabric's slot-stepped timeline: each switch owns an agent, link-monitor
+//! verdicts become agent events, and agent-to-agent protocol messages are
+//! segmented into 53-byte control cells that ride the same
+//! fault-injectable links as data ([`Fabric::send_ctrl`]).
+//!
+//! When the protocol quiesces — no control cells in flight and every live
+//! agent's view equal to its partition's surviving topology — the network
+//! installs the new epoch's up\*/down\* routes switch-by-switch from the
+//! *canonical forest* ([`an2_topology::updown::canonical_forest`]), a pure
+//! function of the agreed edge set. Because the oracle harness can compute
+//! the same forest from the same edges, embedded routes are byte-comparable
+//! to harness routes (experiment N4's acceptance check).
+//!
+//! Convergence under message loss is guaranteed by a bounded retry: if an
+//! epoch is open, nothing is in flight, and the views still disagree, the
+//! lowest live switch with a stale view re-initiates after a quiet
+//! interval ([`ControlPlaneConfig::retry`]) with a fresh (higher) tag.
+
+use crate::fabric::Fabric;
+use an2_reconfig::agent::{AgentPublic, Msg, PublicHandle, SwitchAgent};
+use an2_reconfig::{ReconfigEvent, Tag};
+use an2_sim::metrics::PhaseRecorder;
+use an2_sim::{ActorId, SimDuration, SimTime};
+use an2_topology::updown::RouteCache;
+use an2_topology::{LinkState, Node, SwitchId};
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// An undirected switch adjacency, lower id first.
+pub(crate) type Edge = (SwitchId, SwitchId);
+
+fn norm(a: SwitchId, b: SwitchId) -> Edge {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Tuning for the embedded control plane.
+#[derive(Debug, Clone, Copy)]
+pub struct ControlPlaneConfig {
+    /// Line-card software time spent handling one protocol message before
+    /// its replies hit the wire (the harness oracle's default is 100 µs).
+    pub processing: SimDuration,
+    /// How long an open epoch may sit with nothing in flight and
+    /// disagreeing views before a stale switch re-initiates. Covers
+    /// protocol messages destroyed by link loss or crashed line cards.
+    pub retry: SimDuration,
+    /// Upper bound on re-initiations, so a partitioned or hopeless run
+    /// cannot spin forever.
+    pub max_retries: u32,
+}
+
+impl Default for ControlPlaneConfig {
+    fn default() -> Self {
+        ControlPlaneConfig {
+            processing: SimDuration::from_micros(100),
+            retry: SimDuration::from_millis(5),
+            max_retries: 64,
+        }
+    }
+}
+
+/// Per-switch reconfiguration agents living on the fabric timeline, plus
+/// the route cache and phase recorder that turn their quiescent views into
+/// installed up*/down* routes.
+pub(crate) struct ControlPlane {
+    agents: Vec<SwitchAgent>,
+    publics: Vec<PublicHandle>,
+    /// `cfg.processing` in slots, added to every outbound control send.
+    processing_slots: u64,
+    /// `cfg.retry` in slots.
+    retry_slots: u64,
+    max_retries: u32,
+    retries_used: u32,
+    /// An epoch is open: some agent's tag advanced past the last installed
+    /// configuration and quiescence has not been declared yet.
+    pub(crate) epoch_open: bool,
+    /// The largest tag observed across all agents.
+    pub(crate) best_tag: Tag,
+    /// Last slot with control activity (arrival, verdict, or re-kick);
+    /// the stall-retry clock.
+    pub(crate) last_activity_slot: u64,
+    /// Protocol messages that could not be sent because no working link
+    /// remained to the destination (the verdict beat the agent to it).
+    pub(crate) unsendable: u64,
+    /// Canonical-forest route memo, incrementally invalidated on verdicts.
+    pub(crate) cache: RouteCache,
+    /// Converge/install spans on the virtual clock.
+    pub(crate) phases: PhaseRecorder,
+}
+
+impl fmt::Debug for ControlPlane {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ControlPlane")
+            .field("agents", &self.agents.len())
+            .field("epoch_open", &self.epoch_open)
+            .field("best_tag", &self.best_tag)
+            .field("retries_used", &self.retries_used)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ControlPlane {
+    /// One agent per switch, all idle at [`Tag::ZERO`]. Boot knowledge is
+    /// delivered by [`crate::Network::enable_control_plane`].
+    pub(crate) fn new(switch_count: usize, cfg: ControlPlaneConfig, slot_ns: u64) -> Self {
+        let slot_ns = slot_ns.max(1);
+        let mut agents = Vec::with_capacity(switch_count);
+        let mut publics = Vec::with_capacity(switch_count);
+        for s in 0..switch_count {
+            let public: PublicHandle = Rc::new(RefCell::new(AgentPublic::default()));
+            publics.push(public.clone());
+            agents.push(SwitchAgent::new(SwitchId(s as u16), cfg.processing, public));
+        }
+        ControlPlane {
+            agents,
+            publics,
+            processing_slots: (cfg.processing.as_nanos() / slot_ns).max(1),
+            retry_slots: (cfg.retry.as_nanos() / slot_ns).max(1),
+            max_retries: cfg.max_retries,
+            retries_used: 0,
+            epoch_open: false,
+            best_tag: Tag::ZERO,
+            last_activity_slot: 0,
+            unsendable: 0,
+            cache: RouteCache::new(),
+            phases: PhaseRecorder::new(),
+        }
+    }
+
+    /// Runs one message through `sw`'s agent and ships every reply as a
+    /// control-cell burst over the lowest-id working link to its
+    /// destination, in the agent's send order.
+    pub(crate) fn deliver(&mut self, fabric: &mut Fabric, now: SimTime, sw: SwitchId, msg: Msg) {
+        let mut out = Vec::new();
+        self.agents[sw.0 as usize].handle(now, msg, &mut out);
+        for (to, m) in out {
+            let link = fabric.topology().links_between(sw, to).into_iter().min();
+            match link {
+                Some(link) => {
+                    fabric.send_ctrl(sw, to, link, m, self.processing_slots);
+                }
+                None => self.unsendable += 1,
+            }
+        }
+    }
+
+    /// Notes any tag growth after a batch of deliveries: the first growth
+    /// beyond the installed configuration opens an epoch (propose) and
+    /// starts the converge span.
+    pub(crate) fn observe_epoch(
+        &mut self,
+        slot: u64,
+        now: SimTime,
+        events: &mut Vec<ReconfigEvent>,
+    ) {
+        let max_tag = self
+            .agents
+            .iter()
+            .map(SwitchAgent::tag)
+            .max()
+            .unwrap_or(Tag::ZERO);
+        if max_tag > self.best_tag {
+            self.best_tag = max_tag;
+            events.push(ReconfigEvent::EpochStarted {
+                slot,
+                at: now,
+                tag: max_tag,
+            });
+            if !self.epoch_open {
+                self.epoch_open = true;
+                self.retries_used = 0;
+                self.phases.begin("converge", now);
+            }
+            self.last_activity_slot = slot;
+        }
+    }
+
+    /// Whether every live agent's view matches its partition's surviving
+    /// topology (and all tags agree within each partition). `Ok` carries
+    /// the largest agreed tag; `Err` carries the lowest live switch of the
+    /// first partition still in disagreement (the stall-retry candidate).
+    fn partition_check(&self, fabric: &Fabric) -> Result<Tag, SwitchId> {
+        let topo = fabric.topology();
+        let mut best = Tag::ZERO;
+        for part in topo.switch_partitions() {
+            let live: Vec<SwitchId> = part
+                .into_iter()
+                .filter(|&s| !fabric.switch_crashed(s))
+                .collect();
+            let Some(&lowest) = live.first() else {
+                continue;
+            };
+            // Expected: the adjacency set among this partition's live
+            // members, over working links.
+            let mut expected: Vec<Edge> = Vec::new();
+            for &a in &live {
+                for b in topo.switch_neighbors(a) {
+                    if b > a && live.contains(&b) {
+                        expected.push(norm(a, b));
+                    }
+                }
+            }
+            expected.sort_unstable();
+            expected.dedup();
+            let mut tags = live.iter().map(|&s| self.agents[s.0 as usize].tag());
+            let first = tags.next().expect("non-empty partition");
+            if !tags.all(|t| t == first) {
+                return Err(lowest);
+            }
+            for &s in &live {
+                let public = self.publics[s.0 as usize].borrow();
+                let Some(view) = &public.view else {
+                    return Err(lowest);
+                };
+                if view.tag != first || view.edges != expected {
+                    return Err(lowest);
+                }
+            }
+            best = best.max(first);
+        }
+        Ok(best)
+    }
+
+    /// The largest agreed tag, when every live partition has converged.
+    pub(crate) fn converged_tag(&self, fabric: &Fabric) -> Option<Tag> {
+        self.partition_check(fabric).ok()
+    }
+
+    /// Total protocol messages sent by all agents so far.
+    pub(crate) fn total_messages(&self) -> u64 {
+        self.publics.iter().map(|p| p.borrow().messages_sent).sum()
+    }
+
+    /// Stall recovery: when an open epoch has drained without agreement,
+    /// the lowest live switch of a disagreeing partition re-initiates.
+    /// `None` while the quiet interval has not elapsed or once the retry
+    /// budget is spent.
+    pub(crate) fn retry_candidate(&mut self, fabric: &Fabric, slot: u64) -> Option<SwitchId> {
+        if self.retries_used >= self.max_retries
+            || slot.saturating_sub(self.last_activity_slot) < self.retry_slots
+        {
+            return None;
+        }
+        let stale = self.partition_check(fabric).err()?;
+        self.retries_used += 1;
+        self.last_activity_slot = slot;
+        Some(stale)
+    }
+
+    /// The agent's current topology view for switch `s`, as normalized
+    /// sorted edges.
+    pub(crate) fn view_edges(&self, s: SwitchId) -> Option<Vec<Edge>> {
+        self.publics
+            .get(s.0 as usize)
+            .and_then(|p| p.borrow().view.as_ref().map(|v| v.edges.clone()))
+    }
+
+    /// The largest tag agent `s` has seen.
+    pub(crate) fn agent_tag(&self, s: SwitchId) -> Option<Tag> {
+        self.agents.get(s.0 as usize).map(SwitchAgent::tag)
+    }
+}
+
+/// The canonical wiring for one best-effort circuit on the installed
+/// forest: iterate host attachments in link-id order and take the first
+/// pair of attachment switches the up*/down* router connects; concrete
+/// inter-switch hops use the lowest-id working link. A pure function of
+/// (topology, forest), so the N4 oracle can recompute it independently.
+pub(crate) fn canonical_wiring(
+    cache: &mut RouteCache,
+    topo: &an2_topology::Topology,
+    src: an2_topology::HostId,
+    dst: an2_topology::HostId,
+) -> Option<(
+    Vec<SwitchId>,
+    Vec<an2_topology::LinkId>,
+    an2_topology::LinkId,
+    an2_topology::LinkId,
+)> {
+    let src_atts = topo.host_attachments(src);
+    let dst_atts = topo.host_attachments(dst);
+    for &(src_link, src_sw) in &src_atts {
+        for &(dst_link, dst_sw) in &dst_atts {
+            let Some(path) = cache.route(topo, src_sw, dst_sw) else {
+                continue;
+            };
+            let mut links = Vec::with_capacity(path.len().saturating_sub(1));
+            let mut ok = true;
+            for w in path.windows(2) {
+                match topo.links_between(w[0], w[1]).into_iter().min() {
+                    Some(l) => links.push(l),
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                return Some((path, links, src_link, dst_link));
+            }
+        }
+    }
+    None
+}
+
+/// The adjacency edges among live (non-crashed) switches over working
+/// links, normalized, sorted, deduplicated — the canonical forest's input.
+pub(crate) fn live_edges(fabric: &Fabric) -> (Vec<SwitchId>, Vec<Edge>) {
+    let topo = fabric.topology();
+    let live: Vec<SwitchId> = topo
+        .switches()
+        .filter(|&s| !fabric.switch_crashed(s))
+        .collect();
+    let mut edges: Vec<Edge> = Vec::new();
+    for l in topo.links() {
+        if topo.link_state(l) != LinkState::Working {
+            continue;
+        }
+        let (a, b) = topo.endpoints(l);
+        if let (Node::Switch(x), Node::Switch(y)) = (a.node, b.node) {
+            if x != y && !fabric.switch_crashed(x) && !fabric.switch_crashed(y) {
+                edges.push(norm(x, y));
+            }
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    (live, edges)
+}
+
+/// A placeholder actor address for embedded `Msg::LinkUp` events: the
+/// embedded transport routes by [`SwitchId`], so the actor field is inert.
+pub(crate) fn embedded_actor(neighbor: SwitchId) -> ActorId {
+    ActorId(neighbor.0 as usize)
+}

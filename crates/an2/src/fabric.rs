@@ -25,6 +25,7 @@ use an2_cells::signal::{SignalMsg, TrafficClass};
 use an2_cells::{Cell, CellKind, CellPool, CellQueue, Packet, Reassembler, VcId};
 use an2_faults::{Fate, FaultInjector, FaultSpec, HEADER_BITS};
 use an2_flow::{resync, CreditReceiver, CreditSender};
+use an2_reconfig::agent::Msg as CtrlMsg;
 use an2_sim::metrics::Histogram;
 use an2_sim::SimRng;
 use an2_switch::{Departure, Switch, SwitchConfig};
@@ -353,6 +354,34 @@ struct FaultLayer {
     counters: FaultCounters,
 }
 
+/// Counters for the reconfiguration control-cell transport. Unlike
+/// [`FaultCounters`] these exist even without a fault layer — control cells
+/// are a first-class fabric citizen; only their *loss* needs the injector.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CtrlCounters {
+    /// Protocol messages put on a wire.
+    pub messages_sent: u64,
+    /// Protocol messages destroyed (loss draw on any segment, link flapped
+    /// or voted dead while in flight, or destination line card crashed).
+    pub messages_lost: u64,
+    /// Total 53-byte control cells those messages segmented into.
+    pub cells_sent: u64,
+}
+
+/// A reconfiguration protocol message in flight on an inter-switch wire.
+///
+/// Control payloads (tags, edge lists) are kept out-of-band rather than
+/// serialized into the Copy [`Event`] agenda: the message occupies the wire
+/// for its cell count and arrives whole at `due`, mirroring how AN2's
+/// switch software reassembles a multi-cell protocol unit before acting.
+#[derive(Debug, Clone)]
+struct CtrlInFlight {
+    due: u64,
+    to: SwitchId,
+    link: LinkId,
+    msg: CtrlMsg,
+}
+
 /// The slot-stepped network data plane: switches, links, host controllers
 /// and credit flow control, advanced one cell slot at a time.
 pub struct Fabric {
@@ -376,6 +405,13 @@ pub struct Fabric {
     /// every hot-path hook is gated on it being present, so a fault-free
     /// fabric runs byte-identically to one that never had the field.
     fault: Option<Box<FaultLayer>>,
+    /// Reconfiguration protocol messages in flight (empty unless an
+    /// embedded control plane is sending; the hot path gates on that).
+    ctrl_inflight: Vec<CtrlInFlight>,
+    /// Messages that reached their destination switch this slot, awaiting
+    /// the control plane's pump.
+    ctrl_arrivals: Vec<(SwitchId, LinkId, CtrlMsg)>,
+    ctrl_counters: CtrlCounters,
     // Reused per-slot buffers.
     events_scratch: Vec<(u64, Event)>,
     departures_scratch: Vec<Departure>,
@@ -431,6 +467,9 @@ impl Fabric {
             slot: 0,
             rng: SimRng::new(seed),
             fault: None,
+            ctrl_inflight: Vec::new(),
+            ctrl_arrivals: Vec::new(),
+            ctrl_counters: CtrlCounters::default(),
             events_scratch: Vec::new(),
             departures_scratch: Vec::new(),
         };
@@ -1071,6 +1110,17 @@ impl Fabric {
                 c.inject_slots.pop_front();
             }
         }
+        self.purge_ctrl_on(link);
+    }
+
+    /// Destroys control messages in flight on `link` (verdict or flap).
+    fn purge_ctrl_on(&mut self, link: LinkId) {
+        if self.ctrl_inflight.is_empty() {
+            return;
+        }
+        let before = self.ctrl_inflight.len();
+        self.ctrl_inflight.retain(|c| c.link != link);
+        self.ctrl_counters.messages_lost += (before - self.ctrl_inflight.len()) as u64;
     }
 
     /// Best-effort circuit count per inter-switch link — the load measure
@@ -1190,6 +1240,25 @@ impl Fabric {
             }
         }
         self.events_scratch = events;
+        // 1b. Control-plane protocol messages due this slot surface in the
+        // arrival buffer for the Network layer's pump. A message addressed
+        // to a crashed line card dies at the port, like any cell.
+        if !self.ctrl_inflight.is_empty() {
+            let slot = self.slot;
+            let mut i = 0;
+            while i < self.ctrl_inflight.len() {
+                if self.ctrl_inflight[i].due <= slot {
+                    let m = self.ctrl_inflight.remove(i);
+                    if self.switch_is_crashed(m.to) {
+                        self.ctrl_counters.messages_lost += 1;
+                    } else {
+                        self.ctrl_arrivals.push((m.to, m.link, m.msg));
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+        }
         // 2. Hosts inject (one cell per host per slot: the link rate).
         self.inject_from_hosts();
         // 3. Switches advance; departures propagate.
@@ -1544,6 +1613,100 @@ impl Fabric {
     /// In-flight events (cells, credits, markers, replies) on `link`.
     pub fn inflight_on_link(&self, link: LinkId) -> usize {
         self.agenda.count_matching(|e| e.link() == link)
+    }
+
+    /// The cell count a protocol message segments into: AN2 signalling
+    /// units ride 53-byte cells with 48-byte payloads, so a topology report
+    /// listing `e` edges and `p` tree arcs needs `⌈(14 + 4(e+p)) / 48⌉`
+    /// cells while the fixed-size messages fit in one.
+    fn ctrl_cells_for(msg: &CtrlMsg) -> u32 {
+        let bytes = match msg {
+            CtrlMsg::Boot => 2,
+            CtrlMsg::LinkUp { .. } => 16,
+            CtrlMsg::LinkDown { .. } | CtrlMsg::LinkDownDelta { .. } => 4,
+            CtrlMsg::Invite { .. } => 12,
+            CtrlMsg::InviteAck { .. } => 13,
+            CtrlMsg::Delta { .. } => 16,
+            CtrlMsg::Report { edges, parents, .. } | CtrlMsg::Distribute { edges, parents, .. } => {
+                14 + 4 * (edges.len() + parents.len())
+            }
+        };
+        bytes.div_ceil(an2_cells::PAYLOAD_BYTES).max(1) as u32
+    }
+
+    /// Puts a reconfiguration protocol message on the wire from `from`
+    /// toward `to` over `link`. The message segments into control cells
+    /// (`ctrl_cells_for`); the sender's output port is claimed
+    /// from data traffic while the burst serializes; every segment sees the
+    /// link's loss process and one hit destroys the whole message (the
+    /// receiving line card's CRC rejects partial units). Arrival lands in
+    /// the control-arrival buffer `link latency + cells + extra_delay_slots`
+    /// slots later. Returns whether the message survived the send.
+    ///
+    /// Sends on links the monitor has voted dead are refused (the port map
+    /// no longer drives that transmitter) and count as lost.
+    pub fn send_ctrl(
+        &mut self,
+        from: SwitchId,
+        to: SwitchId,
+        link: LinkId,
+        msg: CtrlMsg,
+        extra_delay_slots: u64,
+    ) -> bool {
+        self.ctrl_counters.messages_sent += 1;
+        let cells = Self::ctrl_cells_for(&msg);
+        self.ctrl_counters.cells_sent += cells as u64;
+        if self.topo.link_state(link) != LinkState::Working {
+            self.ctrl_counters.messages_lost += 1;
+            return false;
+        }
+        let output = self.port_on(link, Node::Switch(from));
+        self.switches[from.0 as usize].reserve_output(output, self.slot + cells as u64);
+        if let Some(fault) = self.fault.as_mut() {
+            if !fault.injector.transmit_ctrl_burst(link, cells) {
+                self.ctrl_counters.messages_lost += 1;
+                return false;
+            }
+        }
+        let due = self.slot + self.cfg.link_latency_slots + cells as u64 + extra_delay_slots;
+        self.ctrl_inflight.push(CtrlInFlight { due, to, link, msg });
+        true
+    }
+
+    /// The earliest slot a control message in flight is due, if any — the
+    /// batching bound for [`crate::Network::step`]'s chunked stepping.
+    pub fn next_ctrl_due(&self) -> Option<u64> {
+        self.ctrl_inflight.iter().map(|c| c.due).min()
+    }
+
+    /// Control messages currently on wires.
+    pub fn ctrl_inflight_count(&self) -> usize {
+        self.ctrl_inflight.len()
+    }
+
+    /// Drains the protocol messages that arrived at their destination
+    /// switches, in arrival order, as `(switch, arriving link, message)`.
+    pub fn take_ctrl_arrivals(&mut self) -> Vec<(SwitchId, LinkId, CtrlMsg)> {
+        std::mem::take(&mut self.ctrl_arrivals)
+    }
+
+    /// Control-transport counters (always available, unlike the fault
+    /// layer's).
+    pub fn ctrl_counters(&self) -> CtrlCounters {
+        self.ctrl_counters
+    }
+
+    /// Whether `s`'s line card is currently crashed (false without a fault
+    /// layer).
+    pub fn switch_crashed(&self, s: SwitchId) -> bool {
+        self.switch_is_crashed(s)
+    }
+
+    /// The circuit's full wiring — switch path, inter-switch links, and the
+    /// two host attachment links — for delta comparison at route install.
+    pub fn circuit_wiring(&self, vc: VcId) -> Option<(Vec<SwitchId>, Vec<LinkId>, LinkId, LinkId)> {
+        self.circuit(vc)
+            .map(|c| (c.switches.clone(), c.links.clone(), c.src_link, c.dst_link))
     }
 
     /// Starts a resync on every hop of `vc` that is missing credits.
@@ -1996,6 +2159,7 @@ impl Fabric {
         counters.credits_lost += credits;
         counters.markers_lost += markers;
         counters.replies_lost += replies;
+        self.purge_ctrl_on(link);
     }
 
     /// Starts a resync on every hop of circuit slot `ci` that is missing

@@ -41,17 +41,20 @@
 #![warn(missing_docs)]
 
 mod central;
+mod control;
 mod error;
 mod fabric;
 mod network;
 pub mod reference;
 
 pub use central::BandwidthCentral;
+pub use control::ControlPlaneConfig;
 pub use error::NetError;
-pub use fabric::{Fabric, FabricConfig, FaultCounters, VcStats};
+pub use fabric::{CtrlCounters, Fabric, FabricConfig, FaultCounters, VcStats};
 pub use network::{Network, NetworkBuilder};
 
 pub use an2_cells::signal::TrafficClass;
 pub use an2_cells::{Packet, VcId};
 pub use an2_faults::{CrashEvent, FaultSpec, FlapEvent, LinkFaultModel, LossModel};
+pub use an2_reconfig::{ReconfigEvent, Tag};
 pub use an2_topology::{HostId, LinkId, SwitchId};

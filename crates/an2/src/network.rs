@@ -1,14 +1,18 @@
 //! The public network API: open circuits, send packets, inject failures.
 
 use crate::central::BandwidthCentral;
+use crate::control::{self, ControlPlane, ControlPlaneConfig};
 use crate::error::NetError;
-use crate::fabric::{Fabric, FabricConfig, FaultCounters, VcStats};
+use crate::fabric::{CtrlCounters, Fabric, FabricConfig, FaultCounters, VcStats};
 use an2_cells::signal::TrafficClass;
 use an2_cells::{LinkRate, Packet, Segmenter, VcId};
 use an2_faults::FaultSpec;
+use an2_reconfig::agent::Msg as CtrlMsg;
 use an2_reconfig::monitor::{LinkMonitor, LinkVerdict};
+use an2_reconfig::{ReconfigEvent, Tag};
+use an2_sim::metrics::PhaseRecorder;
 use an2_sim::{SimDuration, SimTime};
-use an2_topology::{generators, paths, HostId, LinkId, Node, SwitchId, Topology};
+use an2_topology::{generators, paths, updown, HostId, LinkId, Node, SwitchId, Topology};
 use std::collections::HashMap;
 
 /// Builds a [`Network`].
@@ -115,6 +119,7 @@ impl NetworkBuilder {
             next_vc: 32, // leave room below for well-known circuits
             rate: self.rate,
             faults: None,
+            control: None,
         }
     }
 }
@@ -134,8 +139,9 @@ struct FaultCtl {
     /// Slots between ping rounds, derived from the spec's ping interval at
     /// the configured link rate.
     ping_every_slots: u64,
-    /// Every verdict transition: (slot, link, now-working?).
-    log: Vec<(u64, LinkId, bool)>,
+    /// The typed reconfiguration log: verdicts, epochs, quiescence, route
+    /// installs, in slot order.
+    log: Vec<ReconfigEvent>,
 }
 
 #[derive(Debug, Clone)]
@@ -161,6 +167,10 @@ pub struct Network {
     next_vc: u32,
     rate: LinkRate,
     faults: Option<FaultCtl>,
+    /// The embedded control plane, when
+    /// [`Network::enable_control_plane`] has been called: per-switch
+    /// reconfiguration agents on the fabric timeline.
+    control: Option<Box<ControlPlane>>,
 }
 
 impl Network {
@@ -470,9 +480,18 @@ impl Network {
     /// attached, switch software pings each inter-switch link every
     /// monitor interval (§2); a monitor verdict transition triggers the
     /// same reconfiguration as an explicit [`Network::fail_link`] (or, on
-    /// recovery, re-attaches circuits the failure had stranded).
+    /// recovery, re-attaches circuits the failure had stranded). With the
+    /// control plane enabled, verdicts instead feed the embedded
+    /// reconfiguration agents, whose protocol messages ride the fabric as
+    /// control cells.
+    ///
+    /// Stepping is batched: the fabric runs in one uninterrupted chunk up
+    /// to the next *deadline* — the next ping boundary or the next
+    /// control-cell arrival, whichever is sooner — so chaos runs keep the
+    /// calendar ring's throughput instead of paying per-slot overhead at
+    /// the network layer.
     pub fn step(&mut self, slots: u64) {
-        if self.faults.is_none() {
+        if self.faults.is_none() && self.control.is_none() {
             self.fabric.step(slots);
             return;
         }
@@ -482,12 +501,29 @@ impl Network {
                 .faults
                 .as_ref()
                 .map_or(u64::MAX, |c| c.ping_every_slots.max(1));
-            // Run up to (and including) the next ping boundary.
-            let to_boundary = every - self.fabric.slot() % every;
-            let chunk = to_boundary.min(remaining);
+            let slot = self.fabric.slot();
+            // Run up to (and including) the next ping boundary…
+            let to_boundary = if every == u64::MAX {
+                u64::MAX
+            } else {
+                every - slot % every
+            };
+            // …but never past a control-cell arrival: the slot a message
+            // is due must execute so its agent can answer promptly.
+            let to_ctrl = if self.control.is_some() {
+                self.fabric
+                    .next_ctrl_due()
+                    .map_or(u64::MAX, |due| due.saturating_sub(slot) + 1)
+            } else {
+                u64::MAX
+            };
+            let chunk = remaining.min(to_boundary).min(to_ctrl).max(1);
             self.fabric.step(chunk);
-            remaining -= chunk;
-            if self.fabric.slot().is_multiple_of(every) {
+            remaining = remaining.saturating_sub(chunk);
+            if self.control.is_some() {
+                self.pump_control();
+            }
+            if every != u64::MAX && self.fabric.slot().is_multiple_of(every) {
                 self.run_pings();
             }
         }
@@ -504,17 +540,37 @@ impl Network {
         };
         let slot = self.fabric.slot();
         let now = SimTime::ZERO + self.rate.slot_duration() * slot;
+        let mut transitions: Vec<(LinkId, LinkVerdict)> = Vec::new();
         for (link, monitor) in ctl.monitors.iter_mut() {
             let ok = self.fabric.ping_link(*link);
             if let Some(t) = monitor.on_ping(ok, now) {
-                match t.to {
-                    LinkVerdict::Dead => {
-                        ctl.log.push((slot, *link, false));
-                        self.fail_link(*link);
+                transitions.push((*link, t.to));
+            }
+        }
+        for (link, verdict) in transitions {
+            match verdict {
+                LinkVerdict::Dead => {
+                    ctl.log.push(ReconfigEvent::LinkDead {
+                        slot,
+                        at: now,
+                        link,
+                    });
+                    if self.control.is_some() {
+                        self.on_verdict_dead(link, slot, now, &mut ctl.log);
+                    } else {
+                        self.fail_link(link);
                     }
-                    LinkVerdict::Working => {
-                        ctl.log.push((slot, *link, true));
-                        self.revive_link(*link);
+                }
+                LinkVerdict::Working => {
+                    ctl.log.push(ReconfigEvent::LinkWorking {
+                        slot,
+                        at: now,
+                        link,
+                    });
+                    if self.control.is_some() {
+                        self.on_verdict_working(link, slot, now, &mut ctl.log);
+                    } else {
+                        self.revive_link(link);
                     }
                 }
             }
@@ -608,10 +664,385 @@ impl Network {
         self.fabric.fault_counters()
     }
 
-    /// Every monitor verdict transition so far: `(slot, link, working)`.
-    /// Empty without a fault layer.
-    pub fn reconfig_log(&self) -> &[(u64, LinkId, bool)] {
+    /// The typed reconfiguration log: monitor verdicts
+    /// ([`ReconfigEvent::LinkDead`] / [`ReconfigEvent::LinkWorking`]) and —
+    /// with the control plane enabled — epoch opens, quiescence, and route
+    /// installs, in slot order. Empty without a fault layer.
+    pub fn reconfig_log(&self) -> &[ReconfigEvent] {
         self.faults.as_ref().map_or(&[], |c| c.log.as_slice())
+    }
+
+    /// Embeds the distributed reconfiguration agents in this network's
+    /// timeline (§2): one [`an2_reconfig::agent::SwitchAgent`] per switch,
+    /// booted with its local link knowledge. From here on, link-monitor
+    /// verdicts feed the agents instead of the centralized
+    /// [`Network::fail_link`], protocol messages travel as control cells
+    /// over the same lossy links as data, and on quiescence the agreed
+    /// topology's up\*/down\* routes are installed switch-by-switch —
+    /// tearing down and re-establishing only the circuits whose paths
+    /// changed.
+    ///
+    /// Guaranteed circuits stay with the *centralized* bandwidth central
+    /// on failure, as §4 prescribes — reservations need global capacity
+    /// accounting that the distributed agents do not carry.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless [`Network::attach_faults`] was called first: the
+    /// agents are driven by monitor verdicts and the control cells need
+    /// the fault layer's loss processes to be meaningful.
+    pub fn enable_control_plane(&mut self, cfg: ControlPlaneConfig) {
+        assert!(
+            self.faults.is_some(),
+            "enable_control_plane requires attach_faults first"
+        );
+        let slot_ns = self.rate.slot_duration().as_nanos().max(1);
+        let mut cp = Box::new(ControlPlane::new(
+            self.topology().switch_count(),
+            cfg,
+            slot_ns,
+        ));
+        let slot = self.fabric.slot();
+        let now = self.now();
+        // Boot: each end of each working inter-switch link learns of it
+        // locally, exactly as the oracle harness seeds its actors.
+        let topo = self.fabric.topology();
+        let mut boots: Vec<(LinkId, SwitchId, SwitchId)> = Vec::new();
+        for l in topo.links() {
+            if topo.link_state(l) != an2_topology::LinkState::Working {
+                continue;
+            }
+            let (a, b) = topo.endpoints(l);
+            if let (Node::Switch(x), Node::Switch(y)) = (a.node, b.node) {
+                boots.push((l, x, y));
+            }
+        }
+        let mut ctl = self.faults.take().expect("asserted above");
+        for (l, x, y) in boots {
+            for (sw, other) in [(x, y), (y, x)] {
+                cp.deliver(
+                    &mut self.fabric,
+                    now,
+                    sw,
+                    CtrlMsg::LinkUp {
+                        link: l,
+                        neighbor: other,
+                        actor: control::embedded_actor(other),
+                        latency: SimDuration::ZERO,
+                    },
+                );
+            }
+        }
+        cp.observe_epoch(slot, now, &mut ctl.log);
+        cp.last_activity_slot = slot;
+        self.faults = Some(ctl);
+        self.control = Some(cp);
+    }
+
+    /// Whether the embedded control plane is enabled.
+    pub fn control_enabled(&self) -> bool {
+        self.control.is_some()
+    }
+
+    /// Drains arrived control cells into their agents, ships the replies,
+    /// and — when an open epoch has fully drained — checks for quiescence
+    /// and installs the agreed topology's routes.
+    fn pump_control(&mut self) {
+        let (Some(mut cp), Some(mut ctl)) = (self.control.take(), self.faults.take()) else {
+            unreachable!("control plane requires the fault layer");
+        };
+        let slot = self.fabric.slot();
+        let now = self.now();
+        let arrivals = self.fabric.take_ctrl_arrivals();
+        if !arrivals.is_empty() {
+            cp.last_activity_slot = slot;
+        }
+        for (sw, _link, msg) in arrivals {
+            if self.fabric.switch_crashed(sw) {
+                continue; // the line card that would handle this is down
+            }
+            cp.deliver(&mut self.fabric, now, sw, msg);
+        }
+        cp.observe_epoch(slot, now, &mut ctl.log);
+        if cp.epoch_open && self.fabric.ctrl_inflight_count() == 0 {
+            if let Some(tag) = cp.converged_tag(&self.fabric) {
+                ctl.log.push(ReconfigEvent::Quiesced {
+                    slot,
+                    at: now,
+                    tag,
+                    messages: cp.total_messages(),
+                });
+                cp.phases.end("converge", now);
+                cp.epoch_open = false;
+                self.install_routes(&mut cp, &mut ctl.log, slot, now, tag);
+            } else if let Some(sw) = cp.retry_candidate(&self.fabric, slot) {
+                // Lost control cells left the epoch stalled: the lowest
+                // disagreeing live switch re-initiates with a higher tag.
+                cp.deliver(&mut self.fabric, now, sw, CtrlMsg::Boot);
+                cp.observe_epoch(slot, now, &mut ctl.log);
+            }
+        }
+        self.faults = Some(ctl);
+        self.control = Some(cp);
+    }
+
+    /// Embedded-mode reaction to a dead-link verdict: fail the fabric
+    /// link, strand its best-effort circuits until routes are reinstalled
+    /// (guaranteed circuits go back to bandwidth central at once), and let
+    /// the agents at both ends observe the loss locally. When a parallel
+    /// link keeps the adjacency alive the topology view is unchanged, so
+    /// the stranded circuits are re-established immediately instead of
+    /// waiting for a reconfiguration that will never start.
+    fn on_verdict_dead(
+        &mut self,
+        link: LinkId,
+        slot: u64,
+        now: SimTime,
+        log: &mut Vec<ReconfigEvent>,
+    ) {
+        let (ea, eb) = self.topology().endpoints(link);
+        let (Node::Switch(a), Node::Switch(b)) = (ea.node, eb.node) else {
+            return; // monitors only watch inter-switch links
+        };
+        let victims = self.fabric.circuits_using(link);
+        self.fabric.fail_link(link);
+        for vc in victims {
+            let Some(meta) = self.meta.get(&vc) else {
+                continue;
+            };
+            match meta.class {
+                TrafficClass::BestEffort => {
+                    if let Some(stats) = self.fabric.close_circuit(vc) {
+                        self.broken.insert(vc, stats);
+                    }
+                }
+                TrafficClass::Guaranteed { .. } => self.repair(vc),
+            }
+        }
+        let mut cp = self.control.take().expect("caller checked");
+        cp.cache.invalidate_edge(a, b);
+        if self.topology().links_between(a, b).is_empty() {
+            for (sw, other) in [(a, b), (b, a)] {
+                if !self.fabric.switch_crashed(sw) {
+                    cp.deliver(
+                        &mut self.fabric,
+                        now,
+                        sw,
+                        CtrlMsg::LinkDown { neighbor: other },
+                    );
+                }
+            }
+            cp.observe_epoch(slot, now, log);
+            cp.last_activity_slot = slot;
+        } else {
+            let tag = cp.best_tag;
+            self.install_routes(&mut cp, log, slot, now, tag);
+        }
+        self.control = Some(cp);
+    }
+
+    /// Embedded-mode reaction to a working-again verdict: revive the
+    /// fabric link, hand stranded guaranteed circuits back to bandwidth
+    /// central, and — when the adjacency was gone — let both agents
+    /// observe the new link (opening a reconfiguration epoch). A restored
+    /// parallel link changes no topology view, so stranded best-effort
+    /// circuits are re-established on the spot.
+    fn on_verdict_working(
+        &mut self,
+        link: LinkId,
+        slot: u64,
+        now: SimTime,
+        log: &mut Vec<ReconfigEvent>,
+    ) {
+        let (ea, eb) = self.topology().endpoints(link);
+        let (Node::Switch(a), Node::Switch(b)) = (ea.node, eb.node) else {
+            return;
+        };
+        let adjacency_before = !self.topology().links_between(a, b).is_empty();
+        if !self.fabric.revive_link(link) {
+            return;
+        }
+        let mut stranded: Vec<VcId> = self
+            .broken
+            .keys()
+            .copied()
+            .filter(|vc| {
+                self.meta
+                    .get(vc)
+                    .is_some_and(|m| matches!(m.class, TrafficClass::Guaranteed { .. }))
+            })
+            .collect();
+        stranded.sort_unstable();
+        for vc in stranded {
+            self.reattach_broken(vc);
+        }
+        let mut cp = self.control.take().expect("caller checked");
+        if adjacency_before {
+            let tag = cp.best_tag;
+            self.install_routes(&mut cp, log, slot, now, tag);
+        } else {
+            cp.cache.invalidate_all();
+            for (sw, other) in [(a, b), (b, a)] {
+                if !self.fabric.switch_crashed(sw) {
+                    cp.deliver(
+                        &mut self.fabric,
+                        now,
+                        sw,
+                        CtrlMsg::LinkUp {
+                            link,
+                            neighbor: other,
+                            actor: control::embedded_actor(other),
+                            latency: SimDuration::ZERO,
+                        },
+                    );
+                }
+            }
+            cp.observe_epoch(slot, now, log);
+            cp.last_activity_slot = slot;
+        }
+        self.control = Some(cp);
+    }
+
+    /// Installs the current topology's canonical up*/down* routes
+    /// switch-by-switch: every best-effort circuit is compared against its
+    /// canonical wiring, and only circuits whose paths changed are torn
+    /// down and re-established (§2's reduced-disruption goal). Stranded
+    /// circuits come back with their accumulated statistics; circuits
+    /// whose endpoints are partitioned stay broken.
+    fn install_routes(
+        &mut self,
+        cp: &mut ControlPlane,
+        log: &mut Vec<ReconfigEvent>,
+        slot: u64,
+        now: SimTime,
+        tag: Tag,
+    ) {
+        cp.phases.begin("install", now);
+        let (live, edges) = control::live_edges(&self.fabric);
+        let forest = updown::canonical_forest(self.topology().switch_count(), &live, &edges);
+        cp.cache.set_forest(forest);
+        let mut vcs: Vec<VcId> = self
+            .meta
+            .iter()
+            .filter(|(_, m)| matches!(m.class, TrafficClass::BestEffort))
+            .map(|(&vc, _)| vc)
+            .collect();
+        vcs.sort_unstable();
+        let (mut rerouted, mut kept, mut unroutable) = (0u64, 0u64, 0u64);
+        for vc in vcs {
+            if self.fabric.is_paged_out(vc) {
+                continue; // holds no path; pages back in on fresh traffic
+            }
+            let meta = self.meta[&vc].clone();
+            let target = control::canonical_wiring(
+                &mut cp.cache,
+                self.fabric.topology(),
+                meta.src,
+                meta.dst,
+            );
+            let current = self.fabric.circuit_wiring(vc);
+            match (current, target) {
+                (Some(cur), Some((switches, links, src_link, dst_link))) => {
+                    // Sticky: an unchanged switch path over working links
+                    // is left alone, even if its concrete parallel links
+                    // are not the canonical choice — rerouting drops
+                    // in-flight cells for no topological reason.
+                    let topo = self.fabric.topology();
+                    let alive = cur
+                        .1
+                        .iter()
+                        .chain([&cur.2, &cur.3])
+                        .all(|&l| topo.link_state(l) == an2_topology::LinkState::Working);
+                    if cur.0 == switches && alive {
+                        kept += 1;
+                    } else {
+                        self.fabric
+                            .reroute_circuit(vc, switches, links, src_link, dst_link);
+                        rerouted += 1;
+                    }
+                }
+                (Some(_), None) => {
+                    if let Some(stats) = self.fabric.close_circuit(vc) {
+                        self.broken.insert(vc, stats);
+                    }
+                    unroutable += 1;
+                }
+                (None, Some((switches, links, src_link, dst_link))) => {
+                    self.fabric.open_circuit(
+                        vc,
+                        meta.src,
+                        meta.dst,
+                        TrafficClass::BestEffort,
+                        switches,
+                        links,
+                        src_link,
+                        dst_link,
+                    );
+                    if let Some(stats) = self.broken.remove(&vc) {
+                        self.fabric.restore_stats(vc, stats);
+                    }
+                    rerouted += 1;
+                }
+                (None, None) => unroutable += 1,
+            }
+        }
+        log.push(ReconfigEvent::RoutesInstalled {
+            slot,
+            at: now,
+            tag,
+            rerouted,
+            kept,
+            unroutable,
+        });
+        cp.phases.end("install", now);
+    }
+
+    /// The topology view held by switch `s`'s embedded agent, as
+    /// normalized sorted edges. `None` without a control plane or before
+    /// the agent's first completed reconfiguration.
+    pub fn agent_view_edges(&self, s: SwitchId) -> Option<Vec<(SwitchId, SwitchId)>> {
+        self.control.as_ref().and_then(|cp| cp.view_edges(s))
+    }
+
+    /// The largest reconfiguration tag switch `s`'s embedded agent has
+    /// seen. `None` without a control plane.
+    pub fn agent_tag(&self, s: SwitchId) -> Option<Tag> {
+        self.control.as_ref().and_then(|cp| cp.agent_tag(s))
+    }
+
+    /// Whether the embedded agents have converged: no control cells in
+    /// flight, no open epoch, and every live agent's view equal to its
+    /// partition's surviving topology.
+    pub fn control_converged(&self) -> bool {
+        self.control.as_ref().is_some_and(|cp| {
+            !cp.epoch_open
+                && self.fabric.ctrl_inflight_count() == 0
+                && cp.converged_tag(&self.fabric).is_some()
+        })
+    }
+
+    /// Converge/install phase spans recorded by the control plane, on the
+    /// virtual clock. `None` without a control plane.
+    pub fn control_phases(&self) -> Option<&PhaseRecorder> {
+        self.control.as_ref().map(|cp| &cp.phases)
+    }
+
+    /// Control-cell transport counters (messages and cells sent, messages
+    /// destroyed by loss, dead links, or crashed line cards).
+    pub fn ctrl_counters(&self) -> CtrlCounters {
+        self.fabric.ctrl_counters()
+    }
+
+    /// The control plane's route-cache `(hits, misses)`, if enabled.
+    pub fn route_cache_stats(&self) -> Option<(u64, u64)> {
+        self.control.as_ref().map(|cp| cp.cache.stats())
+    }
+
+    /// An open circuit's full wiring: switch path, inter-switch links, and
+    /// the two host attachment links. `None` for broken or unknown
+    /// circuits.
+    pub fn circuit_wiring(&self, vc: VcId) -> Option<(Vec<SwitchId>, Vec<LinkId>, LinkId, LinkId)> {
+        self.fabric.circuit_wiring(vc)
     }
 
     /// Declares a dead link working again (the monitor's recovery verdict)

@@ -1,7 +1,7 @@
 //! The pre-slab fabric data plane, preserved verbatim as an oracle.
 //!
 //! This is the map-based implementation the slab rewrite in
-//! [`crate::fabric`] replaced: `HashMap` circuit tables, per-host
+//! `crate::fabric` replaced: `HashMap` circuit tables, per-host
 //! `BTreeMap<VcId, VecDeque<Cell>>` outboxes and credit tables, a
 //! `BTreeMap<u64, Vec<Event>>` agenda, and the pre-slab
 //! [`an2_switch::reference::ReferenceSwitch`] per switch. It is kept (a) as

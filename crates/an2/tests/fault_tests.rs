@@ -348,17 +348,23 @@ fn flap_is_detected_and_repaired_by_the_monitor() {
     let log = net.reconfig_log().to_vec();
     let death = log
         .iter()
-        .find(|&&(_, l, up)| l == flapped && !up)
+        .find_map(|e| match *e {
+            an2::ReconfigEvent::LinkDead { slot, link, .. } if link == flapped => Some(slot),
+            _ => None,
+        })
         .unwrap_or_else(|| panic!("monitor never declared {flapped:?} dead; log={log:?}"));
-    let detect_slots = death.0 - down_at;
+    let detect_slots = death - down_at;
     let detect_ms = detect_slots as f64 * slot_ns as f64 / 1e6;
     assert!(
         detect_ms < 200.0,
         "reconfiguration took {detect_ms:.1} ms (> 200 ms)"
     );
-    let recovery = log
-        .iter()
-        .find(|&&(slot, l, up)| l == flapped && up && slot > up_at);
+    let recovery = log.iter().find(|e| {
+        matches!(
+            **e,
+            an2::ReconfigEvent::LinkWorking { slot, link, .. } if link == flapped && slot > up_at
+        )
+    });
     assert!(
         recovery.is_some(),
         "skeptic never readmitted the link after the flap ended; log={log:?}"

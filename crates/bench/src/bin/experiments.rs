@@ -17,8 +17,8 @@
 
 use an2_bench::json::Json;
 use an2_bench::{
-    extensions_exp, fabric_exp, faults_exp, figures, flow_exp, network_exp, parallel, reconfig_exp,
-    schedule_exp, xbar_exp,
+    control_exp, extensions_exp, fabric_exp, faults_exp, figures, flow_exp, network_exp, parallel,
+    reconfig_exp, schedule_exp, xbar_exp,
 };
 use std::time::Instant;
 
@@ -73,6 +73,21 @@ fn chaos_json(r: &faults_exp::ChaosRow) -> Json {
     ])
 }
 
+fn control_json(r: &control_exp::ControlRow) -> Json {
+    Json::obj(vec![
+        ("cell", Json::str(r.cell.clone())),
+        ("converge_ms", Json::Num(r.converge_ms)),
+        ("sent_cells", Json::int(r.sent_cells)),
+        ("delivered_cells", Json::int(r.delivered_cells)),
+        ("lost_cells", Json::int(r.lost_cells)),
+        ("ctrl_messages", Json::int(r.ctrl_messages)),
+        ("ctrl_cells", Json::int(r.ctrl_cells)),
+        ("rerouted", Json::int(r.rerouted)),
+        ("oracle_ok", Json::Bool(r.oracle_ok)),
+        ("replay_ok", Json::Bool(r.replay_ok)),
+    ])
+}
+
 fn fabric_perf_json(r: &fabric_exp::FabricPerf) -> Json {
     Json::obj(vec![
         ("circuits", Json::int(r.circuits as u64)),
@@ -105,6 +120,7 @@ fn title(id: &str) -> Option<&'static str> {
         "n1" => "N1: whole-network load sweep",
         "n2" => "N2: fabric data plane, slab vs reference",
         "n3" => "N3: chaos soak — loss, flaps, crashes, resync",
+        "n4" => "N4: embedded control plane — fail, flap, crash, replay",
         "x1" => "X1: the paper's extension proposals",
         _ => return None,
     })
@@ -164,6 +180,10 @@ fn compute(id: &str) -> (String, Json) {
             let (rows, text) = faults_exp::n3_chaos_soak();
             (text, Json::Arr(rows.iter().map(chaos_json).collect()))
         }
+        "n4" => {
+            let (rows, text) = control_exp::n4_control_plane();
+            (text, Json::Arr(rows.iter().map(control_json).collect()))
+        }
         "x1" => {
             let text = format!(
                 "{}\n{}\n{}\n{}",
@@ -180,7 +200,7 @@ fn compute(id: &str) -> (String, Json) {
 
 const ALL: &[&str] = &[
     "f1", "f2", "f3", "f4", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
-    "e12", "x1", "n1", "n2", "n3",
+    "e12", "x1", "n1", "n2", "n3", "n4",
 ];
 
 fn main() {
@@ -201,7 +221,7 @@ fn main() {
     let mut records = Vec::new();
     for id in ids {
         let Some(t) = title(id) else {
-            eprintln!("unknown experiment id '{id}' (use f1-f4, e1-e12, x1, n1-n3, all)");
+            eprintln!("unknown experiment id '{id}' (use f1-f4, e1-e12, x1, n1-n4, all)");
             continue;
         };
         println!("\n=== {t} {}\n", "=".repeat(66 - t.len().min(60)));

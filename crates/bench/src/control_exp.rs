@@ -1,0 +1,515 @@
+//! Experiment N4: the embedded control plane — distributed reconfiguration
+//! as part of the live network, on one event-driven timeline.
+//!
+//! Four cells, each a claim the tentpole refactor must hold (DESIGN.md §9):
+//!
+//! - **fail**: a backbone link dies for good under live traffic; the
+//!   per-millisecond monitor's verdict feeds the switch-resident agents,
+//!   their protocol messages ride real (lossy, fault-injectable) links as
+//!   53-byte control cells, and failure → installed canonical up\*/down\*
+//!   routes stays under the paper's 200 ms budget. The agents' final views
+//!   are byte-identical to the untouched `an2-reconfig` harness run on the
+//!   same surviving topology, and every circuit sits on the byte-identical
+//!   canonical route.
+//! - **flap**: the link comes back; the skeptic readmits it and a second
+//!   reconfiguration restores the full topology, again inside 200 ms of
+//!   the readmission verdict.
+//! - **crash**: a line card crashes for good. The agents converge on the
+//!   surviving 3-switch topology (stall retry bridges the window where
+//!   invites into the dead switch go unanswered) and dual-homed hosts keep
+//!   delivering.
+//! - **replay**: the same `(spec, seed)` replays byte-identically — log,
+//!   control-transport counters, and per-circuit stats all digest equal.
+
+use an2::{
+    ControlPlaneConfig, CrashEvent, FaultSpec, FlapEvent, HostId, LinkId, Network, ReconfigEvent,
+    SwitchId, VcId,
+};
+use an2_cells::Packet;
+use an2_reconfig::harness::ReconfigNet;
+use an2_sim::SimDuration;
+use an2_topology::{updown, LinkState, Node, Topology};
+use std::fmt::Write;
+
+/// Far-future slot: a flap that never recovers / a crash that never
+/// restarts within the experiment horizon.
+const NEVER: u64 = 1_000_000_000;
+
+/// One cell's measured outcome, for the JSON baseline.
+pub struct ControlRow {
+    /// Cell name (fail / flap / crash / replay).
+    pub cell: String,
+    /// Failure (or readmission) → canonical routes installed, in simulated
+    /// milliseconds. The worst such latency when a cell reconfigures more
+    /// than once; 0 for the replay cell.
+    pub converge_ms: f64,
+    /// Data cells injected by source controllers, summed over circuits.
+    pub sent_cells: u64,
+    /// Data cells delivered to destination controllers.
+    pub delivered_cells: u64,
+    /// Data cells destroyed by the injected fault (in flight on the dead
+    /// link, or inside the crashed line card).
+    pub lost_cells: u64,
+    /// Reconfiguration protocol messages put on real wires.
+    pub ctrl_messages: u64,
+    /// 53-byte control cells those messages segmented into.
+    pub ctrl_cells: u64,
+    /// Circuits moved onto new paths by route installs, summed.
+    pub rerouted: u64,
+    /// Whether every live agent's view matched the harness oracle.
+    pub oracle_ok: bool,
+    /// Whether a replay from the same `(spec, seed)` was byte-identical.
+    pub replay_ok: bool,
+}
+
+fn fnv(h: &mut u64, x: u64) {
+    for b in x.to_le_bytes() {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x1_0000_01b3);
+    }
+}
+
+fn quiet_spec() -> FaultSpec {
+    let mut spec = FaultSpec {
+        check_invariants: true,
+        ..Default::default()
+    };
+    spec.monitor.ping_interval = SimDuration::from_millis(1);
+    spec
+}
+
+/// Inter-switch links of the topology, in id order.
+fn backbone_links(topo: &Topology) -> Vec<(LinkId, SwitchId, SwitchId)> {
+    topo.links()
+        .filter_map(|l| {
+            let (a, b) = topo.endpoints(l);
+            match (a.node, b.node) {
+                (Node::Switch(x), Node::Switch(y)) => Some((l, x, y)),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+/// The surviving adjacency among non-crashed switches, normalized sorted.
+fn surviving_edges(topo: &Topology, crashed: &[SwitchId]) -> Vec<(SwitchId, SwitchId)> {
+    let mut edges: Vec<(SwitchId, SwitchId)> = backbone_links(topo)
+        .into_iter()
+        .filter(|&(l, a, b)| {
+            topo.link_state(l) == LinkState::Working
+                && !crashed.contains(&a)
+                && !crashed.contains(&b)
+        })
+        .map(|(_, a, b)| if a <= b { (a, b) } else { (b, a) })
+        .collect();
+    edges.sort_unstable();
+    edges.dedup();
+    edges
+}
+
+/// Every live agent's view must equal the untouched harness oracle's view
+/// for the same switch after the oracle protocol quiesces on the same
+/// surviving topology. Panics on divergence; returns `true` so the JSON
+/// row can record the check ran.
+fn views_match_oracle(net: &Network, oracle_seed: u64, crashed: &[SwitchId]) -> bool {
+    let mut oracle = ReconfigNet::with_defaults(net.topology().clone(), oracle_seed);
+    for &s in crashed {
+        oracle.kill_switch(s);
+    }
+    oracle.run_to_quiescence();
+    for s in net.topology().switches() {
+        if crashed.contains(&s) {
+            continue;
+        }
+        let embedded = net
+            .agent_view_edges(s)
+            .unwrap_or_else(|| panic!("no embedded view for {s}"));
+        match oracle.view_edges_of(s) {
+            Some(oracle_view) => {
+                assert!(
+                    oracle.partition_converged(s),
+                    "oracle harness failed to converge in {s}'s partition"
+                );
+                assert_eq!(
+                    embedded, oracle_view,
+                    "embedded view of {s} diverges from the harness oracle"
+                );
+            }
+            // A switch with no working links never boots in the oracle
+            // world; the embedded agent saw its links die and must hold an
+            // empty view.
+            None => assert!(
+                embedded.is_empty(),
+                "isolated {s} holds a non-empty view {embedded:?}"
+            ),
+        }
+    }
+    true
+}
+
+/// Recomputes every circuit's canonical wiring independently and demands
+/// each open circuit sits on the byte-identical switch path; broken
+/// circuits must be exactly the ones with no canonical route.
+fn assert_paths_canonical(
+    net: &Network,
+    circuits: &[(VcId, HostId, HostId)],
+    crashed: &[SwitchId],
+) {
+    let topo = net.topology();
+    let live: Vec<SwitchId> = topo.switches().filter(|s| !crashed.contains(s)).collect();
+    let edges = surviving_edges(topo, crashed);
+    let forest = updown::canonical_forest(topo.switch_count(), &live, &edges);
+    for &(vc, src, dst) in circuits {
+        let mut expected: Option<Vec<SwitchId>> = None;
+        'pairs: for (_, ss) in topo.host_attachments(src) {
+            for (_, ds) in topo.host_attachments(dst) {
+                let Some(tree) = forest.iter().find(|t| t.contains(ss) && t.contains(ds)) else {
+                    continue;
+                };
+                if let Some(path) = updown::route(topo, tree, ss, ds) {
+                    expected = Some(path);
+                    break 'pairs;
+                }
+            }
+        }
+        match (net.circuit_wiring(vc), expected) {
+            (Some((switches, _, _, _)), Some(path)) => {
+                assert_eq!(
+                    switches, path,
+                    "{vc} is not on its canonical up*/down* path"
+                );
+            }
+            (None, None) => {} // correctly broken: endpoints partitioned
+            (Some(_), None) => panic!("{vc} is open but has no canonical route"),
+            (None, Some(p)) => panic!("{vc} is broken despite canonical route {p:?}"),
+        }
+    }
+}
+
+/// Everything observable about one finished run, digested for replay
+/// comparison.
+struct Outcome {
+    sent: u64,
+    delivered: u64,
+    lost: u64,
+    rerouted: u64,
+    ctrl_messages: u64,
+    ctrl_cells: u64,
+    log: Vec<ReconfigEvent>,
+    digest: u64,
+}
+
+/// Builds a dual-homed SRC installation with the embedded control plane,
+/// keeps one best-effort circuit per consecutive host pair under steady
+/// packet load for `slots` slots, and digests the result.
+fn drive(
+    spec: &FaultSpec,
+    seed: u64,
+    slots: u64,
+) -> (Network, Vec<(VcId, HostId, HostId)>, Outcome) {
+    let mut net = Network::builder()
+        .topology(an2_topology::generators::src_installation(4, 8))
+        .seed(seed)
+        .build();
+    let hosts: Vec<_> = net.hosts().collect();
+    let mut circuits = Vec::new();
+    for pair in hosts.chunks(2) {
+        if let [a, b] = *pair {
+            let vc = net.open_best_effort(a, b).expect("open circuit");
+            circuits.push((vc, a, b));
+        }
+    }
+    net.attach_faults(spec, seed);
+    net.enable_control_plane(ControlPlaneConfig::default());
+    let mut tag = 0u8;
+    while net.slot() < slots {
+        for &(vc, _, _) in &circuits {
+            if !net.is_broken(vc) {
+                let _ = net.send_packet(vc, Packet::from_bytes(vec![tag; 300]));
+            }
+        }
+        tag = tag.wrapping_add(1);
+        net.step(4_000);
+    }
+    net.step(25_000); // drain the pipeline
+    let mut out = Outcome {
+        sent: 0,
+        delivered: 0,
+        lost: 0,
+        rerouted: 0,
+        ctrl_messages: 0,
+        ctrl_cells: 0,
+        log: net.reconfig_log().to_vec(),
+        digest: 0xcbf2_9ce4_8422_2325,
+    };
+    for &(vc, _, _) in &circuits {
+        if net.is_broken(vc) {
+            continue;
+        }
+        let s = net.stats(vc).clone();
+        out.sent += s.sent_cells;
+        out.delivered += s.delivered_cells;
+        out.lost += s.lost_cells;
+        for x in [
+            s.sent_cells,
+            s.delivered_cells,
+            s.lost_cells,
+            s.dropped_cells,
+        ] {
+            fnv(&mut out.digest, x);
+        }
+    }
+    let c = net.ctrl_counters();
+    out.ctrl_messages = c.messages_sent;
+    out.ctrl_cells = c.cells_sent;
+    for x in [c.messages_sent, c.messages_lost, c.cells_sent] {
+        fnv(&mut out.digest, x);
+    }
+    for e in &out.log {
+        fnv(&mut out.digest, e.slot());
+        fnv(&mut out.digest, e.at().as_nanos());
+        match *e {
+            ReconfigEvent::LinkDead { link, .. } => {
+                fnv(&mut out.digest, 0x100 | link.0 as u64);
+            }
+            ReconfigEvent::LinkWorking { link, .. } => {
+                fnv(&mut out.digest, 0x200 | link.0 as u64);
+            }
+            ReconfigEvent::EpochStarted { tag, .. } => {
+                fnv(&mut out.digest, 0x300 | tag.epoch);
+                fnv(&mut out.digest, tag.initiator.0 as u64);
+            }
+            ReconfigEvent::Quiesced { tag, messages, .. } => {
+                fnv(&mut out.digest, 0x400 | tag.epoch);
+                fnv(&mut out.digest, messages);
+            }
+            ReconfigEvent::RoutesInstalled {
+                rerouted,
+                kept,
+                unroutable,
+                ..
+            } => {
+                fnv(&mut out.digest, 0x500 | unroutable);
+                fnv(&mut out.digest, rerouted);
+                fnv(&mut out.digest, kept);
+                out.rerouted += rerouted;
+            }
+        }
+    }
+    (net, circuits, out)
+}
+
+/// The first `RoutesInstalled` at or after `from`, as (slot, latency in
+/// simulated ms measured from `origin`).
+fn install_after(log: &[ReconfigEvent], from: u64, origin: u64, slot_ns: u64) -> (u64, f64) {
+    let slot = log
+        .iter()
+        .find_map(|e| match *e {
+            ReconfigEvent::RoutesInstalled { slot, .. } if slot >= from => Some(slot),
+            _ => None,
+        })
+        .unwrap_or_else(|| panic!("no route install at/after slot {from}; log={log:?}"));
+    (slot, (slot - origin) as f64 * slot_ns as f64 / 1e6)
+}
+
+/// The slot the monitor declared `link` dead (or working, with `up`) at or
+/// after `from`.
+fn verdict_slot(log: &[ReconfigEvent], link: LinkId, up: bool, from: u64) -> u64 {
+    log.iter()
+        .find_map(|e| match *e {
+            ReconfigEvent::LinkDead { slot, link: l, .. } if !up && l == link && slot >= from => {
+                Some(slot)
+            }
+            ReconfigEvent::LinkWorking { slot, link: l, .. } if up && l == link && slot >= from => {
+                Some(slot)
+            }
+            _ => None,
+        })
+        .unwrap_or_else(|| {
+            panic!(
+                "monitor never declared {link:?} {}; log={log:?}",
+                if up { "working" } else { "dead" }
+            )
+        })
+}
+
+/// Runs all four cells. Panics (failing the harness) on any violated
+/// claim, so CI can gate on `experiments n4`.
+pub fn n4_control_plane() -> (Vec<ControlRow>, String) {
+    let mut rows = Vec::new();
+    let mut text = String::new();
+    let slot_ns = an2_cells::LinkRate::Mbps622.slot_duration().as_nanos();
+    let topo = an2_topology::generators::src_installation(4, 8);
+    let backbone = backbone_links(&topo);
+    let victim = backbone[0].0;
+    let down_at = 40_000u64;
+
+    // --- fail: permanent backbone link failure under live traffic.
+    let mut fail_spec = quiet_spec();
+    fail_spec.flaps.push(FlapEvent {
+        link: victim,
+        down_at,
+        up_at: NEVER,
+    });
+    let (net, circuits, out) = drive(&fail_spec, 7, 500_000);
+    assert!(net.control_converged(), "fail cell never converged");
+    let dead = verdict_slot(&out.log, victim, false, down_at);
+    let (_, ms) = install_after(&out.log, dead, down_at, slot_ns);
+    assert!(ms < 200.0, "failure → routes took {ms:.1} ms (≥ 200 ms)");
+    let oracle_ok = views_match_oracle(&net, 2, &[]);
+    assert_paths_canonical(&net, &circuits, &[]);
+    assert!(out.delivered > 0, "no delivery across the failure");
+    writeln!(
+        text,
+        "fail:   backbone link dead → canonical routes installed {ms:.2} ms \
+         after failure (< 200 ms); {} of {} data cells delivered, {} lost \
+         in flight; {} control messages ({} cells) on real wires; views \
+         byte-identical to the harness oracle",
+        out.delivered, out.sent, out.lost, out.ctrl_messages, out.ctrl_cells
+    )
+    .unwrap();
+    rows.push(ControlRow {
+        cell: "fail".into(),
+        converge_ms: ms,
+        sent_cells: out.sent,
+        delivered_cells: out.delivered,
+        lost_cells: out.lost,
+        ctrl_messages: out.ctrl_messages,
+        ctrl_cells: out.ctrl_cells,
+        rerouted: out.rerouted,
+        oracle_ok,
+        replay_ok: true,
+    });
+
+    // --- flap: down, then readmitted by the skeptic; both reconfigurations
+    // land inside the budget.
+    let up_at = 150_000u64;
+    let mut flap_spec = quiet_spec();
+    flap_spec.flaps.push(FlapEvent {
+        link: victim,
+        down_at,
+        up_at,
+    });
+    let (net, circuits, out) = drive(&flap_spec, 11, 700_000);
+    assert!(net.control_converged(), "flap cell never converged");
+    let dead = verdict_slot(&out.log, victim, false, down_at);
+    let (down_install, down_ms) = install_after(&out.log, dead, down_at, slot_ns);
+    assert!(down_ms < 200.0, "flap-down reconfig took {down_ms:.1} ms");
+    let readmit = verdict_slot(&out.log, victim, true, up_at);
+    let (_, up_ms) = install_after(&out.log, readmit.max(down_install + 1), readmit, slot_ns);
+    assert!(up_ms < 200.0, "flap-up reconfig took {up_ms:.1} ms");
+    let oracle_ok = views_match_oracle(&net, 3, &[]);
+    assert_paths_canonical(&net, &circuits, &[]);
+    let worst = down_ms.max(up_ms);
+    writeln!(
+        text,
+        "flap:   down reconfig {down_ms:.2} ms, readmission reconfig \
+         {up_ms:.2} ms after the skeptic's verdict (both < 200 ms); full \
+         topology restored, {} of {} data cells delivered",
+        out.delivered, out.sent
+    )
+    .unwrap();
+    rows.push(ControlRow {
+        cell: "flap".into(),
+        converge_ms: worst,
+        sent_cells: out.sent,
+        delivered_cells: out.delivered,
+        lost_cells: out.lost,
+        ctrl_messages: out.ctrl_messages,
+        ctrl_cells: out.ctrl_cells,
+        rerouted: out.rerouted,
+        oracle_ok,
+        replay_ok: true,
+    });
+
+    // --- crash: a line card dies for good; agents converge on the
+    // surviving topology and dual-homed hosts keep delivering.
+    let crash_victim = SwitchId(1);
+    let mut crash_spec = quiet_spec();
+    crash_spec.crashes.push(CrashEvent {
+        switch: crash_victim,
+        at: down_at,
+        restart_at: NEVER,
+    });
+    let (net, circuits, out) = drive(&crash_spec, 13, 800_000);
+    assert!(net.control_converged(), "crash cell never converged");
+    // The monitors kill the victim's links one ping round at a time; the
+    // reconfiguration that matters starts at the *last* dead verdict.
+    let last_dead = out
+        .log
+        .iter()
+        .filter_map(|e| match *e {
+            ReconfigEvent::LinkDead { slot, .. } => Some(slot),
+            _ => None,
+        })
+        .max()
+        .expect("monitor never declared any of the crashed switch's links dead");
+    let (_, crash_ms) = install_after(&out.log, last_dead, last_dead, slot_ns);
+    assert!(
+        crash_ms < 200.0,
+        "last verdict → converged routes took {crash_ms:.1} ms (≥ 200 ms)"
+    );
+    let oracle_ok = views_match_oracle(&net, 9, &[crash_victim]);
+    assert_paths_canonical(&net, &circuits, &[crash_victim]);
+    assert!(
+        out.delivered > out.sent / 2,
+        "a single line-card crash must not halve delivery ({} of {})",
+        out.delivered,
+        out.sent
+    );
+    writeln!(
+        text,
+        "crash:  switch1 dead for good; agents converge on the 3-switch \
+         survivor {crash_ms:.2} ms after the last dead verdict, {} circuits \
+         rerouted, {} of {} data cells delivered via dual-homing",
+        out.rerouted, out.delivered, out.sent
+    )
+    .unwrap();
+    rows.push(ControlRow {
+        cell: "crash".into(),
+        converge_ms: crash_ms,
+        sent_cells: out.sent,
+        delivered_cells: out.delivered,
+        lost_cells: out.lost,
+        ctrl_messages: out.ctrl_messages,
+        ctrl_cells: out.ctrl_cells,
+        rerouted: out.rerouted,
+        oracle_ok,
+        replay_ok: true,
+    });
+
+    // --- replay: same (spec, seed) → byte-identical log, transport
+    // counters, and per-circuit stats.
+    let mut replay_spec = quiet_spec();
+    replay_spec.flaps.push(FlapEvent {
+        link: backbone[2].0,
+        down_at,
+        up_at,
+    });
+    let (_, _, first) = drive(&replay_spec, 21, 400_000);
+    let (_, _, second) = drive(&replay_spec, 21, 400_000);
+    let replay_ok = first.digest == second.digest;
+    assert!(replay_ok, "same (spec, seed) must replay byte-identically");
+    writeln!(
+        text,
+        "replay: two runs from the same (spec, seed) digest equal — log \
+         ({} events), {} control messages, per-circuit stats all identical",
+        first.log.len(),
+        first.ctrl_messages
+    )
+    .unwrap();
+    rows.push(ControlRow {
+        cell: "replay".into(),
+        converge_ms: 0.0,
+        sent_cells: first.sent,
+        delivered_cells: first.delivered,
+        lost_cells: first.lost,
+        ctrl_messages: first.ctrl_messages,
+        ctrl_cells: first.ctrl_cells,
+        rerouted: first.rerouted,
+        oracle_ok: true,
+        replay_ok,
+    });
+
+    (rows, text)
+}

@@ -56,7 +56,7 @@ struct Outcome {
     violations: u64,
     resyncs: u64,
     restored: bool,
-    log: Vec<(u64, LinkId, bool)>,
+    log: Vec<an2::ReconfigEvent>,
     digest: u64,
 }
 
@@ -173,10 +173,42 @@ fn soak(spec: Option<&FaultSpec>, fault_seed: u64, slots: u64, gap: u64) -> Outc
             fnv(&mut out.digest, x);
         }
     }
-    for &(slot, link, up) in &out.log {
-        fnv(&mut out.digest, slot);
-        fnv(&mut out.digest, link.0 as u64);
-        fnv(&mut out.digest, up as u64);
+    for e in &out.log {
+        fnv(&mut out.digest, e.slot());
+        fnv(&mut out.digest, e.at().as_nanos());
+        match *e {
+            an2::ReconfigEvent::LinkDead { link, .. } => {
+                fnv(&mut out.digest, 1);
+                fnv(&mut out.digest, link.0 as u64);
+            }
+            an2::ReconfigEvent::LinkWorking { link, .. } => {
+                fnv(&mut out.digest, 2);
+                fnv(&mut out.digest, link.0 as u64);
+            }
+            an2::ReconfigEvent::EpochStarted { tag, .. } => {
+                fnv(&mut out.digest, 3);
+                fnv(&mut out.digest, tag.epoch);
+                fnv(&mut out.digest, tag.initiator.0 as u64);
+            }
+            an2::ReconfigEvent::Quiesced { tag, messages, .. } => {
+                fnv(&mut out.digest, 4);
+                fnv(&mut out.digest, tag.epoch);
+                fnv(&mut out.digest, messages);
+            }
+            an2::ReconfigEvent::RoutesInstalled {
+                tag,
+                rerouted,
+                kept,
+                unroutable,
+                ..
+            } => {
+                fnv(&mut out.digest, 5);
+                fnv(&mut out.digest, tag.epoch);
+                fnv(&mut out.digest, rerouted);
+                fnv(&mut out.digest, kept);
+                fnv(&mut out.digest, unroutable);
+            }
+        }
     }
     out
 }
@@ -296,17 +328,26 @@ pub fn n3_chaos_soak() -> (Vec<ChaosRow>, String) {
     let death = flap
         .log
         .iter()
-        .find(|&&(_, l, up)| l == LinkId(0) && !up)
+        .find_map(|e| match *e {
+            an2::ReconfigEvent::LinkDead {
+                slot,
+                link: LinkId(0),
+                ..
+            } => Some(slot),
+            _ => None,
+        })
         .unwrap_or_else(|| panic!("monitor never declared the flap dead; log={:?}", flap.log));
-    let detect_ms = (death.0 - down_at) as f64 * slot_ns as f64 / 1e6;
+    let detect_ms = (death - down_at) as f64 * slot_ns as f64 / 1e6;
     assert!(
         detect_ms < 200.0,
         "flap detection took {detect_ms:.1} ms (≥ 200 ms)"
     );
-    let revived = flap
-        .log
-        .iter()
-        .any(|&(slot, l, up)| l == LinkId(0) && up && slot > up_at);
+    let revived = flap.log.iter().any(|e| {
+        matches!(
+            *e,
+            an2::ReconfigEvent::LinkWorking { slot, link, .. } if link == LinkId(0) && slot > up_at
+        )
+    });
     assert!(revived, "skeptic never readmitted the flapped link");
     assert_eq!(flap.violations, 0);
     assert!(

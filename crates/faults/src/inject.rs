@@ -253,6 +253,20 @@ impl FaultInjector {
         l.up && !Self::loss_draw(l)
     }
 
+    /// Decides whether a *burst* of `cells` control cells all survive the
+    /// link — the transmission unit of a segmented reconfiguration protocol
+    /// message, which is lost wholesale if any segment is. All `cells` draws
+    /// are always taken, keeping the link's loss stream deterministic
+    /// regardless of where (or whether) the burst fails.
+    pub fn transmit_ctrl_burst(&mut self, link: LinkId, cells: u32) -> bool {
+        let l = &mut self.links[link.0 as usize];
+        let mut lost = false;
+        for _ in 0..cells {
+            lost |= Self::loss_draw(l);
+        }
+        l.up && !lost
+    }
+
     /// Outcome of one monitor ping over `link`: the request and the ack
     /// each traverse the link once, so both must survive. Both draws are
     /// always taken, keeping the stream's draw count independent of the
@@ -275,6 +289,35 @@ mod tests {
             default_link,
             ..Default::default()
         }
+    }
+
+    #[test]
+    fn ctrl_burst_wholesale_and_draw_count_fixed() {
+        // Inert link: any burst survives.
+        let mut inert = FaultInjector::new(&FaultSpec::default(), 3, 2, 1);
+        assert!(inert.transmit_ctrl_burst(LinkId(0), 7));
+        // Total loss: even a one-cell burst dies.
+        let spec = spec_with(LinkFaultModel {
+            loss: LossModel::Independent { p: 1.0 },
+            ..Default::default()
+        });
+        let mut inj = FaultInjector::new(&spec, 3, 2, 1);
+        assert!(!inj.transmit_ctrl_burst(LinkId(0), 1));
+        // Draw-count determinism: a k-cell burst advances the link's loss
+        // stream exactly as k single ctrl sends do.
+        let spec = spec_with(LinkFaultModel {
+            loss: LossModel::Independent { p: 0.5 },
+            ..Default::default()
+        });
+        let mut a = FaultInjector::new(&spec, 9, 1, 1);
+        let mut b = FaultInjector::new(&spec, 9, 1, 1);
+        a.transmit_ctrl_burst(LinkId(0), 5);
+        for _ in 0..5 {
+            b.transmit_ctrl(LinkId(0));
+        }
+        let fa: Vec<bool> = (0..64).map(|_| a.transmit_ctrl(LinkId(0))).collect();
+        let fb: Vec<bool> = (0..64).map(|_| b.transmit_ctrl(LinkId(0))).collect();
+        assert_eq!(fa, fb);
     }
 
     #[test]

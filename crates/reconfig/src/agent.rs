@@ -179,6 +179,17 @@ impl SwitchAgent {
         }
     }
 
+    /// The switch this agent runs on.
+    pub fn id(&self) -> SwitchId {
+        self.id
+    }
+
+    /// The largest reconfiguration tag this agent has seen (its current
+    /// epoch). Monotonically non-decreasing.
+    pub fn tag(&self) -> Tag {
+        self.tag
+    }
+
     /// Removes `edge` from the stored topology view (idempotent) and counts
     /// the application.
     fn apply_delta(&mut self, edge: Edge) {
@@ -193,9 +204,15 @@ impl SwitchAgent {
     }
 
     /// Floods a delta to every working neighbour.
-    fn flood_delta(&mut self, ctx: &mut Context<'_, Msg>, origin: SwitchId, seq: u64, edge: Edge) {
+    fn flood_delta(
+        &mut self,
+        out: &mut Vec<(SwitchId, Msg)>,
+        origin: SwitchId,
+        seq: u64,
+        edge: Edge,
+    ) {
         for n in self.up_neighbors() {
-            self.send(ctx, n, Msg::Delta { origin, seq, edge });
+            self.send(out, n, Msg::Delta { origin, seq, edge });
         }
     }
 
@@ -214,16 +231,16 @@ impl SwitchAgent {
             .collect()
     }
 
-    fn send(&self, ctx: &mut Context<'_, Msg>, to: SwitchId, msg: Msg) {
+    fn send(&self, out: &mut Vec<(SwitchId, Msg)>, to: SwitchId, msg: Msg) {
         let n = &self.neighbors[&to];
         if !n.up {
             return; // link died under us; the message would be lost anyway
         }
         self.public.borrow_mut().messages_sent += 1;
-        ctx.send_after(n.latency + self.processing, n.actor, msg);
+        out.push((to, msg));
     }
 
-    fn start_reconfig(&mut self, ctx: &mut Context<'_, Msg>) {
+    fn start_reconfig(&mut self, now: SimTime, out: &mut Vec<(SwitchId, Msg)>) {
         self.tag = self.tag.successor(self.id);
         self.public.borrow_mut().initiated += 1;
         let invitees: BTreeSet<SwitchId> = self.up_neighbors().into_iter().collect();
@@ -238,12 +255,12 @@ impl SwitchAgent {
         });
         let tag = self.tag;
         for n in invitees {
-            self.send(ctx, n, Msg::Invite { tag, from: self.id });
+            self.send(out, n, Msg::Invite { tag, from: self.id });
         }
-        self.try_advance(ctx);
+        self.try_advance(now, out);
     }
 
-    fn join(&mut self, ctx: &mut Context<'_, Msg>, tag: Tag, parent: SwitchId) {
+    fn join(&mut self, now: SimTime, out: &mut Vec<(SwitchId, Msg)>, tag: Tag, parent: SwitchId) {
         self.tag = tag;
         let invitees: BTreeSet<SwitchId> = self
             .up_neighbors()
@@ -260,7 +277,7 @@ impl SwitchAgent {
             reported: false,
         });
         self.send(
-            ctx,
+            out,
             parent,
             Msg::InviteAck {
                 tag,
@@ -269,15 +286,15 @@ impl SwitchAgent {
             },
         );
         for n in invitees {
-            self.send(ctx, n, Msg::Invite { tag, from: self.id });
+            self.send(out, n, Msg::Invite { tag, from: self.id });
         }
-        self.try_advance(ctx);
+        self.try_advance(now, out);
     }
 
     /// Collection / completion: once every invited neighbour has answered
     /// and every child has reported, a non-root reports to its parent and
     /// the root completes and distributes.
-    fn try_advance(&mut self, ctx: &mut Context<'_, Msg>) {
+    fn try_advance(&mut self, now: SimTime, out: &mut Vec<(SwitchId, Msg)>) {
         let Some(part) = &self.part else { return };
         if part.reported || !part.awaiting_acks.is_empty() || !part.awaiting_reports.is_empty() {
             return;
@@ -288,7 +305,7 @@ impl SwitchAgent {
         match part.parent {
             Some(parent) => {
                 self.send(
-                    ctx,
+                    out,
                     parent,
                     Msg::Report {
                         tag,
@@ -306,14 +323,15 @@ impl SwitchAgent {
                 if let Some(p) = &mut self.part {
                     p.reported = true;
                 }
-                self.complete_and_distribute(ctx, tag, edges, parents);
+                self.complete_and_distribute(now, out, tag, edges, parents);
             }
         }
     }
 
     fn complete_and_distribute(
         &mut self,
-        ctx: &mut Context<'_, Msg>,
+        now: SimTime,
+        out: &mut Vec<(SwitchId, Msg)>,
         tag: Tag,
         edges: Vec<Edge>,
         parents: Vec<(SwitchId, SwitchId)>,
@@ -322,7 +340,7 @@ impl SwitchAgent {
             tag,
             edges: edges.clone(),
             parents: parents.clone(),
-            completed_at: ctx.now(),
+            completed_at: now,
         });
         let children: Vec<SwitchId> = self
             .part
@@ -331,7 +349,7 @@ impl SwitchAgent {
             .unwrap_or_default();
         for c in children {
             self.send(
-                ctx,
+                out,
                 c,
                 Msg::Distribute {
                     tag,
@@ -341,12 +359,16 @@ impl SwitchAgent {
             );
         }
     }
-}
 
-impl Actor<Msg> for SwitchAgent {
-    fn on_message(&mut self, ctx: &mut Context<'_, Msg>, msg: Msg) {
+    /// Runs the state machine on one message, transport-free: every message
+    /// the agent wants delivered is appended to `out` as a `(destination,
+    /// payload)` pair, in send order. The caller owns delivery — the actor
+    /// harness maps each pair through `Context::send_after`, while the
+    /// embedded control plane segments the payload into control cells and
+    /// ships them over the (lossy) fabric links.
+    pub fn handle(&mut self, now: SimTime, msg: Msg, out: &mut Vec<(SwitchId, Msg)>) {
         match msg {
-            Msg::Boot => self.start_reconfig(ctx),
+            Msg::Boot => self.start_reconfig(now, out),
             Msg::LinkUp {
                 neighbor,
                 actor,
@@ -361,13 +383,13 @@ impl Actor<Msg> for SwitchAgent {
                         up: true,
                     },
                 );
-                self.start_reconfig(ctx);
+                self.start_reconfig(now, out);
             }
             Msg::LinkDown { neighbor } => {
                 if let Some(n) = self.neighbors.get_mut(&neighbor) {
                     if n.up {
                         n.up = false;
-                        self.start_reconfig(ctx);
+                        self.start_reconfig(now, out);
                     }
                 }
             }
@@ -377,10 +399,10 @@ impl Actor<Msg> for SwitchAgent {
                     return;
                 }
                 if tag > self.tag {
-                    self.join(ctx, tag, from);
+                    self.join(now, out, tag, from);
                 } else if tag == self.tag {
                     self.send(
-                        ctx,
+                        out,
                         from,
                         Msg::InviteAck {
                             tag,
@@ -407,7 +429,7 @@ impl Actor<Msg> for SwitchAgent {
                     part.children.insert(from);
                     part.awaiting_reports.insert(from);
                 }
-                self.try_advance(ctx);
+                self.try_advance(now, out);
             }
             Msg::Report {
                 tag,
@@ -426,7 +448,7 @@ impl Actor<Msg> for SwitchAgent {
                 part.edges.extend(edges);
                 part.parents.extend(parents);
                 part.parents.push((from, me));
-                self.try_advance(ctx);
+                self.try_advance(now, out);
             }
             Msg::Distribute {
                 tag,
@@ -436,7 +458,7 @@ impl Actor<Msg> for SwitchAgent {
                 if tag != self.tag {
                     return;
                 }
-                self.complete_and_distribute(ctx, tag, edges, parents);
+                self.complete_and_distribute(now, out, tag, edges, parents);
             }
             Msg::LinkDownDelta { neighbor } => {
                 let Some(n) = self.neighbors.get_mut(&neighbor) else {
@@ -456,7 +478,7 @@ impl Actor<Msg> for SwitchAgent {
                 self.apply_delta(dead);
                 let me = self.id;
                 self.delta_seen.insert(me, seq);
-                self.flood_delta(ctx, me, seq, dead);
+                self.flood_delta(out, me, seq, dead);
             }
             Msg::Delta { origin, seq, edge } => {
                 let seen = self.delta_seen.get(&origin).copied().unwrap_or(0);
@@ -465,8 +487,24 @@ impl Actor<Msg> for SwitchAgent {
                 }
                 self.delta_seen.insert(origin, seq);
                 self.apply_delta(edge);
-                self.flood_delta(ctx, origin, seq, edge);
+                self.flood_delta(out, origin, seq, edge);
             }
+        }
+    }
+}
+
+impl Actor<Msg> for SwitchAgent {
+    fn on_message(&mut self, ctx: &mut Context<'_, Msg>, msg: Msg) {
+        // The harness transport: outbound pairs become actor messages, each
+        // delayed by the link's one-way latency plus this switch's software
+        // processing time. Delivery order matches `handle`'s send order, so
+        // the world's deterministic tie-break sees the same sequence the
+        // pre-refactor inline sends produced.
+        let mut out = Vec::new();
+        self.handle(ctx.now(), msg, &mut out);
+        for (to, m) in out {
+            let n = &self.neighbors[&to];
+            ctx.send_after(n.latency + self.processing, n.actor, m);
         }
     }
 }

@@ -33,7 +33,8 @@ pub mod harness;
 pub mod monitor;
 pub mod skeptic;
 
-use an2_topology::SwitchId;
+use an2_sim::SimTime;
+use an2_topology::{LinkId, SwitchId};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -67,6 +68,96 @@ impl Tag {
 impl fmt::Display for Tag {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "epoch {} by {}", self.epoch, self.initiator)
+    }
+}
+
+/// One entry in the network's typed reconfiguration log.
+///
+/// Every variant carries the fabric `slot` it was recorded in and the
+/// corresponding virtual time `at`, so experiments can measure per-phase
+/// latencies (detect → propose → quiesce → routes installed) without
+/// reverse-engineering tuple logs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReconfigEvent {
+    /// A [`monitor::LinkMonitor`] declared `link` dead (detect).
+    LinkDead {
+        /// Fabric slot of the verdict.
+        slot: u64,
+        /// Virtual time of the verdict.
+        at: SimTime,
+        /// The link declared dead.
+        link: LinkId,
+    },
+    /// A [`monitor::LinkMonitor`] declared `link` working again after the
+    /// skeptic's probation.
+    LinkWorking {
+        /// Fabric slot of the verdict.
+        slot: u64,
+        /// Virtual time of the verdict.
+        at: SimTime,
+        /// The link declared working.
+        link: LinkId,
+    },
+    /// An embedded agent opened a new reconfiguration epoch (propose): the
+    /// largest tag observed across agents increased to `tag`.
+    EpochStarted {
+        /// Fabric slot the new tag was first observed in.
+        slot: u64,
+        /// Virtual time of the observation.
+        at: SimTime,
+        /// The new largest tag.
+        tag: Tag,
+    },
+    /// The protocol quiesced: no control cells in flight and every live
+    /// agent's view agrees with its partition's surviving topology.
+    Quiesced {
+        /// Fabric slot quiescence was detected in.
+        slot: u64,
+        /// Virtual time of quiescence.
+        at: SimTime,
+        /// The agreed tag of the largest partition's view.
+        tag: Tag,
+        /// Total protocol messages sent by all agents so far.
+        messages: u64,
+    },
+    /// The new epoch's up*/down* routes were installed switch-by-switch.
+    RoutesInstalled {
+        /// Fabric slot installation finished in.
+        slot: u64,
+        /// Virtual time of installation.
+        at: SimTime,
+        /// The epoch whose routes were installed.
+        tag: Tag,
+        /// Circuits torn down and re-established on a changed path.
+        rerouted: u64,
+        /// Circuits whose paths survived unchanged.
+        kept: u64,
+        /// Circuits left broken (no route in the surviving topology).
+        unroutable: u64,
+    },
+}
+
+impl ReconfigEvent {
+    /// The fabric slot the event was recorded in.
+    pub fn slot(&self) -> u64 {
+        match *self {
+            ReconfigEvent::LinkDead { slot, .. }
+            | ReconfigEvent::LinkWorking { slot, .. }
+            | ReconfigEvent::EpochStarted { slot, .. }
+            | ReconfigEvent::Quiesced { slot, .. }
+            | ReconfigEvent::RoutesInstalled { slot, .. } => slot,
+        }
+    }
+
+    /// The virtual time the event was recorded at.
+    pub fn at(&self) -> SimTime {
+        match *self {
+            ReconfigEvent::LinkDead { at, .. }
+            | ReconfigEvent::LinkWorking { at, .. }
+            | ReconfigEvent::EpochStarted { at, .. }
+            | ReconfigEvent::Quiesced { at, .. }
+            | ReconfigEvent::RoutesInstalled { at, .. } => at,
+        }
     }
 }
 

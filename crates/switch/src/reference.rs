@@ -1,7 +1,7 @@
 //! The pre-slab switch data plane, preserved verbatim as an oracle.
 //!
 //! This is the map-based implementation the slab rewrite in
-//! [`crate::switch`] replaced: per-input `BTreeMap<VcId, VecDeque<_>>`
+//! `crate::switch` replaced: per-input `BTreeMap<VcId, VecDeque<_>>`
 //! queues, a `BTreeMap` routing table and a `BTreeMap` credit table. It is
 //! kept (a) as the baseline side of the criterion `fabric` benches and
 //! (b) as the behavioural oracle for the reference-equivalence property

@@ -160,6 +160,12 @@ pub struct Switch {
     schedule: FrameSchedule,
     pim: Pim,
     slot: u64,
+    /// Per output port: the slot *until* which the port is claimed by
+    /// control-cell transmission (exclusive). Data phases skip a claimed
+    /// output, giving reconfiguration protocol cells §2's priority over both
+    /// guaranteed reservations and best-effort matching. All zeros — the
+    /// state when [`Switch::reserve_output`] is never called — is inert.
+    ctrl_reserved: Vec<u64>,
     // Reused per-step buffers (allocation-free steady state).
     demand: DemandMatrix,
     matching: Matching,
@@ -197,6 +203,7 @@ impl Switch {
             schedule: FrameSchedule::new(ports, frame),
             pim,
             slot: 0,
+            ctrl_reserved: vec![0; ports],
             demand: DemandMatrix::new(ports),
             matching: Matching::empty(ports),
             crossbar: Matching::empty(ports),
@@ -290,6 +297,25 @@ impl Switch {
     /// The current slot index.
     pub fn slot(&self) -> u64 {
         self.slot
+    }
+
+    /// Claims `output` for control-cell transmission through slot
+    /// `until_slot` (exclusive): data traffic is not matched to the port
+    /// while the claim is live, giving reconfiguration protocol bursts §2's
+    /// priority over both guaranteed reservations and best-effort matching.
+    /// Claims only extend (max of current and requested horizon), so
+    /// back-to-back protocol messages compose. Never calling this is
+    /// behaviour-identical to the pre-control-plane switch.
+    pub fn reserve_output(&mut self, output: usize, until_slot: u64) {
+        if let Some(r) = self.ctrl_reserved.get_mut(output) {
+            *r = (*r).max(until_slot);
+        }
+    }
+
+    /// The slot until which `output` is claimed by control cells
+    /// (exclusive); `0` means never claimed.
+    pub fn ctrl_reserved_until(&self, output: usize) -> u64 {
+        self.ctrl_reserved.get(output).copied().unwrap_or(0)
     }
 
     /// The guaranteed-traffic frame schedule (for reservation surgery).
@@ -480,6 +506,9 @@ impl Switch {
         if self.gt_active.iter().any(|l| !l.is_empty()) {
             for input in 0..n {
                 if let Some(output) = self.schedule.output_in_slot(frame_slot, input) {
+                    if self.ctrl_reserved[output] > self.slot {
+                        continue; // port carrying a control burst this slot
+                    }
                     if let Some((cell, enqueued_slot)) = take_oldest(
                         &mut self.pool,
                         &mut self.vcs,
@@ -525,7 +554,10 @@ impl Switch {
                 let Some(route) = s.route else {
                     continue;
                 };
-                if !self.crossbar.output_free(route.output) || s.credits.is_some_and(|c| c == 0) {
+                if !self.crossbar.output_free(route.output)
+                    || s.credits.is_some_and(|c| c == 0)
+                    || self.ctrl_reserved[route.output] > self.slot
+                {
                     continue;
                 }
                 // Active lists only hold non-empty queues, and the queue
@@ -670,6 +702,26 @@ mod tests {
         assert_eq!(*departed_slot, 3, "pipeline is 3 slots");
         assert_eq!(d.output, 2);
         assert_eq!(d.enqueued_slot, 0);
+    }
+
+    #[test]
+    fn reserved_output_defers_data_until_claim_expires() {
+        // A control burst claims output 2 for slots 0..6; the best-effort
+        // cell that would have left at slot 3 leaves at 6 instead.
+        let mut sw = Switch::new(cfg_small());
+        sw.install_route(VcId::new(1), 2, TrafficClass::BestEffort)
+            .unwrap();
+        sw.enqueue(0, cell(1)).unwrap();
+        sw.reserve_output(2, 6);
+        assert_eq!(sw.ctrl_reserved_until(2), 6);
+        let mut rng = SimRng::new(1);
+        let mut deps = Vec::new();
+        for s in 0..10u64 {
+            for d in sw.step(&mut rng) {
+                deps.push((s, d.output));
+            }
+        }
+        assert_eq!(deps, vec![(6, 2)]);
     }
 
     #[test]

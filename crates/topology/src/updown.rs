@@ -18,7 +18,7 @@
 use crate::graph::{SwitchId, Topology};
 use crate::paths;
 use crate::spanning::SpanningTree;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 
 /// Whether traversing the link `from -> to` goes *up* under the tree's
 /// orientation: toward smaller depth, with ties toward the higher-numbered
@@ -199,6 +199,168 @@ pub fn dependency_graph_acyclic(deps: &HashMap<Channel, HashSet<Channel>>) -> bo
         }
     }
     true
+}
+
+/// Builds the *canonical* spanning forest of an agreed edge set: one BFS
+/// tree per connected component, rooted at the component's highest-numbered
+/// switch, with neighbours explored in ascending id order.
+///
+/// This is a pure function of `(live, edges)` — unlike the propagation tree
+/// the reconfiguration protocol happens to build (which depends on message
+/// race timing), two parties that agree on the surviving topology compute
+/// byte-identical trees, and therefore byte-identical up\*/down\* routes.
+/// The embedded control plane installs routes from this forest, and the
+/// standalone harness oracle recomputes the same forest from its converged
+/// view for comparison.
+///
+/// `live` lists the switches that exist (crashed switches are excluded);
+/// isolated live switches become singleton trees. Edges with an endpoint
+/// outside `live` are ignored. The forest is sorted by root id.
+pub fn canonical_forest(
+    switch_count: usize,
+    live: &[SwitchId],
+    edges: &[(SwitchId, SwitchId)],
+) -> Vec<SpanningTree> {
+    let live_set: BTreeSet<SwitchId> = live.iter().copied().collect();
+    let mut adj: BTreeMap<SwitchId, BTreeSet<SwitchId>> =
+        live_set.iter().map(|&s| (s, BTreeSet::new())).collect();
+    for &(a, b) in edges {
+        if a != b && live_set.contains(&a) && live_set.contains(&b) {
+            adj.get_mut(&a).unwrap().insert(b);
+            adj.get_mut(&b).unwrap().insert(a);
+        }
+    }
+    // Component discovery: peel the highest unvisited switch, flood from it.
+    let mut unvisited = live_set;
+    let mut forest = Vec::new();
+    while let Some(&seed) = unvisited.iter().next_back() {
+        // Find the component containing `seed`.
+        let mut component = BTreeSet::new();
+        let mut q = VecDeque::new();
+        component.insert(seed);
+        q.push_back(seed);
+        while let Some(s) = q.pop_front() {
+            for &t in &adj[&s] {
+                if component.insert(t) {
+                    q.push_back(t);
+                }
+            }
+        }
+        // Canonical tree: BFS from the highest id, ascending neighbour order
+        // (BTreeSet iteration), first visit assigns the parent.
+        let root = *component.iter().next_back().expect("non-empty component");
+        let mut parents = Vec::new();
+        let mut seen: BTreeSet<SwitchId> = BTreeSet::new();
+        seen.insert(root);
+        q.push_back(root);
+        while let Some(s) = q.pop_front() {
+            for &t in &adj[&s] {
+                if seen.insert(t) {
+                    parents.push((t, s));
+                    q.push_back(t);
+                }
+            }
+        }
+        forest.push(SpanningTree::from_parents(root, switch_count, parents));
+        for s in &component {
+            unvisited.remove(s);
+        }
+    }
+    forest.sort_by_key(|t| t.root());
+    forest
+}
+
+/// A memoizing wrapper around [`route`] keyed on a [`canonical_forest`],
+/// supporting the incremental invalidation the embedded control plane needs:
+/// when a link dies but the canonical forest is unchanged (the dead edge was
+/// a cross edge — common on the dual-homed SRC topology), only the cached
+/// routes that actually traversed that adjacency are dropped.
+///
+/// Dropping an edge never shortens a path and never reorders the BFS
+/// tie-break among surviving candidates, so a retained cache entry is
+/// byte-identical to what a fresh [`route`] call would return — callers may
+/// compare cached routes against recomputation. Edge *additions* can shorten
+/// paths, so [`RouteCache::set_forest`] with a changed forest, or an
+/// explicit [`RouteCache::invalidate_all`], must follow any revival.
+#[derive(Debug, Default)]
+pub struct RouteCache {
+    forest: Vec<SpanningTree>,
+    routes: HashMap<(SwitchId, SwitchId), Option<Vec<SwitchId>>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl RouteCache {
+    /// An empty cache with no forest (every lookup returns `None` until
+    /// [`RouteCache::set_forest`] is called).
+    pub fn new() -> Self {
+        RouteCache::default()
+    }
+
+    /// Installs the forest routes are computed against. Clears the memo only
+    /// if the forest actually changed.
+    pub fn set_forest(&mut self, forest: Vec<SpanningTree>) {
+        if self.forest != forest {
+            self.forest = forest;
+            self.routes.clear();
+        }
+    }
+
+    /// The installed forest.
+    pub fn forest(&self) -> &[SpanningTree] {
+        &self.forest
+    }
+
+    /// The tree containing `s`, if any.
+    pub fn tree_of(&self, s: SwitchId) -> Option<&SpanningTree> {
+        self.forest.iter().find(|t| t.contains(s))
+    }
+
+    /// The memoized up\*/down\* route from `src` to `dst` over `topo`'s
+    /// working links, or `None` if they are in different partitions (also
+    /// memoized). `topo` must be consistent with the installed forest.
+    pub fn route(
+        &mut self,
+        topo: &Topology,
+        src: SwitchId,
+        dst: SwitchId,
+    ) -> Option<Vec<SwitchId>> {
+        if let Some(cached) = self.routes.get(&(src, dst)) {
+            self.hits += 1;
+            return cached.clone();
+        }
+        self.misses += 1;
+        let computed = self
+            .forest
+            .iter()
+            .find(|t| t.contains(src) && t.contains(dst))
+            .and_then(|tree| route(topo, tree, src, dst));
+        self.routes.insert((src, dst), computed.clone());
+        computed
+    }
+
+    /// Drops every cached route that traverses the adjacency `a — b` (in
+    /// either direction). Memoized misses are kept: a dead edge can newly
+    /// partition pairs but never reconnect them, so `None` stays `None` and
+    /// `Some` entries avoiding the edge stay valid.
+    pub fn invalidate_edge(&mut self, a: SwitchId, b: SwitchId) {
+        self.routes.retain(|_, r| match r {
+            None => true,
+            Some(path) => !path
+                .windows(2)
+                .any(|w| (w[0] == a && w[1] == b) || (w[0] == b && w[1] == a)),
+        });
+    }
+
+    /// Drops every memoized route (use after a link revival).
+    pub fn invalidate_all(&mut self) {
+        self.routes.clear();
+    }
+
+    /// `(hits, misses)` counters for the memo.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
 }
 
 /// Convenience: computes up\*/down\* routes for every ordered switch pair and
@@ -420,6 +582,126 @@ mod tests {
         let mut path = vec![src];
         dfs(topo, tree, dst, &mut path, &mut best);
         best
+    }
+
+    #[test]
+    fn canonical_forest_roots_and_determinism() {
+        let topo = generators::ring(6);
+        let live: Vec<SwitchId> = topo.switches().collect();
+        let edges: Vec<(SwitchId, SwitchId)> = (0..6u16)
+            .map(|i| {
+                let j = (i + 1) % 6;
+                (SwitchId(i.min(j)), SwitchId(i.max(j)))
+            })
+            .collect();
+        let f1 = canonical_forest(6, &live, &edges);
+        assert_eq!(f1.len(), 1);
+        assert_eq!(f1[0].root(), SwitchId(5), "root = highest id in component");
+        // Shuffled edge order yields the identical forest.
+        let mut shuffled = edges.clone();
+        shuffled.reverse();
+        assert_eq!(f1, canonical_forest(6, &live, &shuffled));
+    }
+
+    #[test]
+    fn canonical_forest_partitions_and_isolated() {
+        // Two components {0,1} and {3,4}, plus isolated live switch 2, plus
+        // a dead switch 5 (not in `live`) with a dangling edge.
+        let live = [
+            SwitchId(0),
+            SwitchId(1),
+            SwitchId(2),
+            SwitchId(3),
+            SwitchId(4),
+        ];
+        let edges = [
+            (SwitchId(0), SwitchId(1)),
+            (SwitchId(3), SwitchId(4)),
+            (SwitchId(4), SwitchId(5)), // endpoint not live: ignored
+        ];
+        let forest = canonical_forest(6, &live, &edges);
+        let roots: Vec<SwitchId> = forest.iter().map(|t| t.root()).collect();
+        assert_eq!(roots, vec![SwitchId(1), SwitchId(2), SwitchId(4)]);
+        assert_eq!(forest[1].len(), 1, "isolated switch is a singleton tree");
+        assert!(!forest.iter().any(|t| t.contains(SwitchId(5))));
+    }
+
+    #[test]
+    fn route_cache_matches_fresh_compute() {
+        let topo = generators::src_installation(4, 0);
+        let live: Vec<SwitchId> = topo.switches().collect();
+        let edges: Vec<(SwitchId, SwitchId)> = topo
+            .links()
+            .filter_map(|l| {
+                let (a, b) = topo.endpoints(l);
+                match (a.node, b.node) {
+                    (crate::Node::Switch(x), crate::Node::Switch(y)) => {
+                        Some((SwitchId(x.0.min(y.0)), SwitchId(x.0.max(y.0))))
+                    }
+                    _ => None,
+                }
+            })
+            .collect();
+        let forest = canonical_forest(4, &live, &edges);
+        let mut cache = RouteCache::new();
+        cache.set_forest(forest.clone());
+        for s in topo.switches() {
+            for t in topo.switches() {
+                let tree = forest.iter().find(|tr| tr.contains(s)).unwrap();
+                let fresh = route(&topo, tree, s, t);
+                assert_eq!(cache.route(&topo, s, t), fresh);
+                // Second lookup is a hit with the same answer.
+                assert_eq!(cache.route(&topo, s, t), fresh);
+            }
+        }
+        let (hits, misses) = cache.stats();
+        assert_eq!(hits, misses, "every pair looked up exactly twice");
+    }
+
+    #[test]
+    fn route_cache_incremental_invalidation_is_exact() {
+        // Kill a cross edge (forest unchanged), invalidate just that edge,
+        // and check every surviving cache entry equals a fresh recompute.
+        let mut topo = generators::ring(6);
+        let live: Vec<SwitchId> = topo.switches().collect();
+        let edges: Vec<(SwitchId, SwitchId)> = (0..6u16)
+            .map(|i| {
+                let j = (i + 1) % 6;
+                (SwitchId(i.min(j)), SwitchId(i.max(j)))
+            })
+            .collect();
+        let forest = canonical_forest(6, &live, &edges);
+        let mut cache = RouteCache::new();
+        cache.set_forest(forest);
+        for s in topo.switches() {
+            for t in topo.switches() {
+                cache.route(&topo, s, t);
+            }
+        }
+        // The 2—3 ring edge: both endpoints keep other links, and BFS from
+        // root 5 never uses it as a tree edge check is not required — the
+        // forest over the surviving edge set must simply stay equal.
+        let dead = (SwitchId(2), SwitchId(3));
+        let surviving: Vec<(SwitchId, SwitchId)> =
+            edges.iter().copied().filter(|&e| e != dead).collect();
+        let new_forest = canonical_forest(6, &live, &surviving);
+        let link = topo
+            .links_between(dead.0, dead.1)
+            .first()
+            .copied()
+            .expect("ring edge exists");
+        topo.set_link_state(link, crate::LinkState::Dead);
+        cache.set_forest(new_forest.clone());
+        cache.invalidate_edge(dead.0, dead.1);
+        for s in topo.switches() {
+            for t in topo.switches() {
+                let fresh = new_forest
+                    .iter()
+                    .find(|tr| tr.contains(s) && tr.contains(t))
+                    .and_then(|tree| route(&topo, tree, s, t));
+                assert_eq!(cache.route(&topo, s, t), fresh, "{s} -> {t}");
+            }
+        }
     }
 
     #[test]

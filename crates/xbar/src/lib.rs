@@ -39,7 +39,7 @@
 //! [`MAX_PORTS`] = 64 ports, four times the AN2 hardware's 16.
 //!
 //! The pre-refactor scan-and-`Vec` schedulers are preserved verbatim in
-//! [`reference`]; property tests assert the fast path produces bit-identical
+//! [`mod@reference`]; property tests assert the fast path produces bit-identical
 //! matchings from the same RNG stream, and the Criterion benches measure the
 //! speedup against them.
 
