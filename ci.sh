@@ -32,6 +32,13 @@ if [[ "${1:-}" != "quick" ]]; then
     echo "== embedded control plane (N4 asserts its claims in-process)"
     cargo run -q -p an2-bench --release --bin experiments -- n4 --json
 
+    echo "== flight recorder (trace-determinism digest + golden reconfig trace)"
+    cargo test -q --test trace_determinism --test golden_trace
+
+    echo "== tracing overhead (N5) + traced N4 export (asserts span < 200 ms)"
+    cargo run -q -p an2-bench --release --bin experiments -- n5 --json
+    cargo run -q -p an2-bench --release --bin experiments -- n4 --trace
+
     echo "== cargo doc (deny warnings)"
     RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 fi

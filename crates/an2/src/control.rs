@@ -29,6 +29,7 @@ use an2_sim::metrics::PhaseRecorder;
 use an2_sim::{ActorId, SimDuration, SimTime};
 use an2_topology::updown::RouteCache;
 use an2_topology::{LinkState, Node, SwitchId};
+use an2_trace::{Entity, Phase, PhaseEdge, TraceEvent, Tracer};
 use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
@@ -96,6 +97,9 @@ pub(crate) struct ControlPlane {
     pub(crate) cache: RouteCache,
     /// Converge/install spans on the virtual clock.
     pub(crate) phases: PhaseRecorder,
+    /// Flight-recorder handle mirroring phase transitions as
+    /// [`TraceEvent::ReconfigPhase`] records (shared with the fabric's).
+    pub(crate) tracer: Option<Tracer>,
 }
 
 impl fmt::Debug for ControlPlane {
@@ -134,6 +138,7 @@ impl ControlPlane {
             unsendable: 0,
             cache: RouteCache::new(),
             phases: PhaseRecorder::new(),
+            tracer: None,
         }
     }
 
@@ -180,6 +185,17 @@ impl ControlPlane {
                 self.epoch_open = true;
                 self.retries_used = 0;
                 self.phases.begin("converge", now);
+                if let Some(t) = &self.tracer {
+                    t.emit_at_ns(
+                        now.as_nanos(),
+                        TraceEvent::ReconfigPhase {
+                            phase: Phase::Converge,
+                            edge: PhaseEdge::Begin,
+                            epoch: max_tag.epoch,
+                        },
+                    );
+                    t.counter_add("reconfig.epochs_started", Entity::Global, 1);
+                }
             }
             self.last_activity_slot = slot;
         }

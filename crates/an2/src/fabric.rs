@@ -30,6 +30,7 @@ use an2_sim::metrics::Histogram;
 use an2_sim::SimRng;
 use an2_switch::{Departure, Switch, SwitchConfig};
 use an2_topology::{HostId, LinkId, LinkState, Node, SwitchId, Topology};
+use an2_trace::{DropReason, Entity, Hop, TraceEvent, Tracer};
 use std::collections::VecDeque;
 
 /// Fabric-wide configuration.
@@ -108,11 +109,14 @@ enum Event {
         input: usize,
         cell: Cell,
         link: LinkId,
+        /// Path-trace id (`0` = not sampled; always 0 without a tracer).
+        trace: u32,
     },
     CellToHost {
         host: HostId,
         cell: Cell,
         link: LinkId,
+        trace: u32,
     },
     CreditToSwitch {
         switch: SwitchId,
@@ -405,6 +409,11 @@ pub struct Fabric {
     /// every hot-path hook is gated on it being present, so a fault-free
     /// fabric runs byte-identically to one that never had the field.
     fault: Option<Box<FaultLayer>>,
+    /// Flight recorder + metrics (`None` until [`Fabric::attach_tracer`]);
+    /// gated exactly like the fault layer. Emission happens after every
+    /// decision and consumes no randomness, so a traced run is
+    /// byte-identical to an untraced one.
+    tracer: Option<Tracer>,
     /// Reconfiguration protocol messages in flight (empty unless an
     /// embedded control plane is sending; the hot path gates on that).
     ctrl_inflight: Vec<CtrlInFlight>,
@@ -467,6 +476,7 @@ impl Fabric {
             slot: 0,
             rng: SimRng::new(seed),
             fault: None,
+            tracer: None,
             ctrl_inflight: Vec::new(),
             ctrl_arrivals: Vec::new(),
             ctrl_counters: CtrlCounters::default(),
@@ -943,6 +953,7 @@ impl Fabric {
                         input,
                         cell,
                         link,
+                        trace: 0,
                     },
                 );
             }
@@ -953,8 +964,15 @@ impl Fabric {
             let (arrives, _, due) =
                 self.wire_cross(link, Node::Host(host), &mut cell, depart + latency);
             if arrives {
-                self.agenda
-                    .push(due, Event::CellToHost { host, cell, link });
+                self.agenda.push(
+                    due,
+                    Event::CellToHost {
+                        host,
+                        cell,
+                        link,
+                        trace: 0,
+                    },
+                );
             }
         }
         // The host consumed one credit to inject the setup cell; the first
@@ -1171,7 +1189,12 @@ impl Fabric {
     }
 
     fn step_one(&mut self) {
-        // 0. Fault layer: crashes, flaps and scheduled resync markers take
+        // 0. Stamp the recorder's clock so every event this slot carries
+        // the right virtual time.
+        if let Some(t) = &self.tracer {
+            t.set_slot(self.slot);
+        }
+        // 0b. Fault layer: crashes, flaps and scheduled resync markers take
         // effect before this slot's deliveries.
         if self.fault.is_some() {
             self.fault_begin_slot();
@@ -1186,6 +1209,7 @@ impl Fabric {
                     switch,
                     input,
                     cell,
+                    trace,
                     ..
                 } => {
                     if self.switch_is_crashed(switch) {
@@ -1198,12 +1222,23 @@ impl Fabric {
                         if self.fault.is_some() {
                             self.shadow_on_cell(switch, cell.vc());
                         }
+                        if let Some(t) = &self.tracer {
+                            if trace != 0 {
+                                t.emit(TraceEvent::CellHop {
+                                    trace_id: trace,
+                                    vc: cell.vc().raw(),
+                                    hop: Hop::SwitchIn { switch: switch.0 },
+                                });
+                            }
+                        }
                         self.switches[switch.0 as usize]
-                            .enqueue(input, cell)
+                            .enqueue_traced(input, cell, trace)
                             .expect("port map produced a valid input port");
                     }
                 }
-                Event::CellToHost { host, cell, .. } => {
+                Event::CellToHost {
+                    host, cell, trace, ..
+                } => {
                     if cell.header.kind == CellKind::Signal {
                         // Setup complete: the destination controller
                         // acknowledges by accepting the circuit.
@@ -1211,7 +1246,7 @@ impl Fabric {
                             self.vcs[idx].setup = None;
                         }
                     } else {
-                        self.deliver_to_host(host, cell);
+                        self.deliver_to_host(host, cell, trace);
                     }
                 }
                 Event::CreditToSwitch {
@@ -1252,6 +1287,13 @@ impl Fabric {
                     if self.switch_is_crashed(m.to) {
                         self.ctrl_counters.messages_lost += 1;
                     } else {
+                        if let Some(t) = &self.tracer {
+                            t.emit(TraceEvent::CtrlRx {
+                                switch: m.to.0,
+                                link: m.link.0,
+                            });
+                            t.counter_add("ctrl.messages_received", Entity::Switch(m.to.0), 1);
+                        }
                         self.ctrl_arrivals.push((m.to, m.link, m.msg));
                     }
                 } else {
@@ -1267,7 +1309,13 @@ impl Fabric {
             self.switches[idx].step_into(&mut self.rng, &mut departures);
             let batch = std::mem::take(&mut departures);
             for d in &batch {
-                self.propagate(SwitchId(idx as u16), d.output, d.cell);
+                self.propagate(
+                    SwitchId(idx as u16),
+                    d.output,
+                    d.cell,
+                    d.trace,
+                    d.enqueued_slot,
+                );
             }
             departures = batch;
         }
@@ -1336,6 +1384,28 @@ impl Fabric {
                 let input = self.port_on(link, Node::Switch(first));
                 let (arrives, corrupted, due) =
                     self.wire_cross(link, Node::Switch(first), &mut cell, self.slot + latency);
+                // Sampling happens after the wire's fate is drawn: the
+                // tracer's counter is deterministic and independent of the
+                // simulation RNG, so tracing never perturbs the run.
+                let mut trace = 0;
+                if let Some(t) = &self.tracer {
+                    if !is_signal {
+                        trace = t.sample_cell();
+                        t.emit(TraceEvent::CellInject {
+                            vc: cell.vc().raw(),
+                            host: h as u16,
+                            trace_id: trace,
+                        });
+                        t.counter_add("fabric.cells_injected", Entity::Host(h as u16), 1);
+                        if trace != 0 && arrives {
+                            t.emit(TraceEvent::CellHop {
+                                trace_id: trace,
+                                vc: cell.vc().raw(),
+                                hop: Hop::Wire { link: link.0 },
+                            });
+                        }
+                    }
+                }
                 if arrives {
                     self.agenda.push(
                         due,
@@ -1344,6 +1414,7 @@ impl Fabric {
                             input,
                             cell,
                             link,
+                            trace,
                         },
                     );
                 }
@@ -1351,7 +1422,14 @@ impl Fabric {
                 let c = self.vcs[idx].circuit.as_mut().expect("checked above");
                 match c.class {
                     TrafficClass::BestEffort => {
-                        *c.host_credits.as_mut().expect("gated best-effort") -= 1;
+                        let hc = c.host_credits.as_mut().expect("gated best-effort");
+                        *hc -= 1;
+                        if let Some(t) = &self.tracer {
+                            t.emit(TraceEvent::CreditConsume {
+                                vc: vc.raw(),
+                                balance: *hc,
+                            });
+                        }
                     }
                     TrafficClass::Guaranteed { .. } => {
                         *c.gt_tokens.as_mut().expect("token bucket exists") -= 1;
@@ -1389,7 +1467,14 @@ impl Fabric {
         }
     }
 
-    fn propagate(&mut self, from: SwitchId, output: usize, mut cell: Cell) {
+    fn propagate(
+        &mut self,
+        from: SwitchId,
+        output: usize,
+        mut cell: Cell,
+        trace: u32,
+        enqueued_slot: u64,
+    ) {
         let vc = cell.vc();
         let latency = self.cfg.link_latency_slots;
         if self.fault.is_some() {
@@ -1398,6 +1483,18 @@ impl Fabric {
             // before anything can destroy the cell.
             self.shadow_try_send_from(from, vc);
         }
+        if let Some(t) = &self.tracer {
+            if trace != 0 {
+                t.emit(TraceEvent::CellHop {
+                    trace_id: trace,
+                    vc: vc.raw(),
+                    hop: Hop::SwitchOut {
+                        switch: from.0,
+                        queued_slots: self.slot - enqueued_slot,
+                    },
+                });
+            }
+        }
         let Some(attachment) = self.port_map[from.0 as usize * self.port_stride + output] else {
             // The outbound link died after the cell was scheduled: lost.
             // The shadow receiver still forwards (the hardware freed the
@@ -1405,6 +1502,13 @@ impl Fabric {
             // resync recovers it.
             if self.fault.is_some() {
                 self.shadow_forward_discard(from, vc);
+            }
+            if let Some(t) = &self.tracer {
+                t.emit(TraceEvent::CellDrop {
+                    vc: vc.raw(),
+                    reason: DropReason::DeadLink,
+                });
+                t.counter_add("fabric.cells_dropped", Entity::Vc(vc.raw()), 1);
             }
             if let Some(c) = self.circuit_mut(vc) {
                 c.stats.dropped_cells += 1;
@@ -1426,6 +1530,7 @@ impl Fabric {
                 if !self.account_mid_path(vc, arrives, corrupted) {
                     return;
                 }
+                self.trace_wire_hop(trace, vc, link);
                 self.agenda.push(
                     due,
                     Event::CellToSwitch {
@@ -1433,6 +1538,7 @@ impl Fabric {
                         input,
                         cell,
                         link,
+                        trace,
                     },
                 );
             }
@@ -1442,8 +1548,29 @@ impl Fabric {
                 if !self.account_mid_path(vc, arrives, corrupted) {
                     return;
                 }
-                self.agenda
-                    .push(due, Event::CellToHost { host, cell, link });
+                self.trace_wire_hop(trace, vc, link);
+                self.agenda.push(
+                    due,
+                    Event::CellToHost {
+                        host,
+                        cell,
+                        link,
+                        trace,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Records one wire crossing of a sampled cell's journey.
+    fn trace_wire_hop(&self, trace: u32, vc: VcId, link: LinkId) {
+        if trace != 0 {
+            if let Some(t) = &self.tracer {
+                t.emit(TraceEvent::CellHop {
+                    trace_id: trace,
+                    vc: vc.raw(),
+                    hop: Hop::Wire { link: link.0 },
+                });
             }
         }
     }
@@ -1522,6 +1649,14 @@ impl Fabric {
                 }
             }
         }
+        if let Some(t) = &self.tracer {
+            t.emit(TraceEvent::CreditSend {
+                vc: vc.raw(),
+                link: link.0,
+                epoch,
+            });
+            t.counter_add("fabric.credits_sent", Entity::Link(link.0), 1);
+        }
         let event = match upstream {
             None => Event::CreditToHost { vc, link, epoch },
             Some(switch) => Event::CreditToSwitch {
@@ -1546,8 +1681,12 @@ impl Fabric {
     /// shadow gates at full credit, which is only accurate while their
     /// hardware gates are still full.
     pub fn attach_faults(&mut self, spec: &FaultSpec, seed: u64) {
-        let injector =
+        let mut injector =
             FaultInjector::new(spec, seed, self.topo.link_count(), self.topo.switch_count());
+        // A tracer attached before the fault layer still sees fault draws.
+        if let Some(t) = &self.tracer {
+            injector.attach_tracer(t.clone());
+        }
         self.fault = Some(Box::new(FaultLayer {
             injector,
             resync_interval: spec.resync_interval_slots,
@@ -1568,6 +1707,27 @@ impl Fabric {
     /// The fault layer's counters, if one is attached.
     pub fn fault_counters(&self) -> Option<FaultCounters> {
         self.fault.as_ref().map(|f| f.counters)
+    }
+
+    /// Attaches a flight recorder + metrics registry to every layer of the
+    /// data plane: the fabric itself, each switch (and its crossbar
+    /// scheduler), and — if one is attached in either order — the fault
+    /// injector. Tracing records decisions after they are made and never
+    /// draws randomness, so the traced run is byte-identical to the
+    /// untraced one.
+    pub fn attach_tracer(&mut self, tracer: Tracer) {
+        for (idx, sw) in self.switches.iter_mut().enumerate() {
+            sw.attach_tracer(tracer.clone(), idx as u16);
+        }
+        if let Some(fault) = self.fault.as_mut() {
+            fault.injector.attach_tracer(tracer.clone());
+        }
+        self.tracer = Some(tracer);
+    }
+
+    /// The attached tracer, if any.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
     }
 
     /// One monitor ping over `link` (§2): true when neither endpoint line
@@ -1656,6 +1816,14 @@ impl Fabric {
         self.ctrl_counters.messages_sent += 1;
         let cells = Self::ctrl_cells_for(&msg);
         self.ctrl_counters.cells_sent += cells as u64;
+        if let Some(t) = &self.tracer {
+            t.emit(TraceEvent::CtrlTx {
+                switch: from.0,
+                link: link.0,
+                cells,
+            });
+            t.counter_add("ctrl.cells_sent", Entity::Switch(from.0), cells as u64);
+        }
         if self.topo.link_state(link) != LinkState::Working {
             self.ctrl_counters.messages_lost += 1;
             return false;
@@ -1808,6 +1976,13 @@ impl Fabric {
     fn account_cell_eaten_by_crash(&mut self, cell: &Cell) {
         if cell.header.kind != CellKind::Signal {
             let vc = cell.vc();
+            if let Some(t) = &self.tracer {
+                t.emit(TraceEvent::CellDrop {
+                    vc: vc.raw(),
+                    reason: DropReason::Crash,
+                });
+                t.counter_add("fabric.cells_dropped", Entity::Vc(vc.raw()), 1);
+            }
             if let Some(c) = self.circuit_mut(vc) {
                 c.stats.lost_cells += 1;
                 c.inject_slots.pop_front();
@@ -2053,6 +2228,14 @@ impl Fabric {
         }
         if completed {
             counters.resyncs_completed += 1;
+            if let Some(t) = &self.tracer {
+                t.emit(TraceEvent::ResyncComplete {
+                    vc: vc.raw(),
+                    link: link.0,
+                    epoch: reply.epoch,
+                });
+                t.counter_add("flow.resyncs_completed", Entity::Link(link.0), 1);
+            }
         }
         match gate {
             Gate::Host(bal) => {
@@ -2103,6 +2286,17 @@ impl Fabric {
         let mut total = 0u64;
         for (vc, n) in dropped {
             total += n as u64;
+            if let Some(t) = &self.tracer {
+                // Queues are credit-bounded, so per-cell drop events stay
+                // small even for a full line card.
+                for _ in 0..n {
+                    t.emit(TraceEvent::CellDrop {
+                        vc: vc.raw(),
+                        reason: DropReason::Crash,
+                    });
+                }
+                t.counter_add("fabric.cells_dropped", Entity::Vc(vc.raw()), n as u64);
+            }
             let Some(ci) = self.idx_of(vc) else { continue };
             if let Some(c) = self.vcs[ci].circuit.as_mut() {
                 c.stats.lost_cells += n as u64;
@@ -2148,6 +2342,13 @@ impl Fabric {
         let cells = lost_cells.len() as u64;
         for (vc, is_signal) in lost_cells {
             if !is_signal {
+                if let Some(t) = &self.tracer {
+                    t.emit(TraceEvent::CellDrop {
+                        vc: vc.raw(),
+                        reason: DropReason::LinkDown,
+                    });
+                    t.counter_add("fabric.cells_dropped", Entity::Vc(vc.raw()), 1);
+                }
                 if let Some(c) = self.circuit_mut(vc) {
                     c.stats.lost_cells += 1;
                     c.inject_slots.pop_front();
@@ -2197,6 +2398,16 @@ impl Fabric {
                 // A corrupted marker fails its CRC at the far end: lost.
                 _ => fault.counters.markers_lost += 1,
             }
+            // The epoch opened whether or not the marker survives (a lost
+            // marker is retried at the next resync interval).
+            if let Some(t) = &self.tracer {
+                t.emit(TraceEvent::ResyncBegin {
+                    vc: vc.raw(),
+                    link: link.0,
+                    epoch: marker.epoch,
+                });
+                t.counter_add("flow.resyncs_begun", Entity::Link(link.0), 1);
+            }
         }
     }
 
@@ -2245,17 +2456,36 @@ impl Fabric {
                 .expect("caller checked")
                 .counters
                 .invariant_violations += violations;
+            if let Some(t) = &self.tracer {
+                t.emit(TraceEvent::InvariantViolation { count: violations });
+                t.counter_add("faults.invariant_violations", Entity::Global, violations);
+            }
         }
     }
 
-    fn deliver_to_host(&mut self, host: HostId, cell: Cell) {
+    fn deliver_to_host(&mut self, host: HostId, cell: Cell, trace: u32) {
         let vc = cell.vc();
         let slot_now = self.slot;
+        let mut latency = None;
         if let Some(c) = self.circuit_mut(vc) {
             c.stats.delivered_cells += 1;
             c.last_activity = slot_now;
             if let Some(injected) = c.inject_slots.pop_front() {
-                c.stats.latency_slots.record(slot_now - injected);
+                let l = slot_now - injected;
+                c.stats.latency_slots.record(l);
+                latency = Some(l);
+            }
+        }
+        if let Some(l) = latency {
+            if let Some(t) = &self.tracer {
+                t.emit(TraceEvent::CellDeliver {
+                    vc: vc.raw(),
+                    host: host.0,
+                    latency_slots: l,
+                    trace_id: trace,
+                });
+                t.counter_add("fabric.cells_delivered", Entity::Host(host.0), 1);
+                t.hist_record("fabric.cell_latency_slots", Entity::Global, l);
             }
         }
         match self.hosts[host.0 as usize].reassembler.push(&cell) {

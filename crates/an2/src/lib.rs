@@ -58,3 +58,7 @@ pub use an2_cells::{Packet, VcId};
 pub use an2_faults::{CrashEvent, FaultSpec, FlapEvent, LinkFaultModel, LossModel};
 pub use an2_reconfig::{ReconfigEvent, Tag};
 pub use an2_topology::{HostId, LinkId, SwitchId};
+pub use an2_trace::{
+    sink, DropReason, Entity, FaultOutcome, Hop, MetricsRegistry, MetricsSnapshot, Phase,
+    PhaseEdge, TraceConfig, TraceEvent, TraceRecord, Tracer,
+};

@@ -13,6 +13,7 @@ use an2_reconfig::{ReconfigEvent, Tag};
 use an2_sim::metrics::PhaseRecorder;
 use an2_sim::{SimDuration, SimTime};
 use an2_topology::{generators, paths, updown, HostId, LinkId, Node, SwitchId, Topology};
+use an2_trace::{Entity, Phase, PhaseEdge, TraceConfig, TraceEvent, Tracer};
 use std::collections::HashMap;
 
 /// Builds a [`Network`].
@@ -548,6 +549,16 @@ impl Network {
             }
         }
         for (link, verdict) in transitions {
+            if let Some(t) = self.fabric.tracer() {
+                t.emit_at_ns(
+                    now.as_nanos(),
+                    TraceEvent::MonitorVerdict {
+                        link: link.0,
+                        up: matches!(verdict, LinkVerdict::Working),
+                    },
+                );
+                t.counter_add("monitor.verdicts", Entity::Link(link.0), 1);
+            }
             match verdict {
                 LinkVerdict::Dead => {
                     ctl.log.push(ReconfigEvent::LinkDead {
@@ -664,6 +675,33 @@ impl Network {
         self.fabric.fault_counters()
     }
 
+    /// Attaches a flight recorder + metrics registry to every layer of the
+    /// stack: the fabric (and through it each switch, its crossbar
+    /// scheduler, and the fault injector) plus the embedded control plane's
+    /// phase transitions — attachable in any order relative to
+    /// [`Network::attach_faults`] and [`Network::enable_control_plane`].
+    /// The config's `slot_ns` is overridden with this network's link rate
+    /// so event timestamps land on the real virtual clock. Tracing records
+    /// decisions after they are made and draws no randomness: a traced run
+    /// is byte-identical to an untraced one.
+    ///
+    /// Returns a handle sharing the recorder; clone it freely.
+    pub fn attach_tracer(&mut self, cfg: TraceConfig) -> Tracer {
+        let mut cfg = cfg;
+        cfg.slot_ns = self.rate.slot_duration().as_nanos().max(1);
+        let tracer = Tracer::new(cfg);
+        self.fabric.attach_tracer(tracer.clone());
+        if let Some(cp) = self.control.as_mut() {
+            cp.tracer = Some(tracer.clone());
+        }
+        tracer
+    }
+
+    /// The attached tracer, if any.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.fabric.tracer()
+    }
+
     /// The typed reconfiguration log: monitor verdicts
     /// ([`ReconfigEvent::LinkDead`] / [`ReconfigEvent::LinkWorking`]) and —
     /// with the control plane enabled — epoch opens, quiescence, and route
@@ -702,6 +740,9 @@ impl Network {
             cfg,
             slot_ns,
         ));
+        // A tracer attached before the control plane still sees its phase
+        // transitions, including the boot epoch's.
+        cp.tracer = self.fabric.tracer().cloned();
         let slot = self.fabric.slot();
         let now = self.now();
         // Boot: each end of each working inter-switch link learns of it
@@ -773,6 +814,16 @@ impl Network {
                     messages: cp.total_messages(),
                 });
                 cp.phases.end("converge", now);
+                if let Some(t) = &cp.tracer {
+                    t.emit_at_ns(
+                        now.as_nanos(),
+                        TraceEvent::ReconfigPhase {
+                            phase: Phase::Converge,
+                            edge: PhaseEdge::End,
+                            epoch: tag.epoch,
+                        },
+                    );
+                }
                 cp.epoch_open = false;
                 self.install_routes(&mut cp, &mut ctl.log, slot, now, tag);
             } else if let Some(sw) = cp.retry_candidate(&self.fabric, slot) {
@@ -918,6 +969,16 @@ impl Network {
         tag: Tag,
     ) {
         cp.phases.begin("install", now);
+        if let Some(t) = &cp.tracer {
+            t.emit_at_ns(
+                now.as_nanos(),
+                TraceEvent::ReconfigPhase {
+                    phase: Phase::Install,
+                    edge: PhaseEdge::Begin,
+                    epoch: tag.epoch,
+                },
+            );
+        }
         let (live, edges) = control::live_edges(&self.fabric);
         let forest = updown::canonical_forest(self.topology().switch_count(), &live, &edges);
         cp.cache.set_forest(forest);
@@ -995,6 +1056,17 @@ impl Network {
             unroutable,
         });
         cp.phases.end("install", now);
+        if let Some(t) = &cp.tracer {
+            t.emit_at_ns(
+                now.as_nanos(),
+                TraceEvent::ReconfigPhase {
+                    phase: Phase::Install,
+                    edge: PhaseEdge::End,
+                    epoch: tag.epoch,
+                },
+            );
+            t.counter_add("reconfig.routes_installed", Entity::Global, 1);
+        }
     }
 
     /// The topology view held by switch `s`'s embedded agent, as

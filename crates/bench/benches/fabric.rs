@@ -21,6 +21,17 @@ fn bench_fabric(c: &mut Criterion) {
             BatchSize::LargeInput,
         )
     });
+    group.bench_function("slab_traced_4sw_64vc_10k_slots", |b| {
+        b.iter_batched(
+            || {
+                let mut f = fabric_exp::prepare_slab(&scenario, 7);
+                f.attach_tracer(an2::Tracer::new(an2::TraceConfig::default()));
+                f
+            },
+            |mut f| black_box(fabric_exp::run_slab(&mut f, &scenario, 10_000)),
+            BatchSize::LargeInput,
+        )
+    });
     group.bench_function("reference_4sw_64vc_10k_slots", |b| {
         b.iter_batched(
             || fabric_exp::prepare_reference(&scenario, 7),

@@ -5,6 +5,13 @@
 //!   cargo run -p an2-bench --bin experiments --release -- all
 //!   cargo run -p an2-bench --bin experiments --release -- e4 e5
 //!   cargo run -p an2-bench --bin experiments --release -- e3 e4 e5 --json
+//!   cargo run -p an2-bench --bin experiments --release -- n4 --trace
+//!
+//! With `--trace`, N4 runs its fail cell with the flight recorder attached
+//! and writes the recording to `trace_out/` (Chrome trace-event JSON for
+//! ui.perfetto.dev, JSONL, and the metrics registry), asserting the
+//! recorded reconfiguration span beats 200 ms and that tracing left the
+//! run byte-identical.
 //!
 //! With `--json`, per-experiment structured results and wall-clock timings
 //! are also *appended* to `BENCH_results.json` in the current directory (an
@@ -88,6 +95,29 @@ fn control_json(r: &control_exp::ControlRow) -> Json {
     ])
 }
 
+fn trace_overhead_json(r: &fabric_exp::TraceOverhead) -> Json {
+    Json::obj(vec![
+        ("circuits", Json::int(r.circuits as u64)),
+        ("slots", Json::int(r.slots)),
+        ("untraced_ms", Json::Num(r.untraced_ms)),
+        ("traced_ms", Json::Num(r.traced_ms)),
+        ("overhead", Json::Num(r.overhead)),
+        ("events", Json::int(r.events)),
+        ("delivered_cells", Json::int(r.delivered_cells)),
+    ])
+}
+
+fn trace_row_json(r: &control_exp::TraceRow) -> Json {
+    Json::obj(vec![
+        ("events_seen", Json::int(r.events_seen)),
+        ("events_evicted", Json::int(r.events_evicted)),
+        ("sampled_cells", Json::int(r.sampled_cells as u64)),
+        ("reconfig_ms", Json::Num(r.reconfig_ms)),
+        ("min_queued_slots", Json::int(r.min_queued_slots)),
+        ("identical_to_untraced", Json::Bool(r.identical_to_untraced)),
+    ])
+}
+
 fn fabric_perf_json(r: &fabric_exp::FabricPerf) -> Json {
     Json::obj(vec![
         ("circuits", Json::int(r.circuits as u64)),
@@ -121,15 +151,22 @@ fn title(id: &str) -> Option<&'static str> {
         "n2" => "N2: fabric data plane, slab vs reference",
         "n3" => "N3: chaos soak — loss, flaps, crashes, resync",
         "n4" => "N4: embedded control plane — fail, flap, crash, replay",
+        "n5" => "N5: tracing overhead — flight recorder on vs off",
         "x1" => "X1: the paper's extension proposals",
         _ => return None,
     })
 }
 
 /// Runs one experiment, returning its report text and (for the experiments
-/// with structured measurements) a JSON value for the baseline file.
-fn compute(id: &str) -> (String, Json) {
+/// with structured measurements) a JSON value for the baseline file. With
+/// `trace`, N4 runs its fail cell under the flight recorder instead and
+/// exports the recording.
+fn compute(id: &str, trace: bool) -> (String, Json) {
     match id {
+        "n4" if trace => {
+            let (row, text) = control_exp::n4_trace("trace_out");
+            (text, trace_row_json(&row))
+        }
         "f1" => (figures::figure1(8, 16).render(), Json::Null),
         "f2" => {
             let (_, _, text) = figures::figure2();
@@ -184,6 +221,13 @@ fn compute(id: &str) -> (String, Json) {
             let (rows, text) = control_exp::n4_control_plane();
             (text, Json::Arr(rows.iter().map(control_json).collect()))
         }
+        "n5" => {
+            let (rows, text) = fabric_exp::n5_trace_overhead();
+            (
+                text,
+                Json::Arr(rows.iter().map(trace_overhead_json).collect()),
+            )
+        }
         "x1" => {
             let text = format!(
                 "{}\n{}\n{}\n{}",
@@ -200,12 +244,13 @@ fn compute(id: &str) -> (String, Json) {
 
 const ALL: &[&str] = &[
     "f1", "f2", "f3", "f4", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
-    "e12", "x1", "n1", "n2", "n3", "n4",
+    "e12", "x1", "n1", "n2", "n3", "n4", "n5",
 ];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json_mode = args.iter().any(|a| a == "--json");
+    let trace_mode = args.iter().any(|a| a == "--trace");
     let named: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -221,12 +266,12 @@ fn main() {
     let mut records = Vec::new();
     for id in ids {
         let Some(t) = title(id) else {
-            eprintln!("unknown experiment id '{id}' (use f1-f4, e1-e12, x1, n1-n4, all)");
+            eprintln!("unknown experiment id '{id}' (use f1-f4, e1-e12, x1, n1-n5, all)");
             continue;
         };
         println!("\n=== {t} {}\n", "=".repeat(66 - t.len().min(60)));
         let cell_start = Instant::now();
-        let (text, results) = compute(id);
+        let (text, results) = compute(id, trace_mode);
         let wall_ms = cell_start.elapsed().as_secs_f64() * 1e3;
         print!("{text}");
         records.push(Json::obj(vec![

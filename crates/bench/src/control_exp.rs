@@ -22,8 +22,8 @@
 //!   control-transport counters, and per-circuit stats all digest equal.
 
 use an2::{
-    ControlPlaneConfig, CrashEvent, FaultSpec, FlapEvent, HostId, LinkId, Network, ReconfigEvent,
-    SwitchId, VcId,
+    sink, ControlPlaneConfig, CrashEvent, FaultSpec, FlapEvent, Hop, HostId, LinkId, Network,
+    Phase, ReconfigEvent, SwitchId, TraceConfig, TraceEvent, VcId,
 };
 use an2_cells::Packet;
 use an2_reconfig::harness::ReconfigNet;
@@ -201,11 +201,13 @@ struct Outcome {
 
 /// Builds a dual-homed SRC installation with the embedded control plane,
 /// keeps one best-effort circuit per consecutive host pair under steady
-/// packet load for `slots` slots, and digests the result.
+/// packet load for `slots` slots, and digests the result. With `trace`, a
+/// flight recorder rides along — the digest must not notice.
 fn drive(
     spec: &FaultSpec,
     seed: u64,
     slots: u64,
+    trace: Option<TraceConfig>,
 ) -> (Network, Vec<(VcId, HostId, HostId)>, Outcome) {
     let mut net = Network::builder()
         .topology(an2_topology::generators::src_installation(4, 8))
@@ -220,6 +222,9 @@ fn drive(
         }
     }
     net.attach_faults(spec, seed);
+    if let Some(cfg) = trace {
+        net.attach_tracer(cfg);
+    }
     net.enable_control_plane(ControlPlaneConfig::default());
     let mut tag = 0u8;
     while net.slot() < slots {
@@ -351,7 +356,7 @@ pub fn n4_control_plane() -> (Vec<ControlRow>, String) {
         down_at,
         up_at: NEVER,
     });
-    let (net, circuits, out) = drive(&fail_spec, 7, 500_000);
+    let (net, circuits, out) = drive(&fail_spec, 7, 500_000, None);
     assert!(net.control_converged(), "fail cell never converged");
     let dead = verdict_slot(&out.log, victim, false, down_at);
     let (_, ms) = install_after(&out.log, dead, down_at, slot_ns);
@@ -390,7 +395,7 @@ pub fn n4_control_plane() -> (Vec<ControlRow>, String) {
         down_at,
         up_at,
     });
-    let (net, circuits, out) = drive(&flap_spec, 11, 700_000);
+    let (net, circuits, out) = drive(&flap_spec, 11, 700_000, None);
     assert!(net.control_converged(), "flap cell never converged");
     let dead = verdict_slot(&out.log, victim, false, down_at);
     let (down_install, down_ms) = install_after(&out.log, dead, down_at, slot_ns);
@@ -431,7 +436,7 @@ pub fn n4_control_plane() -> (Vec<ControlRow>, String) {
         at: down_at,
         restart_at: NEVER,
     });
-    let (net, circuits, out) = drive(&crash_spec, 13, 800_000);
+    let (net, circuits, out) = drive(&crash_spec, 13, 800_000, None);
     assert!(net.control_converged(), "crash cell never converged");
     // The monitors kill the victim's links one ping round at a time; the
     // reconfiguration that matters starts at the *last* dead verdict.
@@ -486,8 +491,8 @@ pub fn n4_control_plane() -> (Vec<ControlRow>, String) {
         down_at,
         up_at,
     });
-    let (_, _, first) = drive(&replay_spec, 21, 400_000);
-    let (_, _, second) = drive(&replay_spec, 21, 400_000);
+    let (_, _, first) = drive(&replay_spec, 21, 400_000, None);
+    let (_, _, second) = drive(&replay_spec, 21, 400_000, None);
     let replay_ok = first.digest == second.digest;
     assert!(replay_ok, "same (spec, seed) must replay byte-identically");
     writeln!(
@@ -512,4 +517,176 @@ pub fn n4_control_plane() -> (Vec<ControlRow>, String) {
     });
 
     (rows, text)
+}
+
+/// What the `--trace n4` run measured, for the JSON baseline.
+pub struct TraceRow {
+    /// Events ever recorded (including ones evicted off the ring).
+    pub events_seen: u64,
+    /// Events evicted off the back of the flight recorder.
+    pub events_evicted: u64,
+    /// Distinct sampled cells with hop-by-hop journeys in the retained
+    /// window.
+    pub sampled_cells: usize,
+    /// Recorded converge-begin → install-end span for the post-failure
+    /// reconfiguration, in simulated milliseconds.
+    pub reconfig_ms: f64,
+    /// Minimum recorded per-switch residence of a sampled cell
+    /// (dequeue-after-enqueue), in slots — the cut-through floor.
+    pub min_queued_slots: u64,
+    /// Whether the traced run digested byte-identical to the untraced one.
+    pub identical_to_untraced: bool,
+}
+
+/// The fail cell re-run with the flight recorder attached. Writes the
+/// recording to `out_dir` as Chrome trace-event JSON (drag into
+/// ui.perfetto.dev), JSONL, and the metrics registry in JSON + Prometheus
+/// text; asserts the *recorded* failure reconfiguration span stays under
+/// the paper's 200 ms budget; and proves the traced run byte-identical to
+/// the untraced one from the same `(spec, seed)`.
+pub fn n4_trace(out_dir: &str) -> (TraceRow, String) {
+    let slot_ns = an2_cells::LinkRate::Mbps622.slot_duration().as_nanos();
+    let topo = an2_topology::generators::src_installation(4, 8);
+    let victim = backbone_links(&topo)[0].0;
+    let down_at = 40_000u64;
+    let mut spec = quiet_spec();
+    spec.flaps.push(FlapEvent {
+        link: victim,
+        down_at,
+        up_at: NEVER,
+    });
+
+    // Big ring so the whole run is retained; denser path sampling than the
+    // default since this recording exists to be looked at.
+    let cfg = TraceConfig {
+        ring_capacity: 1 << 20,
+        sample_every: 128,
+        ..TraceConfig::default()
+    };
+    let (net, _, traced) = drive(&spec, 7, 500_000, Some(cfg));
+    let (_, _, plain) = drive(&spec, 7, 500_000, None);
+    let identical = traced.digest == plain.digest;
+    assert!(
+        identical,
+        "tracing perturbed the run: traced and untraced digests differ"
+    );
+
+    let tracer = net.tracer().expect("drive attached a tracer").clone();
+    let records = tracer.records();
+    assert!(!records.is_empty(), "flight recorder captured nothing");
+
+    // The paper's claim, read straight off the recording: from the converge
+    // that opened after the failure to the install that closed it.
+    let spans = sink::reconfig_spans(&records);
+    let fail_ns = down_at * slot_ns;
+    let (_, _, conv_begin, _) = *spans
+        .iter()
+        .find(|&&(p, _, begin, _)| p == Phase::Converge && begin >= fail_ns)
+        .expect("no converge span recorded after the failure");
+    let (_, _, _, inst_end) = *spans
+        .iter()
+        .find(|&&(p, _, _, end)| p == Phase::Install && end >= conv_begin)
+        .expect("no install span recorded after the failure");
+    let reconfig_ms = (inst_end - conv_begin) as f64 / 1e6;
+    assert!(
+        reconfig_ms < 200.0,
+        "recorded reconfiguration span {reconfig_ms:.1} ms (≥ 200 ms)"
+    );
+
+    // Sampled cell journeys: distinct trace ids, and the cut-through floor
+    // (a cell that never waits crosses a switch in the pipeline minimum).
+    let mut sampled = std::collections::BTreeSet::new();
+    let mut min_queued = u64::MAX;
+    for r in &records {
+        match r.event {
+            TraceEvent::CellInject { trace_id, .. } | TraceEvent::CellDeliver { trace_id, .. }
+                if trace_id != 0 =>
+            {
+                sampled.insert(trace_id);
+            }
+            TraceEvent::CellHop {
+                trace_id,
+                hop: Hop::SwitchOut { queued_slots, .. },
+                ..
+            } if trace_id != 0 => {
+                sampled.insert(trace_id);
+                min_queued = min_queued.min(queued_slots);
+            }
+            _ => {}
+        }
+    }
+    assert!(!sampled.is_empty(), "no sampled cell journeys recorded");
+    let min_queued = if min_queued == u64::MAX {
+        0
+    } else {
+        min_queued
+    };
+
+    std::fs::create_dir_all(out_dir).unwrap_or_else(|e| panic!("creating {out_dir}: {e}"));
+    let chrome = sink::chrome_trace(&records);
+    assert!(
+        chrome.starts_with("{\"traceEvents\":[") && chrome.ends_with("]}"),
+        "Chrome trace export is malformed"
+    );
+    let chrome_path = format!("{out_dir}/n4_fail.trace.json");
+    std::fs::write(&chrome_path, &chrome).unwrap_or_else(|e| panic!("writing {chrome_path}: {e}"));
+    let jsonl_path = format!("{out_dir}/n4_fail.jsonl");
+    std::fs::write(&jsonl_path, sink::jsonl(&records))
+        .unwrap_or_else(|e| panic!("writing {jsonl_path}: {e}"));
+    let metrics_path = format!("{out_dir}/n4_fail.metrics.json");
+    std::fs::write(&metrics_path, tracer.metrics_json())
+        .unwrap_or_else(|e| panic!("writing {metrics_path}: {e}"));
+    let prom_path = format!("{out_dir}/n4_fail.metrics.prom");
+    std::fs::write(&prom_path, tracer.metrics_prometheus())
+        .unwrap_or_else(|e| panic!("writing {prom_path}: {e}"));
+
+    let row = TraceRow {
+        events_seen: tracer.events_seen(),
+        events_evicted: tracer.events_dropped(),
+        sampled_cells: sampled.len(),
+        reconfig_ms,
+        min_queued_slots: min_queued,
+        identical_to_untraced: identical,
+    };
+    let mut text = String::new();
+    writeln!(
+        text,
+        "traced fail cell: {} events recorded ({} evicted off the ring), \
+         digest byte-identical to the untraced run",
+        row.events_seen, row.events_evicted
+    )
+    .unwrap();
+    writeln!(
+        text,
+        "recorded reconfiguration: converge begin → routes installed in \
+         {reconfig_ms:.2} ms of virtual time (< 200 ms, read off the trace)"
+    )
+    .unwrap();
+    writeln!(
+        text,
+        "{} sampled cell journeys; fastest switch transit {} slots \
+         ({:.2} us) — the cut-through floor",
+        row.sampled_cells,
+        min_queued,
+        min_queued as f64 * slot_ns as f64 / 1e3
+    )
+    .unwrap();
+    writeln!(
+        text,
+        "registry: {} cells injected, {} delivered, {} credits returned, \
+         {} control cells, {} resyncs completed",
+        tracer.counter_total("fabric.cells_injected"),
+        tracer.counter_total("fabric.cells_delivered"),
+        tracer.counter_total("fabric.credits_sent"),
+        tracer.counter_total("ctrl.cells_sent"),
+        tracer.counter_total("flow.resyncs_completed"),
+    )
+    .unwrap();
+    writeln!(
+        text,
+        "wrote {chrome_path} (open in ui.perfetto.dev), {jsonl_path}, \
+         {metrics_path}, {prom_path}"
+    )
+    .unwrap();
+    (row, text)
 }

@@ -11,7 +11,7 @@
 //! than the control plane or the AAL5 segmenter (shared code that would
 //! dilute the ratio equally on both sides).
 
-use an2::{FabricConfig, TrafficClass};
+use an2::{FabricConfig, TraceConfig, Tracer, TrafficClass};
 use an2_cells::{Cell, Packet, Segmenter, VcId};
 use an2_topology::{generators, paths, HostId, LinkId, SwitchId, Topology};
 use std::fmt::Write;
@@ -239,6 +239,108 @@ pub fn n2_fabric_dataplane() -> (Vec<FabricPerf>, String) {
     (rows, out)
 }
 
+/// One tracing-overhead measurement: the identical slab workload with the
+/// flight recorder off and on.
+#[derive(Debug, Clone)]
+pub struct TraceOverhead {
+    /// Best-effort circuits in flight.
+    pub circuits: u32,
+    /// Simulated slots.
+    pub slots: u64,
+    /// Untraced slab wall time, milliseconds (the tracer-disabled path —
+    /// directly comparable to `slab_ms` in the N2 baseline rows).
+    pub untraced_ms: f64,
+    /// Wall time with the flight recorder + registry attached.
+    pub traced_ms: f64,
+    /// `traced_ms / untraced_ms`.
+    pub overhead: f64,
+    /// Trace events recorded during the traced run.
+    pub events: u64,
+    /// Cells delivered (identical for both runs by construction).
+    pub delivered_cells: u64,
+}
+
+/// N5 — what tracing costs: the N2 slab workload untraced vs with a
+/// [`Tracer`] attached (flight recorder, registry counters, histogram,
+/// 1-in-64 path sampling). Five interleaved runs each, fastest counts.
+/// Delivered cells must match exactly — the recorder observes, never
+/// steers. The untraced leg *is* the tracer-disabled path (`Option` gate
+/// not taken), so comparing it against the N2 baseline shows the disabled
+/// cost is in the noise.
+pub fn n5_trace_overhead() -> (Vec<TraceOverhead>, String) {
+    let mut rows = Vec::new();
+    for &circuits in &[64u32, 128] {
+        let slots = 10_000u64;
+        let scenario = Scenario::new(circuits);
+        let mut untraced_ms = f64::MAX;
+        let mut traced_ms = f64::MAX;
+        let mut plain_delivered = 0;
+        let mut traced_delivered = 0;
+        let mut events = 0;
+        for _ in 0..5 {
+            let mut f = prepare_slab(&scenario, 7);
+            let t = Instant::now();
+            plain_delivered = run_slab(&mut f, &scenario, slots);
+            untraced_ms = untraced_ms.min(t.elapsed().as_secs_f64() * 1e3);
+
+            let mut f = prepare_slab(&scenario, 7);
+            let tracer = Tracer::new(TraceConfig {
+                ring_capacity: 1 << 16,
+                ..TraceConfig::default()
+            });
+            f.attach_tracer(tracer.clone());
+            let t = Instant::now();
+            traced_delivered = run_slab(&mut f, &scenario, slots);
+            traced_ms = traced_ms.min(t.elapsed().as_secs_f64() * 1e3);
+            events = tracer.events_seen();
+        }
+        assert_eq!(
+            traced_delivered, plain_delivered,
+            "tracing changed delivery at {circuits} circuits"
+        );
+        rows.push(TraceOverhead {
+            circuits,
+            slots,
+            untraced_ms,
+            traced_ms,
+            overhead: traced_ms / untraced_ms,
+            events,
+            delivered_cells: traced_delivered,
+        });
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "N5  tracing overhead: the N2 slab workload untraced vs with the \
+         flight recorder, registry, and 1-in-64 path sampling attached"
+    );
+    let _ = writeln!(
+        out,
+        "{:>9} {:>7} {:>12} {:>10} {:>9} {:>10} {:>11}",
+        "circuits", "slots", "untraced ms", "traced ms", "overhead", "events", "delivered"
+    );
+    for r in &rows {
+        let _ = writeln!(
+            out,
+            "{:>9} {:>7} {:>12.1} {:>10.1} {:>8.2}x {:>10} {:>11}",
+            r.circuits,
+            r.slots,
+            r.untraced_ms,
+            r.traced_ms,
+            r.overhead,
+            r.events,
+            r.delivered_cells
+        );
+    }
+    let _ = writeln!(
+        out,
+        "identical delivered-cell counts traced and untraced; the untraced \
+         leg is the tracer-disabled path, so its delta against the N2 slab \
+         baseline is the disabled cost (an untaken Option branch)"
+    );
+    (rows, out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -256,6 +358,20 @@ mod tests {
                 run_reference(&mut reference, &scenario, 2_000)
             );
         }
+    }
+
+    #[test]
+    fn tracing_does_not_change_delivery() {
+        let scenario = Scenario::new(16);
+        let mut plain = prepare_slab(&scenario, 7);
+        let mut traced = prepare_slab(&scenario, 7);
+        let tracer = Tracer::new(TraceConfig::default());
+        traced.attach_tracer(tracer.clone());
+        assert_eq!(
+            run_slab(&mut traced, &scenario, 2_000),
+            run_slab(&mut plain, &scenario, 2_000)
+        );
+        assert!(tracer.events_seen() > 0, "recorder saw nothing");
     }
 
     #[test]

@@ -12,6 +12,7 @@ use crate::spec::{FaultSpec, LinkFaultModel, LossModel};
 use crate::{CELL_BITS, HEADER_BITS};
 use an2_sim::SimRng;
 use an2_topology::{LinkId, SwitchId};
+use an2_trace::{Entity, FaultOutcome, TraceEvent, Tracer};
 
 /// What happens to one cell transmission.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -103,6 +104,9 @@ pub struct FaultInjector {
     crashed: Vec<bool>,
     script: Vec<(u64, TransitionKind)>,
     cursor: usize,
+    /// Flight-recorder handle, Option-gated. Emission happens after each
+    /// fate is decided, so the RNG streams are untouched by tracing.
+    tracer: Option<Tracer>,
 }
 
 impl FaultInjector {
@@ -135,7 +139,16 @@ impl FaultInjector {
             crashed: vec![false; switch_count],
             script,
             cursor: 0,
+            tracer: None,
         }
+    }
+
+    /// Attaches a flight recorder. Per-link fate counters
+    /// (`faults.deliver` / `faults.corrupt` / `faults.lose`) track every
+    /// draw; [`TraceEvent::FaultDraw`] records are emitted only for
+    /// corrupted or lost cells, so a healthy run does not flood the ring.
+    pub fn attach_tracer(&mut self, tracer: Tracer) {
+        self.tracer = Some(tracer);
     }
 
     /// Advances per-slot state: Gilbert–Elliott chains step once per link
@@ -220,6 +233,27 @@ impl FaultInjector {
     /// at `base_due`. Applies loss, corruption and jitter in that order,
     /// then the per-direction FIFO clamp.
     pub fn transmit_cell(&mut self, link: LinkId, dir: usize, base_due: u64) -> Fate {
+        let fate = self.decide_cell_fate(link, dir, base_due);
+        if let Some(t) = &self.tracer {
+            let (outcome, name) = match fate {
+                Fate::Deliver { .. } => (FaultOutcome::Deliver, "faults.deliver"),
+                Fate::Corrupt { .. } => (FaultOutcome::Corrupt, "faults.corrupt"),
+                Fate::Lose => (FaultOutcome::Lose, "faults.lose"),
+            };
+            t.counter_add(name, Entity::Link(link.0), 1);
+            if outcome != FaultOutcome::Deliver {
+                t.emit(TraceEvent::FaultDraw {
+                    link: link.0,
+                    outcome,
+                });
+            }
+        }
+        fate
+    }
+
+    /// The fate decision itself — all RNG draws happen here, before any
+    /// trace emission, so tracing cannot perturb the stream.
+    fn decide_cell_fate(&mut self, link: LinkId, dir: usize, base_due: u64) -> Fate {
         let l = &mut self.links[link.0 as usize];
         if !l.up {
             return Fate::Lose;
@@ -532,6 +566,43 @@ mod tests {
             );
             assert!(inj.link_up(LinkId(0)), "other links unaffected");
         }
+    }
+
+    #[test]
+    fn tracer_counts_fates_without_touching_the_rng_stream() {
+        use an2_trace::{TraceConfig, Tracer};
+        let spec = spec_with(LinkFaultModel {
+            loss: LossModel::Independent { p: 0.3 },
+            corrupt_per_cell: 0.1,
+            ..Default::default()
+        });
+        let mut plain = FaultInjector::new(&spec, 13, 2, 1);
+        let tracer = Tracer::new(TraceConfig::default());
+        let mut traced = FaultInjector::new(&spec, 13, 2, 1);
+        traced.attach_tracer(tracer.clone());
+
+        let mut fates = Vec::new();
+        for slot in 0..2_000u64 {
+            plain.begin_slot(slot);
+            traced.begin_slot(slot);
+            for link in 0..2u32 {
+                let a = plain.transmit_cell(LinkId(link), 0, slot + 2);
+                let b = traced.transmit_cell(LinkId(link), 0, slot + 2);
+                assert_eq!(a, b, "tracing must not perturb the fault stream");
+                fates.push(b);
+            }
+        }
+        let lost = fates.iter().filter(|f| **f == Fate::Lose).count() as u64;
+        let corrupt = fates
+            .iter()
+            .filter(|f| matches!(f, Fate::Corrupt { .. }))
+            .count() as u64;
+        let delivered = fates.len() as u64 - lost - corrupt;
+        assert_eq!(tracer.counter_total("faults.lose"), lost);
+        assert_eq!(tracer.counter_total("faults.corrupt"), corrupt);
+        assert_eq!(tracer.counter_total("faults.deliver"), delivered);
+        // Only non-deliver fates hit the ring.
+        assert_eq!(tracer.events_seen(), lost + corrupt);
     }
 
     #[test]

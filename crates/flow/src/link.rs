@@ -11,6 +11,7 @@
 use crate::credit::{CreditReceiver, CreditSender};
 use crate::resync;
 use an2_sim::SimRng;
+use an2_trace::{TraceEvent, Tracer};
 use std::collections::VecDeque;
 
 /// Configuration of a [`LinkSim`].
@@ -86,6 +87,11 @@ pub struct LinkSim {
     /// The simulator's persistent clock, so consecutive [`LinkSim::run`]
     /// calls continue the same timeline.
     now: u64,
+    /// Flight-recorder handle, Option-gated like the fault layer, plus the
+    /// link/vc identity its events are attributed to.
+    tracer: Option<Tracer>,
+    trace_link: u32,
+    trace_vc: u32,
 }
 
 impl LinkSim {
@@ -102,7 +108,20 @@ impl LinkSim {
             markers_in_flight: VecDeque::new(),
             replies_in_flight: VecDeque::new(),
             now: 0,
+            tracer: None,
+            trace_link: 0,
+            trace_vc: 0,
         }
+    }
+
+    /// Attaches a flight recorder; credit sends/consumes and resync
+    /// epochs are emitted attributed to `link`/`vc`. Tracing observes
+    /// decisions already taken — it draws no randomness and changes no
+    /// protocol state, so a traced run is identical to an untraced one.
+    pub fn attach_tracer(&mut self, tracer: Tracer, link: u32, vc: u32) {
+        self.tracer = Some(tracer);
+        self.trace_link = link;
+        self.trace_vc = vc;
     }
 
     /// Runs `slots` slots and reports.
@@ -125,6 +144,9 @@ impl LinkSim {
         let lat = self.cfg.latency_slots as u64;
         for _ in 0..slots {
             let now = self.now;
+            if let Some(t) = &self.tracer {
+                t.set_slot(now);
+            }
             // Arrivals downstream.
             while self.cells_in_flight.front().is_some_and(|&t| t <= now) {
                 self.cells_in_flight.pop_front();
@@ -157,6 +179,13 @@ impl LinkSim {
             {
                 let (_, reply) = self.replies_in_flight.pop_front().unwrap();
                 resync::finish(&mut self.sender, reply);
+                if let Some(t) = &self.tracer {
+                    t.emit(TraceEvent::ResyncComplete {
+                        vc: self.trace_vc,
+                        link: self.trace_link,
+                        epoch: reply.epoch,
+                    });
+                }
             }
             // Periodic resync trigger.
             if self.cfg.resync_interval > 0
@@ -166,6 +195,13 @@ impl LinkSim {
                 let marker = resync::begin(&mut self.sender);
                 self.markers_in_flight.push_back((now + lat, marker));
                 report.resyncs += 1;
+                if let Some(t) = &self.tracer {
+                    t.emit(TraceEvent::ResyncBegin {
+                        vc: self.trace_vc,
+                        link: self.trace_link,
+                        epoch: marker.epoch,
+                    });
+                }
             }
             // Downstream forwards (frees a buffer, returns a credit).
             if self.receiver.has_cell() && rng.gen_bool(self.cfg.forward_prob) {
@@ -175,6 +211,13 @@ impl LinkSim {
                         report.credits_lost += 1;
                     } else {
                         self.credits_in_flight.push_back((now + lat, epoch));
+                        if let Some(t) = &self.tracer {
+                            t.emit(TraceEvent::CreditSend {
+                                vc: self.trace_vc,
+                                link: self.trace_link,
+                                epoch,
+                            });
+                        }
                     }
                 }
             }
@@ -182,6 +225,12 @@ impl LinkSim {
             if self.sender.try_send() {
                 report.sent += 1;
                 self.cells_in_flight.push_back(now + lat);
+                if let Some(t) = &self.tracer {
+                    t.emit(TraceEvent::CreditConsume {
+                        vc: self.trace_vc,
+                        balance: self.sender.balance(),
+                    });
+                }
             } else {
                 report.stalled_slots += 1;
             }
@@ -362,5 +411,38 @@ mod tests {
         assert_eq!(r.slots, 5_000);
         assert_eq!(r.offered, 5_000);
         assert_eq!(r.sent + r.stalled_slots, r.slots);
+    }
+
+    #[test]
+    fn tracer_records_credit_and_resync_lifecycle_without_changing_the_run() {
+        use an2_trace::{TraceConfig, Tracer};
+        let cfg = LinkSimConfig {
+            credits: 6,
+            latency_slots: 2,
+            credit_loss: 0.05,
+            resync_interval: 300,
+            ..Default::default()
+        };
+
+        let baseline = LinkSim::new(cfg.clone()).run(5_000, &mut SimRng::new(21));
+
+        let tracer = Tracer::new(TraceConfig::default());
+        let mut sim = LinkSim::new(cfg);
+        sim.attach_tracer(tracer.clone(), 9, 77);
+        let traced = sim.run(5_000, &mut SimRng::new(21));
+
+        assert_eq!(baseline, traced, "tracing must not perturb the protocol");
+
+        let records = tracer.records();
+        let count = |k: &str| records.iter().filter(|r| r.event.kind() == k).count() as u64;
+        // The ring holds the tail of the run; totals come from seen().
+        assert!(tracer.events_seen() >= traced.sent);
+        assert!(count("resync_begin") > 0);
+        assert!(count("resync_complete") > 0);
+        assert!(count("credit_send") > 0);
+        assert!(records.iter().all(|r| match r.event {
+            TraceEvent::CreditSend { vc, link, .. } => vc == 77 && link == 9,
+            _ => true,
+        }));
     }
 }

@@ -231,6 +231,19 @@ impl<M> EventQueue<M> {
     }
 }
 
+/// A passive observer of engine activity — message sends and deliveries —
+/// attached via [`World::attach_probe`]. Probes exist for instrumentation
+/// (the `an2-trace` flight recorder bridges through this trait); they see
+/// events strictly after the engine has committed them, receive no mutable
+/// access to the world, and draw no randomness, so an observed run is
+/// byte-identical to an unobserved one.
+pub trait EngineProbe {
+    /// A message was enqueued for delivery to `to` at virtual time `at`.
+    fn on_send(&mut self, at: SimTime, to: ActorId);
+    /// A message was delivered to `to` at virtual time `at`.
+    fn on_deliver(&mut self, at: SimTime, to: ActorId);
+}
+
 /// The capabilities an actor has while handling a message: learn the time,
 /// draw random numbers, and send messages.
 pub struct Context<'w, M> {
@@ -240,6 +253,7 @@ pub struct Context<'w, M> {
     seq: &'w mut u64,
     rng: &'w mut SimRng,
     stop: &'w mut bool,
+    probe: &'w mut Option<Box<dyn EngineProbe>>,
 }
 
 impl<M> Context<'_, M> {
@@ -262,12 +276,11 @@ impl<M> Context<'_, M> {
     pub fn send_after(&mut self, delay: SimDuration, to: ActorId, msg: M) {
         let seq = *self.seq;
         *self.seq += 1;
-        self.queue.push(QueuedEvent {
-            at: self.now + delay,
-            seq,
-            to,
-            msg,
-        });
+        let at = self.now + delay;
+        self.queue.push(QueuedEvent { at, seq, to, msg });
+        if let Some(p) = self.probe.as_mut() {
+            p.on_send(at, to);
+        }
     }
 
     /// Sends `msg` to this actor itself after `delay` — a timer.
@@ -294,6 +307,9 @@ pub struct World<M> {
     rng: SimRng,
     delivered: u64,
     stop: bool,
+    /// Instrumentation observer (`None` by default; every hook is gated on
+    /// presence, mirroring the fabric's fault-layer pattern).
+    probe: Option<Box<dyn EngineProbe>>,
 }
 
 impl<M> fmt::Debug for World<M> {
@@ -353,7 +369,20 @@ impl<M> World<M> {
             rng: SimRng::new(seed),
             delivered: 0,
             stop: false,
+            probe: None,
         }
+    }
+
+    /// Attaches an [`EngineProbe`] that observes every send and delivery.
+    /// Probes are observational only: attaching one never changes message
+    /// order, timing, or the RNG stream.
+    pub fn attach_probe(&mut self, probe: Box<dyn EngineProbe>) {
+        self.probe = Some(probe);
+    }
+
+    /// Detaches and returns the probe, if one is attached.
+    pub fn take_probe(&mut self) -> Option<Box<dyn EngineProbe>> {
+        self.probe.take()
     }
 
     /// Registers an actor and returns its id. Ids are dense and sequential.
@@ -408,6 +437,9 @@ impl<M> World<M> {
         let seq = self.seq;
         self.seq += 1;
         self.queue.push(QueuedEvent { at, seq, to, msg });
+        if let Some(p) = self.probe.as_mut() {
+            p.on_send(at, to);
+        }
     }
 
     /// Mutable access to an actor, downcast by the caller. Intended for test
@@ -431,6 +463,9 @@ impl<M> World<M> {
         debug_assert!(ev.at >= self.now, "event from the past");
         self.now = ev.at;
         self.delivered += 1;
+        if let Some(p) = self.probe.as_mut() {
+            p.on_deliver(ev.at, ev.to);
+        }
         // Take the actor out so the context can borrow the queue mutably.
         let mut actor = self.actors[ev.to.0]
             .take()
@@ -443,6 +478,7 @@ impl<M> World<M> {
                 seq: &mut self.seq,
                 rng: &mut self.rng,
                 stop: &mut self.stop,
+                probe: &mut self.probe,
             };
             actor.on_message(&mut ctx, ev.msg);
         }

@@ -52,6 +52,6 @@ pub mod metrics;
 mod rng;
 mod time;
 
-pub use engine::{Actor, ActorId, Context, StopReason, World};
+pub use engine::{Actor, ActorId, Context, EngineProbe, StopReason, World};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

@@ -288,6 +288,7 @@ impl ReferenceSwitch {
                         output,
                         cell: qc.cell,
                         enqueued_slot: qc.enqueued_slot,
+                        trace: 0,
                     });
                 }
                 // "Best-effort cells can use an allocated slot if no cell
@@ -334,6 +335,7 @@ impl ReferenceSwitch {
                 output,
                 cell: qc.cell,
                 enqueued_slot: qc.enqueued_slot,
+                trace: 0,
             });
         }
 

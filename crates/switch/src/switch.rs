@@ -20,6 +20,7 @@ use an2_cells::signal::TrafficClass;
 use an2_cells::{Cell, CellPool, CellQueue, VcId};
 use an2_schedule::FrameSchedule;
 use an2_sim::SimRng;
+use an2_trace::{Entity, TraceEvent, Tracer};
 use an2_xbar::{CrossbarScheduler, DemandMatrix, Matching, Pim, Scratch};
 use std::fmt;
 
@@ -79,6 +80,9 @@ pub struct Departure {
     /// The slot in which the cell entered this switch (for latency
     /// accounting).
     pub enqueued_slot: u64,
+    /// Path-trace id the cell carried through the switch (`0` = not
+    /// sampled). Rides the queue's `aux` tag; see [`Switch::enqueue_traced`].
+    pub trace: u32,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -171,6 +175,10 @@ pub struct Switch {
     matching: Matching,
     crossbar: Matching,
     scratch: Scratch,
+    /// Flight-recorder handle, Option-gated like the fabric's fault layer.
+    tracer: Option<Tracer>,
+    /// The fabric-wide id trace events are attributed to.
+    switch_id: u16,
 }
 
 impl fmt::Debug for Switch {
@@ -208,7 +216,19 @@ impl Switch {
             matching: Matching::empty(ports),
             crossbar: Matching::empty(ports),
             scratch: Scratch::new(),
+            tracer: None,
+            switch_id: 0,
         }
+    }
+
+    /// Attaches a flight recorder; enqueues, dequeues and credit spends are
+    /// emitted attributed to `switch_id`, and the inner PIM scheduler emits
+    /// its grants. Tracing observes decisions already made — it cannot
+    /// change the matching, the credit accounting, or the RNG stream.
+    pub fn attach_tracer(&mut self, tracer: Tracer, switch_id: u16) {
+        self.pim.attach_tracer(tracer.clone(), switch_id);
+        self.tracer = Some(tracer);
+        self.switch_id = switch_id;
     }
 
     /// The slab slot for `vc`, interning it on first sight.
@@ -403,16 +423,37 @@ impl Switch {
     ///
     /// Fails on an out-of-range input port.
     pub fn enqueue(&mut self, input: usize, cell: Cell) -> Result<(), SwitchError> {
+        self.enqueue_traced(input, cell, 0)
+    }
+
+    /// As [`Switch::enqueue`] but tagging the cell with a path-trace id that
+    /// rides the queue's `aux` word and comes back on the [`Departure`].
+    /// Unrouted cells park in the pending buffer, whose `aux` records the
+    /// arrival port instead — a sampled cell that beats its routing entry
+    /// loses its id there (the [`TraceEvent::CellEnqueue`] record still
+    /// captures the arrival).
+    ///
+    /// # Errors
+    ///
+    /// Fails on an out-of-range input port.
+    pub fn enqueue_traced(
+        &mut self,
+        input: usize,
+        cell: Cell,
+        trace: u32,
+    ) -> Result<(), SwitchError> {
         if input >= self.cfg.ports {
             return Err(SwitchError::BadPort(input));
         }
         let si = self.ensure_slot(cell.vc());
         let slot = self.slot;
+        let depth;
         match self.vcs[si].route {
             Some(route) => {
                 let q = &mut self.queues[si * self.cfg.ports + input];
                 let was_empty = q.is_empty();
-                self.pool.push_back(q, cell, slot, 0);
+                self.pool.push_back(q, cell, slot, trace);
+                depth = q.len() as u32;
                 if was_empty {
                     let list = match route.class {
                         TrafficClass::BestEffort => &mut self.be_active[input],
@@ -424,7 +465,17 @@ impl Switch {
             None => {
                 let q = &mut self.vcs[si].pending_q;
                 self.pool.push_back(q, cell, slot, input as u32);
+                depth = q.len() as u32;
             }
+        }
+        if let Some(t) = &self.tracer {
+            t.emit(TraceEvent::CellEnqueue {
+                switch: self.switch_id,
+                input: input as u8,
+                vc: cell.vc().raw(),
+                depth,
+            });
+            t.counter_add("switch.cells_enqueued", Entity::Switch(self.switch_id), 1);
         }
         Ok(())
     }
@@ -509,7 +560,7 @@ impl Switch {
                     if self.ctrl_reserved[output] > self.slot {
                         continue; // port carrying a control burst this slot
                     }
-                    if let Some((cell, enqueued_slot)) = take_oldest(
+                    if let Some((cell, enqueued_slot, trace)) = take_oldest(
                         &mut self.pool,
                         &mut self.vcs,
                         &mut self.queues,
@@ -522,10 +573,19 @@ impl Switch {
                         false,
                     ) {
                         self.crossbar.set(input, output);
+                        if let Some(t) = &self.tracer {
+                            t.emit(TraceEvent::CellDequeue {
+                                switch: self.switch_id,
+                                output: output as u8,
+                                vc: cell.vc().raw(),
+                                queued_slots: self.slot - enqueued_slot,
+                            });
+                        }
                         departures.push(Departure {
                             output,
                             cell,
                             enqueued_slot,
+                            trace,
                         });
                     }
                     // "Best-effort cells can use an allocated slot if no cell
@@ -581,7 +641,7 @@ impl Switch {
             self.pim
                 .schedule_into(&self.demand, rng, &mut self.scratch, &mut self.matching);
             for (input, output) in self.matching.iter() {
-                let (cell, enqueued_slot) = take_oldest(
+                let (cell, enqueued_slot, trace) = take_oldest(
                     &mut self.pool,
                     &mut self.vcs,
                     &mut self.queues,
@@ -595,10 +655,25 @@ impl Switch {
                 )
                 .expect("PIM matched a pair with demand");
                 self.crossbar.set(input, output);
+                if let Some(t) = &self.tracer {
+                    t.emit(TraceEvent::CellDequeue {
+                        switch: self.switch_id,
+                        output: output as u8,
+                        vc: cell.vc().raw(),
+                        queued_slots: self.slot - enqueued_slot,
+                    });
+                    if let Some(balance) = self.credit_balance(cell.vc()) {
+                        t.emit(TraceEvent::CreditConsume {
+                            vc: cell.vc().raw(),
+                            balance,
+                        });
+                    }
+                }
                 departures.push(Departure {
                     output,
                     cell,
                     enqueued_slot,
+                    trace,
                 });
             }
         }
@@ -623,7 +698,7 @@ fn take_oldest(
     input: usize,
     output: usize,
     consume_credit: bool,
-) -> Option<(Cell, u64)> {
+) -> Option<(Cell, u64, u32)> {
     let mut best: Option<(u32, u64)> = None;
     for &e in active.iter() {
         let si = entry_slot(e);
@@ -649,11 +724,11 @@ fn take_oldest(
         }
     }
     let q = &mut queues[si as usize * ports + input];
-    let (cell, stamp, _) = pool.pop_front(q).expect("chosen queue is non-empty");
+    let (cell, stamp, trace) = pool.pop_front(q).expect("chosen queue is non-empty");
     if q.is_empty() {
         deactivate(active, vcs, si);
     }
-    Some((cell, stamp))
+    Some((cell, stamp, trace))
 }
 #[cfg(test)]
 mod tests {
@@ -1021,6 +1096,72 @@ mod tests {
             diff <= 2,
             "unfair split between co-scheduled circuits: {served:?}"
         );
+    }
+
+    #[test]
+    fn trace_id_rides_the_queue_and_tracing_changes_nothing() {
+        use an2_trace::{Entity, TraceConfig, Tracer};
+        let build = || {
+            let mut sw = Switch::new(cfg_small());
+            sw.install_route(VcId::new(1), 2, TrafficClass::BestEffort)
+                .unwrap();
+            sw.install_route(VcId::new(2), 1, TrafficClass::BestEffort)
+                .unwrap();
+            sw
+        };
+        let drive = |sw: &mut Switch, traced: bool| -> Vec<Departure> {
+            let mut rng = SimRng::new(31);
+            let mut out = Vec::new();
+            for k in 0..30u32 {
+                if traced {
+                    sw.enqueue_traced(0, cell(1), 100 + k).unwrap();
+                } else {
+                    sw.enqueue(0, cell(1)).unwrap();
+                }
+                sw.enqueue(3, cell(2)).unwrap();
+                out.extend(sw.step(&mut rng));
+            }
+            out
+        };
+
+        let mut plain = build();
+        let baseline = drive(&mut plain, false);
+
+        let tracer = Tracer::new(TraceConfig::default());
+        let mut sw = build();
+        sw.attach_tracer(tracer.clone(), 6);
+        let traced = drive(&mut sw, true);
+
+        // Same departures in the same order (ignoring the trace tag).
+        assert_eq!(baseline.len(), traced.len());
+        for (a, b) in baseline.iter().zip(&traced) {
+            assert_eq!(
+                (a.output, a.cell, a.enqueued_slot),
+                (b.output, b.cell, b.enqueued_slot)
+            );
+        }
+        // Tags survive the switch in FIFO order for the tagged circuit.
+        let tags: Vec<u32> = traced
+            .iter()
+            .filter(|d| d.cell.vc() == VcId::new(1))
+            .map(|d| d.trace)
+            .collect();
+        assert!(!tags.is_empty());
+        assert!(tags.iter().enumerate().all(|(i, &t)| t == 100 + i as u32));
+        // Untagged circuit departs with trace = 0.
+        assert!(traced
+            .iter()
+            .filter(|d| d.cell.vc() == VcId::new(2))
+            .all(|d| d.trace == 0));
+        // Events and counters landed.
+        assert_eq!(
+            tracer.counter("switch.cells_enqueued", Entity::Switch(6)),
+            60
+        );
+        let records = tracer.records();
+        assert!(records.iter().any(|r| r.event.kind() == "cell_enqueue"));
+        assert!(records.iter().any(|r| r.event.kind() == "cell_dequeue"));
+        assert!(records.iter().any(|r| r.event.kind() == "xbar_grant"));
     }
 
     #[test]

@@ -1,0 +1,479 @@
+//! The typed event taxonomy and the entity key space.
+//!
+//! Events carry plain integer ids (`u16` switch, `u32` link/VC) rather than
+//! the typed ids of the upper crates: `an2-trace` sits directly above
+//! `an2-sim` so that every other layer — cells, topology, crossbar, flow,
+//! faults, switch, fabric, network — can depend on it without a cycle.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What a metric or event is about: the whole run, one switch, one port of
+/// a switch, one link, one virtual circuit, or one host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Entity {
+    /// The whole installation.
+    Global,
+    /// One switch, by id.
+    Switch(u16),
+    /// One port of one switch.
+    Port {
+        /// The switch the port belongs to.
+        switch: u16,
+        /// The port number on that switch.
+        port: u8,
+    },
+    /// One link, by id.
+    Link(u32),
+    /// One virtual circuit, by raw 24-bit id.
+    Vc(u32),
+    /// One host, by id.
+    Host(u16),
+}
+
+impl fmt::Display for Entity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Entity::Global => write!(f, "global"),
+            Entity::Switch(s) => write!(f, "switch{s}"),
+            Entity::Port { switch, port } => write!(f, "switch{switch}/port{port}"),
+            Entity::Link(l) => write!(f, "link{l}"),
+            Entity::Vc(v) => write!(f, "vc{v}"),
+            Entity::Host(h) => write!(f, "host{h}"),
+        }
+    }
+}
+
+impl Entity {
+    /// Prometheus-style label pairs identifying this entity (empty for
+    /// [`Entity::Global`]).
+    pub fn labels(&self) -> Vec<(&'static str, u64)> {
+        match *self {
+            Entity::Global => Vec::new(),
+            Entity::Switch(s) => vec![("switch", s as u64)],
+            Entity::Port { switch, port } => {
+                vec![("switch", switch as u64), ("port", port as u64)]
+            }
+            Entity::Link(l) => vec![("link", l as u64)],
+            Entity::Vc(v) => vec![("vc", v as u64)],
+            Entity::Host(h) => vec![("host", h as u64)],
+        }
+    }
+}
+
+/// Why a cell was destroyed inside the fabric (wire losses are
+/// [`TraceEvent::FaultDraw`] outcomes instead).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DropReason {
+    /// Scheduled onto an output whose link had already been failed.
+    DeadLink,
+    /// Destroyed in flight when its link flapped down.
+    LinkDown,
+    /// Buffered inside a line card that crashed.
+    Crash,
+}
+
+impl DropReason {
+    /// Stable lowercase name for sinks.
+    pub fn name(self) -> &'static str {
+        match self {
+            DropReason::DeadLink => "dead_link",
+            DropReason::LinkDown => "link_down",
+            DropReason::Crash => "crash",
+        }
+    }
+}
+
+/// The fate the fault injector drew for one wire crossing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultOutcome {
+    /// Delivered intact.
+    Deliver,
+    /// Delivered with a flipped payload bit.
+    Corrupt,
+    /// Destroyed on the wire.
+    Lose,
+}
+
+impl FaultOutcome {
+    /// Stable lowercase name for sinks.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultOutcome::Deliver => "deliver",
+            FaultOutcome::Corrupt => "corrupt",
+            FaultOutcome::Lose => "lose",
+        }
+    }
+}
+
+/// A reconfiguration phase on the control-plane timeline (§2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Phase {
+    /// Protocol convergence: epoch opened → every live agent agrees.
+    Converge,
+    /// Route installation: canonical up*/down* routes pushed switch-by-switch.
+    Install,
+}
+
+impl Phase {
+    /// Stable lowercase name for sinks.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Converge => "converge",
+            Phase::Install => "install",
+        }
+    }
+}
+
+/// Whether a [`TraceEvent::ReconfigPhase`] opens or closes its phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PhaseEdge {
+    /// The phase began.
+    Begin,
+    /// The phase ended.
+    End,
+}
+
+/// One step of a sampled cell's hop-by-hop journey.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Hop {
+    /// The cell arrived at a switch's input buffers.
+    SwitchIn {
+        /// The switch it arrived at.
+        switch: u16,
+    },
+    /// The cell won a crossbar pairing and left the switch.
+    /// `queued_slots` is the in-switch residence time — the cut-through
+    /// pipeline depth (≈ 2 µs) when uncontended (§1).
+    SwitchOut {
+        /// The switch it departed.
+        switch: u16,
+        /// Slots between enqueue and departure.
+        queued_slots: u64,
+    },
+    /// The cell was put on a wire.
+    Wire {
+        /// The link it is crossing.
+        link: u32,
+    },
+}
+
+/// One typed, virtual-time-stamped event in the flight recorder.
+///
+/// Every variant is a plain value: recording copies a few words, consumes
+/// no randomness, and never blocks the simulation's control flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A cell joined a per-circuit input queue at a switch.
+    CellEnqueue {
+        /// Receiving switch.
+        switch: u16,
+        /// Input port it arrived on.
+        input: u8,
+        /// The cell's circuit.
+        vc: u32,
+        /// Queue depth after the enqueue.
+        depth: u32,
+    },
+    /// A cell won an output and left a switch's buffers.
+    CellDequeue {
+        /// Departing switch.
+        switch: u16,
+        /// Output port it left on.
+        output: u8,
+        /// The cell's circuit.
+        vc: u32,
+        /// Slots it spent buffered (pipeline depth when uncontended).
+        queued_slots: u64,
+    },
+    /// A cell was destroyed inside the fabric.
+    CellDrop {
+        /// The cell's circuit.
+        vc: u32,
+        /// Why it died.
+        reason: DropReason,
+    },
+    /// The crossbar scheduler granted an (input, output) pairing.
+    XbarGrant {
+        /// The switch whose crossbar matched.
+        switch: u16,
+        /// Matched input port.
+        input: u8,
+        /// Matched output port.
+        output: u8,
+    },
+    /// A credit was spent to transmit a best-effort cell (§5).
+    CreditConsume {
+        /// The gated circuit.
+        vc: u32,
+        /// Balance after the spend.
+        balance: u32,
+    },
+    /// A freed buffer's credit was sent back upstream (§5).
+    CreditSend {
+        /// The gated circuit.
+        vc: u32,
+        /// The link the credit crosses (upstream).
+        link: u32,
+        /// The resync epoch stamped on the credit.
+        epoch: u32,
+    },
+    /// A credit resynchronization opened a new epoch on a hop (§5).
+    ResyncBegin {
+        /// The circuit being resynchronized.
+        vc: u32,
+        /// The hop's link.
+        link: u32,
+        /// The new epoch.
+        epoch: u32,
+    },
+    /// A resync round-trip completed and the gate was restored.
+    ResyncComplete {
+        /// The circuit that was resynchronized.
+        vc: u32,
+        /// The hop's link.
+        link: u32,
+        /// The completed epoch.
+        epoch: u32,
+    },
+    /// A reconfiguration protocol message left a switch as control cells (§2).
+    CtrlTx {
+        /// Sending switch.
+        switch: u16,
+        /// First link of its path.
+        link: u32,
+        /// 53-byte cells the message segmented into.
+        cells: u32,
+    },
+    /// A reconfiguration protocol message arrived at a switch.
+    CtrlRx {
+        /// Receiving switch.
+        switch: u16,
+        /// The link it arrived on.
+        link: u32,
+    },
+    /// The link monitor flipped its verdict for a link (§2).
+    MonitorVerdict {
+        /// The judged link.
+        link: u32,
+        /// `true` = declared working, `false` = declared dead.
+        up: bool,
+    },
+    /// A reconfiguration phase opened or closed.
+    ReconfigPhase {
+        /// Which phase.
+        phase: Phase,
+        /// Open or close.
+        edge: PhaseEdge,
+        /// The reconfiguration epoch it belongs to.
+        epoch: u64,
+    },
+    /// The fault injector drew a fate for a wire crossing.
+    FaultDraw {
+        /// The crossed link.
+        link: u32,
+        /// The drawn fate.
+        outcome: FaultOutcome,
+    },
+    /// The per-slot invariant sweep found violations.
+    InvariantViolation {
+        /// Violations found this slot.
+        count: u64,
+    },
+    /// A host controller put a data cell on its access link.
+    CellInject {
+        /// The cell's circuit.
+        vc: u32,
+        /// The injecting host.
+        host: u16,
+        /// Path-trace id (`0` = not sampled).
+        trace_id: u32,
+    },
+    /// A data cell reached its destination controller.
+    CellDeliver {
+        /// The cell's circuit.
+        vc: u32,
+        /// The receiving host.
+        host: u16,
+        /// End-to-end latency in slots.
+        latency_slots: u64,
+        /// Path-trace id (`0` = not sampled).
+        trace_id: u32,
+    },
+    /// One hop of a sampled cell's journey.
+    CellHop {
+        /// The sampled cell's path-trace id.
+        trace_id: u32,
+        /// Its circuit.
+        vc: u32,
+        /// The hop.
+        hop: Hop,
+    },
+    /// The discrete-event engine enqueued an actor message.
+    EngineSend {
+        /// Destination actor.
+        actor: u32,
+    },
+    /// The discrete-event engine delivered an actor message.
+    EngineDeliver {
+        /// Destination actor.
+        actor: u32,
+    },
+}
+
+impl TraceEvent {
+    /// Stable snake_case event name (the `"type"` field of both sinks).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::CellEnqueue { .. } => "cell_enqueue",
+            TraceEvent::CellDequeue { .. } => "cell_dequeue",
+            TraceEvent::CellDrop { .. } => "cell_drop",
+            TraceEvent::XbarGrant { .. } => "xbar_grant",
+            TraceEvent::CreditConsume { .. } => "credit_consume",
+            TraceEvent::CreditSend { .. } => "credit_send",
+            TraceEvent::ResyncBegin { .. } => "resync_begin",
+            TraceEvent::ResyncComplete { .. } => "resync_complete",
+            TraceEvent::CtrlTx { .. } => "ctrl_tx",
+            TraceEvent::CtrlRx { .. } => "ctrl_rx",
+            TraceEvent::MonitorVerdict { .. } => "monitor_verdict",
+            TraceEvent::ReconfigPhase { .. } => "reconfig_phase",
+            TraceEvent::FaultDraw { .. } => "fault_draw",
+            TraceEvent::InvariantViolation { .. } => "invariant_violation",
+            TraceEvent::CellInject { .. } => "cell_inject",
+            TraceEvent::CellDeliver { .. } => "cell_deliver",
+            TraceEvent::CellHop { .. } => "cell_hop",
+            TraceEvent::EngineSend { .. } => "engine_send",
+            TraceEvent::EngineDeliver { .. } => "engine_deliver",
+        }
+    }
+
+    /// Appends this event's payload as `"key":value` JSON members (no
+    /// surrounding braces, no leading comma) — shared by both sinks.
+    pub fn write_fields(&self, out: &mut String) {
+        use std::fmt::Write;
+        match *self {
+            TraceEvent::CellEnqueue {
+                switch,
+                input,
+                vc,
+                depth,
+            } => {
+                write!(
+                    out,
+                    "\"switch\":{switch},\"input\":{input},\"vc\":{vc},\"depth\":{depth}"
+                )
+                .expect("string write");
+            }
+            TraceEvent::CellDequeue {
+                switch,
+                output,
+                vc,
+                queued_slots,
+            } => {
+                write!(
+                    out,
+                    "\"switch\":{switch},\"output\":{output},\"vc\":{vc},\"queued_slots\":{queued_slots}"
+                )
+                .expect("string write");
+            }
+            TraceEvent::CellDrop { vc, reason } => {
+                write!(out, "\"vc\":{vc},\"reason\":\"{}\"", reason.name()).expect("string write");
+            }
+            TraceEvent::XbarGrant {
+                switch,
+                input,
+                output,
+            } => {
+                write!(
+                    out,
+                    "\"switch\":{switch},\"input\":{input},\"output\":{output}"
+                )
+                .expect("string write");
+            }
+            TraceEvent::CreditConsume { vc, balance } => {
+                write!(out, "\"vc\":{vc},\"balance\":{balance}").expect("string write");
+            }
+            TraceEvent::CreditSend { vc, link, epoch } => {
+                write!(out, "\"vc\":{vc},\"link\":{link},\"epoch\":{epoch}").expect("string write");
+            }
+            TraceEvent::ResyncBegin { vc, link, epoch }
+            | TraceEvent::ResyncComplete { vc, link, epoch } => {
+                write!(out, "\"vc\":{vc},\"link\":{link},\"epoch\":{epoch}").expect("string write");
+            }
+            TraceEvent::CtrlTx {
+                switch,
+                link,
+                cells,
+            } => {
+                write!(out, "\"switch\":{switch},\"link\":{link},\"cells\":{cells}")
+                    .expect("string write");
+            }
+            TraceEvent::CtrlRx { switch, link } => {
+                write!(out, "\"switch\":{switch},\"link\":{link}").expect("string write");
+            }
+            TraceEvent::MonitorVerdict { link, up } => {
+                write!(out, "\"link\":{link},\"up\":{up}").expect("string write");
+            }
+            TraceEvent::ReconfigPhase { phase, edge, epoch } => {
+                write!(
+                    out,
+                    "\"phase\":\"{}\",\"edge\":\"{}\",\"epoch\":{epoch}",
+                    phase.name(),
+                    match edge {
+                        PhaseEdge::Begin => "begin",
+                        PhaseEdge::End => "end",
+                    }
+                )
+                .expect("string write");
+            }
+            TraceEvent::FaultDraw { link, outcome } => {
+                write!(out, "\"link\":{link},\"outcome\":\"{}\"", outcome.name())
+                    .expect("string write");
+            }
+            TraceEvent::InvariantViolation { count } => {
+                write!(out, "\"count\":{count}").expect("string write");
+            }
+            TraceEvent::CellInject { vc, host, trace_id } => {
+                write!(out, "\"vc\":{vc},\"host\":{host},\"trace_id\":{trace_id}")
+                    .expect("string write");
+            }
+            TraceEvent::CellDeliver {
+                vc,
+                host,
+                latency_slots,
+                trace_id,
+            } => {
+                write!(
+                    out,
+                    "\"vc\":{vc},\"host\":{host},\"latency_slots\":{latency_slots},\"trace_id\":{trace_id}"
+                )
+                .expect("string write");
+            }
+            TraceEvent::CellHop { trace_id, vc, hop } => {
+                write!(out, "\"trace_id\":{trace_id},\"vc\":{vc},").expect("string write");
+                match hop {
+                    Hop::SwitchIn { switch } => {
+                        write!(out, "\"hop\":\"switch_in\",\"switch\":{switch}")
+                            .expect("string write");
+                    }
+                    Hop::SwitchOut {
+                        switch,
+                        queued_slots,
+                    } => {
+                        write!(
+                            out,
+                            "\"hop\":\"switch_out\",\"switch\":{switch},\"queued_slots\":{queued_slots}"
+                        )
+                        .expect("string write");
+                    }
+                    Hop::Wire { link } => {
+                        write!(out, "\"hop\":\"wire\",\"link\":{link}").expect("string write");
+                    }
+                }
+            }
+            TraceEvent::EngineSend { actor } | TraceEvent::EngineDeliver { actor } => {
+                write!(out, "\"actor\":{actor}").expect("string write");
+            }
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! The bounded flight recorder: a ring buffer of stamped events.
+
+use crate::event::TraceEvent;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One recorded event, stamped with the fabric slot and virtual time it
+/// happened at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Fabric slot of the event.
+    pub slot: u64,
+    /// Virtual time of the event, nanoseconds.
+    pub at_ns: u64,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+/// A bounded ring buffer of [`TraceRecord`]s — the black box that is cheap
+/// enough to leave on for a whole soak. When full, the *oldest* record is
+/// evicted (flight-recorder semantics: the end of the timeline is what you
+/// want after a failure), and [`FlightRecorder::dropped`] counts what fell
+/// off the back.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    ring: VecDeque<TraceRecord>,
+    capacity: usize,
+    seen: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder holding at most `capacity` records (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            ring: VecDeque::with_capacity(capacity.min(1 << 20)),
+            capacity,
+            seen: 0,
+        }
+    }
+
+    /// Appends a record, evicting the oldest if the buffer is full.
+    pub fn push(&mut self, record: TraceRecord) {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(record);
+        self.seen += 1;
+    }
+
+    /// Records currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// `true` when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total events ever recorded (including evicted ones).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Events evicted off the back of the ring.
+    pub fn dropped(&self) -> u64 {
+        self.seen - self.ring.len() as u64
+    }
+
+    /// The retained records, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.ring.iter()
+    }
+
+    /// The retained records as a contiguous vector, oldest first.
+    pub fn to_vec(&self) -> Vec<TraceRecord> {
+        self.ring.iter().copied().collect()
+    }
+
+    /// Empties the ring (the seen/dropped totals keep counting).
+    pub fn clear(&mut self) {
+        self.ring.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(slot: u64) -> TraceRecord {
+        TraceRecord {
+            slot,
+            at_ns: slot * 680,
+            event: TraceEvent::MonitorVerdict {
+                link: slot as u32,
+                up: false,
+            },
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let mut r = FlightRecorder::new(3);
+        for s in 0..5 {
+            r.push(rec(s));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.seen(), 5);
+        assert_eq!(r.dropped(), 2);
+        let slots: Vec<u64> = r.iter().map(|x| x.slot).collect();
+        assert_eq!(slots, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let mut r = FlightRecorder::new(0);
+        r.push(rec(1));
+        r.push(rec(2));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.to_vec()[0].slot, 2);
+    }
+}

@@ -1,0 +1,335 @@
+//! The unified metrics registry: named counters, gauges and bucketed
+//! histograms keyed by [`Entity`], with JSON / Prometheus snapshot export
+//! and per-slot delta queries.
+
+use crate::event::Entity;
+use an2_sim::metrics::Histogram;
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+/// One registered metric.
+#[derive(Debug, Clone)]
+pub enum Metric {
+    /// Monotonically increasing count.
+    Counter(u64),
+    /// Arbitrary signed level (queue depth, credit balance, …).
+    Gauge(i64),
+    /// A bucketed distribution (memory bounded by the value range — see
+    /// [`Histogram::bucketed`]).
+    Histogram(Histogram),
+}
+
+/// A point-in-time copy of every counter and gauge, for delta queries
+/// (histograms are distributions, not levels, and are excluded).
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    values: BTreeMap<(&'static str, Entity), i64>,
+}
+
+impl MetricsSnapshot {
+    /// The snapshotted value of `name`/`entity`, if present.
+    pub fn get(&self, name: &'static str, entity: Entity) -> Option<i64> {
+        self.values.get(&(name, entity)).copied()
+    }
+
+    /// Number of snapshotted series.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when nothing was snapshotted.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// Named counters / gauges / histograms keyed by entity. Keys are
+/// `&'static str` (all call sites are in-tree) and storage is a `BTreeMap`,
+/// so every export is deterministically ordered — a requirement for the
+/// byte-identical trace-diffing workflow.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    metrics: BTreeMap<(&'static str, Entity), Metric>,
+    hist_sub_bits: u32,
+}
+
+impl MetricsRegistry {
+    /// An empty registry whose histograms use `1 << hist_sub_bits`
+    /// sub-buckets per power of two (0 picks the default of 5).
+    pub fn new(hist_sub_bits: u32) -> Self {
+        MetricsRegistry {
+            metrics: BTreeMap::new(),
+            hist_sub_bits: if hist_sub_bits == 0 { 5 } else { hist_sub_bits },
+        }
+    }
+
+    /// Adds `n` to the counter `name`/`entity`, creating it at zero first.
+    pub fn counter_add(&mut self, name: &'static str, entity: Entity, n: u64) {
+        match self
+            .metrics
+            .entry((name, entity))
+            .or_insert(Metric::Counter(0))
+        {
+            Metric::Counter(c) => *c += n,
+            _ => panic!("metric {name}/{entity} is not a counter"),
+        }
+    }
+
+    /// Sets the gauge `name`/`entity`.
+    pub fn gauge_set(&mut self, name: &'static str, entity: Entity, value: i64) {
+        match self
+            .metrics
+            .entry((name, entity))
+            .or_insert(Metric::Gauge(0))
+        {
+            Metric::Gauge(g) => *g = value,
+            _ => panic!("metric {name}/{entity} is not a gauge"),
+        }
+    }
+
+    /// Adds `delta` (possibly negative) to the gauge `name`/`entity`.
+    pub fn gauge_add(&mut self, name: &'static str, entity: Entity, delta: i64) {
+        match self
+            .metrics
+            .entry((name, entity))
+            .or_insert(Metric::Gauge(0))
+        {
+            Metric::Gauge(g) => *g += delta,
+            _ => panic!("metric {name}/{entity} is not a gauge"),
+        }
+    }
+
+    /// Records `value` into the bucketed histogram `name`/`entity`.
+    pub fn hist_record(&mut self, name: &'static str, entity: Entity, value: u64) {
+        let sub_bits = self.hist_sub_bits;
+        match self
+            .metrics
+            .entry((name, entity))
+            .or_insert_with(|| Metric::Histogram(Histogram::bucketed(sub_bits)))
+        {
+            Metric::Histogram(h) => h.record(value),
+            _ => panic!("metric {name}/{entity} is not a histogram"),
+        }
+    }
+
+    /// The metric `name`/`entity`, if registered.
+    pub fn get(&self, name: &'static str, entity: Entity) -> Option<&Metric> {
+        self.metrics.get(&(name, entity))
+    }
+
+    /// The counter `name`/`entity`, or 0 when never touched.
+    pub fn counter(&self, name: &'static str, entity: Entity) -> u64 {
+        match self.metrics.get(&(name, entity)) {
+            Some(Metric::Counter(c)) => *c,
+            _ => 0,
+        }
+    }
+
+    /// Sum of the counter `name` over every entity.
+    pub fn counter_total(&self, name: &'static str) -> u64 {
+        self.metrics
+            .iter()
+            .filter(|((n, _), _)| *n == name)
+            .map(|(_, m)| match m {
+                Metric::Counter(c) => *c,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Every registered series, in deterministic key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, Entity, &Metric)> {
+        self.metrics.iter().map(|(&(n, e), m)| (n, e, m))
+    }
+
+    /// Number of registered series.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// `true` when no metric has been touched.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Copies every counter and gauge into a [`MetricsSnapshot`] — the
+    /// anchor for per-slot delta queries.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let values = self
+            .metrics
+            .iter()
+            .filter_map(|(&k, m)| match m {
+                Metric::Counter(c) => Some((k, *c as i64)),
+                Metric::Gauge(g) => Some((k, *g)),
+                Metric::Histogram(_) => None,
+            })
+            .collect();
+        MetricsSnapshot { values }
+    }
+
+    /// What moved since `earlier`: every counter/gauge whose value differs,
+    /// as `(name, entity, delta)` in deterministic key order. Series born
+    /// after the snapshot report their full value.
+    pub fn delta_since(&self, earlier: &MetricsSnapshot) -> Vec<(&'static str, Entity, i64)> {
+        let mut out = Vec::new();
+        for (&(name, entity), m) in &self.metrics {
+            let now = match m {
+                Metric::Counter(c) => *c as i64,
+                Metric::Gauge(g) => *g,
+                Metric::Histogram(_) => continue,
+            };
+            let before = earlier.values.get(&(name, entity)).copied().unwrap_or(0);
+            if now != before {
+                out.push((name, entity, now - before));
+            }
+        }
+        out
+    }
+
+    /// Renders the whole registry as one JSON object:
+    /// `{"metrics":[{"name":…,"entity":…,"type":…,…}]}`. Histograms export
+    /// count / mean / min / max / p50 / p99 (`&mut` because percentile
+    /// queries walk cumulative buckets on a clone).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"metrics\":[");
+        let mut first = true;
+        for (&(name, entity), m) in &self.metrics {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            write!(out, "{{\"name\":\"{name}\",\"entity\":\"{entity}\",").expect("string write");
+            match m {
+                Metric::Counter(c) => {
+                    write!(out, "\"type\":\"counter\",\"value\":{c}}}").expect("string write");
+                }
+                Metric::Gauge(g) => {
+                    write!(out, "\"type\":\"gauge\",\"value\":{g}}}").expect("string write");
+                }
+                Metric::Histogram(h) => {
+                    let mut h = h.clone();
+                    write!(
+                        out,
+                        "\"type\":\"histogram\",\"count\":{},\"min\":{},\"max\":{},\"p50\":{},\"p99\":{}}}",
+                        h.count(),
+                        h.min().unwrap_or(0),
+                        h.max().unwrap_or(0),
+                        h.percentile(0.5).unwrap_or(0),
+                        h.percentile(0.99).unwrap_or(0),
+                    )
+                    .expect("string write");
+                }
+            }
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Renders the registry in the Prometheus text exposition format.
+    /// Metric names have `.` rewritten to `_` and gain an `an2_` prefix;
+    /// entities become labels (`an2_cells_delivered{vc="100"} 42`).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (&(name, entity), m) in &self.metrics {
+            let mut prom = String::with_capacity(name.len() + 4);
+            prom.push_str("an2_");
+            for ch in name.chars() {
+                prom.push(if ch == '.' || ch == '-' { '_' } else { ch });
+            }
+            let labels = entity.labels();
+            let mut label_str = String::new();
+            if !labels.is_empty() {
+                label_str.push('{');
+                for (i, (k, v)) in labels.iter().enumerate() {
+                    if i > 0 {
+                        label_str.push(',');
+                    }
+                    write!(label_str, "{k}=\"{v}\"").expect("string write");
+                }
+                label_str.push('}');
+            }
+            match m {
+                Metric::Counter(c) => {
+                    writeln!(out, "{prom}_total{label_str} {c}").expect("string write");
+                }
+                Metric::Gauge(g) => {
+                    writeln!(out, "{prom}{label_str} {g}").expect("string write");
+                }
+                Metric::Histogram(h) => {
+                    writeln!(out, "{prom}_count{label_str} {}", h.count()).expect("string write");
+                    if let (Some(mn), Some(mx)) = (h.min(), h.max()) {
+                        writeln!(out, "{prom}_min{label_str} {mn}").expect("string write");
+                        writeln!(out, "{prom}_max{label_str} {mx}").expect("string write");
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_histograms_roundtrip() {
+        let mut r = MetricsRegistry::new(0);
+        r.counter_add("cells.delivered", Entity::Vc(100), 3);
+        r.counter_add("cells.delivered", Entity::Vc(100), 2);
+        r.gauge_set("queue.depth", Entity::Switch(1), 7);
+        r.gauge_add("queue.depth", Entity::Switch(1), -2);
+        for v in [10u64, 20, 30] {
+            r.hist_record("latency", Entity::Global, v);
+        }
+        assert_eq!(r.counter("cells.delivered", Entity::Vc(100)), 5);
+        assert_eq!(r.counter("cells.delivered", Entity::Vc(999)), 0);
+        match r.get("queue.depth", Entity::Switch(1)) {
+            Some(Metric::Gauge(5)) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn delta_since_reports_only_movement() {
+        let mut r = MetricsRegistry::new(0);
+        r.counter_add("a", Entity::Global, 1);
+        r.gauge_set("b", Entity::Link(2), 10);
+        let snap = r.snapshot();
+        assert_eq!(snap.get("a", Entity::Global), Some(1));
+        r.counter_add("a", Entity::Global, 4);
+        r.counter_add("c", Entity::Global, 2);
+        let delta = r.delta_since(&snap);
+        assert_eq!(
+            delta,
+            vec![("a", Entity::Global, 4), ("c", Entity::Global, 2)]
+        );
+    }
+
+    #[test]
+    fn exports_are_deterministic_and_well_formed() {
+        let mut r = MetricsRegistry::new(0);
+        r.counter_add("cells.sent", Entity::Vc(7), 9);
+        r.gauge_set("credits", Entity::Link(3), 8);
+        r.hist_record("latency.slots", Entity::Global, 42);
+        let json = r.to_json();
+        assert!(json.starts_with("{\"metrics\":["));
+        assert!(json.contains("\"entity\":\"vc7\""));
+        assert!(json.contains("\"type\":\"histogram\""));
+        assert_eq!(json, r.to_json(), "export must be stable");
+        let prom = r.to_prometheus();
+        assert!(prom.contains("an2_cells_sent_total{vc=\"7\"} 9"));
+        assert!(prom.contains("an2_credits{link=\"3\"} 8"));
+        assert!(prom.contains("an2_latency_slots_count 1"));
+    }
+
+    #[test]
+    fn counter_total_sums_across_entities() {
+        let mut r = MetricsRegistry::new(0);
+        r.counter_add("x", Entity::Switch(0), 1);
+        r.counter_add("x", Entity::Switch(1), 2);
+        r.counter_add("y", Entity::Global, 10);
+        assert_eq!(r.counter_total("x"), 3);
+    }
+}

@@ -1,0 +1,343 @@
+//! Trace exporters: JSONL for machine diffing, and the Chrome trace-event
+//! format so a run opens directly in Perfetto / `chrome://tracing`.
+
+use crate::event::{Phase, PhaseEdge, TraceEvent};
+use crate::recorder::TraceRecord;
+use std::fmt::Write;
+
+/// Formats a nanosecond stamp as the microsecond `ts` value the Chrome
+/// trace format expects, with deterministic 3-decimal precision (no float
+/// formatting in the output path).
+fn ts_us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+/// Renders records as JSON Lines: one self-contained object per record,
+/// oldest first. Stable field order makes two runs diffable with `diff`.
+pub fn jsonl(records: &[TraceRecord]) -> String {
+    let mut out = String::with_capacity(records.len() * 96);
+    for r in records {
+        write!(
+            out,
+            "{{\"slot\":{},\"at_ns\":{},\"kind\":\"{}\"",
+            r.slot,
+            r.at_ns,
+            r.event.kind()
+        )
+        .expect("string write");
+        let mut fields = String::new();
+        r.event.write_fields(&mut fields);
+        if !fields.is_empty() {
+            out.push(',');
+            out.push_str(&fields);
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// Renders records in the Chrome trace-event format (the JSON object form:
+/// `{"traceEvents":[…]}`), loadable in Perfetto or `chrome://tracing`.
+///
+/// * Most events become instant events (`"ph":"i"`) on a thread named after
+///   the event kind, so each event family gets its own track.
+/// * [`TraceEvent::ReconfigPhase`] `Begin`/`End` pairs become complete
+///   spans (`"ph":"X"`) on the `reconfig` track — the < 200 ms claim is one
+///   bar you can measure with a mouse.
+/// * Sampled cell journeys ([`TraceEvent::CellInject`] / `CellHop` /
+///   `CellDeliver` with a nonzero trace id) become async begin/instant/end
+///   events (`"ph":"b"/"n"/"e"`) correlated by `"id"`, so each sampled
+///   cell renders as one arrow-connected flow.
+pub fn chrome_trace(records: &[TraceRecord]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let mut emit = |s: &str, out: &mut String| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(s);
+    };
+
+    // Open ReconfigPhase begins waiting for their matching end, keyed by
+    // (phase, epoch).
+    let mut open_phases: Vec<(Phase, u64, u64)> = Vec::new();
+
+    for r in records {
+        let ts = ts_us(r.at_ns);
+        match r.event {
+            TraceEvent::ReconfigPhase { phase, edge, epoch } => match edge {
+                PhaseEdge::Begin => open_phases.push((phase, epoch, r.at_ns)),
+                PhaseEdge::End => {
+                    let begin_ns = match open_phases
+                        .iter()
+                        .rposition(|&(p, e, _)| p == phase && e == epoch)
+                    {
+                        Some(i) => open_phases.remove(i).2,
+                        // End without Begin (ring evicted it): zero-length span.
+                        None => r.at_ns,
+                    };
+                    let span = format!(
+                        "{{\"name\":\"{} epoch {}\",\"cat\":\"reconfig\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":\"reconfig\",\"args\":{{\"epoch\":{}}}}}",
+                        phase.name(),
+                        epoch,
+                        ts_us(begin_ns),
+                        ts_us(r.at_ns - begin_ns),
+                        epoch,
+                    );
+                    emit(&span, &mut out);
+                }
+            },
+            TraceEvent::CellInject { vc, host, trace_id } if trace_id != 0 => {
+                let ev = format!(
+                    "{{\"name\":\"cell {trace_id}\",\"cat\":\"cell_path\",\"ph\":\"b\",\"id\":{trace_id},\"ts\":{ts},\"pid\":1,\"tid\":\"cells\",\"args\":{{\"vc\":{vc},\"host\":{host}}}}}"
+                );
+                emit(&ev, &mut out);
+            }
+            TraceEvent::CellHop { trace_id, vc, hop } if trace_id != 0 => {
+                let mut args = String::new();
+                TraceEvent::CellHop { trace_id, vc, hop }.write_fields(&mut args);
+                let ev = format!(
+                    "{{\"name\":\"cell {trace_id}\",\"cat\":\"cell_path\",\"ph\":\"n\",\"id\":{trace_id},\"ts\":{ts},\"pid\":1,\"tid\":\"cells\",\"args\":{{{args}}}}}"
+                );
+                emit(&ev, &mut out);
+            }
+            TraceEvent::CellDeliver {
+                vc,
+                host,
+                latency_slots,
+                trace_id,
+            } if trace_id != 0 => {
+                let ev = format!(
+                    "{{\"name\":\"cell {trace_id}\",\"cat\":\"cell_path\",\"ph\":\"e\",\"id\":{trace_id},\"ts\":{ts},\"pid\":1,\"tid\":\"cells\",\"args\":{{\"vc\":{vc},\"host\":{host},\"latency_slots\":{latency_slots}}}}}"
+                );
+                emit(&ev, &mut out);
+            }
+            ref event => {
+                let kind = event.kind();
+                let mut args = String::new();
+                event.write_fields(&mut args);
+                let ev = format!(
+                    "{{\"name\":\"{kind}\",\"cat\":\"{kind}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\"pid\":1,\"tid\":\"{kind}\",\"args\":{{{args}}}}}"
+                );
+                emit(&ev, &mut out);
+            }
+        }
+    }
+
+    // Begins that never saw an end render as zero-length markers so they
+    // are not silently lost.
+    for (phase, epoch, begin_ns) in open_phases {
+        let span = format!(
+            "{{\"name\":\"{} epoch {} (open)\",\"cat\":\"reconfig\",\"ph\":\"X\",\"ts\":{},\"dur\":0.000,\"pid\":1,\"tid\":\"reconfig\",\"args\":{{\"epoch\":{}}}}}",
+            phase.name(),
+            epoch,
+            ts_us(begin_ns),
+            epoch,
+        );
+        emit(&span, &mut out);
+    }
+
+    out.push_str("]}");
+    out
+}
+
+/// Pairs [`TraceEvent::ReconfigPhase`] `Begin`/`End` records into completed
+/// `(phase, epoch, begin_ns, end_ns)` spans, in completion order. Used by
+/// the golden-trace test and the `--trace` experiment to assert the
+/// paper's < 200 ms reconfiguration bound straight off the recording.
+pub fn reconfig_spans(records: &[TraceRecord]) -> Vec<(Phase, u64, u64, u64)> {
+    let mut open: Vec<(Phase, u64, u64)> = Vec::new();
+    let mut done = Vec::new();
+    for r in records {
+        if let TraceEvent::ReconfigPhase { phase, edge, epoch } = r.event {
+            match edge {
+                PhaseEdge::Begin => open.push((phase, epoch, r.at_ns)),
+                PhaseEdge::End => {
+                    if let Some(i) = open.iter().rposition(|&(p, e, _)| p == phase && e == epoch) {
+                        let (_, _, begin_ns) = open.remove(i);
+                        done.push((phase, epoch, begin_ns, r.at_ns));
+                    }
+                }
+            }
+        }
+    }
+    done
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{DropReason, Entity};
+    use crate::tracer::{TraceConfig, Tracer};
+
+    fn rec(slot: u64, event: TraceEvent) -> TraceRecord {
+        TraceRecord {
+            slot,
+            at_ns: slot * 680,
+            event,
+        }
+    }
+
+    #[test]
+    fn jsonl_is_one_object_per_line_with_stable_fields() {
+        let records = vec![
+            rec(10, TraceEvent::MonitorVerdict { link: 2, up: false }),
+            rec(
+                11,
+                TraceEvent::CellDrop {
+                    vc: 9,
+                    reason: DropReason::LinkDown,
+                },
+            ),
+        ];
+        let text = jsonl(&records);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"slot\":10,\"at_ns\":6800,\"kind\":\"monitor_verdict\",\"link\":2,\"up\":false}"
+        );
+        assert!(lines[1].contains("\"reason\":\"link_down\""));
+        assert_eq!(jsonl(&records), text, "export must be stable");
+    }
+
+    #[test]
+    fn chrome_trace_pairs_reconfig_spans() {
+        let records = vec![
+            rec(
+                100,
+                TraceEvent::ReconfigPhase {
+                    phase: Phase::Converge,
+                    edge: PhaseEdge::Begin,
+                    epoch: 1,
+                },
+            ),
+            rec(120, TraceEvent::MonitorVerdict { link: 0, up: false }),
+            rec(
+                300,
+                TraceEvent::ReconfigPhase {
+                    phase: Phase::Converge,
+                    edge: PhaseEdge::End,
+                    epoch: 1,
+                },
+            ),
+        ];
+        let json = chrome_trace(&records);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        // 200 slots * 680 ns = 136 µs span.
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"dur\":136.000"));
+        assert!(json.contains("\"ts\":68.000"));
+        assert!(json.contains("\"ph\":\"i\""));
+    }
+
+    #[test]
+    fn chrome_trace_threads_sampled_cells_as_async_flows() {
+        let records = vec![
+            rec(
+                5,
+                TraceEvent::CellInject {
+                    vc: 300,
+                    host: 1,
+                    trace_id: 42,
+                },
+            ),
+            rec(
+                6,
+                TraceEvent::CellHop {
+                    trace_id: 42,
+                    vc: 300,
+                    hop: crate::event::Hop::Wire { link: 3 },
+                },
+            ),
+            rec(
+                8,
+                TraceEvent::CellDeliver {
+                    vc: 300,
+                    host: 4,
+                    latency_slots: 3,
+                    trace_id: 42,
+                },
+            ),
+            // Unsampled injections stay instant events.
+            rec(
+                9,
+                TraceEvent::CellInject {
+                    vc: 300,
+                    host: 1,
+                    trace_id: 0,
+                },
+            ),
+        ];
+        let json = chrome_trace(&records);
+        assert!(json.contains("\"ph\":\"b\",\"id\":42"));
+        assert!(json.contains("\"ph\":\"n\",\"id\":42"));
+        assert!(json.contains("\"ph\":\"e\",\"id\":42"));
+        assert_eq!(json.matches("\"id\":42").count(), 3);
+    }
+
+    #[test]
+    fn reconfig_spans_pairs_by_phase_and_epoch() {
+        let records = vec![
+            rec(
+                10,
+                TraceEvent::ReconfigPhase {
+                    phase: Phase::Converge,
+                    edge: PhaseEdge::Begin,
+                    epoch: 3,
+                },
+            ),
+            rec(
+                50,
+                TraceEvent::ReconfigPhase {
+                    phase: Phase::Install,
+                    edge: PhaseEdge::Begin,
+                    epoch: 3,
+                },
+            ),
+            rec(
+                60,
+                TraceEvent::ReconfigPhase {
+                    phase: Phase::Install,
+                    edge: PhaseEdge::End,
+                    epoch: 3,
+                },
+            ),
+            rec(
+                70,
+                TraceEvent::ReconfigPhase {
+                    phase: Phase::Converge,
+                    edge: PhaseEdge::End,
+                    epoch: 3,
+                },
+            ),
+        ];
+        let spans = reconfig_spans(&records);
+        assert_eq!(
+            spans,
+            vec![
+                (Phase::Install, 3, 50 * 680, 60 * 680),
+                (Phase::Converge, 3, 10 * 680, 70 * 680),
+            ]
+        );
+    }
+
+    #[test]
+    fn end_to_end_through_a_tracer() {
+        let t = Tracer::new(TraceConfig::default());
+        t.set_slot(1);
+        let id = t.sample_cell();
+        assert_eq!(id, 1, "first injected cell is always sampled");
+        t.emit(TraceEvent::CellInject {
+            vc: 100,
+            host: 0,
+            trace_id: id,
+        });
+        t.counter_add("cells.injected", Entity::Host(0), 1);
+        let records = t.records();
+        assert!(chrome_trace(&records).contains("\"ph\":\"b\""));
+        assert!(jsonl(&records).contains("\"kind\":\"cell_inject\""));
+    }
+}

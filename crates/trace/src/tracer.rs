@@ -1,0 +1,308 @@
+//! The [`Tracer`] handle every instrumented layer holds, plus the
+//! [`EngineTracer`] probe adapter for the discrete-event engine.
+
+use crate::event::{Entity, TraceEvent};
+use crate::recorder::{FlightRecorder, TraceRecord};
+use crate::registry::{Metric, MetricsRegistry, MetricsSnapshot};
+use an2_sim::{ActorId, EngineProbe, SimTime};
+use std::sync::{Arc, Mutex};
+
+/// Configuration for a [`Tracer`].
+#[derive(Debug, Clone, Copy)]
+pub struct TraceConfig {
+    /// Flight-recorder capacity in records (default `1 << 16`).
+    pub ring_capacity: usize,
+    /// Sample every Nth injected data cell for hop-by-hop path tracing
+    /// (default 64; `0` disables path sampling entirely).
+    pub sample_every: u32,
+    /// Nanoseconds of virtual time per fabric slot, used to stamp records
+    /// (default 680 — one cell slot at 622 Mb/s).
+    pub slot_ns: u64,
+    /// Sub-bucket resolution for registry histograms (default 5 → ≤ ~3%
+    /// relative error); see `an2_sim::metrics::Histogram::bucketed`.
+    pub hist_sub_bits: u32,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            ring_capacity: 1 << 16,
+            sample_every: 64,
+            slot_ns: 680,
+            hist_sub_bits: 5,
+        }
+    }
+}
+
+/// The shared state behind a [`Tracer`] handle.
+#[derive(Debug)]
+struct TraceCore {
+    recorder: FlightRecorder,
+    registry: MetricsRegistry,
+    slot: u64,
+    slot_ns: u64,
+    sample_every: u32,
+    injected_seen: u64,
+    next_trace_id: u32,
+}
+
+/// The cheap-to-clone tracing handle.
+///
+/// Layers hold it `Option`-gated exactly like the fault layer: when absent,
+/// the instrumented code runs the same instructions it ran before tracing
+/// existed. The handle is `Arc<Mutex<…>>` internally so clones held by the
+/// fabric, its switches, the link simulators and the fault injector all feed
+/// one recorder and one registry — and every holder stays `Send`.
+///
+/// Determinism contract: no method draws randomness, allocates ids visible
+/// to the simulation, or perturbs event ordering. A traced run is
+/// byte-identical (same stats, same digests) to an untraced one.
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    core: Arc<Mutex<TraceCore>>,
+}
+
+impl Tracer {
+    /// A fresh tracer with its own recorder and registry.
+    pub fn new(config: TraceConfig) -> Self {
+        Tracer {
+            core: Arc::new(Mutex::new(TraceCore {
+                recorder: FlightRecorder::new(config.ring_capacity),
+                registry: MetricsRegistry::new(config.hist_sub_bits),
+                slot: 0,
+                slot_ns: config.slot_ns.max(1),
+                sample_every: config.sample_every,
+                injected_seen: 0,
+                next_trace_id: 0,
+            })),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, TraceCore> {
+        self.core.lock().expect("tracer lock poisoned")
+    }
+
+    /// Advances the tracer's notion of the current fabric slot; every
+    /// subsequent [`Tracer::emit`] is stamped with it.
+    pub fn set_slot(&self, slot: u64) {
+        self.lock().slot = slot;
+    }
+
+    /// The current fabric slot.
+    pub fn slot(&self) -> u64 {
+        self.lock().slot
+    }
+
+    /// Records `event` stamped with the current slot and its virtual time.
+    pub fn emit(&self, event: TraceEvent) {
+        let mut core = self.lock();
+        let slot = core.slot;
+        let at_ns = slot * core.slot_ns;
+        core.recorder.push(TraceRecord { slot, at_ns, event });
+    }
+
+    /// Records `event` at an explicit virtual time (engine probes and
+    /// control-plane hooks know exact nanoseconds, not slots).
+    pub fn emit_at_ns(&self, at_ns: u64, event: TraceEvent) {
+        let mut core = self.lock();
+        let slot = at_ns / core.slot_ns;
+        core.recorder.push(TraceRecord { slot, at_ns, event });
+    }
+
+    /// Adds `n` to a registry counter.
+    pub fn counter_add(&self, name: &'static str, entity: Entity, n: u64) {
+        self.lock().registry.counter_add(name, entity, n);
+    }
+
+    /// Sets a registry gauge.
+    pub fn gauge_set(&self, name: &'static str, entity: Entity, value: i64) {
+        self.lock().registry.gauge_set(name, entity, value);
+    }
+
+    /// Adds `delta` to a registry gauge.
+    pub fn gauge_add(&self, name: &'static str, entity: Entity, delta: i64) {
+        self.lock().registry.gauge_add(name, entity, delta);
+    }
+
+    /// Records `value` into a registry histogram.
+    pub fn hist_record(&self, name: &'static str, entity: Entity, value: u64) {
+        self.lock().registry.hist_record(name, entity, value);
+    }
+
+    /// Decides whether the next injected data cell is path-sampled.
+    /// Returns a nonzero trace id for every `sample_every`-th cell
+    /// (deterministic counter — no randomness), `0` otherwise.
+    pub fn sample_cell(&self) -> u32 {
+        let mut core = self.lock();
+        if core.sample_every == 0 {
+            return 0;
+        }
+        let n = core.injected_seen;
+        core.injected_seen += 1;
+        if n.is_multiple_of(core.sample_every as u64) {
+            core.next_trace_id += 1;
+            core.next_trace_id
+        } else {
+            0
+        }
+    }
+
+    /// A copy of the retained records, oldest first.
+    pub fn records(&self) -> Vec<TraceRecord> {
+        self.lock().recorder.to_vec()
+    }
+
+    /// Total events ever recorded (including ones evicted off the ring).
+    pub fn events_seen(&self) -> u64 {
+        self.lock().recorder.seen()
+    }
+
+    /// Events evicted off the back of the ring.
+    pub fn events_dropped(&self) -> u64 {
+        self.lock().recorder.dropped()
+    }
+
+    /// Runs `f` against the metrics registry (read-only snapshot access).
+    pub fn with_registry<R>(&self, f: impl FnOnce(&MetricsRegistry) -> R) -> R {
+        f(&self.lock().registry)
+    }
+
+    /// The registry counter `name`/`entity` (0 when untouched).
+    pub fn counter(&self, name: &'static str, entity: Entity) -> u64 {
+        self.lock().registry.counter(name, entity)
+    }
+
+    /// Sum of the registry counter `name` over all entities.
+    pub fn counter_total(&self, name: &'static str) -> u64 {
+        self.lock().registry.counter_total(name)
+    }
+
+    /// The registry metric `name`/`entity`, cloned out.
+    pub fn metric(&self, name: &'static str, entity: Entity) -> Option<Metric> {
+        self.lock().registry.get(name, entity).cloned()
+    }
+
+    /// Snapshots every counter and gauge for later delta queries.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.lock().registry.snapshot()
+    }
+
+    /// What moved since `earlier` — see `MetricsRegistry::delta_since`.
+    pub fn delta_since(&self, earlier: &MetricsSnapshot) -> Vec<(&'static str, Entity, i64)> {
+        self.lock().registry.delta_since(earlier)
+    }
+
+    /// The registry rendered as JSON.
+    pub fn metrics_json(&self) -> String {
+        self.lock().registry.to_json()
+    }
+
+    /// The registry rendered in Prometheus text exposition format.
+    pub fn metrics_prometheus(&self) -> String {
+        self.lock().registry.to_prometheus()
+    }
+}
+
+/// Adapter implementing the discrete-event engine's probe hook by emitting
+/// [`TraceEvent::EngineSend`] / [`TraceEvent::EngineDeliver`] into a
+/// [`Tracer`]. Attach it with `World::attach_probe`:
+///
+/// ```
+/// use an2_trace::{EngineTracer, TraceConfig, Tracer};
+///
+/// let tracer = Tracer::new(TraceConfig::default());
+/// let probe: Box<dyn an2_sim::EngineProbe> = Box::new(EngineTracer::new(tracer.clone()));
+/// # drop(probe);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EngineTracer {
+    tracer: Tracer,
+}
+
+impl EngineTracer {
+    /// Wraps `tracer` as an engine probe.
+    pub fn new(tracer: Tracer) -> Self {
+        EngineTracer { tracer }
+    }
+}
+
+impl EngineProbe for EngineTracer {
+    fn on_send(&mut self, at: SimTime, to: ActorId) {
+        self.tracer
+            .emit_at_ns(at.as_nanos(), TraceEvent::EngineSend { actor: to.0 as u32 });
+    }
+
+    fn on_deliver(&mut self, at: SimTime, to: ActorId) {
+        self.tracer.emit_at_ns(
+            at.as_nanos(),
+            TraceEvent::EngineDeliver { actor: to.0 as u32 },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::DropReason;
+
+    #[test]
+    fn emit_stamps_slot_and_virtual_time() {
+        let t = Tracer::new(TraceConfig {
+            slot_ns: 680,
+            ..TraceConfig::default()
+        });
+        t.set_slot(1000);
+        t.emit(TraceEvent::CellDrop {
+            vc: 5,
+            reason: DropReason::DeadLink,
+        });
+        let recs = t.records();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].slot, 1000);
+        assert_eq!(recs[0].at_ns, 680_000);
+    }
+
+    #[test]
+    fn sampling_is_a_deterministic_counter() {
+        let t = Tracer::new(TraceConfig {
+            sample_every: 4,
+            ..TraceConfig::default()
+        });
+        let ids: Vec<u32> = (0..9).map(|_| t.sample_cell()).collect();
+        assert_eq!(ids, vec![1, 0, 0, 0, 2, 0, 0, 0, 3]);
+
+        let off = Tracer::new(TraceConfig {
+            sample_every: 0,
+            ..TraceConfig::default()
+        });
+        assert!((0..10).all(|_| off.sample_cell() == 0));
+    }
+
+    #[test]
+    fn clones_share_one_core() {
+        let t = Tracer::new(TraceConfig::default());
+        let t2 = t.clone();
+        t.set_slot(7);
+        t2.emit(TraceEvent::InvariantViolation { count: 1 });
+        t2.counter_add("violations", Entity::Global, 1);
+        assert_eq!(t.records().len(), 1);
+        assert_eq!(t.records()[0].slot, 7);
+        assert_eq!(t.counter("violations", Entity::Global), 1);
+    }
+
+    #[test]
+    fn engine_probe_emits_at_explicit_time() {
+        let t = Tracer::new(TraceConfig {
+            slot_ns: 680,
+            ..TraceConfig::default()
+        });
+        let mut probe = EngineTracer::new(t.clone());
+        probe.on_send(SimTime::from_nanos(1360), ActorId(3));
+        probe.on_deliver(SimTime::from_nanos(2040), ActorId(3));
+        let recs = t.records();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].at_ns, 1360);
+        assert_eq!(recs[0].slot, 2);
+        assert_eq!(recs[1].event, TraceEvent::EngineDeliver { actor: 3 });
+    }
+}

@@ -1,0 +1,196 @@
+//! Golden-trace test: replay the N4 failure scenario with the flight
+//! recorder attached and assert the *recording* tells the paper's story —
+//! the monitor's dead verdict, then the reconfiguration phase transitions
+//! in golden order, the whole span under the 200 ms budget, and sampled
+//! cells whose hop-by-hop journeys reconstruct end to end.
+
+use an2::{
+    sink, ControlPlaneConfig, FaultSpec, FlapEvent, Network, Phase, PhaseEdge, TraceConfig,
+    TraceEvent, Tracer,
+};
+use an2_cells::{LinkRate, Packet};
+use an2_sim::SimDuration;
+use an2_topology::{LinkId, Node};
+
+/// 200 ms, in nanoseconds of virtual time.
+const BUDGET_NS: u64 = 200_000_000;
+
+/// The first inter-switch link of the topology — the N4 victim.
+fn backbone_link(net: &Network) -> LinkId {
+    let topo = net.topology();
+    topo.links()
+        .find(|&l| {
+            let (a, b) = topo.endpoints(l);
+            matches!((a.node, b.node), (Node::Switch(_), Node::Switch(_)))
+        })
+        .expect("installation has no inter-switch link")
+}
+
+/// The N4 fail cell, traced: a backbone link dies for good at slot 40 000
+/// under steady best-effort load, and the run continues until the embedded
+/// control plane has converged on the survivor topology.
+fn drive_failure() -> (Network, Tracer, LinkId, u64) {
+    let mut net = Network::builder().src_installation(4, 8).seed(7).build();
+    let victim = backbone_link(&net);
+    let hosts: Vec<_> = net.hosts().collect();
+    let mut circuits = Vec::new();
+    for pair in hosts.chunks(2) {
+        if let [a, b] = *pair {
+            circuits.push(net.open_best_effort(a, b).expect("open circuit"));
+        }
+    }
+    let down_at = 40_000u64;
+    let mut spec = FaultSpec {
+        check_invariants: true,
+        ..Default::default()
+    };
+    spec.monitor.ping_interval = SimDuration::from_millis(1);
+    spec.flaps.push(FlapEvent {
+        link: victim,
+        down_at,
+        up_at: 1_000_000_000, // never within the horizon
+    });
+    net.attach_faults(&spec, 7);
+    let tracer = net.attach_tracer(TraceConfig {
+        ring_capacity: 1 << 18,
+        ..TraceConfig::default()
+    });
+    net.enable_control_plane(ControlPlaneConfig::default());
+    let mut tag = 0u8;
+    while net.slot() < 160_000 {
+        for &vc in &circuits {
+            if !net.is_broken(vc) {
+                let _ = net.send_packet(vc, Packet::from_bytes(vec![tag; 300]));
+            }
+        }
+        tag = tag.wrapping_add(1);
+        net.step(4_000);
+    }
+    net.step(25_000);
+    assert!(net.control_converged(), "control plane never converged");
+    (net, tracer, victim, down_at)
+}
+
+#[test]
+fn n4_failure_leaves_a_golden_reconfig_trace() {
+    let slot_ns = LinkRate::Mbps622.slot_duration().as_nanos();
+    let (_net, tracer, victim, down_at) = drive_failure();
+    let records = tracer.records();
+    assert_eq!(
+        tracer.events_dropped(),
+        0,
+        "ring evicted records; the golden comparison needs the whole run"
+    );
+    let fail_ns = down_at * slot_ns;
+
+    // The recording opens with the boot reconfiguration.
+    let first_phase = records
+        .iter()
+        .find_map(|r| match r.event {
+            TraceEvent::ReconfigPhase { phase, edge, .. } => Some((phase, edge)),
+            _ => None,
+        })
+        .expect("no reconfiguration phases recorded");
+    assert_eq!(first_phase, (Phase::Converge, PhaseEdge::Begin));
+
+    // The monitor's dead verdict for the victim is on the record, after
+    // the flap fired.
+    let verdict_ns = records
+        .iter()
+        .find_map(|r| match r.event {
+            TraceEvent::MonitorVerdict { link, up: false } if link == victim.0 => Some(r.at_ns),
+            _ => None,
+        })
+        .expect("no dead verdict recorded for the victim link");
+    assert!(
+        verdict_ns >= fail_ns,
+        "verdict at {verdict_ns} ns precedes the failure at {fail_ns} ns"
+    );
+
+    // Golden phase sequence for the post-failure epoch: exactly
+    // converge-begin, converge-end, install-begin, install-end, in order.
+    let phases: Vec<(Phase, PhaseEdge, u64, u64)> = records
+        .iter()
+        .filter_map(|r| match r.event {
+            TraceEvent::ReconfigPhase { phase, edge, epoch } => Some((phase, edge, epoch, r.at_ns)),
+            _ => None,
+        })
+        .collect();
+    let post_epoch = phases
+        .iter()
+        .find(|&&(p, e, _, ns)| p == Phase::Converge && e == PhaseEdge::Begin && ns >= fail_ns)
+        .expect("no converge began after the failure")
+        .2;
+    let seq: Vec<(Phase, PhaseEdge)> = phases
+        .iter()
+        .filter(|&&(_, _, epoch, _)| epoch == post_epoch)
+        .map(|&(p, e, _, _)| (p, e))
+        .collect();
+    assert_eq!(
+        seq,
+        vec![
+            (Phase::Converge, PhaseEdge::Begin),
+            (Phase::Converge, PhaseEdge::End),
+            (Phase::Install, PhaseEdge::Begin),
+            (Phase::Install, PhaseEdge::End),
+        ],
+        "post-failure epoch {post_epoch} broke the golden phase order"
+    );
+
+    // Every completed span beats the budget, and so does the full
+    // converge-begin → install-end stretch of the post-failure epoch.
+    let spans = sink::reconfig_spans(&records);
+    for &(phase, epoch, begin, end) in &spans {
+        assert!(
+            end - begin < BUDGET_NS,
+            "{} span of epoch {epoch} took {} ns (≥ 200 ms)",
+            phase.name(),
+            end - begin
+        );
+    }
+    let conv_begin = spans
+        .iter()
+        .find(|&&(p, e, _, _)| p == Phase::Converge && e == post_epoch)
+        .expect("post-failure converge span incomplete")
+        .2;
+    let inst_end = spans
+        .iter()
+        .find(|&&(p, e, _, _)| p == Phase::Install && e == post_epoch)
+        .expect("post-failure install span incomplete")
+        .3;
+    assert!(inst_end > conv_begin, "install ended before converge began");
+    assert!(
+        inst_end - conv_begin < BUDGET_NS,
+        "failure reconfiguration took {} ns (≥ 200 ms)",
+        inst_end - conv_begin
+    );
+
+    // At least one sampled cell's journey reconstructs end to end:
+    // injection, one or more hops, delivery — all under one trace id.
+    let complete_journey = records.iter().any(|r| match r.event {
+        TraceEvent::CellDeliver { trace_id, .. } if trace_id != 0 => {
+            let injected = records.iter().any(
+                |q| matches!(q.event, TraceEvent::CellInject { trace_id: t, .. } if t == trace_id),
+            );
+            let hopped = records.iter().any(
+                |q| matches!(q.event, TraceEvent::CellHop { trace_id: t, .. } if t == trace_id),
+            );
+            injected && hopped
+        }
+        _ => false,
+    });
+    assert!(
+        complete_journey,
+        "no sampled cell journey reconstructs inject → hops → deliver"
+    );
+
+    // The Chrome export of this recording is well-formed and carries the
+    // reconfig spans Perfetto will draw.
+    let chrome = sink::chrome_trace(&records);
+    assert!(chrome.starts_with("{\"traceEvents\":["));
+    assert!(chrome.ends_with("]}"));
+    assert!(
+        chrome.contains("\"ph\":\"X\""),
+        "no complete spans exported"
+    );
+}

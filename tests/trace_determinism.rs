@@ -1,0 +1,138 @@
+//! The flight recorder's central guarantee: observing a run does not change
+//! it. A traced network digests byte-identical to an untraced one — same
+//! per-circuit stats (including latency samples), same control-transport
+//! counters, same fault counters, same reconfiguration log — across
+//! topologies and seeds, with faults drawing randomness the whole time.
+
+use an2::{ControlPlaneConfig, FaultSpec, LossModel, Network, NetworkBuilder, TraceConfig};
+use an2_cells::Packet;
+use an2_sim::SimDuration;
+
+fn fnv(h: &mut u64, x: u64) {
+    for b in x.to_le_bytes() {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x1_0000_01b3);
+    }
+}
+
+/// Lossy links plus a fast monitor, so the run exercises every RNG-adjacent
+/// path the tracer instruments: fault draws, credit resync, verdicts.
+fn spec() -> FaultSpec {
+    let mut spec = FaultSpec {
+        check_invariants: true,
+        ..Default::default()
+    };
+    spec.default_link.loss = LossModel::Independent { p: 0.002 };
+    spec.monitor.ping_interval = SimDuration::from_millis(1);
+    spec
+}
+
+fn builder(topo: usize) -> NetworkBuilder {
+    let b = Network::builder();
+    match topo {
+        0 => b.src_installation(4, 8),
+        1 => b.src_installation(6, 12),
+        _ => b.ring(4, 8),
+    }
+}
+
+/// Runs the workload, optionally traced, and digests everything observable.
+/// Returns `(digest, delivered, events_recorded)`.
+fn run(topo: usize, seed: u64, traced: bool) -> (u64, u64, u64) {
+    let mut net = builder(topo).seed(seed).build();
+    let hosts: Vec<_> = net.hosts().collect();
+    let mut circuits = Vec::new();
+    for pair in hosts.chunks(2) {
+        if let [a, b] = *pair {
+            if let Ok(vc) = net.open_best_effort(a, b) {
+                circuits.push(vc);
+            }
+        }
+    }
+    net.attach_faults(&spec(), seed);
+    let tracer = traced.then(|| {
+        net.attach_tracer(TraceConfig {
+            sample_every: 16,
+            ..TraceConfig::default()
+        })
+    });
+    net.enable_control_plane(ControlPlaneConfig::default());
+    let mut tag = 0u8;
+    while net.slot() < 30_000 {
+        for &vc in &circuits {
+            if !net.is_broken(vc) {
+                let _ = net.send_packet(vc, Packet::from_bytes(vec![tag; 300]));
+            }
+        }
+        tag = tag.wrapping_add(1);
+        net.step(3_000);
+    }
+    net.step(10_000);
+
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    let mut delivered = 0;
+    for &vc in &circuits {
+        if net.is_broken(vc) {
+            continue;
+        }
+        let s = net.stats(vc);
+        delivered += s.delivered_cells;
+        for x in [
+            s.sent_cells,
+            s.delivered_cells,
+            s.lost_cells,
+            s.dropped_cells,
+        ] {
+            fnv(&mut digest, x);
+        }
+        for &sample in s.latency_slots.samples() {
+            fnv(&mut digest, sample);
+        }
+    }
+    let c = net.ctrl_counters();
+    for x in [c.messages_sent, c.messages_lost, c.cells_sent] {
+        fnv(&mut digest, x);
+    }
+    if let Some(f) = net.fault_counters() {
+        for x in [
+            f.cells_lost,
+            f.cells_corrupted,
+            f.credits_lost,
+            f.markers_sent,
+            f.resyncs_completed,
+            f.crash_dropped_cells,
+            f.invariant_violations,
+        ] {
+            fnv(&mut digest, x);
+        }
+    }
+    fnv(&mut digest, net.reconfig_log().len() as u64);
+    for e in net.reconfig_log() {
+        fnv(&mut digest, e.slot());
+    }
+    let events = tracer.map(|t| t.events_seen()).unwrap_or(0);
+    (digest, delivered, events)
+}
+
+#[test]
+fn traced_runs_are_byte_identical_to_untraced() {
+    for topo in 0..3usize {
+        for seed in [3u64, 17, 91] {
+            let (plain, delivered, _) = run(topo, seed, false);
+            let (traced, traced_delivered, events) = run(topo, seed, true);
+            assert!(
+                delivered > 0,
+                "workload moved no traffic (topo {topo}, seed {seed})"
+            );
+            assert!(
+                events > 0,
+                "tracer recorded nothing (topo {topo}, seed {seed})"
+            );
+            assert_eq!(
+                plain, traced,
+                "tracing perturbed the run (topo {topo}, seed {seed})"
+            );
+            assert_eq!(delivered, traced_delivered);
+        }
+    }
+}
