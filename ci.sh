@@ -26,6 +26,9 @@ if [[ "${1:-}" != "quick" ]]; then
     cargo test -q -p an2 --test reference_equiv
     cargo test -q -p an2-bench --release fabric_exp
 
+    echo "== shard equivalence (parallel data plane is byte-identical)"
+    cargo test -q -p an2 --test shard_equiv
+
     echo "== fault soak (N3 asserts its claims in-process)"
     cargo run -q -p an2-bench --release --bin experiments -- n3 --json
 
@@ -38,6 +41,9 @@ if [[ "${1:-}" != "quick" ]]; then
     echo "== tracing overhead (N5) + traced N4 export (asserts span < 200 ms)"
     cargo run -q -p an2-bench --release --bin experiments -- n5 --json
     cargo run -q -p an2-bench --release --bin experiments -- n4 --trace
+
+    echo "== parallel data plane scaling (N6 asserts digest equality + monotone speedup)"
+    cargo run -q -p an2-bench --release --bin experiments -- n6 --json
 
     echo "== cargo doc (deny warnings)"
     RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet

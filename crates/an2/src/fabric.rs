@@ -229,6 +229,16 @@ impl Agenda {
             .map(|b| b.iter().filter(|(_, e)| f(e)).count())
             .sum()
     }
+
+    /// The earliest due slot of any scheduled event, scanning every bucket.
+    /// Only called from the quiet-slot fast-forward, where the agenda is
+    /// nearly empty; the hot path never pays for this.
+    fn next_due(&self) -> Option<u64> {
+        self.buckets
+            .iter()
+            .flat_map(|b| b.iter().map(|&(due, _)| due))
+            .min()
+    }
 }
 
 #[derive(Debug, Default)]
@@ -404,7 +414,20 @@ pub struct Fabric {
     /// Shared arena for outbox cells.
     pool: CellPool,
     slot: u64,
-    rng: SimRng,
+    /// One RNG stream per switch, forked from the seed in switch-id order.
+    /// Giving every switch its own stream (instead of one fabric-wide
+    /// generator consumed in step order) is what makes the sharded data
+    /// plane byte-identical to the sequential one: a switch's draws depend
+    /// only on its own history, never on which thread stepped it.
+    switch_rngs: Vec<SimRng>,
+    /// Shard id per switch (all zeros until [`Fabric::set_shards`]).
+    shard_plan: Vec<u32>,
+    /// Number of data-plane shards; 1 = sequential stepping.
+    num_shards: usize,
+    /// Busy switch-steps accumulated per shard: the work model behind the
+    /// N6 speedup curve (sum over shards / max shard ≈ parallel speedup
+    /// bound under the conservative barrier).
+    shard_work: Vec<u64>,
     /// Deterministic fault layer (`None` until [`Fabric::attach_faults`]);
     /// every hot-path hook is gated on it being present, so a fault-free
     /// fabric runs byte-identically to one that never had the field.
@@ -424,6 +447,10 @@ pub struct Fabric {
     // Reused per-slot buffers.
     events_scratch: Vec<(u64, Event)>,
     departures_scratch: Vec<Departure>,
+    /// Per-switch end offsets into `departures_scratch` for the sequential
+    /// compute phase, so the commit phase replays departures in canonical
+    /// switch order without re-stepping.
+    batch_bounds_scratch: Vec<u32>,
 }
 
 impl std::fmt::Debug for Fabric {
@@ -462,10 +489,12 @@ impl Fabric {
             .unwrap_or(0);
         let port_stride = cfg.switch.ports.max(max_port);
         let horizon = cfg.signal_processing_slots + cfg.link_latency_slots;
+        let switch_rngs = SimRng::new(seed).fork_n(topo.switch_count());
         let mut fabric = Fabric {
             port_map: vec![None; topo.switch_count() * port_stride],
             port_stride,
             agenda: Agenda::new(horizon),
+            shard_plan: vec![0; topo.switch_count()],
             topo,
             cfg,
             switches,
@@ -474,7 +503,9 @@ impl Fabric {
             vcs: Vec::new(),
             pool: CellPool::new(),
             slot: 0,
-            rng: SimRng::new(seed),
+            switch_rngs,
+            num_shards: 1,
+            shard_work: vec![0],
             fault: None,
             tracer: None,
             ctrl_inflight: Vec::new(),
@@ -482,9 +513,39 @@ impl Fabric {
             ctrl_counters: CtrlCounters::default(),
             events_scratch: Vec::new(),
             departures_scratch: Vec::new(),
+            batch_bounds_scratch: Vec::new(),
         };
         fabric.rebuild_port_map();
         fabric
+    }
+
+    /// Partitions the data plane into `shards` switch groups (greedy
+    /// min-cut-ish regions over the topology) and steps them on scoped
+    /// threads, one barrier per slot — the conservative window, since a
+    /// cell needs at least one slot of link latency to reach another
+    /// switch. Results are byte-identical at any shard count: switches
+    /// draw from per-switch RNG streams and departures commit in global
+    /// switch-id order. Traced fabrics compute sequentially (in the same
+    /// canonical order) so the flight recorder's event order stays
+    /// deterministic too.
+    pub fn set_shards(&mut self, shards: usize) {
+        let shards = shards.clamp(1, self.switches.len().max(1));
+        self.num_shards = shards;
+        self.shard_plan = an2_topology::partition_switches(&self.topo, shards);
+        self.shard_work = vec![0; shards];
+    }
+
+    /// The configured shard count (1 = sequential).
+    pub fn shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// Busy switch-steps accumulated per shard since construction (or the
+    /// last [`Fabric::set_shards`]): the deterministic work model behind
+    /// the scaling curve. `sum / max` bounds the parallel speedup the
+    /// partition admits under the per-slot barrier.
+    pub fn shard_work(&self) -> &[u64] {
+        &self.shard_work
     }
 
     fn rebuild_port_map(&mut self) {
@@ -1181,11 +1242,68 @@ impl Fabric {
         out
     }
 
-    /// Advances the fabric by `slots` cell slots.
+    /// Advances the fabric by `slots` cell slots, fast-forwarding through
+    /// provably quiet stretches: when no cell, credit or control message is
+    /// queued or in flight anywhere, the only per-slot work is clock
+    /// bookkeeping, so the fabric jumps straight to the next scheduled
+    /// event (clamped to the next guaranteed-token frame boundary, which
+    /// must still execute). This is the data-plane twin of the fault-mode
+    /// deadline batching in `Network::step`.
     pub fn step(&mut self, slots: u64) {
-        for _ in 0..slots {
+        let end = self.slot + slots;
+        while self.slot < end {
+            if let Some(target) = self.quiet_until(end) {
+                if target > self.slot {
+                    self.skip_to(target);
+                    continue;
+                }
+            }
             self.step_one();
         }
+    }
+
+    /// If the fabric is provably quiet at the current slot, the furthest
+    /// slot (≤ `end`) it may fast-forward to; `None` when anything at all
+    /// is pending. Checks are ordered cheapest-first so busy slots pay two
+    /// flag tests and one arena counter read.
+    fn quiet_until(&self, end: u64) -> Option<u64> {
+        if self.fault.is_some() || !self.ctrl_inflight.is_empty() {
+            return None; // fault layer draws randomness every slot
+        }
+        if self.pool.live() != 0 {
+            return None; // some host outbox still holds cells
+        }
+        if self.switches.iter().any(|s| s.total_backlog() != 0) {
+            return None;
+        }
+        let due = match self.agenda.next_due() {
+            Some(due) if due <= self.slot => return None, // stranded or imminent
+            Some(due) => due,
+            None => u64::MAX,
+        };
+        // Token buckets refill in the slot before each frame boundary;
+        // that slot must run normally, so never skip past it.
+        let frame = self.cfg.switch.frame_slots as u64;
+        let refill = self.slot + (frame - 1 - self.slot % frame);
+        Some(due.min(end).min(refill))
+    }
+
+    /// Advances every clock to `target` as if `target - slot` empty slots
+    /// had been stepped one by one: switch slot counters move, each host's
+    /// injection rotor makes its per-slot idle advance, and nothing else
+    /// changes — which is exactly what stepping a quiet fabric does.
+    fn skip_to(&mut self, target: u64) {
+        let n = target - self.slot;
+        for sw in &mut self.switches {
+            sw.advance_idle(n);
+        }
+        for h in &mut self.hosts {
+            let len = h.outbox.len();
+            if len > 0 {
+                h.rotor = (h.rotor + (n as usize % len)) % len;
+            }
+        }
+        self.slot = target;
     }
 
     fn step_one(&mut self) {
@@ -1303,24 +1421,16 @@ impl Fabric {
         }
         // 2. Hosts inject (one cell per host per slot: the link rate).
         self.inject_from_hosts();
-        // 3. Switches advance; departures propagate.
-        let mut departures = std::mem::take(&mut self.departures_scratch);
-        for idx in 0..self.switches.len() {
-            self.switches[idx].step_into(&mut self.rng, &mut departures);
-            let batch = std::mem::take(&mut departures);
-            for d in &batch {
-                self.propagate(
-                    SwitchId(idx as u16),
-                    d.output,
-                    d.cell,
-                    d.trace,
-                    d.enqueued_slot,
-                );
-            }
-            departures = batch;
+        // 3. Switches advance (compute phase), then departures propagate in
+        // global switch-id order (commit phase). The split is safe because a
+        // propagation only schedules future deliveries and touches state no
+        // same-slot `step_into` reads — and it is what lets the compute
+        // phase run on shard threads while commits stay canonical.
+        if self.num_shards > 1 && self.tracer.is_none() && self.switches.len() > 1 {
+            self.step_switches_sharded();
+        } else {
+            self.step_switches_sequential();
         }
-        departures.clear();
-        self.departures_scratch = departures;
         // 4. Refill guaranteed token buckets at frame boundaries.
         let frame = self.cfg.switch.frame_slots as u64;
         if (self.slot + 1).is_multiple_of(frame) {
@@ -1343,6 +1453,111 @@ impl Fabric {
             self.check_invariants_slot();
         }
         self.slot += 1;
+    }
+
+    /// Compute-then-commit on one thread: every switch steps into the
+    /// shared departures buffer (recording per-switch end offsets), then
+    /// the commit replay propagates them in the same order. Allocation-free
+    /// after warmup, like the loop it replaced.
+    fn step_switches_sequential(&mut self) {
+        let mut departures = std::mem::take(&mut self.departures_scratch);
+        let mut bounds = std::mem::take(&mut self.batch_bounds_scratch);
+        for idx in 0..self.switches.len() {
+            if self.switches[idx].total_backlog() > 0 {
+                self.shard_work[self.shard_plan[idx] as usize] += 1;
+            }
+            self.switches[idx].step_into(&mut self.switch_rngs[idx], &mut departures);
+            bounds.push(departures.len() as u32);
+        }
+        let mut cursor = 0usize;
+        for (idx, &endb) in bounds.iter().enumerate() {
+            for d in &departures[cursor..endb as usize] {
+                self.propagate(
+                    SwitchId(idx as u16),
+                    d.output,
+                    d.cell,
+                    d.trace,
+                    d.enqueued_slot,
+                );
+            }
+            cursor = endb as usize;
+        }
+        departures.clear();
+        bounds.clear();
+        self.departures_scratch = departures;
+        self.batch_bounds_scratch = bounds;
+    }
+
+    /// The parallel compute phase: switches are bucketed by shard, each
+    /// shard steps its switches on a scoped thread against per-switch RNG
+    /// streams, and departures come back through per-shard mailboxes (one
+    /// `(switch, departures)` entry per stepped switch, in ascending
+    /// switch-id order — the arrival-slot stamp is implicit, since every
+    /// departure commits at the slot that produced it). The join below is
+    /// the conservative barrier: with ≥ 1 slot of link latency, nothing a
+    /// switch computes in slot `t` can reach another switch before `t+1`,
+    /// so one barrier per slot is sufficient for byte-identical results.
+    /// The commit phase then merges the mailboxes in global switch-id
+    /// order, which makes the outcome independent of thread scheduling.
+    fn step_switches_sharded(&mut self) {
+        let shards = self.num_shards;
+        let plan = &self.shard_plan;
+        let mut buckets: Vec<Vec<(u32, &mut Switch, &mut SimRng)>> =
+            (0..shards).map(|_| Vec::new()).collect();
+        for ((idx, sw), rng) in self
+            .switches
+            .iter_mut()
+            .enumerate()
+            .zip(self.switch_rngs.iter_mut())
+        {
+            if sw.total_backlog() > 0 {
+                self.shard_work[plan[idx] as usize] += 1;
+            }
+            buckets[plan[idx] as usize].push((idx as u32, sw, rng));
+        }
+        let mut mailboxes: Vec<Vec<(u32, Vec<Departure>)>> = Vec::with_capacity(shards);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = buckets
+                .into_iter()
+                .map(|bucket| {
+                    scope.spawn(move || {
+                        let mut mailbox = Vec::with_capacity(bucket.len());
+                        for (idx, sw, rng) in bucket {
+                            let mut deps = Vec::new();
+                            sw.step_into(rng, &mut deps);
+                            if !deps.is_empty() {
+                                mailbox.push((idx, deps));
+                            }
+                        }
+                        mailbox
+                    })
+                })
+                .collect();
+            for h in handles {
+                mailboxes.push(h.join().expect("shard thread panicked"));
+            }
+        });
+        // Canonical commit: ascending switch id across all mailboxes. Each
+        // mailbox is already sorted, so this is a k-way merge by cursor.
+        let mut cursors = vec![0usize; shards];
+        for idx in 0..self.switches.len() {
+            let shard = self.shard_plan[idx] as usize;
+            let mailbox = &mailboxes[shard];
+            let cur = cursors[shard];
+            if cur >= mailbox.len() || mailbox[cur].0 != idx as u32 {
+                continue; // this switch emitted nothing
+            }
+            cursors[shard] += 1;
+            for d in &mailbox[cur].1 {
+                self.propagate(
+                    SwitchId(idx as u16),
+                    d.output,
+                    d.cell,
+                    d.trace,
+                    d.enqueued_slot,
+                );
+            }
+        }
     }
 
     fn inject_from_hosts(&mut self) {

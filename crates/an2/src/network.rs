@@ -30,6 +30,7 @@ pub struct NetworkBuilder {
     seed: u64,
     fabric: FabricConfig,
     rate: LinkRate,
+    shards: usize,
 }
 
 impl Default for NetworkBuilder {
@@ -39,6 +40,7 @@ impl Default for NetworkBuilder {
             seed: 0,
             fabric: FabricConfig::default(),
             rate: LinkRate::Mbps622,
+            shards: 1,
         }
     }
 }
@@ -108,12 +110,23 @@ impl NetworkBuilder {
         self
     }
 
+    /// Data-plane shards (default 1 = sequential stepping). See
+    /// [`Network::set_shards`].
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
     /// Builds the network.
     pub fn build(self) -> Network {
         let frame = self.fabric.switch.frame_slots;
         let central = BandwidthCentral::new(&self.topo, frame);
+        let mut fabric = Fabric::new(self.topo, self.fabric, self.seed);
+        if self.shards > 1 {
+            fabric.set_shards(self.shards);
+        }
         Network {
-            fabric: Fabric::new(self.topo, self.fabric, self.seed),
+            fabric,
             central,
             meta: HashMap::new(),
             broken: HashMap::new(),
@@ -204,6 +217,25 @@ impl Network {
     /// Duration of one cell slot.
     pub fn slot_duration(&self) -> SimDuration {
         self.rate.slot_duration()
+    }
+
+    /// Re-partitions the data plane into `shards` switch groups stepped on
+    /// scoped threads with a conservative per-slot barrier. Byte-identical
+    /// at any shard count; `1` restores sequential stepping. Safe to call
+    /// mid-run — the partition affects only which thread steps a switch.
+    pub fn set_shards(&mut self, shards: usize) {
+        self.fabric.set_shards(shards);
+    }
+
+    /// The configured data-plane shard count.
+    pub fn shards(&self) -> usize {
+        self.fabric.shards()
+    }
+
+    /// Busy switch-steps accumulated per shard — the deterministic work
+    /// model behind the N6 scaling curve.
+    pub fn shard_work(&self) -> &[u64] {
+        self.fabric.shard_work()
     }
 
     fn fresh_vc(&mut self) -> VcId {

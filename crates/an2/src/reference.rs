@@ -119,7 +119,10 @@ pub struct Fabric {
     port_map: HashMap<(SwitchId, usize), Attachment>,
     agenda: BTreeMap<u64, Vec<Event>>,
     slot: u64,
-    rng: SimRng,
+    /// One stream per switch, forked exactly like the production fabric's
+    /// (`SimRng::new(seed).fork_n(n)`), so both engines draw identical
+    /// randomness for a given `(seed, switch)` pair.
+    switch_rngs: Vec<SimRng>,
 }
 
 impl std::fmt::Debug for Fabric {
@@ -142,6 +145,7 @@ impl Fabric {
         let hosts = (0..topo.host_count())
             .map(|_| HostState::default())
             .collect();
+        let switch_rngs = SimRng::new(seed).fork_n(topo.switch_count());
         let mut fabric = Fabric {
             topo,
             cfg,
@@ -152,7 +156,7 @@ impl Fabric {
             port_map: HashMap::new(),
             agenda: BTreeMap::new(),
             slot: 0,
-            rng: SimRng::new(seed),
+            switch_rngs,
         };
         fabric.rebuild_port_map();
         fabric
@@ -795,7 +799,7 @@ impl Fabric {
         self.inject_from_hosts();
         // 3. Switches advance; departures propagate.
         for idx in 0..self.switches.len() {
-            let departures = self.switches[idx].step(&mut self.rng);
+            let departures = self.switches[idx].step(&mut self.switch_rngs[idx]);
             for d in departures {
                 self.propagate(SwitchId(idx as u16), d.output, d.cell);
             }

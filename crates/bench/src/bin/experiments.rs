@@ -16,16 +16,20 @@
 //! With `--json`, per-experiment structured results and wall-clock timings
 //! are also *appended* to `BENCH_results.json` in the current directory (an
 //! array of runs, newest last), so perf baselines accumulate and can be
-//! diffed across commits. The sweep experiments
+//! diffed across commits. Every record carries the `shards` and `threads`
+//! settings it ran under. The sweep experiments
 //! (E3/E4/E5/E7) fan their grids across threads; set `AN2_BENCH_THREADS=1`
 //! to force a serial run (results are identical either way).
+//!
+//! `--shards N` caps the N6 data-plane sweep at N shards (equivalent to
+//! setting `AN2_BENCH_SHARDS=N`); results are byte-identical at any value.
 //!
 //! Outputs are recorded against the paper's statements in EXPERIMENTS.md.
 
 use an2_bench::json::Json;
 use an2_bench::{
     control_exp, extensions_exp, fabric_exp, faults_exp, figures, flow_exp, network_exp, parallel,
-    reconfig_exp, schedule_exp, xbar_exp,
+    parallel_exp, reconfig_exp, schedule_exp, xbar_exp,
 };
 use std::time::Instant;
 
@@ -118,6 +122,18 @@ fn trace_row_json(r: &control_exp::TraceRow) -> Json {
     ])
 }
 
+fn shard_scaling_json(r: &parallel_exp::ShardScaling) -> Json {
+    Json::obj(vec![
+        ("shards", Json::int(r.shards as u64)),
+        ("slots", Json::int(r.slots)),
+        ("wall_ms", Json::Num(r.wall_ms)),
+        ("cells_per_sec", Json::Num(r.cells_per_sec)),
+        ("model_speedup", Json::Num(r.model_speedup)),
+        ("cut_links", Json::int(r.cut_links as u64)),
+        ("delivered_cells", Json::int(r.delivered_cells)),
+    ])
+}
+
 fn fabric_perf_json(r: &fabric_exp::FabricPerf) -> Json {
     Json::obj(vec![
         ("circuits", Json::int(r.circuits as u64)),
@@ -152,6 +168,7 @@ fn title(id: &str) -> Option<&'static str> {
         "n3" => "N3: chaos soak — loss, flaps, crashes, resync",
         "n4" => "N4: embedded control plane — fail, flap, crash, replay",
         "n5" => "N5: tracing overhead — flight recorder on vs off",
+        "n6" => "N6: parallel data plane — shard scaling on the 1024-switch fat-tree",
         "x1" => "X1: the paper's extension proposals",
         _ => return None,
     })
@@ -228,6 +245,13 @@ fn compute(id: &str, trace: bool) -> (String, Json) {
                 Json::Arr(rows.iter().map(trace_overhead_json).collect()),
             )
         }
+        "n6" => {
+            let (rows, text) = parallel_exp::n6_parallel_dataplane();
+            (
+                text,
+                Json::Arr(rows.iter().map(shard_scaling_json).collect()),
+            )
+        }
         "x1" => {
             let text = format!(
                 "{}\n{}\n{}\n{}",
@@ -244,18 +268,35 @@ fn compute(id: &str, trace: bool) -> (String, Json) {
 
 const ALL: &[&str] = &[
     "f1", "f2", "f3", "f4", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
-    "e12", "x1", "n1", "n2", "n3", "n4", "n5",
+    "e12", "x1", "n1", "n2", "n3", "n4", "n5", "n6",
 ];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let json_mode = args.iter().any(|a| a == "--json");
-    let trace_mode = args.iter().any(|a| a == "--trace");
-    let named: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(|a| a.as_str())
-        .collect();
+    let mut json_mode = false;
+    let mut trace_mode = false;
+    let mut named: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json_mode = true,
+            "--trace" => trace_mode = true,
+            "--shards" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| panic!("--shards needs a value (e.g. --shards 4)"));
+                v.trim()
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| panic!("--shards needs a number, got '{v}'"));
+                std::env::set_var("AN2_BENCH_SHARDS", v);
+            }
+            other if other.starts_with("--") => {
+                panic!("unknown flag '{other}' (flags: --json, --trace, --shards N)")
+            }
+            other => named.push(other),
+        }
+    }
+    let named = named;
     let ids: Vec<&str> = if named.is_empty() || named.contains(&"all") {
         ALL.to_vec()
     } else {
@@ -266,7 +307,7 @@ fn main() {
     let mut records = Vec::new();
     for id in ids {
         let Some(t) = title(id) else {
-            eprintln!("unknown experiment id '{id}' (use f1-f4, e1-e12, x1, n1-n5, all)");
+            eprintln!("unknown experiment id '{id}' (use f1-f4, e1-e12, x1, n1-n6, all)");
             continue;
         };
         println!("\n=== {t} {}\n", "=".repeat(66 - t.len().min(60)));
@@ -278,6 +319,8 @@ fn main() {
             ("id", Json::str(id)),
             ("title", Json::str(t)),
             ("wall_ms", Json::Num(wall_ms)),
+            ("shards", Json::int(parallel::shard_count() as u64)),
+            ("threads", Json::int(parallel::worker_threads() as u64)),
             ("results", results),
         ]));
     }

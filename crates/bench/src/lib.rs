@@ -22,6 +22,7 @@ pub mod flow_exp;
 pub mod json;
 pub mod network_exp;
 pub mod parallel;
+pub mod parallel_exp;
 pub mod reconfig_exp;
 pub mod schedule_exp;
 pub mod xbar_exp;

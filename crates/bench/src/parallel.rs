@@ -20,6 +20,18 @@ pub fn worker_threads() -> usize {
     }
 }
 
+/// Maximum data-plane shard count for the N6 scaling sweep: the
+/// `AN2_BENCH_SHARDS` environment variable if set (values below 1 mean 1 —
+/// sequential only), otherwise 8, the full headline curve. The experiments
+/// binary's `--shards N` flag sets the variable; this mirrors the
+/// `AN2_BENCH_THREADS` override consumed by [`worker_threads`].
+pub fn shard_count() -> usize {
+    match std::env::var("AN2_BENCH_SHARDS") {
+        Ok(v) => v.trim().parse::<usize>().unwrap_or(1).max(1),
+        Err(_) => 8,
+    }
+}
+
 /// Maps `f` over `items` on [`worker_threads`] scoped threads, returning
 /// results in input order.
 pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>

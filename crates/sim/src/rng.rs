@@ -61,6 +61,16 @@ impl SimRng {
         SimRng::new(base ^ stream.wrapping_mul(0xA24B_AED4_963E_E407))
     }
 
+    /// Derives `n` independent child generators, keyed `0..n`.
+    ///
+    /// This is the canonical way to hand every entity in a collection its
+    /// own stream: both data-plane engines fork one stream per switch with
+    /// this helper, so a given `(seed, switch index)` pair names the same
+    /// stream no matter which engine — or how many shards — consumes it.
+    pub fn fork_n(&mut self, n: usize) -> Vec<SimRng> {
+        (0..n).map(|i| self.fork(i as u64)).collect()
+    }
+
     /// Next 64 random bits.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
@@ -207,6 +217,16 @@ mod tests {
         let mut a = p1.fork(1);
         let mut b = p2.fork(2);
         assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn fork_n_matches_sequential_forks() {
+        let mut a = SimRng::new(33);
+        let streams = a.fork_n(4);
+        let mut b = SimRng::new(33);
+        for (i, s) in streams.iter().enumerate() {
+            assert_eq!(*s, b.fork(i as u64));
+        }
     }
 
     #[test]

@@ -319,6 +319,20 @@ impl Switch {
         self.slot
     }
 
+    /// Advances the slot counter by `n` without stepping, for callers that
+    /// have proven the switch idle (zero backlog). Stepping an empty switch
+    /// matches no ports, draws no randomness and emits nothing — its only
+    /// effect is `slot += 1` — so fast-forwarding `n` idle slots is
+    /// byte-identical to stepping them one at a time.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts the backlog really is zero.
+    pub fn advance_idle(&mut self, n: u64) {
+        debug_assert_eq!(self.total_backlog(), 0, "advance_idle on a busy switch");
+        self.slot += n;
+    }
+
     /// Claims `output` for control-cell transmission through slot
     /// `until_slot` (exclusive): data traffic is not matched to the port
     /// while the claim is live, giving reconfiguration protocol bursts §2's
@@ -542,10 +556,11 @@ impl Switch {
         departures
     }
 
-    /// As [`Switch::step`], but appending into a caller-owned buffer
-    /// (cleared first) so the fabric's slot loop reuses one allocation.
+    /// As [`Switch::step`], but appending into a caller-owned buffer —
+    /// without clearing it, so the fabric's slot loop can batch several
+    /// switches' departures into one reused allocation and commit them
+    /// after the whole compute phase.
     pub fn step_into(&mut self, rng: &mut SimRng, departures: &mut Vec<Departure>) {
-        departures.clear();
         let n = self.cfg.ports;
         let frame_slot = (self.slot % self.cfg.frame_slots as u64) as u32;
         self.crossbar.reset(n);

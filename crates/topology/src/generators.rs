@@ -150,6 +150,48 @@ pub fn random_connected(n: usize, extra_links: usize, rng: &mut SimRng) -> Topol
     t
 }
 
+/// A `k`-ary `n`-tree fat-tree: `n` levels of `k^(n-1)` switches each
+/// (`n · k^(n-1)` total), butterfly-wired between adjacent levels, with
+/// `k^n` hosts attached `k` per level-0 switch. Switch `(level, w)` has id
+/// `level · k^(n-1) + w`; it links up to the `k` switches at `level + 1`
+/// whose radix-`k` index differs from `w` only in digit `level`. Every
+/// switch uses at most `2k` ports, so `k ≤ 8` fits the 16-port AN2 switch.
+/// This is the scale topology for the N6 parallel-data-plane curve:
+/// `fat_tree(2, 8)` is the 1024-switch, 256-host instance.
+///
+/// # Panics
+///
+/// Panics if `k < 2`, `k > 8`, `n < 2`, or the switch count overflows ids.
+pub fn fat_tree(k: usize, n: usize) -> Topology {
+    assert!((2..=8).contains(&k), "fat_tree arity must be in 2..=8");
+    assert!(n >= 2, "fat_tree needs at least two levels");
+    let radix: usize = k.pow((n - 1) as u32);
+    let switches = n * radix;
+    assert!(switches <= u16::MAX as usize, "fat_tree too large for ids");
+    let mut t = Topology::new();
+    let sw: Vec<_> = (0..switches).map(|_| t.add_switch()).collect();
+    // `digit_stride[l] = k^l`: the place value of digit `l` of a
+    // switch-in-level index.
+    for level in 0..n - 1 {
+        let stride = k.pow(level as u32);
+        for w in 0..radix {
+            let base = w - ((w / stride) % k) * stride; // digit `level` zeroed
+            for d in 0..k {
+                let up = base + d * stride;
+                t.link_switches(sw[level * radix + w], sw[(level + 1) * radix + up])
+                    .expect("fat-tree butterfly link");
+            }
+        }
+    }
+    for &edge in sw.iter().take(radix) {
+        for _ in 0..k {
+            let h = t.add_host();
+            t.attach_host(h, edge).expect("fat-tree host link");
+        }
+    }
+    t
+}
+
 /// An installation in the style of the paper's Figure 1:
 ///
 /// * a redundant switch backbone (ring plus skip-chords, so no single link or
@@ -248,6 +290,20 @@ mod tests {
         for s in t.switches() {
             assert_eq!(t.switch_neighbors(s).len(), 4);
         }
+    }
+
+    #[test]
+    fn fat_tree_shape() {
+        let t = fat_tree(2, 3); // 3 levels × 4 switches
+        assert_eq!(t.switch_count(), 12);
+        assert_eq!(t.host_count(), 8);
+        assert_eq!(t.link_count(), 2 * 4 * 2 + 8); // butterfly + host links
+        assert!(t.switches_connected());
+        // Interior switches: k down + k up; top level: k down only.
+        assert_eq!(t.switch_neighbors(SwitchId(4)).len(), 4);
+        assert_eq!(t.switch_neighbors(SwitchId(8)).len(), 2);
+        // The N6 instance dimensions hold without building it here.
+        assert_eq!(8 * 2usize.pow(7), 1024);
     }
 
     #[test]
