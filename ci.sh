@@ -45,6 +45,13 @@ if [[ "${1:-}" != "quick" ]]; then
     echo "== parallel data plane scaling (N6 asserts digest equality + monotone speedup)"
     cargo run -q -p an2-bench --release --bin experiments -- n6 --json
 
+    echo "== watermark + wide-radix equivalence (batched engine is byte-identical)"
+    cargo test -q -p an2 --test watermark_equiv --test wide_fabric_equiv
+    cargo test -q -p an2-xbar --test wide_equiv
+
+    echo "== batched data plane scaling (N7 asserts digest equality + monotone curve)"
+    cargo run -q -p an2-bench --release --bin experiments -- n7 --json
+
     echo "== cargo doc (deny warnings)"
     RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 fi

@@ -451,6 +451,40 @@ pub struct Fabric {
     /// compute phase, so the commit phase replays departures in canonical
     /// switch order without re-stepping.
     batch_bounds_scratch: Vec<u32>,
+    /// Watermark-driven batching: per-switch idle skips and wide quiet-slot
+    /// jumps (default on; [`Fabric::set_batching`] turns it off to force the
+    /// slot-by-slot legacy path, which must stay byte-identical).
+    batching: bool,
+    /// Wall-clock phase breakdown (`None` until
+    /// [`Fabric::enable_profiling`]); the hot path pays one branch per phase
+    /// when disabled. Timing reads the OS clock but feeds nothing back into
+    /// the simulation, so profiled runs stay byte-identical.
+    profile: Option<Box<PhaseProfile>>,
+}
+
+/// Wall-clock breakdown of the data-plane hot path, accumulated per phase
+/// across every stepped slot while profiling is enabled.
+///
+/// The phases mirror the slot pipeline: **enqueue** (agenda deliveries,
+/// control messages, host injection), **schedule** (switch compute — crossbar
+/// scheduling and dequeue), **commit** (departure propagation back into the
+/// agenda), and **fast-forward** (deciding and performing watermark jumps).
+#[derive(Debug, Default, Clone)]
+pub struct PhaseProfile {
+    /// Nanoseconds delivering agenda events, control traffic and host cells.
+    pub enqueue_ns: u64,
+    /// Nanoseconds in the switch compute phase (PIM + dequeue).
+    pub schedule_ns: u64,
+    /// Nanoseconds committing departures into the agenda.
+    pub commit_ns: u64,
+    /// Nanoseconds spent deciding and performing quiet-stretch jumps.
+    pub fast_forward_ns: u64,
+    /// Whole fabric slots skipped by the quiet-stretch fast-forward.
+    pub skipped_slots: u64,
+    /// Per-switch steps skipped by the next-event watermark.
+    pub skipped_switch_steps: u64,
+    /// Per-switch steps actually executed.
+    pub stepped_switch_steps: u64,
 }
 
 impl std::fmt::Debug for Fabric {
@@ -514,6 +548,8 @@ impl Fabric {
             events_scratch: Vec::new(),
             departures_scratch: Vec::new(),
             batch_bounds_scratch: Vec::new(),
+            batching: true,
+            profile: None,
         };
         fabric.rebuild_port_map();
         fabric
@@ -546,6 +582,43 @@ impl Fabric {
     /// partition admits under the per-slot barrier.
     pub fn shard_work(&self) -> &[u64] {
         &self.shard_work
+    }
+
+    /// Turns watermark-driven batching on or off (on by default).
+    ///
+    /// With batching on, every switch maintains a *next-event watermark* —
+    /// the earliest slot at which stepping it could change anything — and
+    /// the fabric skips `step` for switches whose watermark lies in the
+    /// future, jumping whole quiet stretches when every switch and the
+    /// agenda agree. An idle switch's step draws no randomness and moves no
+    /// cell, so the skip is byte-identical to stepping; the
+    /// `watermark_equiv` tests pin that down. Turning batching off forces
+    /// the legacy slot-by-slot path, which the N7 experiment benchmarks
+    /// against.
+    pub fn set_batching(&mut self, on: bool) {
+        self.batching = on;
+        for sw in &mut self.switches {
+            sw.set_batched(on);
+        }
+    }
+
+    /// Whether watermark-driven batching is enabled.
+    pub fn batching(&self) -> bool {
+        self.batching
+    }
+
+    /// Starts recording the wall-clock phase breakdown of every subsequent
+    /// slot into a [`PhaseProfile`]. Timing feeds nothing back into the
+    /// simulation, so a profiled run stays byte-identical to an unprofiled
+    /// one.
+    pub fn enable_profiling(&mut self) {
+        self.profile = Some(Box::default());
+    }
+
+    /// The phase breakdown accumulated since [`Fabric::enable_profiling`],
+    /// if profiling is on.
+    pub fn profile(&self) -> Option<&PhaseProfile> {
+        self.profile.as_deref()
     }
 
     fn rebuild_port_map(&mut self) {
@@ -1252,11 +1325,18 @@ impl Fabric {
     pub fn step(&mut self, slots: u64) {
         let end = self.slot + slots;
         while self.slot < end {
-            if let Some(target) = self.quiet_until(end) {
-                if target > self.slot {
-                    self.skip_to(target);
-                    continue;
+            let t0 = self.profile.is_some().then(std::time::Instant::now);
+            let target = self.quiet_until(end).filter(|&t| t > self.slot);
+            if let Some(t0) = t0 {
+                let p = self.profile.as_mut().expect("profiling enabled");
+                p.fast_forward_ns += t0.elapsed().as_nanos() as u64;
+                if let Some(target) = target {
+                    p.skipped_slots += target - self.slot;
                 }
+            }
+            if let Some(target) = target {
+                self.skip_to(target);
+                continue;
             }
             self.step_one();
         }
@@ -1266,6 +1346,12 @@ impl Fabric {
     /// slot (≤ `end`) it may fast-forward to; `None` when anything at all
     /// is pending. Checks are ordered cheapest-first so busy slots pay two
     /// flag tests and one arena counter read.
+    ///
+    /// With batching on, a backlogged switch no longer blocks the jump: its
+    /// next-event watermark bounds how far the fabric may skip, and the
+    /// fabric jumps to the earliest watermark / agenda deadline. With
+    /// batching off, any backlog anywhere pins the fabric to slot-by-slot
+    /// stepping, as before PR 7.
     fn quiet_until(&self, end: u64) -> Option<u64> {
         if self.fault.is_some() || !self.ctrl_inflight.is_empty() {
             return None; // fault layer draws randomness every slot
@@ -1273,29 +1359,39 @@ impl Fabric {
         if self.pool.live() != 0 {
             return None; // some host outbox still holds cells
         }
-        if self.switches.iter().any(|s| s.total_backlog() != 0) {
-            return None;
-        }
-        let due = match self.agenda.next_due() {
+        let mut wake = match self.agenda.next_due() {
             Some(due) if due <= self.slot => return None, // stranded or imminent
             Some(due) => due,
             None => u64::MAX,
         };
+        if self.batching {
+            for s in &self.switches {
+                let w = s.next_event_slot();
+                if w <= self.slot {
+                    return None;
+                }
+                wake = wake.min(w);
+            }
+        } else if self.switches.iter().any(|s| s.total_backlog() != 0) {
+            return None;
+        }
         // Token buckets refill in the slot before each frame boundary;
         // that slot must run normally, so never skip past it.
         let frame = self.cfg.switch.frame_slots as u64;
         let refill = self.slot + (frame - 1 - self.slot % frame);
-        Some(due.min(end).min(refill))
+        Some(wake.min(end).min(refill))
     }
 
-    /// Advances every clock to `target` as if `target - slot` empty slots
+    /// Advances every clock to `target` as if `target - slot` quiet slots
     /// had been stepped one by one: switch slot counters move, each host's
     /// injection rotor makes its per-slot idle advance, and nothing else
     /// changes — which is exactly what stepping a quiet fabric does.
+    /// `target` never exceeds any switch's next-event watermark, so even a
+    /// backlogged switch is provably unchanged by the skipped steps.
     fn skip_to(&mut self, target: u64) {
         let n = target - self.slot;
         for sw in &mut self.switches {
-            sw.advance_idle(n);
+            sw.advance_to(target);
         }
         for h in &mut self.hosts {
             let len = h.outbox.len();
@@ -1317,6 +1413,7 @@ impl Fabric {
         if self.fault.is_some() {
             self.fault_begin_slot();
         }
+        let t0 = self.profile.is_some().then(std::time::Instant::now);
         // 1. Deliveries scheduled for this slot.
         let mut events = std::mem::take(&mut self.events_scratch);
         events.clear();
@@ -1421,6 +1518,10 @@ impl Fabric {
         }
         // 2. Hosts inject (one cell per host per slot: the link rate).
         self.inject_from_hosts();
+        if let Some(t0) = t0 {
+            self.profile.as_mut().expect("profiling enabled").enqueue_ns +=
+                t0.elapsed().as_nanos() as u64;
+        }
         // 3. Switches advance (compute phase), then departures propagate in
         // global switch-id order (commit phase). The split is safe because a
         // propagation only schedules future deliveries and touches state no
@@ -1462,13 +1563,27 @@ impl Fabric {
     fn step_switches_sequential(&mut self) {
         let mut departures = std::mem::take(&mut self.departures_scratch);
         let mut bounds = std::mem::take(&mut self.batch_bounds_scratch);
+        let batching = self.batching;
+        let mut skipped = 0u64;
+        let mut stepped = 0u64;
+        let t0 = self.profile.is_some().then(std::time::Instant::now);
         for idx in 0..self.switches.len() {
+            // The watermark proves stepping this switch is a no-op (no cell
+            // moves, no RNG drawn), so only its clock needs to advance.
+            if batching && self.switches[idx].next_event_slot() > self.slot {
+                self.switches[idx].advance_to(self.slot + 1);
+                bounds.push(departures.len() as u32);
+                skipped += 1;
+                continue;
+            }
             if self.switches[idx].total_backlog() > 0 {
                 self.shard_work[self.shard_plan[idx] as usize] += 1;
             }
             self.switches[idx].step_into(&mut self.switch_rngs[idx], &mut departures);
             bounds.push(departures.len() as u32);
+            stepped += 1;
         }
+        let t1 = self.profile.is_some().then(std::time::Instant::now);
         let mut cursor = 0usize;
         for (idx, &endb) in bounds.iter().enumerate() {
             for d in &departures[cursor..endb as usize] {
@@ -1481,6 +1596,13 @@ impl Fabric {
                 );
             }
             cursor = endb as usize;
+        }
+        if let (Some(t0), Some(t1)) = (t0, t1) {
+            let p = self.profile.as_mut().expect("profiling enabled");
+            p.schedule_ns += (t1 - t0).as_nanos() as u64;
+            p.commit_ns += t1.elapsed().as_nanos() as u64;
+            p.skipped_switch_steps += skipped;
+            p.stepped_switch_steps += stepped;
         }
         departures.clear();
         bounds.clear();
@@ -1502,6 +1624,11 @@ impl Fabric {
     fn step_switches_sharded(&mut self) {
         let shards = self.num_shards;
         let plan = &self.shard_plan;
+        let batching = self.batching;
+        let slot = self.slot;
+        let mut skipped = 0u64;
+        let mut stepped = 0u64;
+        let t0 = self.profile.is_some().then(std::time::Instant::now);
         let mut buckets: Vec<Vec<(u32, &mut Switch, &mut SimRng)>> =
             (0..shards).map(|_| Vec::new()).collect();
         for ((idx, sw), rng) in self
@@ -1510,9 +1637,17 @@ impl Fabric {
             .enumerate()
             .zip(self.switch_rngs.iter_mut())
         {
+            // Watermark skip happens on the main thread, before bucketing:
+            // idle switches never cross to a shard thread at all.
+            if batching && sw.next_event_slot() > slot {
+                sw.advance_to(slot + 1);
+                skipped += 1;
+                continue;
+            }
             if sw.total_backlog() > 0 {
                 self.shard_work[plan[idx] as usize] += 1;
             }
+            stepped += 1;
             buckets[plan[idx] as usize].push((idx as u32, sw, rng));
         }
         let mut mailboxes: Vec<Vec<(u32, Vec<Departure>)>> = Vec::with_capacity(shards);
@@ -1539,6 +1674,7 @@ impl Fabric {
         });
         // Canonical commit: ascending switch id across all mailboxes. Each
         // mailbox is already sorted, so this is a k-way merge by cursor.
+        let t1 = self.profile.is_some().then(std::time::Instant::now);
         let mut cursors = vec![0usize; shards];
         for idx in 0..self.switches.len() {
             let shard = self.shard_plan[idx] as usize;
@@ -1558,9 +1694,29 @@ impl Fabric {
                 );
             }
         }
+        if let (Some(t0), Some(t1)) = (t0, t1) {
+            let p = self.profile.as_mut().expect("profiling enabled");
+            p.schedule_ns += (t1 - t0).as_nanos() as u64;
+            p.commit_ns += t1.elapsed().as_nanos() as u64;
+            p.skipped_switch_steps += skipped;
+            p.stepped_switch_steps += stepped;
+        }
     }
 
     fn inject_from_hosts(&mut self) {
+        if self.pool.live() == 0 {
+            // Every outbox queue is empty (the pool holds exactly the
+            // buffered host cells): replicate the idle per-slot rotor
+            // advance each host would make after a fruitless scan, without
+            // walking the outbox entries or touching circuit state.
+            for h in &mut self.hosts {
+                let len = h.outbox.len();
+                if len > 0 {
+                    h.rotor = (h.rotor % len + 1) % len;
+                }
+            }
+            return;
+        }
         let latency = self.cfg.link_latency_slots;
         for h in 0..self.hosts.len() {
             let n = self.hosts[h].outbox.len();

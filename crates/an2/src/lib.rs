@@ -50,7 +50,7 @@ pub mod reference;
 pub use central::BandwidthCentral;
 pub use control::ControlPlaneConfig;
 pub use error::NetError;
-pub use fabric::{CtrlCounters, Fabric, FabricConfig, FaultCounters, VcStats};
+pub use fabric::{CtrlCounters, Fabric, FabricConfig, FaultCounters, PhaseProfile, VcStats};
 pub use network::{Network, NetworkBuilder};
 
 pub use an2_cells::signal::TrafficClass;

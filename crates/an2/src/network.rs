@@ -3,7 +3,7 @@
 use crate::central::BandwidthCentral;
 use crate::control::{self, ControlPlane, ControlPlaneConfig};
 use crate::error::NetError;
-use crate::fabric::{CtrlCounters, Fabric, FabricConfig, FaultCounters, VcStats};
+use crate::fabric::{CtrlCounters, Fabric, FabricConfig, FaultCounters, PhaseProfile, VcStats};
 use an2_cells::signal::TrafficClass;
 use an2_cells::{LinkRate, Packet, Segmenter, VcId};
 use an2_faults::FaultSpec;
@@ -236,6 +236,24 @@ impl Network {
     /// model behind the N6 scaling curve.
     pub fn shard_work(&self) -> &[u64] {
         self.fabric.shard_work()
+    }
+
+    /// Turns watermark-driven batching on or off (on by default). Off
+    /// forces the pre-PR-7 slot-by-slot data plane; results are
+    /// byte-identical either way. See [`Fabric::set_batching`].
+    pub fn set_batching(&mut self, on: bool) {
+        self.fabric.set_batching(on);
+    }
+
+    /// Starts recording the data plane's wall-clock phase breakdown. See
+    /// [`Fabric::enable_profiling`].
+    pub fn enable_profiling(&mut self) {
+        self.fabric.enable_profiling();
+    }
+
+    /// The phase breakdown recorded since [`Network::enable_profiling`].
+    pub fn profile(&self) -> Option<&PhaseProfile> {
+        self.fabric.profile()
     }
 
     fn fresh_vc(&mut self) -> VcId {

@@ -1,0 +1,348 @@
+//! The batched data plane's central guarantee: fast-forwarding is
+//! invisible.
+//!
+//! With batching on, every switch keeps a *next-event watermark* — the
+//! earliest future slot at which stepping it could change anything — and
+//! the fabric jumps idle switches (and whole quiet regions) past slots it
+//! proves uneventful. These tests drive the same seeded mixed workloads
+//! with batching on and off and assert byte-identical digests: per-circuit
+//! statistics including every latency sample, delivered packet bytes,
+//! final slot, and (when traced) the flight-recorder contents in order.
+//! One leg crosses batching with sharding; another drives the full
+//! `Network` with lossy links and the live embedded control plane — the
+//! harshest source of asynchronous watermark clamps we have.
+
+use an2::{
+    ControlPlaneConfig, FabricConfig, FaultSpec, LossModel, Network, NetworkBuilder, TraceConfig,
+    TrafficClass,
+};
+use an2_cells::{Packet, Segmenter, VcId};
+use an2_sim::{SimDuration, SimRng};
+use an2_topology::{generators, paths, HostId, LinkId, LinkState, Node, SwitchId, Topology};
+use proptest::prelude::*;
+
+fn topology(idx: usize) -> Topology {
+    match idx {
+        0 => {
+            let mut t = generators::line(3);
+            for s in [0u16, 0, 2, 2] {
+                let h = t.add_host();
+                t.attach_host(h, SwitchId(s)).unwrap();
+            }
+            t
+        }
+        1 => generators::fat_tree(2, 3),
+        _ => generators::src_installation(4, 6),
+    }
+}
+
+type RouteParts = (Vec<SwitchId>, Vec<LinkId>, LinkId, LinkId);
+
+fn route(topo: &Topology, src: HostId, dst: HostId) -> Option<RouteParts> {
+    let r = paths::host_route(topo, src, dst)?;
+    let switches = r.switches;
+    let mut links = Vec::new();
+    for w in switches.windows(2) {
+        links.push(*topo.links_between(w[0], w[1]).first()?);
+    }
+    let src_link = topo
+        .host_attachments(src)
+        .into_iter()
+        .find(|&(_, s)| s == switches[0])
+        .map(|(l, _)| l)?;
+    let dst_link = topo
+        .host_attachments(dst)
+        .into_iter()
+        .find(|&(_, s)| s == *switches.last().expect("non-empty route"))
+        .map(|(l, _)| l)?;
+    Some((switches, links, src_link, dst_link))
+}
+
+fn fnv(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x1_0000_01b3);
+    }
+}
+
+/// Drives a fabric through a seeded mixed workload (best-effort,
+/// guaranteed and signaled circuits; a mid-run link failure with reroutes)
+/// and digests everything observable. Returns `(digest, delivered,
+/// skipped_slots)` — the caller asserts the batched run actually skipped.
+fn drive(
+    topo_idx: usize,
+    seed: u64,
+    wl_seed: u64,
+    batched: bool,
+    shards: usize,
+    traced: bool,
+) -> (u64, u64, u64) {
+    let mut f = an2::Fabric::new(topology(topo_idx), FabricConfig::default(), seed);
+    f.set_batching(batched);
+    f.set_shards(shards);
+    f.enable_profiling();
+    let tracer = traced.then(|| {
+        let t = an2_trace::Tracer::new(TraceConfig {
+            sample_every: 8,
+            ..TraceConfig::default()
+        });
+        f.attach_tracer(t.clone());
+        t
+    });
+    let mut wl = SimRng::new(wl_seed);
+    let hosts: Vec<HostId> = (0..f.topology().host_count())
+        .map(|h| HostId(h as u16))
+        .collect();
+    let mut vcs: Vec<(VcId, HostId, HostId)> = Vec::new();
+    for i in 0..6u32 {
+        let vc = VcId::new(100 + i);
+        let src = hosts[wl.gen_range(hosts.len())];
+        let mut dst = hosts[wl.gen_range(hosts.len())];
+        if dst == src {
+            dst = hosts[(src.0 as usize + 1) % hosts.len()];
+        }
+        let Some((sw, links, sl, dst_link)) = route(f.topology(), src, dst) else {
+            continue;
+        };
+        match i % 4 {
+            0 => f.open_circuit(
+                vc,
+                src,
+                dst,
+                TrafficClass::Guaranteed { cells_per_frame: 2 },
+                sw,
+                links,
+                sl,
+                dst_link,
+            ),
+            1 => f.open_circuit_signaled(vc, src, dst, sw, links, sl, dst_link),
+            _ => f.open_circuit(
+                vc,
+                src,
+                dst,
+                TrafficClass::BestEffort,
+                sw,
+                links,
+                sl,
+                dst_link,
+            ),
+        }
+        vcs.push((vc, src, dst));
+    }
+    for round in 0..8 {
+        for &(vc, _, _) in &vcs {
+            if !f.has_circuit(vc) || f.is_paged_out(vc) {
+                continue;
+            }
+            if wl.gen_bool(0.8) {
+                let len = 40 + wl.gen_range(700);
+                let pkt = Packet::from_bytes(vec![(len % 251) as u8; len]);
+                f.send_cells(vc, Segmenter::new(vc).segment(&pkt));
+            }
+        }
+        f.step(20 + wl.gen_range(40) as u64);
+        if round == 4 {
+            let victim = f.topology().links().find(|&l| {
+                let (a, b) = f.topology().endpoints(l);
+                matches!((a.node, b.node), (Node::Switch(_), Node::Switch(_)))
+                    && f.topology().link_state(l) == LinkState::Working
+                    && !f.circuits_using(l).is_empty()
+            });
+            if let Some(link) = victim {
+                let victims = f.circuits_using(link);
+                f.fail_link(link);
+                for vc in victims {
+                    let (src, dst) = vcs
+                        .iter()
+                        .find(|(v, _, _)| *v == vc)
+                        .map(|&(_, s, d)| (s, d))
+                        .expect("victim was opened by this test");
+                    match route(f.topology(), src, dst) {
+                        Some((sw, links, sl, dst_link)) => {
+                            f.reroute_circuit(vc, sw, links, sl, dst_link);
+                        }
+                        None => {
+                            let _ = f.close_circuit(vc);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    f.step(2_000);
+
+    // Either form of fast-forward counts: whole-fabric slot jumps, or
+    // per-switch skips inside stepped slots.
+    let skipped = f
+        .profile()
+        .map_or(0, |p| p.skipped_slots + p.skipped_switch_steps);
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    let mut delivered = 0u64;
+    for &(vc, _, _) in &vcs {
+        if !f.has_circuit(vc) {
+            continue;
+        }
+        let s = f.stats(vc);
+        delivered += s.delivered_cells;
+        for x in [
+            s.sent_cells,
+            s.delivered_cells,
+            s.dropped_cells,
+            s.packets_delivered,
+        ] {
+            fnv(&mut digest, &x.to_le_bytes());
+        }
+        for &sample in s.latency_slots.samples() {
+            fnv(&mut digest, &sample.to_le_bytes());
+        }
+    }
+    for &h in &hosts {
+        for (vc, p) in f.take_received(h) {
+            fnv(&mut digest, &vc.raw().to_le_bytes());
+            fnv(&mut digest, p.as_bytes());
+        }
+    }
+    fnv(&mut digest, &f.slot().to_le_bytes());
+    if let Some(t) = tracer {
+        for r in t.records() {
+            fnv(&mut digest, &r.slot.to_le_bytes());
+            fnv(&mut digest, &r.at_ns.to_le_bytes());
+            fnv(&mut digest, format!("{:?}", r.event).as_bytes());
+        }
+    }
+    (digest, delivered, skipped)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+    #[test]
+    fn fast_forwarding_is_invisible(seed in any::<u64>(), wl_seed in any::<u64>()) {
+        for topo_idx in 0..3usize {
+            let (base, delivered, _) = drive(topo_idx, seed, wl_seed, false, 1, false);
+            let (base_traced, _, _) = drive(topo_idx, seed, wl_seed, false, 1, true);
+            prop_assert!(delivered > 0, "workload moved no traffic (topo {})", topo_idx);
+            let (batched, b_delivered, skipped) = drive(topo_idx, seed, wl_seed, true, 1, false);
+            prop_assert_eq!(
+                base, batched,
+                "batching diverged from slot-by-slot (topo {})", topo_idx
+            );
+            prop_assert_eq!(delivered, b_delivered);
+            prop_assert!(skipped > 0, "batched run never fast-forwarded (topo {})", topo_idx);
+            let (batched_traced, _, _) = drive(topo_idx, seed, wl_seed, true, 1, true);
+            prop_assert_eq!(
+                base_traced, batched_traced,
+                "batching perturbed the trace (topo {})", topo_idx
+            );
+            // Batching composes with sharding: same digest again.
+            let (batched_sharded, _, _) = drive(topo_idx, seed, wl_seed, true, 2, false);
+            prop_assert_eq!(
+                base, batched_sharded,
+                "batching + 2 shards diverged (topo {})", topo_idx
+            );
+        }
+    }
+}
+
+/// The lossy + live-control-plane leg: the full `Network` with independent
+/// per-link loss, a fast monitor and the embedded reconfiguration protocol.
+/// Faults fire and control messages expire on their own clocks, each of
+/// which must clamp the affected switch watermarks down — a missed clamp
+/// shows up here as a digest mismatch.
+fn network_run(topo: usize, seed: u64, batched: bool) -> (u64, u64) {
+    let b = Network::builder();
+    let b: NetworkBuilder = match topo {
+        0 => b.src_installation(4, 8),
+        1 => b.src_installation(6, 12),
+        _ => b.ring(4, 8),
+    };
+    let mut net = b.seed(seed).build();
+    net.set_batching(batched);
+    let hosts: Vec<_> = net.hosts().collect();
+    let mut circuits = Vec::new();
+    for pair in hosts.chunks(2) {
+        if let [a, b] = *pair {
+            if let Ok(vc) = net.open_best_effort(a, b) {
+                circuits.push(vc);
+            }
+        }
+    }
+    let mut spec = FaultSpec {
+        check_invariants: true,
+        ..Default::default()
+    };
+    spec.default_link.loss = LossModel::Independent { p: 0.002 };
+    spec.monitor.ping_interval = SimDuration::from_millis(1);
+    net.attach_faults(&spec, seed);
+    net.enable_control_plane(ControlPlaneConfig::default());
+    let mut tag = 0u8;
+    while net.slot() < 24_000 {
+        for &vc in &circuits {
+            if !net.is_broken(vc) {
+                let _ = net.send_packet(vc, Packet::from_bytes(vec![tag; 300]));
+            }
+        }
+        tag = tag.wrapping_add(1);
+        net.step(3_000);
+    }
+    net.step(8_000);
+
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    let mut delivered = 0u64;
+    for &vc in &circuits {
+        if net.is_broken(vc) {
+            continue;
+        }
+        let s = net.stats(vc);
+        delivered += s.delivered_cells;
+        for x in [
+            s.sent_cells,
+            s.delivered_cells,
+            s.lost_cells,
+            s.dropped_cells,
+        ] {
+            fnv(&mut digest, &x.to_le_bytes());
+        }
+        for &sample in s.latency_slots.samples() {
+            fnv(&mut digest, &sample.to_le_bytes());
+        }
+    }
+    let c = net.ctrl_counters();
+    for x in [c.messages_sent, c.messages_lost, c.cells_sent] {
+        fnv(&mut digest, &x.to_le_bytes());
+    }
+    if let Some(f) = net.fault_counters() {
+        for x in [
+            f.cells_lost,
+            f.cells_corrupted,
+            f.credits_lost,
+            f.markers_sent,
+            f.resyncs_completed,
+            f.invariant_violations,
+        ] {
+            fnv(&mut digest, &x.to_le_bytes());
+        }
+    }
+    for e in net.reconfig_log() {
+        fnv(&mut digest, &e.slot().to_le_bytes());
+    }
+    (digest, delivered)
+}
+
+#[test]
+fn batched_network_survives_loss_and_reconfiguration_identically() {
+    for topo in 0..3usize {
+        for seed in [3u64, 17, 91] {
+            let (base, delivered) = network_run(topo, seed, false);
+            assert!(
+                delivered > 0,
+                "workload moved no traffic (topo {topo}, seed {seed})"
+            );
+            let (batched, batched_delivered) = network_run(topo, seed, true);
+            assert_eq!(
+                base, batched,
+                "batching diverged under faults (topo {topo}, seed {seed})"
+            );
+            assert_eq!(delivered, batched_delivered);
+        }
+    }
+}

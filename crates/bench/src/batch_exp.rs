@@ -1,0 +1,392 @@
+//! Experiment N7: watermark-driven batching at 1k/10k/100k circuits.
+//!
+//! PR 7 makes slot-by-slot stepping the slow path: every switch carries a
+//! *next-event watermark* (the earliest slot at which stepping it could
+//! change anything), the fabric skips `step` for switches whose watermark
+//! lies in the future, and whole quiet stretches are jumped when every
+//! switch and the agenda agree. N7 extends the N2 circuit-count push to
+//! 1k/10k/100k circuits on the 1024-switch fat-tree and measures the
+//! batched engine against the unbatched (pre-PR-7) one.
+//!
+//! The workload keeps the busy working set *constant* while the run
+//! stretches with circuit count: every host talks to its leaf neighbour
+//! (128 busy edge switches out of 1024), plus one long cross-tree circuit
+//! per host whose constant trickle wakes the spine only occasionally. As
+//! circuits grow, the injection window grows linearly but the set of
+//! switches with work does not. The speedup curve this produces is
+//! *monotone non-increasing*: a nearly-quiet fabric (1k circuits — mostly
+//! credit-paced drain) is where skipping wins most, and as load thickens
+//! the ratio settles onto the structural floor — the busy fraction of the
+//! fabric (~1/8 of 1024 switches) — which it never drops below. The
+//! *absolute* work saved moves the other way: skipped switch-steps grow
+//! strictly with circuit count, which is what lets the engine reach 100k
+//! circuits at all. Both facts are asserted.
+//!
+//! Two speedups per point:
+//!
+//! * **model speedup** — executed switch-steps, unbatched / batched, from
+//!   the deterministic [`an2::PhaseProfile`] counters. Independent of the
+//!   harness machine; this is what the acceptance gate checks for
+//!   monotonicity.
+//! * **wall speedup** — end-to-end wall clock, recorded as the honest
+//!   headline together with delivered cells per second per core (the
+//!   batched run is single-shard, i.e. one core).
+//!
+//! Results must be byte-identical: the per-circuit stats digest of every
+//! batched run is asserted equal to its unbatched twin, and the
+//! `watermark_equiv` suite proves the same over random workloads, faults
+//! and live control planes.
+
+use an2::{Entity, FabricConfig, MetricsRegistry, TrafficClass};
+use an2_cells::{Cell, Packet, Segmenter, VcId};
+use an2_topology::{generators, paths, HostId, LinkId, SwitchId, Topology};
+use std::collections::HashMap;
+use std::fmt::Write;
+use std::time::Instant;
+
+type RouteParts = (Vec<SwitchId>, Vec<LinkId>, LinkId, LinkId);
+
+fn route(topo: &Topology, src: HostId, dst: HostId) -> Option<RouteParts> {
+    let r = paths::host_route(topo, src, dst)?;
+    let switches = r.switches;
+    let mut links = Vec::new();
+    for w in switches.windows(2) {
+        links.push(*topo.links_between(w[0], w[1]).first()?);
+    }
+    let src_link = topo
+        .host_attachments(src)
+        .into_iter()
+        .find(|&(_, s)| s == switches[0])
+        .map(|(l, _)| l)?;
+    let dst_link = topo
+        .host_attachments(dst)
+        .into_iter()
+        .find(|&(_, s)| s == *switches.last().expect("non-empty route"))
+        .map(|(l, _)| l)?;
+    Some((switches, links, src_link, dst_link))
+}
+
+/// The N7 workload at one circuit count, built once (untimed).
+///
+/// Circuit `j` sources at host `j % hosts`. The first circuit of every
+/// host crosses the tree (`dst = src + hosts/2`); all later ones are local
+/// (`dst = src ^ 1`, the other host on the same leaf switch). Each circuit
+/// carries one ~530-byte packet (12 cells), so total volume — and with it
+/// the injection window — scales linearly with the circuit count while
+/// the busy switch set stays fixed.
+pub struct BatchScenario {
+    arity: usize,
+    levels: usize,
+    /// Slots needed to inject and drain everything.
+    pub slots: u64,
+    circuits: Vec<(VcId, HostId, HostId, RouteParts, Vec<Cell>)>,
+}
+
+impl BatchScenario {
+    /// Builds the workload for `n_circuits` on `fat_tree(arity, levels)`.
+    pub fn new(arity: usize, levels: usize, n_circuits: usize) -> Self {
+        let topo = generators::fat_tree(arity, levels);
+        let hosts = topo.host_count();
+        let payload = vec![7u8; 530];
+        let pkt = Packet::from_bytes(payload);
+        let cells_per_circuit = Segmenter::new(VcId::new(1)).segment(&pkt).len();
+        // Only `2 * hosts` distinct (src, dst) pairs exist; memoize the
+        // BFS so preparing 100k circuits costs hundreds of route searches,
+        // not thousands.
+        let mut memo: HashMap<(u16, u16), RouteParts> = HashMap::new();
+        let mut circuits = Vec::with_capacity(n_circuits);
+        for j in 0..n_circuits {
+            let src = HostId((j % hosts) as u16);
+            let dst = if j < hosts {
+                HostId(((src.0 as usize + hosts / 2) % hosts) as u16)
+            } else {
+                HostId(src.0 ^ 1)
+            };
+            let parts = memo
+                .entry((src.0, dst.0))
+                .or_insert_with(|| route(&topo, src, dst).expect("fat-tree is connected"))
+                .clone();
+            let vc = VcId::new(100 + j as u32);
+            circuits.push((vc, src, dst, parts, Segmenter::new(vc).segment(&pkt)));
+        }
+        // One cell per host per slot is the injection ceiling; leave a
+        // drain margin for the cross-tree routes' credit round trips.
+        let window = (n_circuits * cells_per_circuit).div_ceil(hosts) as u64;
+        BatchScenario {
+            arity,
+            levels,
+            slots: window + 700,
+            circuits,
+        }
+    }
+
+    /// A loaded single-shard fabric with profiling on (untimed setup).
+    pub fn prepare(&self, seed: u64, batched: bool) -> an2::Fabric {
+        let topo = generators::fat_tree(self.arity, self.levels);
+        let mut f = an2::Fabric::new(topo, FabricConfig::default(), seed);
+        f.set_batching(batched);
+        f.enable_profiling();
+        for (vc, src, dst, parts, cells) in &self.circuits {
+            let (sw, links, sl, dl) = parts.clone();
+            f.open_circuit(*vc, *src, *dst, TrafficClass::BestEffort, sw, links, sl, dl);
+            f.send_cells(*vc, cells.clone());
+        }
+        f
+    }
+
+    /// Digest of everything a run observes: per-circuit sent / delivered /
+    /// dropped counts and every latency sample, in order (the N6 digest).
+    pub fn stats_digest(&self, f: &an2::Fabric) -> (u64, u64) {
+        let mut digest = 0xcbf2_9ce4_8422_2325u64;
+        let mut fnv = |x: u64| {
+            for b in x.to_le_bytes() {
+                digest ^= b as u64;
+                digest = digest.wrapping_mul(0x1_0000_01b3);
+            }
+        };
+        let mut delivered = 0;
+        for (vc, ..) in &self.circuits {
+            let s = f.stats(*vc);
+            delivered += s.delivered_cells;
+            fnv(s.sent_cells);
+            fnv(s.delivered_cells);
+            fnv(s.dropped_cells);
+            for &sample in s.latency_slots.samples() {
+                fnv(sample);
+            }
+        }
+        (digest, delivered)
+    }
+}
+
+/// One point on the N7 batching curve.
+#[derive(Debug, Clone)]
+pub struct BatchScaling {
+    /// Open circuits in the run.
+    pub circuits: usize,
+    /// Simulated slots (injection window + drain margin).
+    pub slots: u64,
+    /// Wall time of the unbatched (pre-PR-7) engine, ms (fastest of 2).
+    pub unbatched_ms: f64,
+    /// Wall time of the batched engine, ms (fastest of 2).
+    pub batched_ms: f64,
+    /// `unbatched_ms / batched_ms` — machine-dependent headline.
+    pub wall_speedup: f64,
+    /// Executed switch-steps, unbatched / batched — deterministic; the
+    /// monotonicity gate runs on this.
+    pub model_speedup: f64,
+    /// Switch-steps the watermark skipped in the batched run.
+    pub skipped_switch_steps: u64,
+    /// Switch-steps the batched run executed.
+    pub stepped_switch_steps: u64,
+    /// Whole fabric slots the batched run fast-forwarded over.
+    pub skipped_slots: u64,
+    /// Cells delivered — byte-identical across engines.
+    pub delivered_cells: u64,
+    /// Delivered cells per wall-clock second on the batched single-shard
+    /// (one-core) run.
+    pub cells_per_sec_core: f64,
+}
+
+fn run_point(scenario: &BatchScenario, circuits: usize) -> BatchScaling {
+    let slots = scenario.slots;
+    let mut walls = [f64::MAX; 2]; // [unbatched, batched]
+    let mut digests = [(0u64, 0u64); 2];
+    let mut stepped = [0u64; 2];
+    let mut skipped = 0u64;
+    let mut skipped_slots = 0u64;
+    for rep in 0..2 {
+        for (k, batched) in [(0usize, false), (1usize, true)] {
+            let mut f = scenario.prepare(7, batched);
+            let t = Instant::now();
+            f.step(slots);
+            walls[k] = walls[k].min(t.elapsed().as_secs_f64() * 1e3);
+            let p = f.profile().expect("profiling enabled").clone();
+            if rep == 0 {
+                digests[k] = scenario.stats_digest(&f);
+                stepped[k] = p.stepped_switch_steps;
+                if batched {
+                    skipped = p.skipped_switch_steps;
+                    skipped_slots = p.skipped_slots;
+                }
+            }
+        }
+    }
+    assert_eq!(
+        digests[0], digests[1],
+        "batched run diverged from the unbatched digest at {circuits} circuits"
+    );
+    assert!(
+        digests[1].1 > 0,
+        "no traffic delivered at {circuits} circuits"
+    );
+    BatchScaling {
+        circuits,
+        slots,
+        unbatched_ms: walls[0],
+        batched_ms: walls[1],
+        wall_speedup: walls[0] / walls[1],
+        model_speedup: stepped[0] as f64 / stepped[1].max(1) as f64,
+        skipped_switch_steps: skipped,
+        stepped_switch_steps: stepped[1],
+        skipped_slots,
+        delivered_cells: digests[1].1,
+        cells_per_sec_core: digests[1].1 as f64 / (walls[1] / 1e3),
+    }
+}
+
+/// N7 — batched vs unbatched data plane at 1k/10k/100k circuits on the
+/// 1024-switch fat-tree. Asserts digest equality at every point, a
+/// monotone model-speedup curve settling from above onto the structural
+/// floor, and strictly increasing absolute saved switch-steps; returns the
+/// rows and the report (including the cells/sec/core headline from the
+/// largest point).
+pub fn n7_batched_dataplane() -> (Vec<BatchScaling>, String) {
+    n7_with_profile(None)
+}
+
+/// As [`n7_batched_dataplane`], but when `registry` is given, the largest
+/// point's batched phase breakdown (enqueue / schedule / commit /
+/// fast-forward nanoseconds and the skip counters) is recorded into it —
+/// the `--profile` hygiene hook.
+pub fn n7_with_profile(mut registry: Option<&mut MetricsRegistry>) -> (Vec<BatchScaling>, String) {
+    let (arity, levels) = (2, 8); // 1024 switches, 256 hosts
+    let mut rows = Vec::new();
+    for circuits in [1_000usize, 10_000, 100_000] {
+        let scenario = BatchScenario::new(arity, levels, circuits);
+        rows.push(run_point(&scenario, circuits));
+        if circuits == 100_000 {
+            if let Some(reg) = registry.as_deref_mut() {
+                let mut f = scenario.prepare(7, true);
+                f.step(scenario.slots);
+                let p = f.profile().expect("profiling enabled");
+                let g = Entity::Global;
+                reg.counter_add("n7.enqueue_ns", g, p.enqueue_ns);
+                reg.counter_add("n7.schedule_ns", g, p.schedule_ns);
+                reg.counter_add("n7.commit_ns", g, p.commit_ns);
+                reg.counter_add("n7.fast_forward_ns", g, p.fast_forward_ns);
+                reg.counter_add("n7.skipped_slots", g, p.skipped_slots);
+                reg.counter_add("n7.skipped_switch_steps", g, p.skipped_switch_steps);
+                reg.counter_add("n7.stepped_switch_steps", g, p.stepped_switch_steps);
+            }
+        }
+    }
+    // The acceptance gate, two monotone curves (both deterministic —
+    // counted switch-steps, not wall clock):
+    //
+    //  1. The relative model speedup is monotone non-increasing in circuit
+    //     count: it is largest on the nearly-quiet 1k run (credit-paced
+    //     drain, most slots skippable) and settles from above onto the
+    //     structural floor — the busy fraction of the fabric (~1/8 of the
+    //     1024 switches) — as the injection window thickens. It must never
+    //     dip below that floor.
+    //  2. The absolute saved work (skipped switch-steps) is strictly
+    //     increasing in circuit count — the gain that actually makes the
+    //     100k-circuit run tractable.
+    for pair in rows.windows(2) {
+        assert!(
+            pair[1].model_speedup <= pair[0].model_speedup,
+            "model speedup curve is not monotone toward its asymptote: \
+             {} circuits ({:.2}) -> {} ({:.2})",
+            pair[0].circuits,
+            pair[0].model_speedup,
+            pair[1].circuits,
+            pair[1].model_speedup
+        );
+        assert!(
+            pair[1].skipped_switch_steps > pair[0].skipped_switch_steps,
+            "absolute saved switch-steps shrank from {} circuits ({}) to {} ({})",
+            pair[0].circuits,
+            pair[0].skipped_switch_steps,
+            pair[1].circuits,
+            pair[1].skipped_switch_steps
+        );
+    }
+    for r in &rows {
+        assert!(
+            r.model_speedup > 6.0,
+            "model speedup fell below the structural floor at {} circuits: {:.2}",
+            r.circuits,
+            r.model_speedup
+        );
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "N7  batched data plane: 1024 switches (2-ary 8-level fat-tree), \
+         watermark skips vs slot-by-slot stepping, single shard"
+    );
+    let _ = writeln!(
+        out,
+        "{:>9} {:>7} {:>10} {:>10} {:>9} {:>9} {:>13} {:>11} {:>13}",
+        "circuits",
+        "slots",
+        "unbat ms",
+        "batch ms",
+        "wall x",
+        "model x",
+        "skipped steps",
+        "delivered",
+        "Mcells/s/core"
+    );
+    for r in &rows {
+        let _ = writeln!(
+            out,
+            "{:>9} {:>7} {:>10.1} {:>10.1} {:>8.1}x {:>8.1}x {:>13} {:>11} {:>13.2}",
+            r.circuits,
+            r.slots,
+            r.unbatched_ms,
+            r.batched_ms,
+            r.wall_speedup,
+            r.model_speedup,
+            r.skipped_switch_steps,
+            r.delivered_cells,
+            r.cells_per_sec_core / 1e6
+        );
+    }
+    let last = rows.last().expect("three points");
+    let _ = writeln!(
+        out,
+        "identical stats digests batched vs unbatched at every point; \
+         model speedup = executed switch-steps unbatched/batched \
+         (deterministic, machine-independent); headline: {:.2} Mcells/s/core \
+         at {} circuits",
+        last.cells_per_sec_core / 1e6,
+        last.circuits
+    );
+    (rows, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_batched_run_matches_unbatched() {
+        // A 32-switch, 200-circuit instance of the N7 workload: batched and
+        // unbatched engines must agree byte-for-byte; the full-size curve
+        // runs in release via the experiments binary.
+        let scenario = BatchScenario::new(2, 4, 200);
+        let mut digests = Vec::new();
+        for batched in [false, true] {
+            let mut f = scenario.prepare(7, batched);
+            f.step(scenario.slots);
+            digests.push(scenario.stats_digest(&f));
+        }
+        assert!(digests[0].1 > 0, "no traffic delivered");
+        assert_eq!(digests[0], digests[1], "batched diverged from unbatched");
+    }
+
+    #[test]
+    fn batching_skips_most_switch_steps() {
+        let scenario = BatchScenario::new(2, 4, 200);
+        let mut f = scenario.prepare(7, true);
+        f.step(scenario.slots);
+        let p = f.profile().expect("profiling enabled");
+        assert!(
+            p.skipped_switch_steps > p.stepped_switch_steps,
+            "expected the majority of switch-steps skipped: {p:?}"
+        );
+    }
+}

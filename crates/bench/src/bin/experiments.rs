@@ -24,12 +24,17 @@
 //! `--shards N` caps the N6 data-plane sweep at N shards (equivalent to
 //! setting `AN2_BENCH_SHARDS=N`); results are byte-identical at any value.
 //!
+//! With `--profile`, N7 additionally records its per-phase timing
+//! breakdown (enqueue / schedule / commit / fast-forward) through a
+//! `MetricsRegistry` and appends the Prometheus rendering to the report,
+//! so future optimization passes can profile without external tools.
+//!
 //! Outputs are recorded against the paper's statements in EXPERIMENTS.md.
 
 use an2_bench::json::Json;
 use an2_bench::{
-    control_exp, extensions_exp, fabric_exp, faults_exp, figures, flow_exp, network_exp, parallel,
-    parallel_exp, reconfig_exp, schedule_exp, xbar_exp,
+    batch_exp, control_exp, extensions_exp, fabric_exp, faults_exp, figures, flow_exp, network_exp,
+    parallel, parallel_exp, reconfig_exp, schedule_exp, xbar_exp,
 };
 use std::time::Instant;
 
@@ -134,6 +139,22 @@ fn shard_scaling_json(r: &parallel_exp::ShardScaling) -> Json {
     ])
 }
 
+fn batch_scaling_json(r: &batch_exp::BatchScaling) -> Json {
+    Json::obj(vec![
+        ("circuits", Json::int(r.circuits as u64)),
+        ("slots", Json::int(r.slots)),
+        ("unbatched_ms", Json::Num(r.unbatched_ms)),
+        ("batched_ms", Json::Num(r.batched_ms)),
+        ("wall_speedup", Json::Num(r.wall_speedup)),
+        ("model_speedup", Json::Num(r.model_speedup)),
+        ("skipped_switch_steps", Json::int(r.skipped_switch_steps)),
+        ("stepped_switch_steps", Json::int(r.stepped_switch_steps)),
+        ("skipped_slots", Json::int(r.skipped_slots)),
+        ("delivered_cells", Json::int(r.delivered_cells)),
+        ("cells_per_sec_core", Json::Num(r.cells_per_sec_core)),
+    ])
+}
+
 fn fabric_perf_json(r: &fabric_exp::FabricPerf) -> Json {
     Json::obj(vec![
         ("circuits", Json::int(r.circuits as u64)),
@@ -169,6 +190,7 @@ fn title(id: &str) -> Option<&'static str> {
         "n4" => "N4: embedded control plane — fail, flap, crash, replay",
         "n5" => "N5: tracing overhead — flight recorder on vs off",
         "n6" => "N6: parallel data plane — shard scaling on the 1024-switch fat-tree",
+        "n7" => "N7: batched data plane — watermark skips at 1k/10k/100k circuits",
         "x1" => "X1: the paper's extension proposals",
         _ => return None,
     })
@@ -177,8 +199,9 @@ fn title(id: &str) -> Option<&'static str> {
 /// Runs one experiment, returning its report text and (for the experiments
 /// with structured measurements) a JSON value for the baseline file. With
 /// `trace`, N4 runs its fail cell under the flight recorder instead and
-/// exports the recording.
-fn compute(id: &str, trace: bool) -> (String, Json) {
+/// exports the recording. With `profile`, N7 also records its phase
+/// breakdown through a `MetricsRegistry` and appends the rendering.
+fn compute(id: &str, trace: bool, profile: bool) -> (String, Json) {
     match id {
         "n4" if trace => {
             let (row, text) = control_exp::n4_trace("trace_out");
@@ -252,6 +275,25 @@ fn compute(id: &str, trace: bool) -> (String, Json) {
                 Json::Arr(rows.iter().map(shard_scaling_json).collect()),
             )
         }
+        "n7" if profile => {
+            let mut registry = an2::MetricsRegistry::new(4);
+            let (rows, text) = batch_exp::n7_with_profile(Some(&mut registry));
+            let text = format!(
+                "{text}\nphase breakdown (100k batched):\n{}",
+                registry.to_prometheus()
+            );
+            (
+                text,
+                Json::Arr(rows.iter().map(batch_scaling_json).collect()),
+            )
+        }
+        "n7" => {
+            let (rows, text) = batch_exp::n7_batched_dataplane();
+            (
+                text,
+                Json::Arr(rows.iter().map(batch_scaling_json).collect()),
+            )
+        }
         "x1" => {
             let text = format!(
                 "{}\n{}\n{}\n{}",
@@ -268,19 +310,21 @@ fn compute(id: &str, trace: bool) -> (String, Json) {
 
 const ALL: &[&str] = &[
     "f1", "f2", "f3", "f4", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
-    "e12", "x1", "n1", "n2", "n3", "n4", "n5", "n6",
+    "e12", "x1", "n1", "n2", "n3", "n4", "n5", "n6", "n7",
 ];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json_mode = false;
     let mut trace_mode = false;
+    let mut profile_mode = false;
     let mut named: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => json_mode = true,
             "--trace" => trace_mode = true,
+            "--profile" => profile_mode = true,
             "--shards" => {
                 let v = it
                     .next()
@@ -291,7 +335,7 @@ fn main() {
                 std::env::set_var("AN2_BENCH_SHARDS", v);
             }
             other if other.starts_with("--") => {
-                panic!("unknown flag '{other}' (flags: --json, --trace, --shards N)")
+                panic!("unknown flag '{other}' (flags: --json, --trace, --profile, --shards N)")
             }
             other => named.push(other),
         }
@@ -307,12 +351,12 @@ fn main() {
     let mut records = Vec::new();
     for id in ids {
         let Some(t) = title(id) else {
-            eprintln!("unknown experiment id '{id}' (use f1-f4, e1-e12, x1, n1-n6, all)");
+            eprintln!("unknown experiment id '{id}' (use f1-f4, e1-e12, x1, n1-n7, all)");
             continue;
         };
         println!("\n=== {t} {}\n", "=".repeat(66 - t.len().min(60)));
         let cell_start = Instant::now();
-        let (text, results) = compute(id, trace_mode);
+        let (text, results) = compute(id, trace_mode, profile_mode);
         let wall_ms = cell_start.elapsed().as_secs_f64() * 1e3;
         print!("{text}");
         records.push(Json::obj(vec![

@@ -13,6 +13,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch_exp;
 pub mod control_exp;
 pub mod extensions_exp;
 pub mod fabric_exp;

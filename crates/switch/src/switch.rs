@@ -115,14 +115,37 @@ struct VcSlot {
 /// the slab slot in the low half. Packing the key into the entry keeps the
 /// hot binary searches inside the list's own cache lines instead of
 /// chasing into the slab per probe.
+///
+/// The packing cannot collide: raw VC ids are 24-bit ([`VcId::MAX`]), so the
+/// shifted key occupies bits 32..56 exactly, and slab indices are `u32`s
+/// guarded against the `NO_SLOT` sentinel in `ensure_slot` — two entries are
+/// equal iff both the id and the slot agree.
 fn entry(vcs: &[VcSlot], si: u32) -> u64 {
-    ((vcs[si as usize].vc.raw() as u64) << 32) | si as u64
+    let raw = vcs[si as usize].vc.raw();
+    debug_assert!(raw <= VcId::MAX, "VC id wider than the 24-bit key field");
+    debug_assert_ne!(si, NO_SLOT, "NO_SLOT sentinel used as a slab index");
+    ((raw as u64) << 32) | si as u64
 }
 
 /// The slab slot of an active-list entry.
 fn entry_slot(e: u64) -> u32 {
     e as u32
 }
+
+/// One slot's oldest-eligible dequeue candidate for an (input, output) pair.
+/// Valid only while `tag` equals the switch's current slot.
+#[derive(Debug, Clone, Copy)]
+struct OldestCand {
+    tag: u64,
+    stamp: u64,
+    si: u32,
+}
+
+const STALE_CAND: OldestCand = OldestCand {
+    tag: u64::MAX,
+    stamp: 0,
+    si: 0,
+};
 
 /// Inserts `si` into an active list kept sorted by raw VC id. No-op if
 /// already present.
@@ -170,6 +193,23 @@ pub struct Switch {
     /// guaranteed reservations and best-effort matching. All zeros — the
     /// state when [`Switch::reserve_output`] is never called — is inert.
     ctrl_reserved: Vec<u64>,
+    /// The earliest future slot at which stepping this switch could change
+    /// anything: the next head-of-queue eligibility (enqueue stamp +
+    /// pipeline depth, control-reservation expiry) among ineligible queued
+    /// cells, the next slot itself whenever any cell moved or could have
+    /// moved, or `u64::MAX` when nothing internally scheduled remains.
+    /// External events (enqueues, credits, route/schedule changes) clamp it
+    /// back down; the fabric skips `step` entirely while `slot` is below it.
+    watermark: u64,
+    /// Whether [`Switch::step_into`] may use the per-slot oldest-eligible
+    /// cache (on by default; the unbatched baseline turns it off — results
+    /// are byte-identical either way).
+    batched: bool,
+    /// Per (input, output): the oldest eligible best-effort candidate found
+    /// while building this slot's demand (`tag` marks the slot it belongs
+    /// to), replicating `take_oldest`'s min-stamp / lowest-VC-id tie-break
+    /// so dequeues on matched pairs are O(1) lookups instead of rescans.
+    oldest: Vec<OldestCand>,
     // Reused per-step buffers (allocation-free steady state).
     demand: DemandMatrix,
     matching: Matching,
@@ -212,6 +252,9 @@ impl Switch {
             pim,
             slot: 0,
             ctrl_reserved: vec![0; ports],
+            watermark: 0,
+            batched: true,
+            oldest: vec![STALE_CAND; ports * ports],
             demand: DemandMatrix::new(ports),
             matching: Matching::empty(ports),
             crossbar: Matching::empty(ports),
@@ -238,7 +281,12 @@ impl Switch {
             self.lookup.resize(raw + 1, NO_SLOT);
         }
         if self.lookup[raw] == NO_SLOT {
-            self.lookup[raw] = self.vcs.len() as u32;
+            let si = self.vcs.len() as u32;
+            // The slab index shares a u32 with the NO_SLOT sentinel and the
+            // low half of packed active-list entries; 2³²−1 circuits on one
+            // switch would alias both.
+            assert_ne!(si, NO_SLOT, "slab full: index would alias NO_SLOT");
+            self.lookup[raw] = si;
             self.vcs.push(VcSlot {
                 vc,
                 route: None,
@@ -266,12 +314,14 @@ impl Switch {
     pub fn set_credits(&mut self, vc: VcId, credits: u32) {
         let si = self.ensure_slot(vc);
         self.vcs[si].credits = Some(credits);
+        self.wake_at(self.slot);
     }
 
     /// Removes the credit gate for a circuit (used on teardown).
     pub fn clear_credits(&mut self, vc: VcId) {
         if let Some(si) = self.slot_of(vc) {
             self.vcs[si].credits = None;
+            self.wake_at(self.slot);
         }
     }
 
@@ -287,6 +337,7 @@ impl Switch {
             .and_then(|si| self.vcs[si].credits.as_mut())
             .expect("credit for an ungated circuit");
         *c += 1;
+        self.wake_at(self.slot);
     }
 
     /// The circuit's current credit balance (`None` = ungated).
@@ -303,6 +354,7 @@ impl Switch {
             .and_then(|si| self.vcs[si].credits.as_mut())
         {
             *c += 1;
+            self.wake_at(self.slot);
             true
         } else {
             false
@@ -333,6 +385,54 @@ impl Switch {
         self.slot += n;
     }
 
+    /// The earliest future slot at which stepping this switch could change
+    /// anything (see the `watermark` field); `u64::MAX` when no internally
+    /// scheduled work remains. Recomputed by every [`Switch::step_into`] and
+    /// clamped down by every externally visible mutation (enqueues, credits,
+    /// routes, schedule access), so a caller that skips `step` while
+    /// `slot < next_event_slot()` observes byte-identical behaviour: a
+    /// below-watermark step matches no ports, draws no randomness and emits
+    /// nothing.
+    pub fn next_event_slot(&self) -> u64 {
+        self.watermark
+    }
+
+    /// Clamps the watermark down to `slot` — called by every mutation that
+    /// could make an earlier step productive.
+    #[inline]
+    fn wake_at(&mut self, slot: u64) {
+        if slot < self.watermark {
+            self.watermark = slot;
+        }
+    }
+
+    /// Advances the slot counter to `target` without stepping, for callers
+    /// that have proven the intervening slots unproductive via
+    /// [`Switch::next_event_slot`]. Unlike [`Switch::advance_idle`] this is
+    /// legal with cells buffered, as long as none becomes eligible before
+    /// `target`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts `target` does not move backwards or past the watermark
+    /// (a backlogged switch must step at its watermark slot).
+    pub fn advance_to(&mut self, target: u64) {
+        debug_assert!(target >= self.slot, "advance_to moved backwards");
+        debug_assert!(
+            self.watermark >= target || self.total_backlog() == 0,
+            "advance_to past the next-event watermark of a backlogged switch"
+        );
+        self.slot = target;
+    }
+
+    /// Toggles the per-slot oldest-eligible dequeue cache (on by default).
+    /// Purely an engine knob: results are byte-identical either way — the
+    /// unbatched baseline exists so the equivalence tests and the N7
+    /// experiment can prove it.
+    pub fn set_batched(&mut self, on: bool) {
+        self.batched = on;
+    }
+
     /// Claims `output` for control-cell transmission through slot
     /// `until_slot` (exclusive): data traffic is not matched to the port
     /// while the claim is live, giving reconfiguration protocol bursts §2's
@@ -353,7 +453,10 @@ impl Switch {
     }
 
     /// The guaranteed-traffic frame schedule (for reservation surgery).
+    /// Handing out the mutable borrow conservatively wakes the switch: a new
+    /// reservation can make the very next slot productive.
     pub fn schedule_mut(&mut self) -> &mut FrameSchedule {
+        self.wake_at(self.slot);
         &mut self.schedule
     }
 
@@ -398,6 +501,9 @@ impl Switch {
                 activate(list, &self.vcs, si as u32);
             }
         }
+        // Released cells keep their arrival stamps, so the earliest any of
+        // them (or a future enqueue) can move is now.
+        self.wake_at(self.slot);
         Ok(())
     }
 
@@ -482,10 +588,16 @@ impl Switch {
                 depth = q.len() as u32;
             }
         }
+        if self.vcs[si].route.is_some() {
+            // The cell becomes head-of-queue eligible one pipeline depth
+            // from its arrival stamp at the earliest; unrouted cells wake
+            // the switch through `install_route` instead.
+            self.wake_at(slot + self.cfg.pipeline_slots);
+        }
         if let Some(t) = &self.tracer {
             t.emit(TraceEvent::CellEnqueue {
                 switch: self.switch_id,
-                input: input as u8,
+                input: input as u16,
                 vc: cell.vc().raw(),
                 depth,
             });
@@ -591,7 +703,7 @@ impl Switch {
                         if let Some(t) = &self.tracer {
                             t.emit(TraceEvent::CellDequeue {
                                 switch: self.switch_id,
-                                output: output as u8,
+                                output: output as u16,
                                 vc: cell.vc().raw(),
                                 queued_slots: self.slot - enqueued_slot,
                             });
@@ -619,6 +731,10 @@ impl Switch {
         // matching and the same RNG stream as registering the full count.
         self.demand.clear();
         let mut any_demand = false;
+        // The earliest future slot an entry examined here becomes eligible
+        // (pipeline depth or reservation expiry) — the watermark candidate
+        // when nothing moves this slot.
+        let mut wake = u64::MAX;
         for input in 0..n {
             if !self.crossbar.input_free(input) {
                 continue;
@@ -629,18 +745,36 @@ impl Switch {
                 let Some(route) = s.route else {
                     continue;
                 };
-                if !self.crossbar.output_free(route.output)
-                    || s.credits.is_some_and(|c| c == 0)
-                    || self.ctrl_reserved[route.output] > self.slot
-                {
+                if !self.crossbar.output_free(route.output) || s.credits.is_some_and(|c| c == 0) {
+                    // A claimed output means the crossbar is non-empty (the
+                    // watermark lands on the next slot anyway); a starved
+                    // circuit is woken by the credit's arrival.
                     continue;
                 }
                 // Active lists only hold non-empty queues, and the queue
                 // handle mirrors its head stamp — no pool access needed.
-                if self.slot >= self.queues[si * n + input].front_stamp() + self.cfg.pipeline_slots
-                {
+                let stamp = self.queues[si * n + input].front_stamp();
+                let eligible_at =
+                    (stamp + self.cfg.pipeline_slots).max(self.ctrl_reserved[route.output]);
+                if self.slot >= eligible_at {
+                    if self.batched {
+                        // Track the oldest eligible candidate per pair with
+                        // `take_oldest`'s exact tie-break (strict improvement
+                        // over a list sorted by VC id), so a matched pair
+                        // dequeues without rescanning the active list.
+                        let c = &mut self.oldest[input * n + route.output];
+                        if c.tag != self.slot || stamp < c.stamp {
+                            *c = OldestCand {
+                                tag: self.slot,
+                                stamp,
+                                si: si as u32,
+                            };
+                        }
+                    }
                     self.demand.add(input, route.output, 1);
                     any_demand = true;
+                } else {
+                    wake = wake.min(eligible_at);
                 }
             }
             // Guaranteed circuits with backlog may also use free slots via
@@ -656,24 +790,43 @@ impl Switch {
             self.pim
                 .schedule_into(&self.demand, rng, &mut self.scratch, &mut self.matching);
             for (input, output) in self.matching.iter() {
-                let (cell, enqueued_slot, trace) = take_oldest(
-                    &mut self.pool,
-                    &mut self.vcs,
-                    &mut self.queues,
-                    &mut self.be_active[input],
-                    self.slot,
-                    self.cfg.pipeline_slots,
-                    self.cfg.ports,
-                    input,
-                    output,
-                    true,
-                )
+                let (cell, enqueued_slot, trace) = if self.batched {
+                    // The demand scan already found the oldest eligible
+                    // circuit for this pair (same candidate set, same
+                    // tie-break as `take_oldest`): dequeue it directly
+                    // instead of rescanning the active list.
+                    let c = self.oldest[input * n + output];
+                    debug_assert_eq!(c.tag, self.slot, "stale cache for a matched pair");
+                    let si = c.si;
+                    if let Some(cr) = self.vcs[si as usize].credits.as_mut() {
+                        *cr -= 1;
+                    }
+                    let q = &mut self.queues[si as usize * n + input];
+                    let popped = self.pool.pop_front(q).expect("cached queue is non-empty");
+                    if q.is_empty() {
+                        deactivate(&mut self.be_active[input], &self.vcs, si);
+                    }
+                    Some(popped)
+                } else {
+                    take_oldest(
+                        &mut self.pool,
+                        &mut self.vcs,
+                        &mut self.queues,
+                        &mut self.be_active[input],
+                        self.slot,
+                        self.cfg.pipeline_slots,
+                        self.cfg.ports,
+                        input,
+                        output,
+                        true,
+                    )
+                }
                 .expect("PIM matched a pair with demand");
                 self.crossbar.set(input, output);
                 if let Some(t) = &self.tracer {
                     t.emit(TraceEvent::CellDequeue {
                         switch: self.switch_id,
-                        output: output as u8,
+                        output: output as u16,
                         vc: cell.vc().raw(),
                         queued_slots: self.slot - enqueued_slot,
                     });
@@ -693,7 +846,21 @@ impl Switch {
             }
         }
 
+        // Recompute the next-event watermark. Anything that moved or could
+        // still move keeps the switch hot for the next slot: a claimed
+        // crossbar pair, registered best-effort demand, or a guaranteed
+        // backlog (frame reservations recur every frame, so a buffered
+        // guaranteed cell is never more than one frame from service — we
+        // conservatively stay slot-by-slot). Otherwise the earliest future
+        // eligibility seen in the demand scan is the next event; external
+        // arrivals clamp the watermark down through `wake_at`.
+        let gt_busy = self.gt_active.iter().any(|l| !l.is_empty());
         self.slot += 1;
+        self.watermark = if !self.crossbar.is_empty() || any_demand || gt_busy {
+            self.slot
+        } else {
+            wake
+        };
     }
 }
 

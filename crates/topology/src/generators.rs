@@ -37,6 +37,28 @@ pub fn ring(n: usize) -> Topology {
     t
 }
 
+/// A single wide-radix switch with `hosts` directly-attached hosts — the
+/// smallest topology that exercises the multi-word port sets (> 64 ports)
+/// in the crossbar schedulers. Pair it with a `SwitchConfig` whose `ports`
+/// is at least `hosts`.
+///
+/// # Panics
+///
+/// Panics if `hosts` is 0 or exceeds the 255-port topology limit.
+pub fn wide_hub(hosts: usize) -> Topology {
+    assert!(
+        (1..=u8::MAX as usize).contains(&hosts),
+        "wide_hub takes 1..=255 hosts"
+    );
+    let mut t = Topology::new();
+    let hub = t.add_switch_with_ports(hosts as u8);
+    for _ in 0..hosts {
+        let h = t.add_host();
+        t.attach_host(h, hub).expect("hub host attach");
+    }
+    t
+}
+
 /// A hub (`sw0`) with `leaves` spokes.
 ///
 /// # Panics

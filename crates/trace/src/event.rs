@@ -169,7 +169,7 @@ pub enum TraceEvent {
         /// Receiving switch.
         switch: u16,
         /// Input port it arrived on.
-        input: u8,
+        input: u16,
         /// The cell's circuit.
         vc: u32,
         /// Queue depth after the enqueue.
@@ -180,7 +180,7 @@ pub enum TraceEvent {
         /// Departing switch.
         switch: u16,
         /// Output port it left on.
-        output: u8,
+        output: u16,
         /// The cell's circuit.
         vc: u32,
         /// Slots it spent buffered (pipeline depth when uncontended).
@@ -198,9 +198,9 @@ pub enum TraceEvent {
         /// The switch whose crossbar matched.
         switch: u16,
         /// Matched input port.
-        input: u8,
+        input: u16,
         /// Matched output port.
-        output: u8,
+        output: u16,
     },
     /// A credit was spent to transmit a best-effort cell (§5).
     CreditConsume {

@@ -7,7 +7,7 @@
 //! hardware cannot afford within a cell slot. It serves as a quality
 //! reference: PIM should match its throughput while running distributed.
 
-use crate::matching::{nth_set_bit, DemandMatrix, Matching};
+use crate::matching::{count_set, nth_set, nth_set_bit, DemandMatrix, Matching};
 use crate::scratch::Scratch;
 use crate::CrossbarScheduler;
 use an2_sim::SimRng;
@@ -36,22 +36,47 @@ impl CrossbarScheduler for GreedyMaximal {
         out: &mut Matching,
     ) {
         let n = demand.size();
+        let w = demand.word_count();
         out.reset(n);
-        scratch.ensure(n);
+        scratch.ensure(n, w);
         let order = &mut scratch.order[..n];
         for (slot, input) in order.iter_mut().enumerate() {
             *input = slot;
         }
         rng.shuffle(order);
-        for idx in 0..n {
-            let input = scratch.order[idx];
-            // The input's candidate outputs in one AND: what it wants,
-            // restricted to outputs still free.
-            let wanted = demand.row_mask(input) & out.free_outputs();
-            if wanted != 0 {
-                let rank = rng.gen_range(wanted.count_ones() as usize);
-                out.set(input, nth_set_bit(wanted, rank));
+        if w == 1 {
+            // Single-word fast path: every AN2-sized switch.
+            for idx in 0..n {
+                let input = scratch.order[idx];
+                // The input's candidate outputs in one AND: what it wants,
+                // restricted to outputs still free.
+                let wanted = demand.row_mask(input) & out.free_outputs();
+                if wanted != 0 {
+                    let rank = rng.gen_range(wanted.count_ones() as usize);
+                    out.set(input, nth_set_bit(wanted, rank));
+                }
             }
+        } else {
+            // Multi-word path: the free-output set lives in `wa` and is
+            // maintained incrementally as outputs get claimed.
+            out.write_free_outputs(&mut scratch.wa[..w]);
+            for idx in 0..n {
+                let input = scratch.order[idx];
+                let row = demand.row(input);
+                let mut count = 0usize;
+                for ((wb, &r), &free) in scratch.wb[..w].iter_mut().zip(row).zip(&scratch.wa[..w]) {
+                    let wanted = r & free;
+                    *wb = wanted;
+                    count += wanted.count_ones() as usize;
+                }
+                if count != 0 {
+                    let rank = rng.gen_range(count);
+                    let output = nth_set(&scratch.wb[..w], rank);
+                    out.set(input, output);
+                    scratch.wa[output / 64] &= !(1 << (output % 64));
+                }
+            }
+            debug_assert_eq!(count_set(&scratch.wa[..w]), n - out.len());
         }
     }
 }

@@ -12,7 +12,7 @@
 //! when the grant is accepted in the first iteration. This is what prevents
 //! starvation.
 
-use crate::matching::{DemandMatrix, Matching};
+use crate::matching::{count_set, DemandMatrix, Matching};
 use crate::scratch::Scratch;
 use crate::CrossbarScheduler;
 use an2_sim::SimRng;
@@ -58,6 +58,30 @@ impl Islip {
         };
         Some(pick as usize)
     }
+
+    /// [`Islip::round_robin_pick`] over a multi-word port set: the first
+    /// member at or after `ptr`, wrapping to the lowest member.
+    fn round_robin_pick_words(candidates: &[u64], ptr: usize) -> Option<usize> {
+        let wi = ptr / 64;
+        if wi < candidates.len() {
+            let masked = candidates[wi] & (u64::MAX << (ptr % 64));
+            if masked != 0 {
+                return Some(wi * 64 + masked.trailing_zeros() as usize);
+            }
+            for (j, &w) in candidates.iter().enumerate().skip(wi + 1) {
+                if w != 0 {
+                    return Some(j * 64 + w.trailing_zeros() as usize);
+                }
+            }
+        }
+        // Wrap: the lowest member overall (members at or after `ptr` were
+        // ruled out above).
+        candidates
+            .iter()
+            .enumerate()
+            .find(|(_, &w)| w != 0)
+            .map(|(j, &w)| j * 64 + w.trailing_zeros() as usize)
+    }
 }
 
 impl CrossbarScheduler for Islip {
@@ -79,7 +103,19 @@ impl CrossbarScheduler for Islip {
             "scheduler sized for another switch"
         );
         out.reset(n);
-        scratch.ensure(n);
+        scratch.ensure(n, demand.word_count());
+        if demand.word_count() == 1 {
+            self.rounds_narrow(demand, scratch, out);
+        } else {
+            self.rounds_wide(demand, scratch, out);
+        }
+    }
+}
+
+impl Islip {
+    /// The ≤ 64-port iteration loop: every port set is one `u64`.
+    fn rounds_narrow(&mut self, demand: &DemandMatrix, scratch: &mut Scratch, out: &mut Matching) {
+        let n = demand.size();
         for iter in 0..self.iterations {
             // Grants: each free output offers its round-robin favourite
             // among the free inputs requesting it.
@@ -107,6 +143,53 @@ impl CrossbarScheduler for Islip {
                 out.set(input, output);
                 progressed = true;
                 // Pointers move only on first-iteration accepts.
+                if iter == 0 {
+                    self.grant_ptr[output] = (input + 1) % n;
+                    self.accept_ptr[input] = (output + 1) % n;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+
+    /// The > 64-port iteration loop: same structure over multi-word sets.
+    fn rounds_wide(&mut self, demand: &DemandMatrix, scratch: &mut Scratch, out: &mut Matching) {
+        let n = demand.size();
+        let w = demand.word_count();
+        for iter in 0..self.iterations {
+            scratch.masks[..n * w].fill(0);
+            out.write_free_inputs(&mut scratch.wa[..w]);
+            out.write_free_outputs(&mut scratch.wb[..w]);
+            for wi in 0..w {
+                let mut out_bits = scratch.wb[wi];
+                while out_bits != 0 {
+                    let output = wi * 64 + out_bits.trailing_zeros() as usize;
+                    out_bits &= out_bits - 1;
+                    let col = demand.col(output);
+                    for ((wc, &c), &free) in
+                        scratch.wc[..w].iter_mut().zip(col).zip(&scratch.wa[..w])
+                    {
+                        *wc = c & free;
+                    }
+                    if let Some(input) =
+                        Self::round_robin_pick_words(&scratch.wc[..w], self.grant_ptr[output])
+                    {
+                        scratch.masks[input * w + output / 64] |= 1 << (output % 64);
+                    }
+                }
+            }
+            let mut progressed = false;
+            for input in 0..n {
+                let grants = &scratch.masks[input * w..(input + 1) * w];
+                if count_set(grants) == 0 {
+                    continue;
+                }
+                let output = Self::round_robin_pick_words(grants, self.accept_ptr[input])
+                    .expect("non-empty grant set");
+                out.set(input, output);
+                progressed = true;
                 if iter == 0 {
                     self.grant_ptr[output] = (input + 1) % n;
                     self.accept_ptr[input] = (output + 1) % n;

@@ -30,13 +30,18 @@
 //! ## The bitmask fast path
 //!
 //! Port sets — "which inputs request output `o`", "which outputs are still
-//! free" — are represented as `u64` bitmasks throughout ([`DemandMatrix`]
+//! free" — are represented as packed bitmasks throughout ([`DemandMatrix`]
 //! keeps per-row and per-column request masks alongside the queue-length
-//! table, [`Matching`] keeps matched-port masks). Scheduler inner loops walk
-//! set bits instead of scanning `0..n`, and all per-slot working state lives
-//! in a caller-supplied [`Scratch`], so a multi-thousand-slot simulation
-//! performs no per-slot heap allocation. Switches are capped at
-//! [`MAX_PORTS`] = 64 ports, four times the AN2 hardware's 16.
+//! table, [`Matching`] keeps matched-port masks, and [`PortSet`] is the
+//! public face of the representation). Scheduler inner loops walk set bits
+//! instead of scanning `0..n`, and all per-slot working state lives in a
+//! caller-supplied [`Scratch`], so a multi-thousand-slot simulation performs
+//! no per-slot heap allocation. Switches of up to 64 ports — every
+//! configuration in the paper — pack each port set into a single `u64` and
+//! take specialized fast paths that compile to the original one-word code;
+//! wider switches (up to [`MAX_PORTS`] = 1024 ports) spread each set over
+//! `⌈n/64⌉` words and run the same algorithms one loop level deeper, with
+//! identical RNG-stream behaviour.
 //!
 //! The pre-refactor scan-and-`Vec` schedulers are preserved verbatim in
 //! [`mod@reference`]; property tests assert the fast path produces bit-identical
@@ -57,7 +62,7 @@ pub mod simulate;
 
 pub use greedy::GreedyMaximal;
 pub use islip::Islip;
-pub use matching::{outputs_unique, DemandMatrix, Matching, MAX_PORTS};
+pub use matching::{outputs_unique, DemandMatrix, Matching, PortSet, MAX_PORTS};
 pub use maximum::MaximumMatching;
 pub use pim::{Pim, PimOutcome};
 pub use scratch::Scratch;

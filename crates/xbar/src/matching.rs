@@ -1,26 +1,47 @@
 //! Demand matrices and matchings — the vocabulary of crossbar scheduling.
 //!
-//! Both types are backed by `u64` port-set bitmasks (bit `i` of a mask names
-//! port `i`), which caps switches at 64 ports — far beyond AN2's 16×16
-//! crossbar — and turns the schedulers' inner loops into word operations:
-//! "which unmatched inputs want this output" is a single `AND` instead of an
-//! `N`-element scan.
+//! Both types are backed by multi-word port-set bitmasks (bit `i` of word
+//! `i / 64` names port `i`). Switches of 64 ports or fewer — every AN2
+//! configuration in the paper — fit one `u64` per set, and the schedulers
+//! keep a specialized single-word fast path for them that compiles to the
+//! same code as the original one-word representation. Wider switches (up to
+//! [`MAX_PORTS`]) spread each set over `⌈n/64⌉` words and pay one extra loop
+//! level; either way "which unmatched inputs want this output" is a handful
+//! of `AND`s instead of an `N`-element scan.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Largest switch the bitmask representation supports.
-pub const MAX_PORTS: usize = 64;
+pub const MAX_PORTS: usize = 1024;
 
-/// A mask with bits `0..n` set: the full port set of an `n`-port switch.
+/// Bits per port-set word.
+pub(crate) const WORD_BITS: usize = 64;
+
+/// Words needed for an `n`-port set.
+#[inline]
+pub(crate) fn words_for(n: usize) -> usize {
+    n.div_ceil(WORD_BITS).max(1)
+}
+
+/// A mask with bits `0..n` set: the full port set of an `n`-port switch,
+/// for `n ≤ 64`.
 #[inline]
 pub(crate) fn all_ports(n: usize) -> u64 {
-    debug_assert!(n <= MAX_PORTS);
-    if n == MAX_PORTS {
+    debug_assert!(n <= WORD_BITS);
+    if n == WORD_BITS {
         u64::MAX
     } else {
         (1u64 << n) - 1
     }
+}
+
+/// The full-set mask of word `wi` of an `n`-port set: all ones for words
+/// entirely below `n`, a partial mask for the word containing `n`, zero
+/// above.
+#[inline]
+pub(crate) fn word_all(n: usize, wi: usize) -> u64 {
+    all_ports(n.saturating_sub(wi * WORD_BITS).min(WORD_BITS))
 }
 
 /// The index of the `k`-th (0-based) set bit of `mask`, counting from the
@@ -40,12 +61,163 @@ pub(crate) fn nth_set_bit(mask: u64, k: usize) -> usize {
     m.trailing_zeros() as usize
 }
 
+/// Set bits across a word slice.
+#[inline]
+pub(crate) fn count_set(words: &[u64]) -> usize {
+    words.iter().map(|w| w.count_ones() as usize).sum()
+}
+
+/// The index of the `k`-th (0-based) set bit across a word slice — the
+/// multi-word twin of [`nth_set_bit`], preserving the "same element as an
+/// index into the sorted port list" property that keeps the fast schedulers
+/// on the reference oracles' RNG stream.
+///
+/// # Panics
+///
+/// Debug-asserts the slice has more than `k` set bits.
+#[inline]
+pub(crate) fn nth_set(words: &[u64], k: usize) -> usize {
+    let mut k = k;
+    for (wi, &w) in words.iter().enumerate() {
+        let c = w.count_ones() as usize;
+        if k < c {
+            return wi * WORD_BITS + nth_set_bit(w, k);
+        }
+        k -= c;
+    }
+    debug_assert!(false, "rank out of range");
+    0
+}
+
+/// A set of ports on one switch, packed 64 ports per word.
+///
+/// This is the public face of the schedulers' internal multi-word masks:
+/// switches up to 64 ports use exactly one word (the hot paths specialize on
+/// that), larger switches spread over `⌈n/64⌉` words. The set knows its
+/// capacity, so complement-style queries ([`Matching::free_input_ports`])
+/// stay well-defined past the last port.
+///
+/// ```
+/// use an2_xbar::PortSet;
+/// let mut s = PortSet::empty(100);
+/// s.insert(3);
+/// s.insert(97);
+/// assert_eq!(s.len(), 2);
+/// assert!(s.contains(97) && !s.contains(96));
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 97]);
+/// assert_eq!(s.nth(1), 97);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PortSet {
+    n: usize,
+    words: Vec<u64>,
+}
+
+impl PortSet {
+    /// The empty set over ports `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n >` [`MAX_PORTS`].
+    pub fn empty(n: usize) -> Self {
+        assert!(n > 0, "switch size must be positive");
+        assert!(
+            n <= MAX_PORTS,
+            "bitmask port sets support at most {MAX_PORTS} ports (got {n})"
+        );
+        PortSet {
+            n,
+            words: vec![0; words_for(n)],
+        }
+    }
+
+    /// The full set over ports `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// As [`PortSet::empty`].
+    pub fn full(n: usize) -> Self {
+        let mut s = PortSet::empty(n);
+        for (wi, w) in s.words.iter_mut().enumerate() {
+            *w = word_all(n, wi);
+        }
+        s
+    }
+
+    /// Wraps an existing word slice (little-endian port order).
+    pub(crate) fn from_words(n: usize, words: &[u64]) -> Self {
+        debug_assert_eq!(words.len(), words_for(n));
+        PortSet {
+            n,
+            words: words.to_vec(),
+        }
+    }
+
+    /// The number of ports the set ranges over (not the member count).
+    pub fn capacity(&self) -> usize {
+        self.n
+    }
+
+    /// Whether `port` is in the set.
+    #[inline]
+    pub fn contains(&self, port: usize) -> bool {
+        port < self.n && self.words[port / WORD_BITS] & (1 << (port % WORD_BITS)) != 0
+    }
+
+    /// Adds `port` to the set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is out of range.
+    pub fn insert(&mut self, port: usize) {
+        assert!(port < self.n, "port {port} out of range (size {})", self.n);
+        self.words[port / WORD_BITS] |= 1 << (port % WORD_BITS);
+    }
+
+    /// Removes `port` from the set (no-op when absent or out of range).
+    pub fn remove(&mut self, port: usize) {
+        if port < self.n {
+            self.words[port / WORD_BITS] &= !(1 << (port % WORD_BITS));
+        }
+    }
+
+    /// Member count.
+    pub fn len(&self) -> usize {
+        count_set(&self.words)
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// The `k`-th (0-based) member in ascending port order — the same
+    /// element an index into the sorted member list would give.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts `k < len()`.
+    pub fn nth(&self, k: usize) -> usize {
+        nth_set(&self.words, k)
+    }
+
+    /// Members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.n).filter(move |&p| self.contains(p))
+    }
+
+    /// The backing words, 64 ports each, little-endian port order.
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
 /// The queued demand of a switch at one instant: how many cells wait at each
 /// (input, output) virtual output queue.
 ///
 /// Alongside the dense queue-length table, the matrix maintains per-input
 /// and per-output request bitmasks so schedulers can intersect "inputs that
-/// want output `o`" with "currently unmatched inputs" in one instruction.
+/// want output `o`" with "currently unmatched inputs" in a few instructions.
 ///
 /// ```
 /// use an2_xbar::DemandMatrix;
@@ -59,10 +231,12 @@ pub(crate) fn nth_set_bit(mask: u64, k: usize) -> usize {
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DemandMatrix {
     n: usize,
+    /// Words per port set: `words_for(n)`, 1 for every AN2-sized switch.
+    words: usize,
     queued: Vec<u64>,
-    /// `row_masks[i]`: outputs input `i` has at least one cell for.
+    /// `row_masks[i*words..]`: outputs input `i` has at least one cell for.
     row_masks: Vec<u64>,
-    /// `col_masks[o]`: inputs holding at least one cell for output `o`.
+    /// `col_masks[o*words..]`: inputs holding at least one cell for `o`.
     col_masks: Vec<u64>,
 }
 
@@ -71,25 +245,32 @@ impl DemandMatrix {
     ///
     /// # Panics
     ///
-    /// Panics if `n == 0` or `n >` [`MAX_PORTS`] (the bitmask fast path
-    /// packs a port set into one `u64`).
+    /// Panics if `n == 0` or `n >` [`MAX_PORTS`].
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "switch size must be positive");
         assert!(
             n <= MAX_PORTS,
             "bitmask port sets support at most {MAX_PORTS} ports (got {n})"
         );
+        let words = words_for(n);
         DemandMatrix {
             n,
+            words,
             queued: vec![0; n * n],
-            row_masks: vec![0; n],
-            col_masks: vec![0; n],
+            row_masks: vec![0; n * words],
+            col_masks: vec![0; n * words],
         }
     }
 
     /// Switch size.
     pub fn size(&self) -> usize {
         self.n
+    }
+
+    /// Words per port set (1 for switches of ≤ 64 ports — the fast path).
+    #[inline]
+    pub(crate) fn word_count(&self) -> usize {
+        self.words
     }
 
     /// Cells queued from `input` to `output`.
@@ -100,19 +281,47 @@ impl DemandMatrix {
     /// Whether any cell waits from `input` to `output`.
     #[inline]
     pub fn wants(&self, input: usize, output: usize) -> bool {
-        self.row_masks[input] & (1 << output) != 0
+        self.row_masks[input * self.words + output / WORD_BITS] & (1 << (output % WORD_BITS)) != 0
     }
 
-    /// The outputs requested by `input`, as a bitmask.
+    /// The outputs requested by `input`, as a single-word bitmask. Only
+    /// valid on switches of ≤ 64 ports; wider switches use
+    /// [`DemandMatrix::row_ports`].
     #[inline]
     pub fn row_mask(&self, input: usize) -> u64 {
+        debug_assert_eq!(self.words, 1, "row_mask on a >64-port switch");
         self.row_masks[input]
     }
 
-    /// The inputs requesting `output`, as a bitmask.
+    /// The inputs requesting `output`, as a single-word bitmask. Only valid
+    /// on switches of ≤ 64 ports; wider switches use
+    /// [`DemandMatrix::col_ports`].
     #[inline]
     pub fn col_mask(&self, output: usize) -> u64 {
+        debug_assert_eq!(self.words, 1, "col_mask on a >64-port switch");
         self.col_masks[output]
+    }
+
+    /// The outputs requested by `input`, at any switch width.
+    pub fn row_ports(&self, input: usize) -> PortSet {
+        PortSet::from_words(self.n, self.row(input))
+    }
+
+    /// The inputs requesting `output`, at any switch width.
+    pub fn col_ports(&self, output: usize) -> PortSet {
+        PortSet::from_words(self.n, self.col(output))
+    }
+
+    /// The words of input `i`'s request set.
+    #[inline]
+    pub(crate) fn row(&self, input: usize) -> &[u64] {
+        &self.row_masks[input * self.words..(input + 1) * self.words]
+    }
+
+    /// The words of output `o`'s requester set.
+    #[inline]
+    pub(crate) fn col(&self, output: usize) -> &[u64] {
+        &self.col_masks[output * self.words..(output + 1) * self.words]
     }
 
     /// Adds `cells` of demand.
@@ -120,8 +329,8 @@ impl DemandMatrix {
         let q = &mut self.queued[input * self.n + output];
         *q += cells;
         if *q > 0 {
-            self.row_masks[input] |= 1 << output;
-            self.col_masks[output] |= 1 << input;
+            self.row_masks[input * self.words + output / WORD_BITS] |= 1 << (output % WORD_BITS);
+            self.col_masks[output * self.words + input / WORD_BITS] |= 1 << (input % WORD_BITS);
         }
     }
 
@@ -133,13 +342,15 @@ impl DemandMatrix {
     /// of words instead of memsetting the whole `n × n` table.
     pub fn clear(&mut self) {
         for input in 0..self.n {
-            let mut mask = self.row_masks[input];
-            while mask != 0 {
-                let output = mask.trailing_zeros() as usize;
-                mask &= mask - 1;
-                self.queued[input * self.n + output] = 0;
+            for wi in 0..self.words {
+                let mut mask = self.row_masks[input * self.words + wi];
+                while mask != 0 {
+                    let output = wi * WORD_BITS + mask.trailing_zeros() as usize;
+                    mask &= mask - 1;
+                    self.queued[input * self.n + output] = 0;
+                }
+                self.row_masks[input * self.words + wi] = 0;
             }
-            self.row_masks[input] = 0;
         }
         self.col_masks.fill(0);
     }
@@ -154,18 +365,21 @@ impl DemandMatrix {
         assert!(*q > 0, "no cell queued at ({input}, {output})");
         *q -= 1;
         if *q == 0 {
-            self.row_masks[input] &= !(1 << output);
-            self.col_masks[output] &= !(1 << input);
+            self.row_masks[input * self.words + output / WORD_BITS] &= !(1 << (output % WORD_BITS));
+            self.col_masks[output * self.words + input / WORD_BITS] &= !(1 << (input % WORD_BITS));
         }
     }
 
     /// Outputs requested by `input`, in ascending order.
     pub fn requests_of(&self, input: usize) -> Vec<usize> {
-        let mut out = Vec::with_capacity(self.row_masks[input].count_ones() as usize);
-        let mut mask = self.row_masks[input];
-        while mask != 0 {
-            out.push(mask.trailing_zeros() as usize);
-            mask &= mask - 1;
+        let row = self.row(input);
+        let mut out = Vec::with_capacity(count_set(row));
+        for (wi, &w) in row.iter().enumerate() {
+            let mut mask = w;
+            while mask != 0 {
+                out.push(wi * WORD_BITS + mask.trailing_zeros() as usize);
+                mask &= mask - 1;
+            }
         }
         out
     }
@@ -192,8 +406,8 @@ impl DemandMatrix {
         for i in 0..n {
             for o in 0..n {
                 if d.queued[i * n + o] > 0 {
-                    d.row_masks[i] |= 1 << o;
-                    d.col_masks[o] |= 1 << i;
+                    d.row_masks[i * d.words + o / WORD_BITS] |= 1 << (o % WORD_BITS);
+                    d.col_masks[o * d.words + i / WORD_BITS] |= 1 << (i % WORD_BITS);
                 }
             }
         }
@@ -205,16 +419,19 @@ impl DemandMatrix {
 /// output and vice versa.
 ///
 /// Matched-port bitmasks make `input_free` / `output_free` single bit tests
-/// and give schedulers the free-port sets ([`Matching::free_inputs`],
-/// [`Matching::free_outputs`]) as whole words.
+/// and give schedulers the free-port sets ([`Matching::free_inputs`] on
+/// single-word switches, [`Matching::free_input_ports`] at any width) as
+/// whole words.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Matching {
     /// `pair[i] = Some(o)` when input `i` transmits to output `o`.
     pair: Vec<Option<usize>>,
+    /// Words per port set.
+    words: usize,
     /// Bit `i` set when input `i` is matched.
-    matched_in: u64,
+    matched_in: Vec<u64>,
     /// Bit `o` set when output `o` is matched.
-    matched_out: u64,
+    matched_out: Vec<u64>,
 }
 
 impl Matching {
@@ -228,10 +445,12 @@ impl Matching {
             n <= MAX_PORTS,
             "bitmask port sets support at most {MAX_PORTS} ports (got {n})"
         );
+        let words = words_for(n);
         Matching {
             pair: vec![None; n],
-            matched_in: 0,
-            matched_out: 0,
+            words,
+            matched_in: vec![0; words],
+            matched_out: vec![0; words],
         }
     }
 
@@ -256,8 +475,11 @@ impl Matching {
         );
         self.pair.clear();
         self.pair.resize(n, None);
-        self.matched_in = 0;
-        self.matched_out = 0;
+        self.words = words_for(n);
+        self.matched_in.clear();
+        self.matched_in.resize(self.words, 0);
+        self.matched_out.clear();
+        self.matched_out.resize(self.words, 0);
     }
 
     /// Switch size.
@@ -278,25 +500,64 @@ impl Matching {
     /// Whether `input` is unmatched.
     #[inline]
     pub fn input_free(&self, input: usize) -> bool {
-        self.matched_in & (1 << input) == 0
+        self.matched_in[input / WORD_BITS] & (1 << (input % WORD_BITS)) == 0
     }
 
     /// Whether `output` is unmatched.
     #[inline]
     pub fn output_free(&self, output: usize) -> bool {
-        self.matched_out & (1 << output) == 0
+        self.matched_out[output / WORD_BITS] & (1 << (output % WORD_BITS)) == 0
     }
 
-    /// The unmatched inputs, as a bitmask.
+    /// The unmatched inputs, as a single-word bitmask. Only valid on
+    /// switches of ≤ 64 ports; wider switches use
+    /// [`Matching::free_input_ports`].
     #[inline]
     pub fn free_inputs(&self) -> u64 {
-        !self.matched_in & all_ports(self.pair.len())
+        debug_assert_eq!(self.words, 1, "free_inputs on a >64-port switch");
+        !self.matched_in[0] & all_ports(self.pair.len())
     }
 
-    /// The unmatched outputs, as a bitmask.
+    /// The unmatched outputs, as a single-word bitmask. Only valid on
+    /// switches of ≤ 64 ports; wider switches use
+    /// [`Matching::free_output_ports`].
     #[inline]
     pub fn free_outputs(&self) -> u64 {
-        !self.matched_out & all_ports(self.pair.len())
+        debug_assert_eq!(self.words, 1, "free_outputs on a >64-port switch");
+        !self.matched_out[0] & all_ports(self.pair.len())
+    }
+
+    /// The unmatched inputs, at any switch width.
+    pub fn free_input_ports(&self) -> PortSet {
+        let mut s = PortSet::empty(self.pair.len().max(1));
+        self.write_free_inputs(&mut s.words);
+        s
+    }
+
+    /// The unmatched outputs, at any switch width.
+    pub fn free_output_ports(&self) -> PortSet {
+        let mut s = PortSet::empty(self.pair.len().max(1));
+        self.write_free_outputs(&mut s.words);
+        s
+    }
+
+    /// Writes the free-input words into a caller buffer (alloc-free wide
+    /// scheduler path).
+    #[inline]
+    pub(crate) fn write_free_inputs(&self, out: &mut [u64]) {
+        let n = self.pair.len();
+        for (wi, w) in out.iter_mut().enumerate().take(self.words) {
+            *w = !self.matched_in[wi] & word_all(n, wi);
+        }
+    }
+
+    /// Writes the free-output words into a caller buffer.
+    #[inline]
+    pub(crate) fn write_free_outputs(&self, out: &mut [u64]) {
+        let n = self.pair.len();
+        for (wi, w) in out.iter_mut().enumerate().take(self.words) {
+            *w = !self.matched_out[wi] & word_all(n, wi);
+        }
     }
 
     /// Pairs `input` with `output`.
@@ -309,18 +570,18 @@ impl Matching {
         assert!(self.input_free(input), "input {input} already matched");
         assert!(self.output_free(output), "output {output} already matched");
         self.pair[input] = Some(output);
-        self.matched_in |= 1 << input;
-        self.matched_out |= 1 << output;
+        self.matched_in[input / WORD_BITS] |= 1 << (input % WORD_BITS);
+        self.matched_out[output / WORD_BITS] |= 1 << (output % WORD_BITS);
     }
 
     /// Number of matched pairs.
     pub fn len(&self) -> usize {
-        self.matched_in.count_ones() as usize
+        count_set(&self.matched_in)
     }
 
     /// `true` when nothing is matched.
     pub fn is_empty(&self) -> bool {
-        self.matched_in == 0
+        self.matched_in.iter().all(|&w| w == 0)
     }
 
     /// Iterates over `(input, output)` pairs.
@@ -341,13 +602,17 @@ impl Matching {
     /// an unmatched output — "there can be no head-of-line blocking, since
     /// all potential connections are considered at each iteration" (§3).
     pub fn is_maximal(&self, demand: &DemandMatrix) -> bool {
-        let free_out = self.free_outputs();
-        let mut free_in = self.free_inputs();
-        while free_in != 0 {
-            let i = free_in.trailing_zeros() as usize;
-            free_in &= free_in - 1;
-            if demand.row_mask(i) & free_out != 0 {
-                return false;
+        let n = self.pair.len();
+        for input in 0..n {
+            if !self.input_free(input) {
+                continue;
+            }
+            let row = demand.row(input);
+            for (wi, (&r, &matched)) in row.iter().zip(&self.matched_out).enumerate() {
+                let free_out = !matched & word_all(n, wi);
+                if r & free_out != 0 {
+                    return false;
+                }
             }
         }
         true
@@ -451,9 +716,9 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at most 64 ports")]
+    #[should_panic(expected = "at most 1024 ports")]
     fn oversized_switch_rejected() {
-        DemandMatrix::new(65);
+        DemandMatrix::new(MAX_PORTS + 1);
     }
 
     #[test]
@@ -465,6 +730,73 @@ mod tests {
         assert_eq!(m.free_inputs(), u64::MAX);
         m.set(63, 0);
         assert_eq!(m.free_inputs(), u64::MAX >> 1);
+    }
+
+    #[test]
+    fn wide_switch_demand_and_matching() {
+        // Ports past 64 land in the second word and behave identically.
+        let n = 130;
+        let mut d = DemandMatrix::new(n);
+        d.add(0, 129, 1);
+        d.add(100, 3, 2);
+        d.add(100, 65, 1);
+        assert!(d.wants(0, 129) && d.wants(100, 65));
+        assert_eq!(d.requests_of(100), vec![3, 65]);
+        assert_eq!(d.row_ports(100).iter().collect::<Vec<_>>(), vec![3, 65]);
+        assert_eq!(d.col_ports(3).iter().collect::<Vec<_>>(), vec![100]);
+        d.take_one(100, 65);
+        assert!(!d.wants(100, 65));
+        d.clear();
+        assert!(d.is_empty());
+        assert_eq!(d.queued(0, 129), 0);
+
+        let mut m = Matching::empty(n);
+        assert_eq!(m.free_input_ports().len(), n);
+        m.set(129, 64);
+        assert!(!m.input_free(129) && !m.output_free(64));
+        assert!(m.input_free(128) && m.output_free(65));
+        assert_eq!(m.free_output_ports().len(), n - 1);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.output_of(129), Some(64));
+        assert_eq!(m.input_of(64), Some(129));
+    }
+
+    #[test]
+    fn wide_maximality() {
+        let n = 70;
+        let mut d = DemandMatrix::new(n);
+        d.add(68, 69, 1);
+        let m = Matching::empty(n);
+        assert!(!m.is_maximal(&d), "68->69 still possible");
+        let m2 = Matching::from_pairs(n, [(68, 69)]);
+        assert!(m2.is_maximal(&d));
+        assert!(m2.is_legal(&d));
+    }
+
+    #[test]
+    fn port_set_basics() {
+        let full = PortSet::full(100);
+        assert_eq!(full.len(), 100);
+        assert_eq!(full.capacity(), 100);
+        assert!(full.contains(99) && !full.contains(100));
+        let mut s = PortSet::empty(65);
+        assert!(s.is_empty());
+        s.insert(64);
+        s.insert(0);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.nth(0), 0);
+        assert_eq!(s.nth(1), 64);
+        s.remove(0);
+        s.remove(64);
+        s.remove(1_000); // out of range: no-op
+        assert!(s.is_empty());
+        assert_eq!(s.as_words().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn port_set_insert_out_of_range_panics() {
+        PortSet::empty(64).insert(64);
     }
 
     #[test]
@@ -495,6 +827,18 @@ mod tests {
         m.reset(2);
         assert_eq!(m.size(), 2);
         assert_eq!(m.free_inputs(), 0b11);
+    }
+
+    #[test]
+    fn reset_across_word_boundaries() {
+        let mut m = Matching::empty(4);
+        m.set(0, 0);
+        m.reset(100);
+        assert_eq!(m.size(), 100);
+        assert!(m.is_empty());
+        m.set(99, 1);
+        m.reset(4);
+        assert_eq!(m.free_inputs(), 0b1111);
     }
 
     #[test]
@@ -550,5 +894,16 @@ mod tests {
         assert_eq!(nth_set_bit(0b1011, 1), 1);
         assert_eq!(nth_set_bit(0b1011, 2), 3);
         assert_eq!(nth_set_bit(1 << 63, 0), 63);
+        assert_eq!(words_for(1), 1);
+        assert_eq!(words_for(64), 1);
+        assert_eq!(words_for(65), 2);
+        assert_eq!(words_for(1024), 16);
+        assert_eq!(word_all(70, 0), u64::MAX);
+        assert_eq!(word_all(70, 1), 0b11_1111);
+        assert_eq!(word_all(70, 2), 0);
+        assert_eq!(nth_set(&[0b100, 0b11], 0), 2);
+        assert_eq!(nth_set(&[0b100, 0b11], 1), 64);
+        assert_eq!(nth_set(&[0b100, 0b11], 2), 65);
+        assert_eq!(count_set(&[0b100, 0b11]), 3);
     }
 }

@@ -28,7 +28,7 @@
 //! the RNG stream identically and produce identical matchings (see
 //! [`crate::reference`]).
 
-use crate::matching::{nth_set_bit, DemandMatrix, Matching};
+use crate::matching::{count_set, nth_set, nth_set_bit, DemandMatrix, Matching};
 use crate::scratch::Scratch;
 use crate::CrossbarScheduler;
 use an2_sim::SimRng;
@@ -104,9 +104,28 @@ impl Pim {
     }
 
     /// One request/grant/accept round, extending `matching` in place.
-    /// `grant_masks[i]` accumulates the outputs granting input `i` this
-    /// round. Returns the number of new pairs formed.
+    /// Returns the number of new pairs formed. Dispatches to the
+    /// single-word fast path (every AN2-sized switch) or the multi-word
+    /// generalization; both visit free outputs then granted inputs in
+    /// ascending port order, so they draw from the RNG stream exactly as
+    /// the reference scheduler's sorted-`Vec` indexing does.
     fn iterate(
+        demand: &DemandMatrix,
+        matching: &mut Matching,
+        rng: &mut SimRng,
+        scratch: &mut Scratch,
+    ) -> usize {
+        if demand.word_count() == 1 {
+            Self::iterate_narrow(demand, matching, rng, &mut scratch.masks)
+        } else {
+            Self::iterate_wide(demand, matching, rng, scratch)
+        }
+    }
+
+    /// The ≤ 64-port round: every port set is one `u64`.
+    /// `grant_masks[i]` accumulates the outputs granting input `i` this
+    /// round.
+    fn iterate_narrow(
         demand: &DemandMatrix,
         matching: &mut Matching,
         rng: &mut SimRng,
@@ -148,15 +167,67 @@ impl Pim {
         new_pairs
     }
 
+    /// The > 64-port round: port sets span `words` words, grant masks live
+    /// at `scratch.masks[input * words ..]`, and the free/requester sets use
+    /// the scratch word temporaries. Same phase structure and same
+    /// ascending-port visit order as the narrow path.
+    fn iterate_wide(
+        demand: &DemandMatrix,
+        matching: &mut Matching,
+        rng: &mut SimRng,
+        scratch: &mut Scratch,
+    ) -> usize {
+        let n = demand.size();
+        let w = demand.word_count();
+        scratch.masks[..n * w].fill(0);
+        matching.write_free_inputs(&mut scratch.wa[..w]);
+        matching.write_free_outputs(&mut scratch.wb[..w]);
+        // Phases 1+2 — grants. Free sets don't change during the grant
+        // phase, so each word of the free-output set can be walked by value.
+        for wi in 0..w {
+            let mut out_bits = scratch.wb[wi];
+            while out_bits != 0 {
+                let output = wi * 64 + out_bits.trailing_zeros() as usize;
+                out_bits &= out_bits - 1;
+                let col = demand.col(output);
+                let mut count = 0usize;
+                for ((wc, &c), &free) in scratch.wc[..w].iter_mut().zip(col).zip(&scratch.wa[..w]) {
+                    let req = c & free;
+                    *wc = req;
+                    count += req.count_ones() as usize;
+                }
+                if count != 0 {
+                    let rank = rng.gen_range(count);
+                    let winner = nth_set(&scratch.wc[..w], rank);
+                    scratch.masks[winner * w + output / 64] |= 1 << (output % 64);
+                }
+            }
+        }
+        // Phase 3 — accepts.
+        let mut new_pairs = 0;
+        for input in 0..n {
+            let grants = &scratch.masks[input * w..(input + 1) * w];
+            let count = count_set(grants);
+            if count != 0 {
+                let rank = rng.gen_range(count);
+                let output = nth_set(grants, rank);
+                matching.set(input, output);
+                new_pairs += 1;
+            }
+        }
+        new_pairs
+    }
+
     /// Runs request/grant/accept rounds until no new match forms, returning
     /// the matching (always maximal) and how many productive iterations it
     /// took — the quantity bounded by `log₂ N + 4/3` in expectation (§3).
     pub fn run_to_maximal(demand: &DemandMatrix, rng: &mut SimRng) -> PimOutcome {
         let mut matching = Matching::empty(demand.size());
-        let mut grant_masks = vec![0u64; demand.size()];
+        let mut scratch = Scratch::new();
+        scratch.ensure(demand.size(), demand.word_count());
         let mut productive = 0;
         loop {
-            let new_pairs = Self::iterate(demand, &mut matching, rng, &mut grant_masks);
+            let new_pairs = Self::iterate(demand, &mut matching, rng, &mut scratch);
             if new_pairs == 0 {
                 break;
             }
@@ -184,9 +255,9 @@ impl CrossbarScheduler for Pim {
     ) {
         let n = demand.size();
         out.reset(n);
-        scratch.ensure(n);
+        scratch.ensure(n, demand.word_count());
         for _ in 0..self.iterations {
-            if Self::iterate(demand, out, rng, &mut scratch.masks) == 0 {
+            if Self::iterate(demand, out, rng, scratch) == 0 {
                 break; // already maximal; further iterations are no-ops
             }
         }
@@ -194,8 +265,8 @@ impl CrossbarScheduler for Pim {
             for (input, output) in out.iter() {
                 t.emit(TraceEvent::XbarGrant {
                     switch: self.switch,
-                    input: input as u8,
-                    output: output as u8,
+                    input: input as u16,
+                    output: output as u16,
                 });
             }
             t.counter_add("xbar.grants", Entity::Switch(self.switch), out.len() as u64);

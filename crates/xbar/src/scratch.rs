@@ -15,10 +15,16 @@
 /// re-initialise the prefix they use.
 #[derive(Debug, Default)]
 pub struct Scratch {
-    /// One `u64` port set per port (grant masks, candidate sets, ...).
+    /// Port-set words, `words` per port (grant masks, candidate sets, ...).
+    /// Single-word switches use exactly one word per port — the fast path.
     pub(crate) masks: Vec<u64>,
     /// One index per port (visit orders, permutations, ...).
     pub(crate) order: Vec<usize>,
+    /// Three word-wide temporaries for the multi-word scheduler paths
+    /// (free-input / free-output / intersection sets).
+    pub(crate) wa: Vec<u64>,
+    pub(crate) wb: Vec<u64>,
+    pub(crate) wc: Vec<u64>,
 }
 
 impl Scratch {
@@ -27,14 +33,20 @@ impl Scratch {
         Scratch::default()
     }
 
-    /// Grows the buffers to serve an `n`-port switch. Never shrinks, so a
-    /// scratch bounced between switch sizes settles at the largest.
-    pub(crate) fn ensure(&mut self, n: usize) {
-        if self.masks.len() < n {
-            self.masks.resize(n, 0);
+    /// Grows the buffers to serve an `n`-port switch whose port sets span
+    /// `words` words. Never shrinks, so a scratch bounced between switch
+    /// sizes settles at the largest.
+    pub(crate) fn ensure(&mut self, n: usize, words: usize) {
+        if self.masks.len() < n * words {
+            self.masks.resize(n * words, 0);
         }
         if self.order.len() < n {
             self.order.resize(n, 0);
+        }
+        if self.wa.len() < words {
+            self.wa.resize(words, 0);
+            self.wb.resize(words, 0);
+            self.wc.resize(words, 0);
         }
     }
 }
@@ -47,12 +59,17 @@ mod tests {
     fn grows_and_never_shrinks() {
         let mut s = Scratch::new();
         assert!(s.masks.is_empty());
-        s.ensure(8);
+        s.ensure(8, 1);
         assert_eq!(s.masks.len(), 8);
         assert_eq!(s.order.len(), 8);
-        s.ensure(4);
+        s.ensure(4, 1);
         assert_eq!(s.masks.len(), 8, "ensure never shrinks");
-        s.ensure(16);
+        s.ensure(16, 1);
         assert_eq!(s.order.len(), 16);
+        s.ensure(100, 2);
+        assert_eq!(s.masks.len(), 200, "wide switches get words per port");
+        assert_eq!(s.wa.len(), 2);
+        assert_eq!(s.wb.len(), 2);
+        assert_eq!(s.wc.len(), 2);
     }
 }
