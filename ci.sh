@@ -52,6 +52,18 @@ if [[ "${1:-}" != "quick" ]]; then
     echo "== batched data plane scaling (N7 asserts digest equality + monotone curve)"
     cargo run -q -p an2-bench --release --bin experiments -- n7 --json
 
+    echo "== chaos smoke (bounded fixed-seed campaign grid + shrinker pipeline)"
+    cargo test -q --release -p an2-chaos --test smoke
+
+    echo "== chaos corpus replay (every pinned repro: zero violations, identical digests)"
+    cargo test -q --release --test chaos_corpus
+
+    echo "== skeptic liveness (healed links always readmitted, levels decay)"
+    cargo test -q --release -p an2-reconfig --test skeptic_liveness
+
+    echo "== chaos campaigns + skeptic damping (N8 asserts its claims in-process)"
+    cargo run -q -p an2-bench --release --bin experiments -- n8 --json
+
     echo "== cargo doc (deny warnings)"
     RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 fi

@@ -9,6 +9,7 @@ use an2_cells::{LinkRate, Packet, Segmenter, VcId};
 use an2_faults::FaultSpec;
 use an2_reconfig::agent::Msg as CtrlMsg;
 use an2_reconfig::monitor::{LinkMonitor, LinkVerdict};
+use an2_reconfig::skeptic::SkepticConfig;
 use an2_reconfig::{ReconfigEvent, Tag};
 use an2_sim::metrics::PhaseRecorder;
 use an2_sim::{SimDuration, SimTime};
@@ -31,6 +32,7 @@ pub struct NetworkBuilder {
     fabric: FabricConfig,
     rate: LinkRate,
     shards: usize,
+    skeptic: Option<SkepticConfig>,
 }
 
 impl Default for NetworkBuilder {
@@ -41,6 +43,7 @@ impl Default for NetworkBuilder {
             fabric: FabricConfig::default(),
             rate: LinkRate::Mbps622,
             shards: 1,
+            skeptic: None,
         }
     }
 }
@@ -117,6 +120,19 @@ impl NetworkBuilder {
         self
     }
 
+    /// Overrides the skeptic tuning used by every link monitor this
+    /// network creates in [`Network::attach_faults`], taking precedence
+    /// over the fault spec's `monitor.skeptic`. The defaults
+    /// ([`SkepticConfig::default`]: 100 ms base wait, level cap 10, 60 s
+    /// decay) match the paper's AN1 heritage; `base_wait = 0` with
+    /// `max_level = 0` disables the holddown entirely (every recovery is
+    /// granted as soon as the ping thresholds allow — the storm-prone
+    /// behaviour the skeptic exists to damp).
+    pub fn skeptic(mut self, cfg: SkepticConfig) -> Self {
+        self.skeptic = Some(cfg);
+        self
+    }
+
     /// Builds the network.
     pub fn build(self) -> Network {
         let frame = self.fabric.switch.frame_slots;
@@ -134,6 +150,7 @@ impl NetworkBuilder {
             rate: self.rate,
             faults: None,
             control: None,
+            skeptic_override: self.skeptic,
         }
     }
 }
@@ -185,6 +202,9 @@ pub struct Network {
     /// [`Network::enable_control_plane`] has been called: per-switch
     /// reconfiguration agents on the fabric timeline.
     control: Option<Box<ControlPlane>>,
+    /// Builder-supplied skeptic tuning; wins over the fault spec's
+    /// `monitor.skeptic` when monitors are created.
+    skeptic_override: Option<SkepticConfig>,
 }
 
 impl Network {
@@ -597,6 +617,28 @@ impl Network {
             if let Some(t) = monitor.on_ping(ok, now) {
                 transitions.push((*link, t.to));
             }
+            if let Some(edge) = monitor.take_quarantine_edge() {
+                ctl.log.push(ReconfigEvent::LinkQuarantined {
+                    slot,
+                    at: now,
+                    link: *link,
+                    entered: edge.entered,
+                    level: edge.level,
+                });
+                if let Some(t) = self.fabric.tracer() {
+                    t.emit_at_ns(
+                        now.as_nanos(),
+                        TraceEvent::SkepticQuarantine {
+                            link: link.0,
+                            entered: edge.entered,
+                            level: edge.level,
+                        },
+                    );
+                    if edge.entered {
+                        t.counter_add("skeptic.quarantines", Entity::Link(link.0), 1);
+                    }
+                }
+            }
         }
         for (link, verdict) in transitions {
             if let Some(t) = self.fabric.tracer() {
@@ -702,6 +744,10 @@ impl Network {
     /// traffic; attaching mid-flight leaves earlier cells un-faulted.
     pub fn attach_faults(&mut self, spec: &FaultSpec, seed: u64) {
         self.fabric.attach_faults(spec, seed);
+        let mut mon_cfg = spec.monitor;
+        if let Some(sk) = self.skeptic_override {
+            mon_cfg.skeptic = sk;
+        }
         let topo = self.fabric.topology();
         let monitors: Vec<(LinkId, LinkMonitor)> = topo
             .links()
@@ -709,7 +755,7 @@ impl Network {
                 let (a, b) = topo.endpoints(l);
                 matches!(a.node, Node::Switch(_)) && matches!(b.node, Node::Switch(_))
             })
-            .map(|l| (l, LinkMonitor::new(spec.monitor)))
+            .map(|l| (l, LinkMonitor::new(mon_cfg)))
             .collect();
         let slot_ns = self.rate.slot_duration().as_nanos().max(1);
         let ping_every_slots = (spec.monitor.ping_interval.as_nanos() / slot_ns).max(1);
@@ -758,6 +804,39 @@ impl Network {
     /// installs, in slot order. Empty without a fault layer.
     pub fn reconfig_log(&self) -> &[ReconfigEvent] {
         self.faults.as_ref().map_or(&[], |c| c.log.as_slice())
+    }
+
+    /// The skeptic escalation level of `link`'s monitor, or `None` without
+    /// a fault layer or for a link with no monitor (host attachments).
+    pub fn skeptic_level(&self, link: LinkId) -> Option<u32> {
+        let ctl = self.faults.as_ref()?;
+        ctl.monitors
+            .iter()
+            .find(|(l, _)| *l == link)
+            .map(|(_, m)| m.skeptic_level())
+    }
+
+    /// Links currently held in skeptic quarantine: their pings look healthy
+    /// but recovery is suppressed until the exponential holddown expires.
+    pub fn quarantined_links(&self) -> Vec<LinkId> {
+        self.faults.as_ref().map_or_else(Vec::new, |c| {
+            c.monitors
+                .iter()
+                .filter(|(_, m)| m.in_quarantine())
+                .map(|(l, _)| *l)
+                .collect()
+        })
+    }
+
+    /// Total recovery verdicts suppressed by the skeptic's holddown across
+    /// all monitored links so far.
+    pub fn suppressed_recoveries(&self) -> u64 {
+        self.faults.as_ref().map_or(0, |c| {
+            c.monitors
+                .iter()
+                .map(|(_, m)| m.suppressed_recoveries())
+                .sum()
+        })
     }
 
     /// Embeds the distributed reconfiguration agents in this network's

@@ -366,6 +366,12 @@ fn run_digest(seed: u64) -> Vec<u64> {
                 unroutable,
                 ..
             } => 0x500 | (rerouted << 20) | (kept << 10) | unroutable,
+            ReconfigEvent::LinkQuarantined {
+                link,
+                entered,
+                level,
+                ..
+            } => 0x600 | ((*entered as u64) << 40) | ((*level as u64) << 20) | link.0 as u64,
         });
     }
     let c = net.ctrl_counters();

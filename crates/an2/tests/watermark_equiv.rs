@@ -13,8 +13,8 @@
 //! harshest source of asynchronous watermark clamps we have.
 
 use an2::{
-    ControlPlaneConfig, FabricConfig, FaultSpec, LossModel, Network, NetworkBuilder, TraceConfig,
-    TrafficClass,
+    ControlPlaneConfig, FabricConfig, FaultSpec, FlapEvent, LossModel, Network, NetworkBuilder,
+    SkepticConfig, TraceConfig, TrafficClass,
 };
 use an2_cells::{Packet, Segmenter, VcId};
 use an2_sim::{SimDuration, SimRng};
@@ -326,6 +326,167 @@ fn network_run(topo: usize, seed: u64, batched: bool) -> (u64, u64) {
         fnv(&mut digest, &e.slot().to_le_bytes());
     }
     (digest, delivered)
+}
+
+/// The skeptic leg: scripted flap trains drive two backbone links through
+/// death, quarantine and holddown expiry while the monitor pings every
+/// millisecond. Sends happen at fixed slots regardless of `chunk`, so runs
+/// differ only in where `Network::step` call boundaries fall relative to
+/// each ping deadline and each skeptic holddown expiry. A deadline batcher
+/// that skipped a ping would shift a verdict transition; one that skipped a
+/// holddown expiry would shift a quarantine exit — both land in the digest
+/// via the typed reconfiguration log.
+fn skeptic_run(topo: usize, seed: u64, batched: bool, chunk: u64) -> (u64, u64) {
+    let b = Network::builder();
+    let b: NetworkBuilder = match topo {
+        0 => b.src_installation(4, 8),
+        _ => b.ring(4, 8),
+    };
+    let mut net = b
+        .seed(seed)
+        .skeptic(SkepticConfig {
+            base_wait: SimDuration::from_millis(5),
+            max_level: 2,
+            decay_after: SimDuration::from_millis(400),
+        })
+        .build();
+    net.set_batching(batched);
+    let hosts: Vec<_> = net.hosts().collect();
+    let mut circuits = Vec::new();
+    for pair in hosts.chunks(2) {
+        if let [a, b] = *pair {
+            if let Ok(vc) = net.open_best_effort(a, b) {
+                circuits.push(vc);
+            }
+        }
+    }
+    let backbone: Vec<LinkId> = net
+        .topology()
+        .links()
+        .filter(|&l| {
+            let (a, b) = net.topology().endpoints(l);
+            matches!((a.node, b.node), (Node::Switch(_), Node::Switch(_)))
+        })
+        .collect();
+    let mut spec = FaultSpec {
+        check_invariants: true,
+        ..Default::default()
+    };
+    spec.monitor.ping_interval = SimDuration::from_millis(1);
+    spec.monitor.fail_threshold = 3;
+    spec.monitor.recover_threshold = 5;
+    // Three flaps per link: downs just past the fail threshold, up-gaps
+    // short enough that the skeptic's growing holddown (5 ms, 10 ms, 20 ms)
+    // outlasts the recovery streak from the second flap on — so quarantines
+    // enter and expire mid-run.
+    for (i, &link) in backbone.iter().take(2).enumerate() {
+        let base = 20_000 + 3_000 * i as u64;
+        for k in 0..3u64 {
+            spec.flaps.push(FlapEvent {
+                link,
+                down_at: base + 30_000 * k,
+                up_at: base + 30_000 * k + 8_000,
+            });
+        }
+    }
+    net.attach_faults(&spec, seed);
+    net.enable_control_plane(ControlPlaneConfig::default());
+    let mut tag = 0u8;
+    let mut next_send = 0u64;
+    while net.slot() < 150_000 {
+        if net.slot() >= next_send {
+            for &vc in &circuits {
+                if !net.is_broken(vc) {
+                    let _ = net.send_packet(vc, Packet::from_bytes(vec![tag; 300]));
+                }
+            }
+            tag = tag.wrapping_add(1);
+            next_send += 3_000;
+        }
+        // Never step across a send slot: workload stays identical while the
+        // step boundaries inside each window vary with `chunk`.
+        let remaining = next_send.min(150_000) - net.slot();
+        net.step(remaining.min(chunk));
+    }
+    net.step(60_000);
+
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    let mut quarantine_entries = 0u64;
+    for e in net.reconfig_log() {
+        fnv(&mut digest, &e.slot().to_le_bytes());
+        if let an2::ReconfigEvent::LinkQuarantined {
+            link,
+            entered,
+            level,
+            ..
+        } = e
+        {
+            quarantine_entries += *entered as u64;
+            fnv(&mut digest, &link.0.to_le_bytes());
+            fnv(&mut digest, &[*entered as u8]);
+            fnv(&mut digest, &level.to_le_bytes());
+        }
+    }
+    fnv(&mut digest, &net.suppressed_recoveries().to_le_bytes());
+    for &l in &backbone {
+        if let Some(lvl) = net.skeptic_level(l) {
+            fnv(&mut digest, &lvl.to_le_bytes());
+        }
+    }
+    for &vc in &circuits {
+        if net.is_broken(vc) {
+            continue;
+        }
+        let s = net.stats(vc);
+        for x in [
+            s.sent_cells,
+            s.delivered_cells,
+            s.lost_cells,
+            s.dropped_cells,
+        ] {
+            fnv(&mut digest, &x.to_le_bytes());
+        }
+        for &sample in s.latency_slots.samples() {
+            fnv(&mut digest, &sample.to_le_bytes());
+        }
+    }
+    let c = net.ctrl_counters();
+    for x in [c.messages_sent, c.messages_lost, c.cells_sent] {
+        fnv(&mut digest, &x.to_le_bytes());
+    }
+    if let Some(f) = net.fault_counters() {
+        for x in [f.markers_sent, f.resyncs_completed, f.invariant_violations] {
+            fnv(&mut digest, &x.to_le_bytes());
+        }
+    }
+    fnv(&mut digest, &net.slot().to_le_bytes());
+    (digest, quarantine_entries)
+}
+
+#[test]
+fn batched_stepping_never_skips_a_ping_or_holddown_expiry() {
+    for topo in 0..2usize {
+        let (base, quarantines) = skeptic_run(topo, 5, false, 3_000);
+        assert!(
+            quarantines > 0,
+            "the scripted flap train never quarantined (topo {topo}) — the leg proves nothing"
+        );
+        let (batched, batched_quarantines) = skeptic_run(topo, 5, true, 3_000);
+        assert_eq!(
+            base, batched,
+            "deadline batching diverged under the skeptic (topo {topo})"
+        );
+        assert_eq!(quarantines, batched_quarantines);
+        // Odd chunk sizes move every step boundary relative to ping
+        // deadlines and holddown expiries; the digest must not move.
+        for chunk in [997u64, 7_919] {
+            let (odd, _) = skeptic_run(topo, 5, true, chunk);
+            assert_eq!(
+                base, odd,
+                "chunk size {chunk} changed the run (topo {topo})"
+            );
+        }
+    }
 }
 
 #[test]

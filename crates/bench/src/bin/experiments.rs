@@ -29,12 +29,17 @@
 //! `MetricsRegistry` and appends the Prometheus rendering to the report,
 //! so future optimization passes can profile without external tools.
 //!
+//! `--skeptic-base-wait MS` and `--skeptic-max-level N` override the
+//! skeptic knobs for N8's campaign cells (defaults: 20 ms / level 3 for
+//! the grid and churn soak, a flat 400 ms holddown for the storm-on cell).
+//! N8's ≥5× storm-damping assertion only fires at the defaults.
+//!
 //! Outputs are recorded against the paper's statements in EXPERIMENTS.md.
 
 use an2_bench::json::Json;
 use an2_bench::{
-    batch_exp, control_exp, extensions_exp, fabric_exp, faults_exp, figures, flow_exp, network_exp,
-    parallel, parallel_exp, reconfig_exp, schedule_exp, xbar_exp,
+    batch_exp, chaos_exp, control_exp, extensions_exp, fabric_exp, faults_exp, figures, flow_exp,
+    network_exp, parallel, parallel_exp, reconfig_exp, schedule_exp, xbar_exp,
 };
 use std::time::Instant;
 
@@ -86,6 +91,20 @@ fn chaos_json(r: &faults_exp::ChaosRow) -> Json {
         ("detect_ms", Json::Num(r.detect_ms)),
         ("restored", Json::Bool(r.restored)),
         ("replay_ok", Json::Bool(r.replay_ok)),
+    ])
+}
+
+fn campaign_json(r: &chaos_exp::CampaignRow) -> Json {
+    Json::obj(vec![
+        ("cell", Json::str(r.cell.clone())),
+        ("violations", Json::int(r.violations)),
+        ("delivery", Json::Num(r.delivery)),
+        ("epochs", Json::int(r.epochs)),
+        ("transitions", Json::int(r.transitions)),
+        ("quarantines", Json::int(r.quarantines)),
+        ("suppressed", Json::int(r.suppressed)),
+        ("broken", Json::int(r.broken)),
+        ("surviving", Json::int(r.surviving)),
     ])
 }
 
@@ -191,6 +210,7 @@ fn title(id: &str) -> Option<&'static str> {
         "n5" => "N5: tracing overhead — flight recorder on vs off",
         "n6" => "N6: parallel data plane — shard scaling on the 1024-switch fat-tree",
         "n7" => "N7: batched data plane — watermark skips at 1k/10k/100k circuits",
+        "n8" => "N8: chaos campaigns — oracle grid, skeptic damping, churn soak, replay",
         "x1" => "X1: the paper's extension proposals",
         _ => return None,
     })
@@ -201,7 +221,14 @@ fn title(id: &str) -> Option<&'static str> {
 /// `trace`, N4 runs its fail cell under the flight recorder instead and
 /// exports the recording. With `profile`, N7 also records its phase
 /// breakdown through a `MetricsRegistry` and appends the rendering.
-fn compute(id: &str, trace: bool, profile: bool) -> (String, Json) {
+/// `skeptic` carries the `--skeptic-base-wait` / `--skeptic-max-level`
+/// overrides for N8's campaign cells.
+fn compute(
+    id: &str,
+    trace: bool,
+    profile: bool,
+    skeptic: (Option<u64>, Option<u32>),
+) -> (String, Json) {
     match id {
         "n4" if trace => {
             let (row, text) = control_exp::n4_trace("trace_out");
@@ -294,6 +321,10 @@ fn compute(id: &str, trace: bool, profile: bool) -> (String, Json) {
                 Json::Arr(rows.iter().map(batch_scaling_json).collect()),
             )
         }
+        "n8" => {
+            let (rows, text) = chaos_exp::n8_chaos_campaigns(skeptic.0, skeptic.1);
+            (text, Json::Arr(rows.iter().map(campaign_json).collect()))
+        }
         "x1" => {
             let text = format!(
                 "{}\n{}\n{}\n{}",
@@ -310,7 +341,7 @@ fn compute(id: &str, trace: bool, profile: bool) -> (String, Json) {
 
 const ALL: &[&str] = &[
     "f1", "f2", "f3", "f4", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
-    "e12", "x1", "n1", "n2", "n3", "n4", "n5", "n6", "n7",
+    "e12", "x1", "n1", "n2", "n3", "n4", "n5", "n6", "n7", "n8",
 ];
 
 fn main() {
@@ -318,6 +349,8 @@ fn main() {
     let mut json_mode = false;
     let mut trace_mode = false;
     let mut profile_mode = false;
+    let mut skeptic_base_wait: Option<u64> = None;
+    let mut skeptic_max_level: Option<u32> = None;
     let mut named: Vec<&str> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -334,8 +367,28 @@ fn main() {
                     .unwrap_or_else(|_| panic!("--shards needs a number, got '{v}'"));
                 std::env::set_var("AN2_BENCH_SHARDS", v);
             }
+            "--skeptic-base-wait" => {
+                let v = it.next().unwrap_or_else(|| {
+                    panic!("--skeptic-base-wait needs milliseconds (e.g. --skeptic-base-wait 20)")
+                });
+                skeptic_base_wait = Some(v.trim().parse::<u64>().unwrap_or_else(|_| {
+                    panic!("--skeptic-base-wait needs a number of ms, got '{v}'")
+                }));
+            }
+            "--skeptic-max-level" => {
+                let v = it.next().unwrap_or_else(|| {
+                    panic!("--skeptic-max-level needs a level (e.g. --skeptic-max-level 3)")
+                });
+                skeptic_max_level =
+                    Some(v.trim().parse::<u32>().unwrap_or_else(|_| {
+                        panic!("--skeptic-max-level needs a number, got '{v}'")
+                    }));
+            }
             other if other.starts_with("--") => {
-                panic!("unknown flag '{other}' (flags: --json, --trace, --profile, --shards N)")
+                panic!(
+                    "unknown flag '{other}' (flags: --json, --trace, --profile, --shards N, \
+                     --skeptic-base-wait MS, --skeptic-max-level N)"
+                )
             }
             other => named.push(other),
         }
@@ -351,12 +404,17 @@ fn main() {
     let mut records = Vec::new();
     for id in ids {
         let Some(t) = title(id) else {
-            eprintln!("unknown experiment id '{id}' (use f1-f4, e1-e12, x1, n1-n7, all)");
+            eprintln!("unknown experiment id '{id}' (use f1-f4, e1-e12, x1, n1-n8, all)");
             continue;
         };
         println!("\n=== {t} {}\n", "=".repeat(66 - t.len().min(60)));
         let cell_start = Instant::now();
-        let (text, results) = compute(id, trace_mode, profile_mode);
+        let (text, results) = compute(
+            id,
+            trace_mode,
+            profile_mode,
+            (skeptic_base_wait, skeptic_max_level),
+        );
         let wall_ms = cell_start.elapsed().as_secs_f64() * 1e3;
         print!("{text}");
         records.push(Json::obj(vec![

@@ -299,6 +299,15 @@ fn drive(
                 fnv(&mut out.digest, kept);
                 out.rerouted += rerouted;
             }
+            ReconfigEvent::LinkQuarantined {
+                link,
+                entered,
+                level,
+                ..
+            } => {
+                fnv(&mut out.digest, 0x600 | link.0 as u64);
+                fnv(&mut out.digest, ((entered as u64) << 32) | level as u64);
+            }
         }
     }
     (net, circuits, out)

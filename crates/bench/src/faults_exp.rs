@@ -208,6 +208,17 @@ fn soak(spec: Option<&FaultSpec>, fault_seed: u64, slots: u64, gap: u64) -> Outc
                 fnv(&mut out.digest, kept);
                 fnv(&mut out.digest, unroutable);
             }
+            an2::ReconfigEvent::LinkQuarantined {
+                link,
+                entered,
+                level,
+                ..
+            } => {
+                fnv(&mut out.digest, 6);
+                fnv(&mut out.digest, link.0 as u64);
+                fnv(&mut out.digest, entered as u64);
+                fnv(&mut out.digest, level as u64);
+            }
         }
     }
     out

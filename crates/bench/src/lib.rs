@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 
 pub mod batch_exp;
+pub mod chaos_exp;
 pub mod control_exp;
 pub mod extensions_exp;
 pub mod fabric_exp;

@@ -1,0 +1,87 @@
+//! Regenerates the seeded half of `tests/chaos_corpus/` — one pinned
+//! schedule per campaign scenario plus a ring-topology storm. Run from the
+//! workspace root after a deliberate schedule-format or generator change:
+//!
+//! ```text
+//! cargo run --release -p an2-chaos --example seed_corpus
+//! ```
+//!
+//! Every regenerated pin must survive the oracle with zero violations
+//! before it is written; repros minted by the shrinker are *not* touched
+//! by this tool — they are hand-promoted when the bug they witness is
+//! fixed.
+
+use an2_chaos::{generate, run_schedule, save_repro, CampaignSpec, Scenario, TopologyKind};
+use std::path::Path;
+
+fn main() {
+    let dir = Path::new("tests/chaos_corpus");
+    let cells = [
+        (
+            CampaignSpec::defaults(
+                "flap_storm",
+                Scenario::FlapStorm {
+                    links: 2,
+                    flaps_per_link: 3,
+                },
+            ),
+            1u64,
+        ),
+        (
+            CampaignSpec::defaults(
+                "mid_reconfig_crash",
+                Scenario::MidReconfigCrash {
+                    flaps: 1,
+                    crashes: 1,
+                },
+            ),
+            2,
+        ),
+        (
+            CampaignSpec::defaults(
+                "correlated",
+                Scenario::CorrelatedFailure {
+                    groups: 2,
+                    width: 2,
+                },
+            ),
+            3,
+        ),
+        (
+            CampaignSpec::defaults(
+                "churn_loss",
+                Scenario::ChurnLoss {
+                    flapping_links: 2,
+                    flaps_per_link: 2,
+                },
+            ),
+            5,
+        ),
+        {
+            let mut s = CampaignSpec::defaults(
+                "ring_storm",
+                Scenario::FlapStorm {
+                    links: 2,
+                    flaps_per_link: 3,
+                },
+            );
+            s.topology = TopologyKind::Ring {
+                switches: 5,
+                hosts: 10,
+            };
+            (s, 4)
+        },
+    ];
+    for (spec, seed) in cells {
+        let s = generate(&spec, seed);
+        let r = run_schedule(&s);
+        assert!(
+            r.violations.is_empty(),
+            "{} seed={seed} violates the oracle — fix that before pinning: {:?}",
+            spec.name,
+            r.violations
+        );
+        let p = save_repro(dir, &s, &[]).unwrap();
+        println!("wrote {} (delivery {:.3})", p.display(), r.delivery_ratio);
+    }
+}

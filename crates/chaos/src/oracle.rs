@@ -1,0 +1,526 @@
+//! The strengthened oracle: runs one [`Schedule`] through a full
+//! [`an2::Network`] (fault layer + embedded control plane) and checks every
+//! robustness claim, *collecting* violations instead of panicking so the
+//! shrinker can minimize failing schedules.
+//!
+//! Checks, in order:
+//!
+//! 1. **Per-slot invariants** — the fault layer's credit/buffer checkers
+//!    must count zero violations.
+//! 2. **Convergence** — after the drain tail (sized for the worst skeptic
+//!    holddown) the control plane must be quiescent and no link may still
+//!    sit in quarantine.
+//! 3. **Views** — every live agent's topology view must equal the
+//!    untouched `an2-reconfig` harness oracle's view for the same
+//!    surviving topology (partitions handled per the harness).
+//! 4. **Canonical paths** — every open circuit must sit on the
+//!    byte-identical canonical up*/down* path recomputed independently;
+//!    broken circuits must be exactly those with no canonical route.
+//! 5. **No stuck circuits** — a post-convergence probe on every surviving
+//!    circuit must be delivered.
+//! 6. **Credits whole** — after forced resync retries, every surviving
+//!    hop holds its full credit allocation.
+//! 7. **Delivery floor** — aggregate packet delivery on circuits that
+//!    survive to the end must meet the schedule's floor.
+//!
+//! The report also carries an FNV-1a digest of everything observable, so a
+//! replay of the same schedule can be checked byte-for-byte.
+
+use crate::gen::Schedule;
+use an2::{ControlPlaneConfig, HostId, Network, ReconfigEvent, SwitchId, VcId};
+use an2_cells::Packet;
+use an2_reconfig::harness::ReconfigNet;
+use an2_topology::updown;
+use std::fmt;
+
+/// One oracle violation, with enough detail to read the repro.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// The per-slot invariant checkers counted violations.
+    Invariants {
+        /// Number of violations counted.
+        count: u64,
+    },
+    /// The control plane (or a quarantine) failed to settle inside the
+    /// drain tail plus the retry budget.
+    NotConverged,
+    /// A live agent's topology view diverges from the harness oracle.
+    ViewMismatch {
+        /// The switch whose view diverged.
+        switch: SwitchId,
+    },
+    /// A circuit is not on (or wrongly off) its canonical up*/down* path.
+    PathNotCanonical {
+        /// The circuit's raw VC id.
+        vc: u32,
+        /// What was wrong.
+        detail: String,
+    },
+    /// A surviving circuit failed to deliver a post-convergence probe.
+    StuckCircuit {
+        /// The circuit's raw VC id.
+        vc: u32,
+    },
+    /// A surviving circuit's credits never returned to full allocation.
+    CreditsNotWhole {
+        /// The circuit's raw VC id.
+        vc: u32,
+    },
+    /// Aggregate delivery on surviving circuits fell below the floor.
+    DeliveryBelowFloor {
+        /// Packets delivered on surviving circuits.
+        delivered: u64,
+        /// Packets sent on surviving circuits.
+        sent: u64,
+        /// The floor, in thousandths.
+        floor_milli: u32,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Invariants { count } => write!(f, "{count} invariant violations"),
+            Violation::NotConverged => write!(f, "control plane failed to converge after drain"),
+            Violation::ViewMismatch { switch } => {
+                write!(f, "{switch} view diverges from the harness oracle")
+            }
+            Violation::PathNotCanonical { vc, detail } => {
+                write!(f, "vc{vc} not canonical: {detail}")
+            }
+            Violation::StuckCircuit { vc } => {
+                write!(f, "vc{vc} stuck: post-convergence probe undelivered")
+            }
+            Violation::CreditsNotWhole { vc } => {
+                write!(f, "vc{vc} credits not restored after forced resync")
+            }
+            Violation::DeliveryBelowFloor {
+                delivered,
+                sent,
+                floor_milli,
+            } => write!(
+                f,
+                "delivery {delivered}/{sent} below floor {}.{:03}",
+                floor_milli / 1000,
+                floor_milli % 1000
+            ),
+        }
+    }
+}
+
+/// Everything observable about one finished chaos run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Oracle violations, in check order. Empty = the run survived.
+    pub violations: Vec<Violation>,
+    /// FNV-1a digest of stats, received bytes, counters and the typed log —
+    /// the replay contract.
+    pub digest: u64,
+    /// Packets accepted for sending on circuits that survived to the end.
+    pub sent_packets: u64,
+    /// Packets delivered on those circuits (before the probe phase).
+    pub delivered_packets: u64,
+    /// `delivered_packets / sent_packets` (1.0 when nothing was sent).
+    pub delivery_ratio: f64,
+    /// Reconfiguration epochs opened (`EpochStarted` events).
+    pub epochs: u64,
+    /// Monitor verdict transitions (`LinkDead` + `LinkWorking` events).
+    pub verdict_transitions: u64,
+    /// Quarantine entries (`LinkQuarantined { entered: true }` events).
+    pub quarantine_entries: u64,
+    /// Recoveries the skeptic suppressed across all links.
+    pub suppressed_recoveries: u64,
+    /// Circuits broken (partitioned) at the end of the run.
+    pub broken_circuits: u64,
+    /// Circuits still open at the end of the run.
+    pub surviving_circuits: u64,
+    /// The fabric slot the run finished at.
+    pub final_slot: u64,
+}
+
+fn fnv(h: &mut u64, x: u64) {
+    for b in x.to_le_bytes() {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x1_0000_01b3);
+    }
+}
+
+/// Switches permanently crashed over the schedule's horizon.
+fn crashed_switches(s: &Schedule) -> Vec<SwitchId> {
+    let horizon = s.run_slots + s.drain_slots;
+    s.fault
+        .crashes
+        .iter()
+        .filter(|c| c.at <= horizon && c.restart_at > horizon + 1_000_000)
+        .map(|c| c.switch)
+        .collect()
+}
+
+/// Collects view violations: every live agent must agree with the
+/// untouched harness oracle run on the same surviving topology.
+fn check_views(net: &Network, seed: u64, crashed: &[SwitchId], out: &mut Vec<Violation>) {
+    let mut oracle = ReconfigNet::with_defaults(net.topology().clone(), seed ^ 0x5eed);
+    for &sw in crashed {
+        oracle.kill_switch(sw);
+    }
+    oracle.run_to_quiescence();
+    for sw in net.topology().switches() {
+        if crashed.contains(&sw) {
+            continue;
+        }
+        let embedded = match net.agent_view_edges(sw) {
+            Some(v) => v,
+            None => {
+                out.push(Violation::ViewMismatch { switch: sw });
+                continue;
+            }
+        };
+        match oracle.view_edges_of(sw) {
+            Some(oracle_view) => {
+                if !oracle.partition_converged(sw) || embedded != oracle_view {
+                    out.push(Violation::ViewMismatch { switch: sw });
+                }
+            }
+            // A switch with no working links never boots in the oracle
+            // world; the embedded agent must hold an empty view.
+            None => {
+                if !embedded.is_empty() {
+                    out.push(Violation::ViewMismatch { switch: sw });
+                }
+            }
+        }
+    }
+}
+
+/// Collects path violations: recompute the canonical forest over the
+/// surviving adjacency and demand every open circuit sits on the
+/// byte-identical up*/down* path (broken ⇔ no canonical route).
+fn check_paths(
+    net: &Network,
+    circuits: &[(VcId, HostId, HostId)],
+    crashed: &[SwitchId],
+    out: &mut Vec<Violation>,
+) {
+    let topo = net.topology();
+    let live: Vec<SwitchId> = topo.switches().filter(|s| !crashed.contains(s)).collect();
+    let mut edges: Vec<(SwitchId, SwitchId)> = topo
+        .links()
+        .filter_map(|l| {
+            let (a, b) = topo.endpoints(l);
+            match (a.node, b.node) {
+                (an2_topology::Node::Switch(x), an2_topology::Node::Switch(y))
+                    if topo.link_state(l) == an2_topology::LinkState::Working
+                        && !crashed.contains(&x)
+                        && !crashed.contains(&y) =>
+                {
+                    Some(if x <= y { (x, y) } else { (y, x) })
+                }
+                _ => None,
+            }
+        })
+        .collect();
+    edges.sort_unstable();
+    edges.dedup();
+    let forest = updown::canonical_forest(topo.switch_count(), &live, &edges);
+    for &(vc, src, dst) in circuits {
+        let mut expected: Option<Vec<SwitchId>> = None;
+        'pairs: for (_, ss) in topo.host_attachments(src) {
+            for (_, ds) in topo.host_attachments(dst) {
+                let Some(tree) = forest.iter().find(|t| t.contains(ss) && t.contains(ds)) else {
+                    continue;
+                };
+                if let Some(path) = updown::route(topo, tree, ss, ds) {
+                    expected = Some(path);
+                    break 'pairs;
+                }
+            }
+        }
+        match (net.circuit_wiring(vc), expected) {
+            (Some((switches, _, _, _)), Some(path)) => {
+                if switches != path {
+                    out.push(Violation::PathNotCanonical {
+                        vc: vc.raw(),
+                        detail: format!("on {switches:?}, canonical {path:?}"),
+                    });
+                }
+            }
+            (None, None) => {} // correctly broken: endpoints partitioned
+            (Some(_), None) => out.push(Violation::PathNotCanonical {
+                vc: vc.raw(),
+                detail: "open but no canonical route exists".into(),
+            }),
+            (None, Some(p)) => out.push(Violation::PathNotCanonical {
+                vc: vc.raw(),
+                detail: format!("broken despite canonical route {p:?}"),
+            }),
+        }
+    }
+}
+
+/// Runs one schedule end to end and reports violations plus the replay
+/// digest. Deterministic: the same schedule always returns the same
+/// report.
+pub fn run_schedule(s: &Schedule) -> RunReport {
+    let topo = s.topology.build();
+    let mut net = Network::builder().topology(topo).seed(s.seed).build();
+    let hosts: Vec<HostId> = net.hosts().collect();
+    let mut circuits: Vec<(VcId, HostId, HostId)> = Vec::new();
+    let half = (hosts.len() / 2).max(1);
+    for i in 0..(s.circuits as usize).min(half) {
+        // Offset pairing crosses the backbone like the N3 soak.
+        let (a, b) = (hosts[i], hosts[(i + half) % hosts.len()]);
+        if let Ok(vc) = net.open_best_effort(a, b) {
+            circuits.push((vc, a, b));
+        }
+    }
+    net.attach_faults(&s.fault, s.seed);
+    net.enable_control_plane(ControlPlaneConfig::default());
+
+    // Adversarial phase: steady traffic under the fault schedule.
+    let mut sent_pkts: Vec<u64> = vec![0; circuits.len()];
+    let mut tag = 0u8;
+    let mut t = 0u64;
+    while t < s.run_slots {
+        for (k, &(vc, _, _)) in circuits.iter().enumerate() {
+            if !net.is_broken(vc)
+                && net
+                    .send_packet(vc, Packet::from_bytes(vec![tag; s.packet_bytes]))
+                    .is_ok()
+            {
+                sent_pkts[k] += 1;
+            }
+        }
+        tag = tag.wrapping_add(1);
+        net.step(s.send_every);
+        t += s.send_every;
+    }
+
+    // Drain tail: every skeptic holddown expires, the last epoch
+    // converges. Then a bounded retry loop for stragglers.
+    net.step(s.drain_slots);
+    let mut retries = 0u32;
+    while (!net.control_converged() || !net.quarantined_links().is_empty()) && retries < 15 {
+        net.step(20_000);
+        retries += 1;
+    }
+
+    let mut violations = Vec::new();
+    if !net.control_converged() || !net.quarantined_links().is_empty() {
+        violations.push(Violation::NotConverged);
+    }
+
+    // Credit resync: force markers until every surviving hop is whole.
+    for _ in 0..60 {
+        let whole = circuits
+            .iter()
+            .all(|&(vc, _, _)| net.is_broken(vc) || net.credits_fully_restored(vc));
+        if whole {
+            break;
+        }
+        for &(vc, _, _) in &circuits {
+            if !net.is_broken(vc) && !net.credits_fully_restored(vc) {
+                let _ = net.force_resync(vc);
+            }
+        }
+        net.step(3_000);
+    }
+
+    // Delivery floor over surviving circuits, before the probe phase.
+    let mut sent = 0u64;
+    let mut delivered = 0u64;
+    let mut broken_circuits = 0u64;
+    for (k, &(vc, _, _)) in circuits.iter().enumerate() {
+        if net.is_broken(vc) {
+            broken_circuits += 1;
+            continue;
+        }
+        sent += sent_pkts[k];
+        delivered += net.stats(vc).packets_delivered;
+        if !net.credits_fully_restored(vc) {
+            violations.push(Violation::CreditsNotWhole { vc: vc.raw() });
+        }
+    }
+    let delivery_ratio = if sent == 0 {
+        1.0
+    } else {
+        delivered as f64 / sent as f64
+    };
+    if delivery_ratio < s.delivery_floor {
+        violations.push(Violation::DeliveryBelowFloor {
+            delivered,
+            sent,
+            floor_milli: (s.delivery_floor * 1000.0) as u32,
+        });
+    }
+
+    if violations
+        .iter()
+        .all(|v| !matches!(v, Violation::NotConverged))
+    {
+        let crashed = crashed_switches(s);
+        check_views(&net, s.seed, &crashed, &mut violations);
+        check_paths(&net, &circuits, &crashed, &mut violations);
+    }
+
+    // Stuck-circuit probe: every surviving circuit must deliver a probe.
+    // Retried a few times because a lossy link may legitimately eat an
+    // individual probe — only a circuit that delivers *nothing* across
+    // all rounds is stuck.
+    let probe_base: Vec<u64> = circuits
+        .iter()
+        .map(|&(vc, _, _)| {
+            if net.is_broken(vc) {
+                u64::MAX
+            } else {
+                net.stats(vc).packets_delivered
+            }
+        })
+        .collect();
+    for _ in 0..5 {
+        let unsatisfied: Vec<usize> = circuits
+            .iter()
+            .enumerate()
+            .filter(|(k, &(vc, _, _))| {
+                probe_base[*k] != u64::MAX && net.stats(vc).packets_delivered <= probe_base[*k]
+            })
+            .map(|(k, _)| k)
+            .collect();
+        if unsatisfied.is_empty() {
+            break;
+        }
+        for &k in &unsatisfied {
+            let _ = net.send_packet(circuits[k].0, Packet::from_bytes(vec![0xA5; 64]));
+        }
+        net.step(40_000);
+    }
+    for (k, &(vc, _, _)) in circuits.iter().enumerate() {
+        if probe_base[k] != u64::MAX && net.stats(vc).packets_delivered <= probe_base[k] {
+            violations.push(Violation::StuckCircuit { vc: vc.raw() });
+        }
+    }
+
+    if let Some(c) = net.fault_counters() {
+        if c.invariant_violations > 0 {
+            violations.insert(
+                0,
+                Violation::Invariants {
+                    count: c.invariant_violations,
+                },
+            );
+        }
+    }
+
+    // Replay digest: per-circuit stats and latency samples, every received
+    // packet, transport and fault counters, the typed reconfiguration log.
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    for &(vc, _, _) in &circuits {
+        if net.is_broken(vc) {
+            fnv(&mut digest, 0xb20ce2);
+            continue;
+        }
+        let st = net.stats(vc).clone();
+        for x in [
+            st.sent_cells,
+            st.delivered_cells,
+            st.dropped_cells,
+            st.lost_cells,
+            st.corrupted_cells,
+            st.packets_delivered,
+            st.packets_corrupted,
+        ] {
+            fnv(&mut digest, x);
+        }
+        for &l in st.latency_slots.samples() {
+            fnv(&mut digest, l);
+        }
+    }
+    for &h in &hosts {
+        for (pvc, p) in net.take_received(h) {
+            fnv(&mut digest, pvc.raw() as u64);
+            fnv(&mut digest, p.as_bytes().len() as u64);
+            for &b in p.as_bytes().iter().take(8) {
+                fnv(&mut digest, b as u64);
+            }
+        }
+    }
+    let cc = net.ctrl_counters();
+    for x in [cc.messages_sent, cc.messages_lost, cc.cells_sent] {
+        fnv(&mut digest, x);
+    }
+    if let Some(c) = net.fault_counters() {
+        for x in [
+            c.cells_lost,
+            c.cells_corrupted,
+            c.credits_lost,
+            c.markers_sent,
+            c.markers_lost,
+            c.replies_lost,
+            c.resyncs_completed,
+            c.crash_dropped_cells,
+            c.invariant_violations,
+        ] {
+            fnv(&mut digest, x);
+        }
+    }
+    let mut epochs = 0u64;
+    let mut verdict_transitions = 0u64;
+    let mut quarantine_entries = 0u64;
+    for e in net.reconfig_log() {
+        fnv(&mut digest, e.slot());
+        match *e {
+            ReconfigEvent::LinkDead { link, .. } => {
+                verdict_transitions += 1;
+                fnv(&mut digest, 0x100 | link.0 as u64);
+            }
+            ReconfigEvent::LinkWorking { link, .. } => {
+                verdict_transitions += 1;
+                fnv(&mut digest, 0x200 | link.0 as u64);
+            }
+            ReconfigEvent::EpochStarted { tag, .. } => {
+                epochs += 1;
+                fnv(&mut digest, 0x300 | tag.epoch);
+            }
+            ReconfigEvent::Quiesced { messages, .. } => {
+                fnv(&mut digest, 0x400_0000 | messages);
+            }
+            ReconfigEvent::RoutesInstalled {
+                rerouted,
+                kept,
+                unroutable,
+                ..
+            } => {
+                fnv(&mut digest, 0x500);
+                fnv(&mut digest, (rerouted << 20) | (kept << 10) | unroutable);
+            }
+            ReconfigEvent::LinkQuarantined {
+                link,
+                entered,
+                level,
+                ..
+            } => {
+                if entered {
+                    quarantine_entries += 1;
+                }
+                fnv(&mut digest, 0x600 | link.0 as u64);
+                fnv(&mut digest, ((entered as u64) << 32) | level as u64);
+            }
+        }
+    }
+    let suppressed = net.suppressed_recoveries();
+    fnv(&mut digest, suppressed);
+
+    RunReport {
+        violations,
+        digest,
+        sent_packets: sent,
+        delivered_packets: delivered,
+        delivery_ratio,
+        epochs,
+        verdict_transitions,
+        quarantine_entries,
+        suppressed_recoveries: suppressed,
+        broken_circuits,
+        surviving_circuits: circuits.len() as u64 - broken_circuits,
+        final_slot: net.slot(),
+    }
+}

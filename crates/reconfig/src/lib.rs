@@ -120,6 +120,22 @@ pub enum ReconfigEvent {
         /// Total protocol messages sent by all agents so far.
         messages: u64,
     },
+    /// The skeptic's quarantine around `link` opened or closed: while
+    /// quarantined the link's pings look healthy but recovery (and the
+    /// reconfiguration it would trigger) is held back by the exponential
+    /// holddown (§2's damping of intermittent faults).
+    LinkQuarantined {
+        /// Fabric slot of the boundary.
+        slot: u64,
+        /// Virtual time of the boundary.
+        at: SimTime,
+        /// The quarantined link.
+        link: LinkId,
+        /// `true` = entered quarantine, `false` = left it.
+        entered: bool,
+        /// The skeptic's escalation level at the boundary.
+        level: u32,
+    },
     /// The new epoch's up*/down* routes were installed switch-by-switch.
     RoutesInstalled {
         /// Fabric slot installation finished in.
@@ -145,6 +161,7 @@ impl ReconfigEvent {
             | ReconfigEvent::LinkWorking { slot, .. }
             | ReconfigEvent::EpochStarted { slot, .. }
             | ReconfigEvent::Quiesced { slot, .. }
+            | ReconfigEvent::LinkQuarantined { slot, .. }
             | ReconfigEvent::RoutesInstalled { slot, .. } => slot,
         }
     }
@@ -156,6 +173,7 @@ impl ReconfigEvent {
             | ReconfigEvent::LinkWorking { at, .. }
             | ReconfigEvent::EpochStarted { at, .. }
             | ReconfigEvent::Quiesced { at, .. }
+            | ReconfigEvent::LinkQuarantined { at, .. }
             | ReconfigEvent::RoutesInstalled { at, .. } => at,
         }
     }

@@ -32,6 +32,21 @@ pub struct Transition {
     pub at: SimTime,
 }
 
+/// A quarantine boundary: the skeptic began (or stopped) holding back a
+/// link whose pings look healthy again. While quarantined, every recovery
+/// the raw thresholds would have granted is *suppressed* — the damping
+/// that prevents a flapping link from triggering a reconfiguration storm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuarantineEdge {
+    /// `true` when the link entered quarantine, `false` when it left
+    /// (either readmitted, or its pings started failing again).
+    pub entered: bool,
+    /// The skeptic's escalation level at the edge.
+    pub level: u32,
+    /// When the edge occurred.
+    pub at: SimTime,
+}
+
 /// Tunables for a [`LinkMonitor`].
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct MonitorConfig {
@@ -66,6 +81,14 @@ pub struct LinkMonitor {
     consecutive_failures: u32,
     consecutive_successes: u32,
     skeptic: Skeptic,
+    /// The link looks healthy (success streak reached the threshold) but
+    /// the skeptic is still holding it down.
+    quarantined: bool,
+    /// Recoveries the thresholds would have granted but the skeptic
+    /// suppressed — each one is a reconfiguration that did not happen.
+    suppressed_recoveries: u64,
+    /// The most recent quarantine boundary, drained by the caller.
+    pending_edge: Option<QuarantineEdge>,
 }
 
 impl LinkMonitor {
@@ -77,6 +100,9 @@ impl LinkMonitor {
             verdict: LinkVerdict::Working,
             consecutive_failures: 0,
             consecutive_successes: 0,
+            quarantined: false,
+            suppressed_recoveries: 0,
+            pending_edge: None,
         }
     }
 
@@ -90,8 +116,29 @@ impl LinkMonitor {
         self.skeptic.level()
     }
 
+    /// Whether the link is currently quarantined: dead by verdict, healthy
+    /// by pings, held down by the skeptic.
+    pub fn in_quarantine(&self) -> bool {
+        self.quarantined
+    }
+
+    /// Total recoveries the skeptic has suppressed so far.
+    pub fn suppressed_recoveries(&self) -> u64 {
+        self.suppressed_recoveries
+    }
+
+    /// Takes the most recent quarantine boundary, if one occurred since the
+    /// last call — the caller turns these into trace events and log
+    /// entries.
+    pub fn take_quarantine_edge(&mut self) -> Option<QuarantineEdge> {
+        self.pending_edge.take()
+    }
+
     /// Processes one ping outcome at `now`. Returns a [`Transition`] when
     /// the verdict changed (the caller triggers a reconfiguration).
+    ///
+    /// Quarantine boundaries crossed along the way are reported through
+    /// [`LinkMonitor::take_quarantine_edge`].
     pub fn on_ping(&mut self, ok: bool, now: SimTime) -> Option<Transition> {
         self.skeptic.decay(now);
         if ok {
@@ -115,16 +162,48 @@ impl LinkMonitor {
                 }
             }
             LinkVerdict::Dead => {
-                if self.consecutive_successes >= self.cfg.recover_threshold
-                    && self.skeptic.may_recover(now)
-                {
-                    self.verdict = LinkVerdict::Working;
-                    self.skeptic.on_recovery(now);
-                    Some(Transition {
-                        to: LinkVerdict::Working,
-                        at: now,
-                    })
+                if self.consecutive_successes >= self.cfg.recover_threshold {
+                    if self.skeptic.may_recover(now) {
+                        self.verdict = LinkVerdict::Working;
+                        self.skeptic.on_recovery(now);
+                        if self.quarantined {
+                            self.quarantined = false;
+                            self.pending_edge = Some(QuarantineEdge {
+                                entered: false,
+                                level: self.skeptic.level(),
+                                at: now,
+                            });
+                        }
+                        Some(Transition {
+                            to: LinkVerdict::Working,
+                            at: now,
+                        })
+                    } else {
+                        // Healthy pings, but the skeptic's holddown has not
+                        // elapsed: the recovery (and the reconfiguration it
+                        // would trigger) is suppressed.
+                        self.suppressed_recoveries += 1;
+                        if !self.quarantined {
+                            self.quarantined = true;
+                            self.pending_edge = Some(QuarantineEdge {
+                                entered: true,
+                                level: self.skeptic.level(),
+                                at: now,
+                            });
+                        }
+                        None
+                    }
                 } else {
+                    if self.quarantined && !ok {
+                        // The link was being held for good behaviour but
+                        // genuinely failed again: quarantine is moot.
+                        self.quarantined = false;
+                        self.pending_edge = Some(QuarantineEdge {
+                            entered: false,
+                            level: self.skeptic.level(),
+                            at: now,
+                        });
+                    }
                     None
                 }
             }
@@ -253,6 +332,60 @@ mod tests {
             "damping failed: {transitions_first} then {transitions_second}"
         );
         assert!(m.skeptic_level() > 0);
+    }
+
+    #[test]
+    fn quarantine_edges_bracket_suppressed_recoveries() {
+        let mut m = LinkMonitor::new(cfg());
+        // Kill the link (skeptic arms at level 0: 100 ms holddown).
+        for k in 0..3 {
+            m.on_ping(false, tick(k));
+        }
+        assert!(
+            m.take_quarantine_edge().is_none(),
+            "death is not quarantine"
+        );
+        // 5 quick successes: thresholds satisfied at tick 7, but only
+        // 50 ms since the failure — quarantine begins.
+        for k in 3..8 {
+            m.on_ping(true, tick(k));
+        }
+        let edge = m.take_quarantine_edge().expect("entered quarantine");
+        assert!(edge.entered);
+        assert!(m.in_quarantine());
+        assert_eq!(m.verdict(), LinkVerdict::Dead);
+        assert!(m.suppressed_recoveries() >= 1);
+        // Keep succeeding: once the 100 ms holddown elapses the link is
+        // readmitted and the quarantine exit edge is reported.
+        let mut recovered = false;
+        for k in 8..30 {
+            if m.on_ping(true, tick(k)).is_some() {
+                recovered = true;
+                break;
+            }
+        }
+        assert!(recovered);
+        let exit = m.take_quarantine_edge().expect("left quarantine");
+        assert!(!exit.entered);
+        assert!(!m.in_quarantine());
+    }
+
+    #[test]
+    fn renewed_failure_cancels_quarantine() {
+        let mut m = LinkMonitor::new(cfg());
+        for k in 0..3 {
+            m.on_ping(false, tick(k));
+        }
+        for k in 3..8 {
+            m.on_ping(true, tick(k));
+        }
+        assert!(m.take_quarantine_edge().expect("entered").entered);
+        // The link dies for real again: quarantine is moot, edge reported.
+        m.on_ping(false, tick(8));
+        let exit = m.take_quarantine_edge().expect("cancelled");
+        assert!(!exit.entered);
+        assert!(!m.in_quarantine());
+        assert_eq!(m.verdict(), LinkVerdict::Dead);
     }
 
     #[test]

@@ -259,6 +259,16 @@ pub enum TraceEvent {
         /// `true` = declared working, `false` = declared dead.
         up: bool,
     },
+    /// The skeptic quarantined a healthy-looking link (its pings pass but
+    /// recovery is held back by the exponential holddown) or released it.
+    SkepticQuarantine {
+        /// The quarantined link.
+        link: u32,
+        /// `true` = entered quarantine, `false` = left it.
+        entered: bool,
+        /// The skeptic's escalation level at the edge.
+        level: u32,
+    },
     /// A reconfiguration phase opened or closed.
     ReconfigPhase {
         /// Which phase.
@@ -336,6 +346,7 @@ impl TraceEvent {
             TraceEvent::CtrlTx { .. } => "ctrl_tx",
             TraceEvent::CtrlRx { .. } => "ctrl_rx",
             TraceEvent::MonitorVerdict { .. } => "monitor_verdict",
+            TraceEvent::SkepticQuarantine { .. } => "skeptic_quarantine",
             TraceEvent::ReconfigPhase { .. } => "reconfig_phase",
             TraceEvent::FaultDraw { .. } => "fault_draw",
             TraceEvent::InvariantViolation { .. } => "invariant_violation",
@@ -413,6 +424,17 @@ impl TraceEvent {
             }
             TraceEvent::MonitorVerdict { link, up } => {
                 write!(out, "\"link\":{link},\"up\":{up}").expect("string write");
+            }
+            TraceEvent::SkepticQuarantine {
+                link,
+                entered,
+                level,
+            } => {
+                write!(
+                    out,
+                    "\"link\":{link},\"entered\":{entered},\"level\":{level}"
+                )
+                .expect("string write");
             }
             TraceEvent::ReconfigPhase { phase, edge, epoch } => {
                 write!(

@@ -1,0 +1,67 @@
+//! Chaos-corpus replay: every schedule persisted under
+//! `tests/chaos_corpus/` is a pinned regression. Each file must (a) parse,
+//! (b) survive the strengthened oracle with zero violations, and (c)
+//! replay byte-identically — the digest of two fresh runs of the same
+//! schedule must agree.
+//!
+//! Files land here in two ways: seeded pins covering each campaign
+//! scenario, and minimal repros written by the shrinker when a campaign
+//! cell violates the oracle (in which case the fix that closes the bug
+//! flips the file from "expected failure" to a pinned survivor before it
+//! is committed).
+
+use an2_chaos::corpus::load_dir;
+use an2_chaos::oracle::run_schedule;
+use std::path::Path;
+
+fn corpus_dir() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/chaos_corpus"))
+}
+
+#[test]
+fn corpus_is_present_and_parses() {
+    let corpus = load_dir(corpus_dir()).expect("corpus parses");
+    assert!(
+        corpus.len() >= 5,
+        "expected the seeded corpus, found {} files",
+        corpus.len()
+    );
+    for (path, schedule) in &corpus {
+        assert!(
+            !schedule.name.is_empty() && schedule.run_slots > 0,
+            "{} is degenerate",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn corpus_replays_with_zero_violations_and_identical_digests() {
+    let corpus = load_dir(corpus_dir()).expect("corpus parses");
+    let mut failures = Vec::new();
+    for (path, schedule) in &corpus {
+        let first = run_schedule(schedule);
+        if !first.violations.is_empty() {
+            failures.push(format!(
+                "{}: violations {:?}",
+                path.display(),
+                first.violations
+            ));
+            continue;
+        }
+        let second = run_schedule(schedule);
+        if first.digest != second.digest {
+            failures.push(format!(
+                "{}: replay diverged ({:#x} vs {:#x})",
+                path.display(),
+                first.digest,
+                second.digest
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "corpus regressions:\n{}",
+        failures.join("\n")
+    );
+}
