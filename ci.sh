@@ -64,6 +64,15 @@ if [[ "${1:-}" != "quick" ]]; then
     echo "== chaos campaigns + skeptic damping (N8 asserts its claims in-process)"
     cargo run -q -p an2-bench --release --bin experiments -- n8 --json
 
+    echo "== protocol-trait equivalence (up*/down* byte-identical behind ControlProtocol)"
+    cargo test -q -p an2 --test protocol_equiv
+
+    echo "== rival convergence (spanning tree + path vector reach their own quiescence)"
+    cargo test -q --release -p an2 --test rival_convergence
+
+    echo "== protocol arena (N9 races all three control planes, asserts its claims in-process)"
+    cargo run -q -p an2-bench --release --bin experiments -- n9 --json
+
     echo "== cargo doc (deny warnings)"
     RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 fi

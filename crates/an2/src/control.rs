@@ -1,38 +1,39 @@
-//! The embedded control plane: distributed reconfiguration inside the
+//! The embedded control plane: a distributed control protocol inside the
 //! live network (§2).
 //!
 //! The pre-existing `an2-reconfig` harness runs the reconfiguration
 //! protocol in its own actor world, on its own clock, over perfect links.
-//! This module embeds the *same* [`SwitchAgent`] state machines in the
-//! fabric's slot-stepped timeline: each switch owns an agent, link-monitor
-//! verdicts become agent events, and agent-to-agent protocol messages are
-//! segmented into 53-byte control cells that ride the same
-//! fault-injectable links as data ([`Fabric::send_ctrl`]).
+//! This module embeds a [`ControlProtocol`] — the paper's up\*/down\*
+//! reconfiguration by default, or one of its arena rivals (spanning tree,
+//! path vector) — in the fabric's slot-stepped timeline: each switch owns
+//! a protocol state machine, link-monitor verdicts become link events, and
+//! protocol messages are segmented into 53-byte control cells that ride
+//! the same fault-injectable links as data ([`Fabric::send_ctrl`]).
 //!
-//! When the protocol quiesces — no control cells in flight and every live
-//! agent's view equal to its partition's surviving topology — the network
-//! installs the new epoch's up\*/down\* routes switch-by-switch from the
-//! *canonical forest* ([`an2_topology::updown::canonical_forest`]), a pure
-//! function of the agreed edge set. Because the oracle harness can compute
-//! the same forest from the same edges, embedded routes are byte-comparable
-//! to harness routes (experiment N4's acceptance check).
+//! When the protocol quiesces — no control cells in flight and the
+//! protocol's own convergence predicate satisfied on every live partition
+//! — the network installs the new epoch's routes switch-by-switch from
+//! the protocol's route emission (the canonical up\*/down\* forest for the
+//! paper's protocol; tree paths or stored path vectors for the rivals).
+//! Because the oracle harness can compute the same canonical forest from
+//! the same edges, embedded up\*/down\* routes are byte-comparable to
+//! harness routes (experiment N4's acceptance check).
 //!
 //! Convergence under message loss is guaranteed by a bounded retry: if an
-//! epoch is open, nothing is in flight, and the views still disagree, the
-//! lowest live switch with a stale view re-initiates after a quiet
-//! interval ([`ControlPlaneConfig::retry`]) with a fresh (higher) tag.
+//! epoch is open, nothing is in flight, and the protocol still disagrees,
+//! the lowest live switch of the disagreeing partition gets a timer kick
+//! after a quiet interval ([`ControlPlaneConfig::retry`]) and re-initiates
+//! with fresh progress (a higher tag / generation).
 
 use crate::fabric::Fabric;
-use an2_reconfig::agent::{AgentPublic, Msg, PublicHandle, SwitchAgent};
+use an2_reconfig::protocol::{ControlProtocol, LinkEvent, ProtocolKind, ProtocolMsg};
+use an2_reconfig::quiesce::LiveView;
 use an2_reconfig::{ReconfigEvent, Tag};
 use an2_sim::metrics::PhaseRecorder;
-use an2_sim::{ActorId, SimDuration, SimTime};
-use an2_topology::updown::RouteCache;
+use an2_sim::{SimDuration, SimTime};
 use an2_topology::{LinkState, Node, SwitchId};
-use an2_trace::{Entity, Phase, PhaseEdge, TraceEvent, Tracer};
-use std::cell::RefCell;
+use an2_trace::{Entity, Phase, PhaseEdge, ProtocolTag, TraceEvent, Tracer};
 use std::fmt;
-use std::rc::Rc;
 
 /// An undirected switch adjacency, lower id first.
 pub(crate) type Edge = (SwitchId, SwitchId);
@@ -70,31 +71,42 @@ impl Default for ControlPlaneConfig {
     }
 }
 
-/// Per-switch reconfiguration agents living on the fabric timeline, plus
-/// the route cache and phase recorder that turn their quiescent views into
-/// installed up*/down* routes.
+/// What the control plane feeds the protocol: a local link event, a peer
+/// message off the wire, or the stall-retry timer.
+pub(crate) enum Input {
+    /// A local link-state change (boot, up, down).
+    Event(LinkEvent),
+    /// A protocol message that arrived as control cells.
+    Message(ProtocolMsg),
+    /// The stall-retry timer: re-initiate.
+    Timer,
+}
+
+/// Per-switch protocol state machines living on the fabric timeline, plus
+/// the shared infrastructure — control-cell transport, stall-retry clock,
+/// phase recorder — that turns their quiescent agreement into installed
+/// routes.
 pub(crate) struct ControlPlane {
-    agents: Vec<SwitchAgent>,
-    publics: Vec<PublicHandle>,
+    /// The pluggable protocol (selected by `Network::builder().protocol`).
+    pub(crate) protocol: Box<dyn ControlProtocol>,
     /// `cfg.processing` in slots, added to every outbound control send.
     processing_slots: u64,
     /// `cfg.retry` in slots.
     retry_slots: u64,
     max_retries: u32,
     retries_used: u32,
-    /// An epoch is open: some agent's tag advanced past the last installed
-    /// configuration and quiescence has not been declared yet.
+    /// An epoch is open: the protocol's progress tag advanced past the
+    /// last installed configuration and quiescence has not been declared
+    /// yet.
     pub(crate) epoch_open: bool,
-    /// The largest tag observed across all agents.
+    /// The largest progress tag observed.
     pub(crate) best_tag: Tag,
     /// Last slot with control activity (arrival, verdict, or re-kick);
     /// the stall-retry clock.
     pub(crate) last_activity_slot: u64,
     /// Protocol messages that could not be sent because no working link
-    /// remained to the destination (the verdict beat the agent to it).
+    /// remained to the destination (the verdict beat the protocol to it).
     pub(crate) unsendable: u64,
-    /// Canonical-forest route memo, incrementally invalidated on verdicts.
-    pub(crate) cache: RouteCache,
     /// Converge/install spans on the virtual clock.
     pub(crate) phases: PhaseRecorder,
     /// Flight-recorder handle mirroring phase transitions as
@@ -105,7 +117,7 @@ pub(crate) struct ControlPlane {
 impl fmt::Debug for ControlPlane {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ControlPlane")
-            .field("agents", &self.agents.len())
+            .field("protocol", &self.protocol.kind().name())
             .field("epoch_open", &self.epoch_open)
             .field("best_tag", &self.best_tag)
             .field("retries_used", &self.retries_used)
@@ -114,20 +126,17 @@ impl fmt::Debug for ControlPlane {
 }
 
 impl ControlPlane {
-    /// One agent per switch, all idle at [`Tag::ZERO`]. Boot knowledge is
+    /// One protocol instance per switch, all idle. Boot knowledge is
     /// delivered by [`crate::Network::enable_control_plane`].
-    pub(crate) fn new(switch_count: usize, cfg: ControlPlaneConfig, slot_ns: u64) -> Self {
+    pub(crate) fn new(
+        switch_count: usize,
+        cfg: ControlPlaneConfig,
+        slot_ns: u64,
+        kind: ProtocolKind,
+    ) -> Self {
         let slot_ns = slot_ns.max(1);
-        let mut agents = Vec::with_capacity(switch_count);
-        let mut publics = Vec::with_capacity(switch_count);
-        for s in 0..switch_count {
-            let public: PublicHandle = Rc::new(RefCell::new(AgentPublic::default()));
-            publics.push(public.clone());
-            agents.push(SwitchAgent::new(SwitchId(s as u16), cfg.processing, public));
-        }
         ControlPlane {
-            agents,
-            publics,
+            protocol: kind.build(switch_count, cfg.processing),
             processing_slots: (cfg.processing.as_nanos() / slot_ns).max(1),
             retry_slots: (cfg.retry.as_nanos() / slot_ns).max(1),
             max_retries: cfg.max_retries,
@@ -136,18 +145,36 @@ impl ControlPlane {
             best_tag: Tag::ZERO,
             last_activity_slot: 0,
             unsendable: 0,
-            cache: RouteCache::new(),
             phases: PhaseRecorder::new(),
             tracer: None,
         }
     }
 
-    /// Runs one message through `sw`'s agent and ships every reply as a
-    /// control-cell burst over the lowest-id working link to its
-    /// destination, in the agent's send order.
-    pub(crate) fn deliver(&mut self, fabric: &mut Fabric, now: SimTime, sw: SwitchId, msg: Msg) {
+    /// The trace tag for this plane's protocol.
+    pub(crate) fn trace_tag(&self) -> ProtocolTag {
+        match self.protocol.kind() {
+            ProtocolKind::UpDown => ProtocolTag::UpDown,
+            ProtocolKind::SpanningTree => ProtocolTag::SpanningTree,
+            ProtocolKind::PathVector => ProtocolTag::PathVector,
+        }
+    }
+
+    /// Runs one input through `sw`'s protocol instance and ships every
+    /// reply as a control-cell burst over the lowest-id working link to
+    /// its destination, in the protocol's send order.
+    pub(crate) fn deliver(
+        &mut self,
+        fabric: &mut Fabric,
+        now: SimTime,
+        sw: SwitchId,
+        input: Input,
+    ) {
         let mut out = Vec::new();
-        self.agents[sw.0 as usize].handle(now, msg, &mut out);
+        match input {
+            Input::Event(ev) => self.protocol.on_link_event(now, sw, ev, &mut out),
+            Input::Message(msg) => self.protocol.on_message(now, sw, msg, &mut out),
+            Input::Timer => self.protocol.on_timer(now, sw, &mut out),
+        }
         for (to, m) in out {
             let link = fabric.topology().links_between(sw, to).into_iter().min();
             match link {
@@ -168,12 +195,7 @@ impl ControlPlane {
         now: SimTime,
         events: &mut Vec<ReconfigEvent>,
     ) {
-        let max_tag = self
-            .agents
-            .iter()
-            .map(SwitchAgent::tag)
-            .max()
-            .unwrap_or(Tag::ZERO);
+        let max_tag = self.protocol.progress_tag();
         if max_tag > self.best_tag {
             self.best_tag = max_tag;
             events.push(ReconfigEvent::EpochStarted {
@@ -192,6 +214,7 @@ impl ControlPlane {
                             phase: Phase::Converge,
                             edge: PhaseEdge::Begin,
                             epoch: max_tag.epoch,
+                            protocol: self.trace_tag(),
                         },
                     );
                     t.counter_add("reconfig.epochs_started", Entity::Global, 1);
@@ -201,50 +224,17 @@ impl ControlPlane {
         }
     }
 
-    /// Whether every live agent's view matches its partition's surviving
-    /// topology (and all tags agree within each partition). `Ok` carries
-    /// the largest agreed tag; `Err` carries the lowest live switch of the
-    /// first partition still in disagreement (the stall-retry candidate).
+    /// The protocol's own convergence predicate over the surviving
+    /// topology. `Ok` carries the largest agreed tag; `Err` carries the
+    /// lowest live switch of the first partition still in disagreement
+    /// (the stall-retry candidate).
     fn partition_check(&self, fabric: &Fabric) -> Result<Tag, SwitchId> {
         let topo = fabric.topology();
-        let mut best = Tag::ZERO;
-        for part in topo.switch_partitions() {
-            let live: Vec<SwitchId> = part
-                .into_iter()
-                .filter(|&s| !fabric.switch_crashed(s))
-                .collect();
-            let Some(&lowest) = live.first() else {
-                continue;
-            };
-            // Expected: the adjacency set among this partition's live
-            // members, over working links.
-            let mut expected: Vec<Edge> = Vec::new();
-            for &a in &live {
-                for b in topo.switch_neighbors(a) {
-                    if b > a && live.contains(&b) {
-                        expected.push(norm(a, b));
-                    }
-                }
-            }
-            expected.sort_unstable();
-            expected.dedup();
-            let mut tags = live.iter().map(|&s| self.agents[s.0 as usize].tag());
-            let first = tags.next().expect("non-empty partition");
-            if !tags.all(|t| t == first) {
-                return Err(lowest);
-            }
-            for &s in &live {
-                let public = self.publics[s.0 as usize].borrow();
-                let Some(view) = &public.view else {
-                    return Err(lowest);
-                };
-                if view.tag != first || view.edges != expected {
-                    return Err(lowest);
-                }
-            }
-            best = best.max(first);
-        }
-        Ok(best)
+        let crashed: Vec<bool> = topo.switches().map(|s| fabric.switch_crashed(s)).collect();
+        self.protocol.convergence(&LiveView {
+            topo,
+            crashed: &crashed,
+        })
     }
 
     /// The largest agreed tag, when every live partition has converged.
@@ -252,9 +242,9 @@ impl ControlPlane {
         self.partition_check(fabric).ok()
     }
 
-    /// Total protocol messages sent by all agents so far.
+    /// Total protocol messages sent by all switches so far.
     pub(crate) fn total_messages(&self) -> u64 {
-        self.publics.iter().map(|p| p.borrow().messages_sent).sum()
+        self.protocol.messages_sent()
     }
 
     /// Stall recovery: when an open epoch has drained without agreement,
@@ -273,27 +263,26 @@ impl ControlPlane {
         Some(stale)
     }
 
-    /// The agent's current topology view for switch `s`, as normalized
-    /// sorted edges.
+    /// The protocol's current topology view for switch `s`, as normalized
+    /// sorted edges (`None` for protocols without full-topology views).
     pub(crate) fn view_edges(&self, s: SwitchId) -> Option<Vec<Edge>> {
-        self.publics
-            .get(s.0 as usize)
-            .and_then(|p| p.borrow().view.as_ref().map(|v| v.edges.clone()))
+        self.protocol.view_edges(s)
     }
 
-    /// The largest tag agent `s` has seen.
+    /// The largest tag switch `s` has seen.
     pub(crate) fn agent_tag(&self, s: SwitchId) -> Option<Tag> {
-        self.agents.get(s.0 as usize).map(SwitchAgent::tag)
+        self.protocol.tag_of(s)
     }
 }
 
-/// The canonical wiring for one best-effort circuit on the installed
-/// forest: iterate host attachments in link-id order and take the first
-/// pair of attachment switches the up*/down* router connects; concrete
-/// inter-switch hops use the lowest-id working link. A pure function of
-/// (topology, forest), so the N4 oracle can recompute it independently.
+/// The canonical wiring for one best-effort circuit on the protocol's
+/// installed routes: iterate host attachments in link-id order and take
+/// the first pair of attachment switches the protocol routes between;
+/// concrete inter-switch hops use the lowest-id working link. For the
+/// up*/down* protocol this is a pure function of (topology, forest), so
+/// the N4 oracle can recompute it independently.
 pub(crate) fn canonical_wiring(
-    cache: &mut RouteCache,
+    protocol: &mut dyn ControlProtocol,
     topo: &an2_topology::Topology,
     src: an2_topology::HostId,
     dst: an2_topology::HostId,
@@ -307,7 +296,7 @@ pub(crate) fn canonical_wiring(
     let dst_atts = topo.host_attachments(dst);
     for &(src_link, src_sw) in &src_atts {
         for &(dst_link, dst_sw) in &dst_atts {
-            let Some(path) = cache.route(topo, src_sw, dst_sw) else {
+            let Some(path) = protocol.switch_route(topo, src_sw, dst_sw) else {
                 continue;
             };
             let mut links = Vec::with_capacity(path.len().saturating_sub(1));
@@ -330,7 +319,7 @@ pub(crate) fn canonical_wiring(
 }
 
 /// The adjacency edges among live (non-crashed) switches over working
-/// links, normalized, sorted, deduplicated — the canonical forest's input.
+/// links, normalized, sorted, deduplicated — the route emission's input.
 pub(crate) fn live_edges(fabric: &Fabric) -> (Vec<SwitchId>, Vec<Edge>) {
     let topo = fabric.topology();
     let live: Vec<SwitchId> = topo
@@ -352,10 +341,4 @@ pub(crate) fn live_edges(fabric: &Fabric) -> (Vec<SwitchId>, Vec<Edge>) {
     edges.sort_unstable();
     edges.dedup();
     (live, edges)
-}
-
-/// A placeholder actor address for embedded `Msg::LinkUp` events: the
-/// embedded transport routes by [`SwitchId`], so the actor field is inert.
-pub(crate) fn embedded_actor(neighbor: SwitchId) -> ActorId {
-    ActorId(neighbor.0 as usize)
 }

@@ -25,7 +25,7 @@ use an2_cells::signal::{SignalMsg, TrafficClass};
 use an2_cells::{Cell, CellKind, CellPool, CellQueue, Packet, Reassembler, VcId};
 use an2_faults::{Fate, FaultInjector, FaultSpec, HEADER_BITS};
 use an2_flow::{resync, CreditReceiver, CreditSender};
-use an2_reconfig::agent::Msg as CtrlMsg;
+use an2_reconfig::protocol::ProtocolMsg as CtrlMsg;
 use an2_sim::metrics::Histogram;
 use an2_sim::SimRng;
 use an2_switch::{Departure, Switch, SwitchConfig};
@@ -2147,22 +2147,12 @@ impl Fabric {
     }
 
     /// The cell count a protocol message segments into: AN2 signalling
-    /// units ride 53-byte cells with 48-byte payloads, so a topology report
-    /// listing `e` edges and `p` tree arcs needs `⌈(14 + 4(e+p)) / 48⌉`
-    /// cells while the fixed-size messages fit in one.
+    /// units ride 53-byte cells with 48-byte payloads, so a message of
+    /// `b` wire bytes (`ProtocolMsg::wire_bytes`, e.g. `14 + 4(e+p)` for
+    /// a topology report listing `e` edges and `p` tree arcs) needs
+    /// `⌈b / 48⌉` cells while the fixed-size messages fit in one.
     fn ctrl_cells_for(msg: &CtrlMsg) -> u32 {
-        let bytes = match msg {
-            CtrlMsg::Boot => 2,
-            CtrlMsg::LinkUp { .. } => 16,
-            CtrlMsg::LinkDown { .. } | CtrlMsg::LinkDownDelta { .. } => 4,
-            CtrlMsg::Invite { .. } => 12,
-            CtrlMsg::InviteAck { .. } => 13,
-            CtrlMsg::Delta { .. } => 16,
-            CtrlMsg::Report { edges, parents, .. } | CtrlMsg::Distribute { edges, parents, .. } => {
-                14 + 4 * (edges.len() + parents.len())
-            }
-        };
-        bytes.div_ceil(an2_cells::PAYLOAD_BYTES).max(1) as u32
+        msg.wire_bytes().div_ceil(an2_cells::PAYLOAD_BYTES).max(1) as u32
     }
 
     /// Puts a reconfiguration protocol message on the wire from `from`

@@ -7,13 +7,13 @@ use crate::fabric::{CtrlCounters, Fabric, FabricConfig, FaultCounters, PhaseProf
 use an2_cells::signal::TrafficClass;
 use an2_cells::{LinkRate, Packet, Segmenter, VcId};
 use an2_faults::FaultSpec;
-use an2_reconfig::agent::Msg as CtrlMsg;
 use an2_reconfig::monitor::{LinkMonitor, LinkVerdict};
+use an2_reconfig::protocol::{LinkEvent, ProtocolKind};
 use an2_reconfig::skeptic::SkepticConfig;
 use an2_reconfig::{ReconfigEvent, Tag};
 use an2_sim::metrics::PhaseRecorder;
 use an2_sim::{SimDuration, SimTime};
-use an2_topology::{generators, paths, updown, HostId, LinkId, Node, SwitchId, Topology};
+use an2_topology::{generators, paths, HostId, LinkId, Node, SwitchId, Topology};
 use an2_trace::{Entity, Phase, PhaseEdge, TraceConfig, TraceEvent, Tracer};
 use std::collections::HashMap;
 
@@ -33,6 +33,7 @@ pub struct NetworkBuilder {
     rate: LinkRate,
     shards: usize,
     skeptic: Option<SkepticConfig>,
+    protocol: ProtocolKind,
 }
 
 impl Default for NetworkBuilder {
@@ -44,6 +45,7 @@ impl Default for NetworkBuilder {
             rate: LinkRate::Mbps622,
             shards: 1,
             skeptic: None,
+            protocol: ProtocolKind::default(),
         }
     }
 }
@@ -133,6 +135,16 @@ impl NetworkBuilder {
         self
     }
 
+    /// Selects the control protocol [`Network::enable_control_plane`]
+    /// embeds (default: the paper's up\*/down\* reconfiguration). The
+    /// rivals — [`ProtocolKind::SpanningTree`] and
+    /// [`ProtocolKind::PathVector`] — ride the same control-cell links,
+    /// monitors, and retry machinery; the N9 arena races all three.
+    pub fn protocol(mut self, kind: ProtocolKind) -> Self {
+        self.protocol = kind;
+        self
+    }
+
     /// Builds the network.
     pub fn build(self) -> Network {
         let frame = self.fabric.switch.frame_slots;
@@ -151,6 +163,7 @@ impl NetworkBuilder {
             faults: None,
             control: None,
             skeptic_override: self.skeptic,
+            protocol: self.protocol,
         }
     }
 }
@@ -205,6 +218,8 @@ pub struct Network {
     /// Builder-supplied skeptic tuning; wins over the fault spec's
     /// `monitor.skeptic` when monitors are created.
     skeptic_override: Option<SkepticConfig>,
+    /// The control protocol [`Network::enable_control_plane`] will embed.
+    protocol: ProtocolKind,
 }
 
 impl Network {
@@ -839,15 +854,16 @@ impl Network {
         })
     }
 
-    /// Embeds the distributed reconfiguration agents in this network's
-    /// timeline (§2): one [`an2_reconfig::agent::SwitchAgent`] per switch,
+    /// Embeds the selected control protocol in this network's timeline
+    /// (§2): one [`an2_reconfig::protocol::ControlProtocol`] state machine
+    /// per switch — the paper's up\*/down\* reconfiguration agents by
+    /// default, or a rival picked with [`NetworkBuilder::protocol`] —
     /// booted with its local link knowledge. From here on, link-monitor
-    /// verdicts feed the agents instead of the centralized
+    /// verdicts feed the protocol instead of the centralized
     /// [`Network::fail_link`], protocol messages travel as control cells
-    /// over the same lossy links as data, and on quiescence the agreed
-    /// topology's up\*/down\* routes are installed switch-by-switch —
-    /// tearing down and re-establishing only the circuits whose paths
-    /// changed.
+    /// over the same lossy links as data, and on quiescence the protocol's
+    /// own routes are installed switch-by-switch — tearing down and
+    /// re-establishing only the circuits whose paths changed.
     ///
     /// Guaranteed circuits stay with the *centralized* bandwidth central
     /// on failure, as §4 prescribes — reservations need global capacity
@@ -868,6 +884,7 @@ impl Network {
             self.topology().switch_count(),
             cfg,
             slot_ns,
+            self.protocol,
         ));
         // A tracer attached before the control plane still sees its phase
         // transitions, including the boot epoch's.
@@ -894,12 +911,10 @@ impl Network {
                     &mut self.fabric,
                     now,
                     sw,
-                    CtrlMsg::LinkUp {
+                    control::Input::Event(LinkEvent::Up {
                         link: l,
                         neighbor: other,
-                        actor: control::embedded_actor(other),
-                        latency: SimDuration::ZERO,
-                    },
+                    }),
                 );
             }
         }
@@ -931,7 +946,7 @@ impl Network {
             if self.fabric.switch_crashed(sw) {
                 continue; // the line card that would handle this is down
             }
-            cp.deliver(&mut self.fabric, now, sw, msg);
+            cp.deliver(&mut self.fabric, now, sw, control::Input::Message(msg));
         }
         cp.observe_epoch(slot, now, &mut ctl.log);
         if cp.epoch_open && self.fabric.ctrl_inflight_count() == 0 {
@@ -950,6 +965,7 @@ impl Network {
                             phase: Phase::Converge,
                             edge: PhaseEdge::End,
                             epoch: tag.epoch,
+                            protocol: cp.trace_tag(),
                         },
                     );
                 }
@@ -957,8 +973,8 @@ impl Network {
                 self.install_routes(&mut cp, &mut ctl.log, slot, now, tag);
             } else if let Some(sw) = cp.retry_candidate(&self.fabric, slot) {
                 // Lost control cells left the epoch stalled: the lowest
-                // disagreeing live switch re-initiates with a higher tag.
-                cp.deliver(&mut self.fabric, now, sw, CtrlMsg::Boot);
+                // disagreeing live switch re-initiates with fresh progress.
+                cp.deliver(&mut self.fabric, now, sw, control::Input::Timer);
                 cp.observe_epoch(slot, now, &mut ctl.log);
             }
         }
@@ -1000,7 +1016,7 @@ impl Network {
             }
         }
         let mut cp = self.control.take().expect("caller checked");
-        cp.cache.invalidate_edge(a, b);
+        cp.protocol.invalidate_edge(a, b);
         if self.topology().links_between(a, b).is_empty() {
             for (sw, other) in [(a, b), (b, a)] {
                 if !self.fabric.switch_crashed(sw) {
@@ -1008,7 +1024,7 @@ impl Network {
                         &mut self.fabric,
                         now,
                         sw,
-                        CtrlMsg::LinkDown { neighbor: other },
+                        control::Input::Event(LinkEvent::Down { neighbor: other }),
                     );
                 }
             }
@@ -1061,19 +1077,17 @@ impl Network {
             let tag = cp.best_tag;
             self.install_routes(&mut cp, log, slot, now, tag);
         } else {
-            cp.cache.invalidate_all();
+            cp.protocol.invalidate_all();
             for (sw, other) in [(a, b), (b, a)] {
                 if !self.fabric.switch_crashed(sw) {
                     cp.deliver(
                         &mut self.fabric,
                         now,
                         sw,
-                        CtrlMsg::LinkUp {
+                        control::Input::Event(LinkEvent::Up {
                             link,
                             neighbor: other,
-                            actor: control::embedded_actor(other),
-                            latency: SimDuration::ZERO,
-                        },
+                        }),
                     );
                 }
             }
@@ -1083,12 +1097,14 @@ impl Network {
         self.control = Some(cp);
     }
 
-    /// Installs the current topology's canonical up*/down* routes
-    /// switch-by-switch: every best-effort circuit is compared against its
-    /// canonical wiring, and only circuits whose paths changed are torn
-    /// down and re-established (§2's reduced-disruption goal). Stranded
-    /// circuits come back with their accumulated statistics; circuits
-    /// whose endpoints are partitioned stay broken.
+    /// Installs the protocol's routes for the current topology
+    /// switch-by-switch (the canonical up*/down* forest for the paper's
+    /// protocol; tree paths or path-vector tables for the rivals): every
+    /// best-effort circuit is compared against its canonical wiring, and
+    /// only circuits whose paths changed are torn down and re-established
+    /// (§2's reduced-disruption goal). Stranded circuits come back with
+    /// their accumulated statistics; circuits whose endpoints are
+    /// partitioned stay broken.
     fn install_routes(
         &mut self,
         cp: &mut ControlPlane,
@@ -1105,12 +1121,13 @@ impl Network {
                     phase: Phase::Install,
                     edge: PhaseEdge::Begin,
                     epoch: tag.epoch,
+                    protocol: cp.trace_tag(),
                 },
             );
         }
         let (live, edges) = control::live_edges(&self.fabric);
-        let forest = updown::canonical_forest(self.topology().switch_count(), &live, &edges);
-        cp.cache.set_forest(forest);
+        cp.protocol
+            .prepare_routes(self.topology().switch_count(), &live, &edges);
         let mut vcs: Vec<VcId> = self
             .meta
             .iter()
@@ -1125,7 +1142,7 @@ impl Network {
             }
             let meta = self.meta[&vc].clone();
             let target = control::canonical_wiring(
-                &mut cp.cache,
+                cp.protocol.as_mut(),
                 self.fabric.topology(),
                 meta.src,
                 meta.dst,
@@ -1192,6 +1209,7 @@ impl Network {
                     phase: Phase::Install,
                     edge: PhaseEdge::End,
                     epoch: tag.epoch,
+                    protocol: cp.trace_tag(),
                 },
             );
             t.counter_add("reconfig.routes_installed", Entity::Global, 1);
@@ -1234,9 +1252,11 @@ impl Network {
         self.fabric.ctrl_counters()
     }
 
-    /// The control plane's route-cache `(hits, misses)`, if enabled.
+    /// The control plane's route-emission `(hits, misses)` (route-cache
+    /// hits and misses for up*/down*; `(0, queries)` for the rivals, which
+    /// recompute per query), if enabled.
     pub fn route_cache_stats(&self) -> Option<(u64, u64)> {
-        self.control.as_ref().map(|cp| cp.cache.stats())
+        self.control.as_ref().map(|cp| cp.protocol.route_stats())
     }
 
     /// An open circuit's full wiring: switch path, inter-switch links, and

@@ -1,0 +1,172 @@
+//! Refactor-equivalence suite: the trait-wrapped up*/down* agent must be
+//! byte-identical to the pre-refactor control plane.
+//!
+//! The digests pinned in `PINNED` were captured by running this exact
+//! grid against the pre-refactor control plane (commit 7e5b096, where
+//! `ControlPlane` drove `SwitchAgent` directly). Any refactor of the
+//! protocol layer must reproduce them bit for bit: same reconfiguration
+//! log, same control-cell counters (same RNG draws on the lossy links),
+//! same per-circuit stats.
+
+use an2::{ControlPlaneConfig, FaultSpec, FlapEvent, Network, ReconfigEvent, SwitchId, VcId};
+use an2_cells::Packet;
+use an2_sim::SimDuration;
+use an2_topology::{LinkId, Node, Topology};
+
+/// Far-future slot: a flap that never recovers within the horizon.
+const NEVER: u64 = 1_000_000_000;
+
+fn quiet_spec() -> FaultSpec {
+    let mut spec = FaultSpec {
+        check_invariants: true,
+        ..Default::default()
+    };
+    spec.monitor.ping_interval = SimDuration::from_millis(1);
+    spec
+}
+
+fn backbone_links(topo: &Topology) -> Vec<(LinkId, SwitchId, SwitchId)> {
+    topo.links()
+        .filter_map(|l| {
+            let (a, b) = topo.endpoints(l);
+            match (a.node, b.node) {
+                (Node::Switch(x), Node::Switch(y)) => Some((l, x, y)),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+fn grid_topology(which: u64) -> Topology {
+    match which % 3 {
+        0 => an2_topology::generators::src_installation(4, 8),
+        1 => an2_topology::generators::src_installation(6, 12),
+        _ => {
+            let mut t = an2_topology::generators::ring(5);
+            for k in 0..10u16 {
+                let h = t.add_host();
+                t.attach_host(h, SwitchId(k % 5)).unwrap();
+            }
+            t
+        }
+    }
+}
+
+/// One grid cell: boot, a mid-run flap (down then back up) on a backbone
+/// link, steady best-effort traffic throughout. Digest covers the typed
+/// reconfiguration log, the control transport counters, and per-circuit
+/// stats — everything the replay contract covers.
+fn run_digest(which: u64, seed: u64) -> Vec<u64> {
+    let topo = grid_topology(which);
+    let backbone = backbone_links(&topo);
+    let victim = backbone[2 % backbone.len()].0;
+    let mut spec = quiet_spec();
+    // Light independent loss so every control burst draws from the
+    // per-link RNG streams: a refactor that changes message sizes, send
+    // order, or cell counts shifts these draws and the digest catches it.
+    spec.default_link.loss = an2::LossModel::Independent { p: 0.005 };
+    spec.resync_interval_slots = 4_096;
+    spec.flaps.push(FlapEvent {
+        link: victim,
+        down_at: 40_000,
+        up_at: 150_000,
+    });
+    spec.flaps.push(FlapEvent {
+        link: backbone[backbone.len() - 1].0,
+        down_at: 260_000,
+        up_at: NEVER,
+    });
+    let mut net = Network::builder().topology(topo).seed(seed).build();
+    let hosts: Vec<_> = net.hosts().collect();
+    let mut circuits: Vec<(VcId, an2::HostId, an2::HostId)> = Vec::new();
+    for pair in hosts.chunks(2) {
+        if let [a, b] = *pair {
+            let vc = net.open_best_effort(a, b).expect("open circuit");
+            circuits.push((vc, a, b));
+        }
+    }
+    net.attach_faults(&spec, seed);
+    net.enable_control_plane(ControlPlaneConfig::default());
+    for k in 0..80u64 {
+        for &(vc, _, _) in &circuits {
+            let _ = net.send_packet(vc, Packet::from_bytes(vec![(k & 0xFF) as u8; 300]));
+        }
+        net.step(5_000);
+    }
+    let mut d = Vec::new();
+    for e in net.reconfig_log() {
+        d.push(e.slot());
+        d.push(match e {
+            ReconfigEvent::LinkDead { link, .. } => 0x100 | link.0 as u64,
+            ReconfigEvent::LinkWorking { link, .. } => 0x200 | link.0 as u64,
+            ReconfigEvent::EpochStarted { tag, .. } => 0x300 | tag.epoch,
+            ReconfigEvent::Quiesced { messages, .. } => 0x400 | messages,
+            ReconfigEvent::RoutesInstalled {
+                rerouted,
+                kept,
+                unroutable,
+                ..
+            } => 0x500 | (rerouted << 20) | (kept << 10) | unroutable,
+            ReconfigEvent::LinkQuarantined {
+                link,
+                entered,
+                level,
+                ..
+            } => 0x600 | ((*entered as u64) << 40) | ((*level as u64) << 20) | link.0 as u64,
+        });
+    }
+    let c = net.ctrl_counters();
+    d.extend([c.messages_sent, c.messages_lost, c.cells_sent]);
+    for &(vc, _, _) in &circuits {
+        if net.is_broken(vc) {
+            continue;
+        }
+        let s = net.stats(vc).clone();
+        d.extend([
+            s.sent_cells,
+            s.delivered_cells,
+            s.lost_cells,
+            s.dropped_cells,
+        ]);
+    }
+    d
+}
+
+/// FNV-1a over the digest words: one pinned u64 per grid cell.
+fn fnv(words: &[u64]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &w in words {
+        for b in w.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// (topology, seed, digest word count, FNV-1a of the digest words),
+/// captured pre-refactor. See the module docs.
+const PINNED: [(u64, u64, usize, u64); 9] = [
+    (0, 3, 57, 0x22bd07f67bcea66d),
+    (0, 7, 55, 0x77b78a11b786a281),
+    (0, 21, 55, 0xfd6d438f52a95627),
+    (1, 3, 65, 0x9d584ec93be822fb),
+    (1, 7, 63, 0x7c1fed1266fd840e),
+    (1, 21, 63, 0xdde72d39a413f903),
+    (2, 3, 57, 0xbc167304771d9a11),
+    (2, 7, 57, 0x1925b19acb419f80),
+    (2, 21, 57, 0xea04606f3f32edad),
+];
+
+#[test]
+fn updown_digests_match_pre_refactor_baseline() {
+    for (which, seed, words, pinned) in PINNED {
+        let d = run_digest(which, seed);
+        assert_eq!(
+            (d.len(), fnv(&d)),
+            (words, pinned),
+            "trait-wrapped up*/down* diverged from the pre-refactor \
+             control plane on topology {which}, seed {seed}"
+        );
+    }
+}

@@ -1,0 +1,201 @@
+//! Convergence of the arena rivals — the BPDU-style spanning tree and the
+//! path-vector protocol — embedded in the live control plane.
+//!
+//! The up*/down* agent has a byte-identical oracle (`control_plane_tests`,
+//! `protocol_equiv`); the rivals have no external reference
+//! implementation, so the contract here is self-consistency: after boot
+//! and after a single link failure, the protocol must reach its own
+//! convergence predicate (uniform generations and loop-free agreement in
+//! every live partition, checked by `Network::control_converged`), and
+//! every route it installs must be a simple path over working links —
+//! no routing loops, no dead hops.
+
+use an2::{ControlPlaneConfig, FaultSpec, FlapEvent, Network, ProtocolKind, SwitchId, VcId};
+use an2_sim::SimDuration;
+use an2_topology::{generators, LinkId, LinkState, Node, Topology};
+use proptest::prelude::*;
+
+/// Far-future slot: a flap that never recovers within the test horizon.
+const NEVER: u64 = 1_000_000_000;
+
+fn quiet_spec() -> FaultSpec {
+    let mut spec = FaultSpec {
+        check_invariants: true,
+        ..Default::default()
+    };
+    spec.monitor.ping_interval = SimDuration::from_millis(1);
+    spec
+}
+
+/// The three arena topologies: small and large Figure 1–style
+/// installations, and a single-homed ring.
+fn grid_topology(which: usize) -> Topology {
+    match which {
+        0 => generators::src_installation(4, 8),
+        1 => generators::src_installation(6, 12),
+        _ => {
+            let mut topo = generators::ring(5);
+            for k in 0..10 {
+                let h = topo.add_host();
+                topo.attach_host(h, SwitchId((k % 5) as u16))
+                    .expect("ring host attach");
+            }
+            topo
+        }
+    }
+}
+
+/// Inter-switch links of the current topology, in id order.
+fn backbone_links(topo: &Topology) -> Vec<(LinkId, SwitchId, SwitchId)> {
+    topo.links()
+        .filter_map(|l| {
+            let (a, b) = topo.endpoints(l);
+            match (a.node, b.node) {
+                (Node::Switch(x), Node::Switch(y)) => Some((l, x, y)),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+fn step_until_converged(net: &mut Network, cap_slots: u64, what: &str) {
+    let start = net.slot();
+    while net.slot() - start < cap_slots {
+        net.step(2_000);
+        if net.control_converged() {
+            return;
+        }
+    }
+    panic!(
+        "{what}: control plane failed to converge within {cap_slots} slots; log={:?}",
+        net.reconfig_log()
+    );
+}
+
+/// Every open circuit must sit on a simple path: no switch visited twice,
+/// every inter-switch link working, endpoints consistent.
+fn assert_routes_loop_free(net: &Network, vcs: &[VcId], what: &str) {
+    let topo = net.topology();
+    for &vc in vcs {
+        let Some((switches, links, src_link, dst_link)) = net.circuit_wiring(vc) else {
+            continue; // broken: no route in the surviving topology
+        };
+        let mut seen = switches.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(
+            seen.len(),
+            switches.len(),
+            "{what}: {vc} routed through a loop: {switches:?}"
+        );
+        assert_eq!(
+            links.len() + 1,
+            switches.len(),
+            "{what}: {vc} has {} links for {} switches",
+            links.len(),
+            switches.len()
+        );
+        for &l in links.iter().chain([&src_link, &dst_link]) {
+            assert_eq!(
+                topo.link_state(l),
+                LinkState::Working,
+                "{what}: {vc} wired over non-working link {l}"
+            );
+        }
+    }
+}
+
+/// Boots the protocol on `which` topology, converges, kills one backbone
+/// link, and demands reconvergence with loop-free installed routes.
+fn run_case(kind: ProtocolKind, which: usize, seed: u64, victim_choice: usize) {
+    let topo = grid_topology(which);
+    let mut net = Network::builder()
+        .topology(topo)
+        .seed(seed)
+        .protocol(kind)
+        .build();
+
+    // A few best-effort circuits spread across host pairs, so route
+    // installation has something to wire.
+    let hosts: Vec<_> = net.hosts().collect();
+    let mut vcs = Vec::new();
+    for (i, pair) in hosts.chunks(2).enumerate() {
+        if let [a, b] = *pair {
+            if let Ok(vc) = net.open_best_effort(a, b) {
+                vcs.push(vc);
+            }
+            if i >= 3 {
+                break;
+            }
+        }
+    }
+    assert!(!vcs.is_empty(), "no circuits opened");
+
+    let backbone = backbone_links(net.topology());
+    let (victim, _, _) = backbone[victim_choice % backbone.len()];
+    let mut spec = quiet_spec();
+    spec.flaps.push(FlapEvent {
+        link: victim,
+        down_at: 40_000,
+        up_at: NEVER,
+    });
+    net.attach_faults(&spec, seed);
+    net.enable_control_plane(ControlPlaneConfig::default());
+
+    let name = match kind {
+        ProtocolKind::UpDown => "updown",
+        ProtocolKind::SpanningTree => "stp",
+        ProtocolKind::PathVector => "pathvector",
+    };
+    step_until_converged(&mut net, 40_000, &format!("{name}/t{which}/s{seed} boot"));
+    assert_routes_loop_free(&net, &vcs, &format!("{name}/t{which}/s{seed} boot"));
+
+    // Ride past the failure and demand reconvergence on the survivor
+    // topology.
+    while net.slot() < 60_000 {
+        net.step(2_000);
+    }
+    step_until_converged(
+        &mut net,
+        1_000_000,
+        &format!("{name}/t{which}/s{seed} post-failure"),
+    );
+    assert_routes_loop_free(&net, &vcs, &format!("{name}/t{which}/s{seed} post-failure"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(9))]
+
+    /// Spanning tree: 3 topologies × 3 seeds × a drawn single failure.
+    #[test]
+    fn spanning_tree_converges_after_single_failure(
+        which in 0usize..3,
+        seed_idx in 0usize..3,
+        victim in 0usize..8,
+    ) {
+        run_case(ProtocolKind::SpanningTree, which, [3u64, 7, 21][seed_idx], victim);
+    }
+
+    /// Path vector: same grid, same contract.
+    #[test]
+    fn path_vector_converges_after_single_failure(
+        which in 0usize..3,
+        seed_idx in 0usize..3,
+        victim in 0usize..8,
+    ) {
+        run_case(ProtocolKind::PathVector, which, [3u64, 7, 21][seed_idx], victim);
+    }
+}
+
+/// The full 3×3 grid, deterministically, for both rivals — the proptests
+/// above sample it, this pins every cell.
+#[test]
+fn rival_grid_full_sweep() {
+    for kind in [ProtocolKind::SpanningTree, ProtocolKind::PathVector] {
+        for which in 0..3 {
+            for (i, &seed) in [3u64, 7, 21].iter().enumerate() {
+                run_case(kind, which, seed, i + which);
+            }
+        }
+    }
+}

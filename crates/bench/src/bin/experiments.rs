@@ -38,8 +38,8 @@
 
 use an2_bench::json::Json;
 use an2_bench::{
-    batch_exp, chaos_exp, control_exp, extensions_exp, fabric_exp, faults_exp, figures, flow_exp,
-    network_exp, parallel, parallel_exp, reconfig_exp, schedule_exp, xbar_exp,
+    arena_exp, batch_exp, chaos_exp, control_exp, extensions_exp, fabric_exp, faults_exp, figures,
+    flow_exp, network_exp, parallel, parallel_exp, reconfig_exp, schedule_exp, xbar_exp,
 };
 use std::time::Instant;
 
@@ -105,6 +105,22 @@ fn campaign_json(r: &chaos_exp::CampaignRow) -> Json {
         ("suppressed", Json::int(r.suppressed)),
         ("broken", Json::int(r.broken)),
         ("surviving", Json::int(r.surviving)),
+    ])
+}
+
+fn arena_json(r: &arena_exp::ArenaRow) -> Json {
+    Json::obj(vec![
+        ("protocol", Json::str(r.protocol.clone())),
+        ("topology", Json::str(r.topology.clone())),
+        ("loss", Json::Num(r.loss)),
+        ("converge_ms", Json::Num(r.converge_ms)),
+        ("ctrl_cells", Json::int(r.ctrl_cells)),
+        ("ctrl_messages", Json::int(r.ctrl_messages)),
+        ("ctrl_lost", Json::int(r.ctrl_lost)),
+        ("reconv_lost_cells", Json::int(r.reconv_lost_cells)),
+        ("stretch", Json::Num(r.stretch)),
+        ("surviving", Json::int(r.surviving)),
+        ("converged", Json::Bool(r.converged)),
     ])
 }
 
@@ -211,6 +227,7 @@ fn title(id: &str) -> Option<&'static str> {
         "n6" => "N6: parallel data plane — shard scaling on the 1024-switch fat-tree",
         "n7" => "N7: batched data plane — watermark skips at 1k/10k/100k circuits",
         "n8" => "N8: chaos campaigns — oracle grid, skeptic damping, churn soak, replay",
+        "n9" => "N9: protocol arena — up*/down* vs spanning tree vs path vector",
         "x1" => "X1: the paper's extension proposals",
         _ => return None,
     })
@@ -325,6 +342,10 @@ fn compute(
             let (rows, text) = chaos_exp::n8_chaos_campaigns(skeptic.0, skeptic.1);
             (text, Json::Arr(rows.iter().map(campaign_json).collect()))
         }
+        "n9" => {
+            let (rows, text) = arena_exp::n9_protocol_arena();
+            (text, Json::Arr(rows.iter().map(arena_json).collect()))
+        }
         "x1" => {
             let text = format!(
                 "{}\n{}\n{}\n{}",
@@ -341,7 +362,7 @@ fn compute(
 
 const ALL: &[&str] = &[
     "f1", "f2", "f3", "f4", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
-    "e12", "x1", "n1", "n2", "n3", "n4", "n5", "n6", "n7", "n8",
+    "e12", "x1", "n1", "n2", "n3", "n4", "n5", "n6", "n7", "n8", "n9",
 ];
 
 fn main() {
@@ -404,7 +425,7 @@ fn main() {
     let mut records = Vec::new();
     for id in ids {
         let Some(t) = title(id) else {
-            eprintln!("unknown experiment id '{id}' (use f1-f4, e1-e12, x1, n1-n8, all)");
+            eprintln!("unknown experiment id '{id}' (use f1-f4, e1-e12, x1, n1-n9, all)");
             continue;
         };
         println!("\n=== {t} {}\n", "=".repeat(66 - t.len().min(60)));

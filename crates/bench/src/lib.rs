@@ -13,6 +13,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena_exp;
 pub mod batch_exp;
 pub mod chaos_exp;
 pub mod control_exp;

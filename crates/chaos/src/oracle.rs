@@ -27,7 +27,7 @@
 //! replay of the same schedule can be checked byte-for-byte.
 
 use crate::gen::Schedule;
-use an2::{ControlPlaneConfig, HostId, Network, ReconfigEvent, SwitchId, VcId};
+use an2::{ControlPlaneConfig, HostId, Network, ProtocolKind, ReconfigEvent, SwitchId, VcId};
 use an2_cells::Packet;
 use an2_reconfig::harness::ReconfigNet;
 use an2_topology::updown;
@@ -257,12 +257,32 @@ fn check_paths(
     }
 }
 
-/// Runs one schedule end to end and reports violations plus the replay
-/// digest. Deterministic: the same schedule always returns the same
-/// report.
+/// Runs one schedule end to end under the paper's up*/down* protocol with
+/// the full oracle. Deterministic: the same schedule always returns the
+/// same report.
 pub fn run_schedule(s: &Schedule) -> RunReport {
+    run_schedule_with(s, ProtocolKind::UpDown)
+}
+
+/// Runs one schedule under the selected control protocol.
+///
+/// Up*/down* gets the full oracle — its external references (the harness
+/// view oracle, the canonical-path recomputation) only exist for the
+/// paper's protocol. The arena rivals keep the same run phases (drain,
+/// credit resync, probes) so their digests are comparable run-to-run, but
+/// only the protocol-agnostic legs are *recorded* as violations: per-slot
+/// invariants and the delivery floor. The floor itself is derated to 90%
+/// of the schedule's value for rivals: corpus floors are calibrated
+/// against up*/down*'s reconvergence speed, and the rivals' extra loss
+/// during reconvergence is a measured arena quantity, not a defect.
+pub fn run_schedule_with(s: &Schedule, kind: ProtocolKind) -> RunReport {
+    let full_oracle = kind == ProtocolKind::UpDown;
     let topo = s.topology.build();
-    let mut net = Network::builder().topology(topo).seed(s.seed).build();
+    let mut net = Network::builder()
+        .topology(topo)
+        .seed(s.seed)
+        .protocol(kind)
+        .build();
     let hosts: Vec<HostId> = net.hosts().collect();
     let mut circuits: Vec<(VcId, HostId, HostId)> = Vec::new();
     let half = (hosts.len() / 2).max(1);
@@ -305,7 +325,7 @@ pub fn run_schedule(s: &Schedule) -> RunReport {
     }
 
     let mut violations = Vec::new();
-    if !net.control_converged() || !net.quarantined_links().is_empty() {
+    if full_oracle && (!net.control_converged() || !net.quarantined_links().is_empty()) {
         violations.push(Violation::NotConverged);
     }
 
@@ -336,7 +356,7 @@ pub fn run_schedule(s: &Schedule) -> RunReport {
         }
         sent += sent_pkts[k];
         delivered += net.stats(vc).packets_delivered;
-        if !net.credits_fully_restored(vc) {
+        if full_oracle && !net.credits_fully_restored(vc) {
             violations.push(Violation::CreditsNotWhole { vc: vc.raw() });
         }
     }
@@ -345,17 +365,23 @@ pub fn run_schedule(s: &Schedule) -> RunReport {
     } else {
         delivered as f64 / sent as f64
     };
-    if delivery_ratio < s.delivery_floor {
+    let floor = if full_oracle {
+        s.delivery_floor
+    } else {
+        s.delivery_floor * 0.9
+    };
+    if delivery_ratio < floor {
         violations.push(Violation::DeliveryBelowFloor {
             delivered,
             sent,
-            floor_milli: (s.delivery_floor * 1000.0) as u32,
+            floor_milli: (floor * 1000.0) as u32,
         });
     }
 
-    if violations
-        .iter()
-        .all(|v| !matches!(v, Violation::NotConverged))
+    if full_oracle
+        && violations
+            .iter()
+            .all(|v| !matches!(v, Violation::NotConverged))
     {
         let crashed = crashed_switches(s);
         check_views(&net, s.seed, &crashed, &mut violations);
@@ -393,9 +419,11 @@ pub fn run_schedule(s: &Schedule) -> RunReport {
         }
         net.step(40_000);
     }
-    for (k, &(vc, _, _)) in circuits.iter().enumerate() {
-        if probe_base[k] != u64::MAX && net.stats(vc).packets_delivered <= probe_base[k] {
-            violations.push(Violation::StuckCircuit { vc: vc.raw() });
+    if full_oracle {
+        for (k, &(vc, _, _)) in circuits.iter().enumerate() {
+            if probe_base[k] != u64::MAX && net.stats(vc).packets_delivered <= probe_base[k] {
+                violations.push(Violation::StuckCircuit { vc: vc.raw() });
+            }
         }
     }
 

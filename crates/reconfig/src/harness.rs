@@ -3,6 +3,7 @@
 //! for the reconfiguration experiments (E1, E12).
 
 use crate::agent::{AgentPublic, Edge, Msg, PublicHandle, SwitchAgent};
+use crate::quiesce;
 use an2_sim::{ActorId, SimDuration, SimTime, StopReason, World};
 use an2_topology::{LinkId, LinkState, Node, SpanningTree, SwitchId, Topology};
 use std::cell::RefCell;
@@ -198,32 +199,31 @@ impl ReconfigNet {
 
     /// Whether every switch in the same partition as `reference` holds a
     /// topology view that (a) matches every other member's and (b) equals
-    /// that partition's actual working edges.
+    /// that partition's actual working edges. Built on the shared
+    /// [`quiesce`] detector the embedded control plane and
+    /// the chaos oracle use.
     pub fn partition_converged(&self, reference: SwitchId) -> bool {
-        let parts = self.topo.switch_partitions();
-        let part = parts
-            .iter()
-            .find(|p| p.contains(&reference))
+        let lv = quiesce::LiveView::all_live(&self.topo);
+        let part = lv
+            .live_partition_of(reference)
             .expect("reference switch exists");
-        // Edges internal to the partition.
-        let expected: Vec<Edge> = self
-            .actual_edges()
-            .into_iter()
-            .filter(|(a, b)| part.contains(a) && part.contains(b))
-            .collect();
-        part.iter().all(|&s| {
-            self.view_edges(s).as_deref() == Some(&expected[..])
-                && self.publics[s.0 as usize]
+        // View tags stand in for agent tags: a missing view reads as ZERO
+        // and is then rejected by the view check, so agreement demands
+        // every member completed the same reconfiguration.
+        quiesce::partition_uniform(
+            &lv,
+            &part,
+            &mut |s| {
+                self.publics[s.0 as usize]
                     .borrow()
                     .view
                     .as_ref()
                     .map(|v| v.tag)
-                    == self.publics[part[0].0 as usize]
-                        .borrow()
-                        .view
-                        .as_ref()
-                        .map(|v| v.tag)
-        })
+                    .unwrap_or(crate::Tag::ZERO)
+            },
+            &mut |s, _, expected| self.view_edges(s).as_deref() == Some(expected),
+        )
+        .is_ok()
     }
 
     /// Whether the whole network (assumed connected) has converged.

@@ -31,7 +31,11 @@
 pub mod agent;
 pub mod harness;
 pub mod monitor;
+pub mod pathvector;
+pub mod protocol;
+pub mod quiesce;
 pub mod skeptic;
+pub mod stp;
 
 use an2_sim::SimTime;
 use an2_topology::{LinkId, SwitchId};

@@ -1,0 +1,350 @@
+//! The pluggable control-protocol interface.
+//!
+//! PR 4 turned reconfiguration traffic into ordinary 53-byte control cells
+//! on lossy links — a substrate that can carry *any* distributed protocol.
+//! [`ControlProtocol`] is the seam: a per-switch state machine consuming
+//! link events, peer messages and stall-timer kicks, emitting messages in
+//! send order, and reporting its own convergence predicate and routes. The
+//! embedded control plane supplies the shared infrastructure — message
+//! segmentation into control cells, the stall-retry clock, route
+//! installation — and stays protocol-agnostic.
+//!
+//! Three first-class implementations ride the same substrate:
+//!
+//! - [`UpDownProtocol`] — the paper's §2 three-phase reconfiguration
+//!   (wrapping [`SwitchAgent`] unchanged), emitting canonical up\*/down\*
+//!   forest routes.
+//! - [`crate::stp::StpProtocol`] — a BPDU-style spanning tree: root
+//!   election, port roles, topology-change notifications, tree-path routes.
+//! - [`crate::pathvector::PvProtocol`] — per-destination path vectors with
+//!   poisoned reverse, shortest-path routes.
+
+use crate::agent::{AgentPublic, Msg, PublicHandle, SwitchAgent};
+use crate::quiesce::{uniform_views, Edge, LiveView};
+use crate::Tag;
+use an2_sim::{ActorId, SimDuration, SimTime};
+use an2_topology::updown::{canonical_forest, RouteCache};
+use an2_topology::{LinkId, SwitchId, Topology};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A local link-state event delivered to one switch's protocol instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkEvent {
+    /// The switch powers on with no link knowledge yet.
+    Boot,
+    /// A link to `neighbor` came up (or exists at boot).
+    Up {
+        /// The physical link.
+        link: LinkId,
+        /// The switch at the far end.
+        neighbor: SwitchId,
+    },
+    /// The (last) link to `neighbor` was declared dead.
+    Down {
+        /// The switch at the far end.
+        neighbor: SwitchId,
+    },
+}
+
+/// The wire envelope for every protocol's messages. The fabric segments
+/// one `ProtocolMsg` into [`Self::wire_bytes`] worth of 48-byte control
+/// cell payloads; losing any cell loses the whole message.
+#[derive(Debug, Clone)]
+pub enum ProtocolMsg {
+    /// An up*/down* reconfiguration message (§2).
+    UpDown(Msg),
+    /// A spanning-tree message (BPDU or topology-change notification).
+    Stp(crate::stp::StpMsg),
+    /// A path-vector routing update.
+    Pv(crate::pathvector::PvMsg),
+}
+
+impl ProtocolMsg {
+    /// Serialized size on the wire, in bytes. The up*/down* encoding is
+    /// frozen: it fixes how many control cells each message segments into,
+    /// hence how many loss draws the fault injector makes — byte-identity
+    /// of pre-refactor runs depends on these exact numbers.
+    pub fn wire_bytes(&self) -> usize {
+        match self {
+            ProtocolMsg::UpDown(m) => match m {
+                Msg::Boot => 2,
+                Msg::LinkUp { .. } => 16,
+                Msg::LinkDown { .. } | Msg::LinkDownDelta { .. } => 4,
+                Msg::Invite { .. } => 12,
+                Msg::InviteAck { .. } => 13,
+                Msg::Delta { .. } => 16,
+                Msg::Report { edges, parents, .. } | Msg::Distribute { edges, parents, .. } => {
+                    14 + 4 * (edges.len() + parents.len())
+                }
+            },
+            ProtocolMsg::Stp(m) => m.wire_bytes(),
+            ProtocolMsg::Pv(m) => m.wire_bytes(),
+        }
+    }
+}
+
+/// Which control protocol a network runs. Selected via
+/// `Network::builder().protocol(..)`; the default is the paper's own.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProtocolKind {
+    /// §2 three-phase reconfiguration with canonical up*/down* routes.
+    #[default]
+    UpDown,
+    /// BPDU-style spanning tree (root election, port roles, TCN).
+    SpanningTree,
+    /// Path-vector with poisoned reverse (AS-path style).
+    PathVector,
+}
+
+impl ProtocolKind {
+    /// Stable lowercase name for logs, traces and experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolKind::UpDown => "updown",
+            ProtocolKind::SpanningTree => "stp",
+            ProtocolKind::PathVector => "pathvector",
+        }
+    }
+
+    /// Builds a fresh instance for `switch_count` switches. `processing`
+    /// models per-message line-card software time (only the up*/down*
+    /// actor embedding consumes it; the embedded transport adds it as
+    /// extra cell delay for every protocol).
+    pub fn build(self, switch_count: usize, processing: SimDuration) -> Box<dyn ControlProtocol> {
+        match self {
+            ProtocolKind::UpDown => Box::new(UpDownProtocol::new(switch_count, processing)),
+            ProtocolKind::SpanningTree => Box::new(crate::stp::StpProtocol::new(switch_count)),
+            ProtocolKind::PathVector => Box::new(crate::pathvector::PvProtocol::new(switch_count)),
+        }
+    }
+}
+
+/// A distributed control protocol: one state machine per switch, driven by
+/// link events, peer messages and stall timers; every message the protocol
+/// wants delivered is appended to `out` as a `(destination, payload)`
+/// pair, in send order. The caller owns transport — segmentation into
+/// control cells, loss, delay — and delivery.
+pub trait ControlProtocol {
+    /// Which protocol this is.
+    fn kind(&self) -> ProtocolKind;
+
+    /// A local link-state change observed at `sw` (boot, link up, link
+    /// down), typically from a monitor verdict.
+    fn on_link_event(
+        &mut self,
+        now: SimTime,
+        sw: SwitchId,
+        ev: LinkEvent,
+        out: &mut Vec<(SwitchId, ProtocolMsg)>,
+    );
+
+    /// A peer protocol message arrived at `sw`.
+    fn on_message(
+        &mut self,
+        now: SimTime,
+        sw: SwitchId,
+        msg: ProtocolMsg,
+        out: &mut Vec<(SwitchId, ProtocolMsg)>,
+    );
+
+    /// The stall-retry timer fired for `sw`: the epoch drained without
+    /// agreement and `sw` is the designated re-initiator. The protocol
+    /// must make fresh progress (a new epoch / generation).
+    fn on_timer(&mut self, now: SimTime, sw: SwitchId, out: &mut Vec<(SwitchId, ProtocolMsg)>);
+
+    /// The largest epoch tag any switch has reached — monotonically
+    /// non-decreasing; growth past the last installed configuration opens
+    /// an epoch. Protocols without native tags synthesize one from their
+    /// generation counter.
+    fn progress_tag(&self) -> Tag;
+
+    /// This protocol's own convergence predicate over the surviving
+    /// topology: `Ok` with the largest agreed tag when every live
+    /// partition agrees, `Err` with the lowest live switch of the first
+    /// disagreeing partition (the stall-retry candidate).
+    fn convergence(&self, lv: &LiveView<'_>) -> Result<Tag, SwitchId>;
+
+    /// The epoch tag switch `sw` has reached.
+    fn tag_of(&self, sw: SwitchId) -> Option<Tag>;
+
+    /// Switch `sw`'s converged adjacency view as normalized sorted edges,
+    /// when the protocol carries full-topology views (`None` for rivals
+    /// that only hold routes or trees).
+    fn view_edges(&self, sw: SwitchId) -> Option<Vec<Edge>>;
+
+    /// Total protocol messages sent so far, across all switches.
+    fn messages_sent(&self) -> u64;
+
+    /// Rebuilds the protocol's routing structure for the agreed surviving
+    /// topology (`live` switches, `edges` adjacency). Called once per
+    /// route installation, before any [`Self::switch_route`] query.
+    fn prepare_routes(&mut self, switch_count: usize, live: &[SwitchId], edges: &[Edge]);
+
+    /// The switch path this protocol routes `src → dst` over, inclusive of
+    /// both endpoints, or `None` when it holds no route.
+    fn switch_route(
+        &mut self,
+        topo: &Topology,
+        src: SwitchId,
+        dst: SwitchId,
+    ) -> Option<Vec<SwitchId>>;
+
+    /// Drops any memoized routes crossing the `a — b` adjacency.
+    fn invalidate_edge(&mut self, a: SwitchId, b: SwitchId);
+
+    /// Drops every memoized route.
+    fn invalidate_all(&mut self);
+
+    /// Route-memo `(hits, misses)` counters, when the protocol keeps one.
+    fn route_stats(&self) -> (u64, u64);
+}
+
+/// The paper's §2 protocol behind the trait: one [`SwitchAgent`] per
+/// switch, byte-identical to the pre-refactor control plane — link events
+/// and timer kicks map to exactly the `Msg` values the plane used to
+/// deliver, and replies come back in the agent's send order.
+pub struct UpDownProtocol {
+    agents: Vec<SwitchAgent>,
+    publics: Vec<PublicHandle>,
+    cache: RouteCache,
+}
+
+impl UpDownProtocol {
+    /// One idle agent per switch, all at [`Tag::ZERO`].
+    pub fn new(switch_count: usize, processing: SimDuration) -> Self {
+        let mut agents = Vec::with_capacity(switch_count);
+        let mut publics = Vec::with_capacity(switch_count);
+        for s in 0..switch_count {
+            let public: PublicHandle = Rc::new(RefCell::new(AgentPublic::default()));
+            publics.push(public.clone());
+            agents.push(SwitchAgent::new(SwitchId(s as u16), processing, public));
+        }
+        UpDownProtocol {
+            agents,
+            publics,
+            cache: RouteCache::new(),
+        }
+    }
+
+    fn handle(
+        &mut self,
+        now: SimTime,
+        sw: SwitchId,
+        msg: Msg,
+        out: &mut Vec<(SwitchId, ProtocolMsg)>,
+    ) {
+        let mut raw = Vec::new();
+        self.agents[sw.0 as usize].handle(now, msg, &mut raw);
+        out.extend(raw.into_iter().map(|(to, m)| (to, ProtocolMsg::UpDown(m))));
+    }
+}
+
+impl ControlProtocol for UpDownProtocol {
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::UpDown
+    }
+
+    fn on_link_event(
+        &mut self,
+        now: SimTime,
+        sw: SwitchId,
+        ev: LinkEvent,
+        out: &mut Vec<(SwitchId, ProtocolMsg)>,
+    ) {
+        let msg = match ev {
+            LinkEvent::Boot => Msg::Boot,
+            // The embedded transport routes by SwitchId; the actor address
+            // and latency fields are inert placeholders, exactly as the
+            // pre-refactor control plane passed them.
+            LinkEvent::Up { link, neighbor } => Msg::LinkUp {
+                link,
+                neighbor,
+                actor: ActorId(neighbor.0 as usize),
+                latency: SimDuration::ZERO,
+            },
+            LinkEvent::Down { neighbor } => Msg::LinkDown { neighbor },
+        };
+        self.handle(now, sw, msg, out);
+    }
+
+    fn on_message(
+        &mut self,
+        now: SimTime,
+        sw: SwitchId,
+        msg: ProtocolMsg,
+        out: &mut Vec<(SwitchId, ProtocolMsg)>,
+    ) {
+        if let ProtocolMsg::UpDown(m) = msg {
+            self.handle(now, sw, m, out);
+        }
+    }
+
+    fn on_timer(&mut self, now: SimTime, sw: SwitchId, out: &mut Vec<(SwitchId, ProtocolMsg)>) {
+        // Stall recovery re-initiates with a fresh (higher) tag — the
+        // plane's pre-refactor re-kick delivered exactly a Boot.
+        self.handle(now, sw, Msg::Boot, out);
+    }
+
+    fn progress_tag(&self) -> Tag {
+        self.agents
+            .iter()
+            .map(SwitchAgent::tag)
+            .max()
+            .unwrap_or(Tag::ZERO)
+    }
+
+    fn convergence(&self, lv: &LiveView<'_>) -> Result<Tag, SwitchId> {
+        uniform_views(
+            lv,
+            &mut |s| self.agents[s.0 as usize].tag(),
+            &mut |s, first, expected| {
+                let public = self.publics[s.0 as usize].borrow();
+                public
+                    .view
+                    .as_ref()
+                    .is_some_and(|v| v.tag == first && v.edges == expected)
+            },
+        )
+    }
+
+    fn tag_of(&self, sw: SwitchId) -> Option<Tag> {
+        self.agents.get(sw.0 as usize).map(SwitchAgent::tag)
+    }
+
+    fn view_edges(&self, sw: SwitchId) -> Option<Vec<Edge>> {
+        self.publics
+            .get(sw.0 as usize)
+            .and_then(|p| p.borrow().view.as_ref().map(|v| v.edges.clone()))
+    }
+
+    fn messages_sent(&self) -> u64 {
+        self.publics.iter().map(|p| p.borrow().messages_sent).sum()
+    }
+
+    fn prepare_routes(&mut self, switch_count: usize, live: &[SwitchId], edges: &[Edge]) {
+        self.cache
+            .set_forest(canonical_forest(switch_count, live, edges));
+    }
+
+    fn switch_route(
+        &mut self,
+        topo: &Topology,
+        src: SwitchId,
+        dst: SwitchId,
+    ) -> Option<Vec<SwitchId>> {
+        self.cache.route(topo, src, dst)
+    }
+
+    fn invalidate_edge(&mut self, a: SwitchId, b: SwitchId) {
+        self.cache.invalidate_edge(a, b);
+    }
+
+    fn invalidate_all(&mut self) {
+        self.cache.invalidate_all();
+    }
+
+    fn route_stats(&self) -> (u64, u64) {
+        self.cache.stats()
+    }
+}

@@ -125,6 +125,32 @@ impl Phase {
     }
 }
 
+/// Which control protocol a [`TraceEvent::ReconfigPhase`] belongs to.
+///
+/// The protocol arena races several control planes over the same fabric;
+/// tagging phase records lets sinks separate their converge/install spans
+/// without needing a run-level side channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProtocolTag {
+    /// The paper's up*/down* three-phase reconfiguration (§2).
+    UpDown,
+    /// The BPDU-style spanning-tree rival.
+    SpanningTree,
+    /// The path-vector rival.
+    PathVector,
+}
+
+impl ProtocolTag {
+    /// Stable lowercase name for sinks.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolTag::UpDown => "updown",
+            ProtocolTag::SpanningTree => "stp",
+            ProtocolTag::PathVector => "pathvector",
+        }
+    }
+}
+
 /// Whether a [`TraceEvent::ReconfigPhase`] opens or closes its phase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum PhaseEdge {
@@ -277,6 +303,8 @@ pub enum TraceEvent {
         edge: PhaseEdge,
         /// The reconfiguration epoch it belongs to.
         epoch: u64,
+        /// The control protocol driving the phase.
+        protocol: ProtocolTag,
     },
     /// The fault injector drew a fate for a wire crossing.
     FaultDraw {
@@ -436,15 +464,21 @@ impl TraceEvent {
                 )
                 .expect("string write");
             }
-            TraceEvent::ReconfigPhase { phase, edge, epoch } => {
+            TraceEvent::ReconfigPhase {
+                phase,
+                edge,
+                epoch,
+                protocol,
+            } => {
                 write!(
                     out,
-                    "\"phase\":\"{}\",\"edge\":\"{}\",\"epoch\":{epoch}",
+                    "\"phase\":\"{}\",\"edge\":\"{}\",\"epoch\":{epoch},\"protocol\":\"{}\"",
                     phase.name(),
                     match edge {
                         PhaseEdge::Begin => "begin",
                         PhaseEdge::End => "end",
-                    }
+                    },
+                    protocol.name()
                 )
                 .expect("string write");
             }

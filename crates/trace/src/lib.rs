@@ -50,7 +50,7 @@ mod registry;
 pub mod sink;
 mod tracer;
 
-pub use event::{DropReason, Entity, FaultOutcome, Hop, Phase, PhaseEdge, TraceEvent};
+pub use event::{DropReason, Entity, FaultOutcome, Hop, Phase, PhaseEdge, ProtocolTag, TraceEvent};
 pub use recorder::{FlightRecorder, TraceRecord};
 pub use registry::{Metric, MetricsRegistry, MetricsSnapshot};
 pub use tracer::{EngineTracer, TraceConfig, Tracer};

@@ -66,7 +66,9 @@ pub fn chrome_trace(records: &[TraceRecord]) -> String {
     for r in records {
         let ts = ts_us(r.at_ns);
         match r.event {
-            TraceEvent::ReconfigPhase { phase, edge, epoch } => match edge {
+            TraceEvent::ReconfigPhase {
+                phase, edge, epoch, ..
+            } => match edge {
                 PhaseEdge::Begin => open_phases.push((phase, epoch, r.at_ns)),
                 PhaseEdge::End => {
                     let begin_ns = match open_phases
@@ -150,7 +152,10 @@ pub fn reconfig_spans(records: &[TraceRecord]) -> Vec<(Phase, u64, u64, u64)> {
     let mut open: Vec<(Phase, u64, u64)> = Vec::new();
     let mut done = Vec::new();
     for r in records {
-        if let TraceEvent::ReconfigPhase { phase, edge, epoch } = r.event {
+        if let TraceEvent::ReconfigPhase {
+            phase, edge, epoch, ..
+        } = r.event
+        {
             match edge {
                 PhaseEdge::Begin => open.push((phase, epoch, r.at_ns)),
                 PhaseEdge::End => {
@@ -211,6 +216,7 @@ mod tests {
                     phase: Phase::Converge,
                     edge: PhaseEdge::Begin,
                     epoch: 1,
+                    protocol: crate::event::ProtocolTag::UpDown,
                 },
             ),
             rec(120, TraceEvent::MonitorVerdict { link: 0, up: false }),
@@ -220,6 +226,7 @@ mod tests {
                     phase: Phase::Converge,
                     edge: PhaseEdge::End,
                     epoch: 1,
+                    protocol: crate::event::ProtocolTag::UpDown,
                 },
             ),
         ];
@@ -287,6 +294,7 @@ mod tests {
                     phase: Phase::Converge,
                     edge: PhaseEdge::Begin,
                     epoch: 3,
+                    protocol: crate::event::ProtocolTag::UpDown,
                 },
             ),
             rec(
@@ -295,6 +303,7 @@ mod tests {
                     phase: Phase::Install,
                     edge: PhaseEdge::Begin,
                     epoch: 3,
+                    protocol: crate::event::ProtocolTag::UpDown,
                 },
             ),
             rec(
@@ -303,6 +312,7 @@ mod tests {
                     phase: Phase::Install,
                     edge: PhaseEdge::End,
                     epoch: 3,
+                    protocol: crate::event::ProtocolTag::UpDown,
                 },
             ),
             rec(
@@ -311,6 +321,7 @@ mod tests {
                     phase: Phase::Converge,
                     edge: PhaseEdge::End,
                     epoch: 3,
+                    protocol: crate::event::ProtocolTag::UpDown,
                 },
             ),
         ];

@@ -65,3 +65,47 @@ fn corpus_replays_with_zero_violations_and_identical_digests() {
         failures.join("\n")
     );
 }
+
+/// The same corpus, replayed under the arena rivals. The rivals have no
+/// harness/canonical-path oracle, so the recorded legs are the
+/// protocol-agnostic ones — per-slot invariants and the delivery floor —
+/// and the replay-determinism contract (same schedule, same digest).
+#[test]
+fn corpus_replays_under_rival_protocols() {
+    use an2::ProtocolKind;
+    use an2_chaos::oracle::run_schedule_with;
+
+    let corpus = load_dir(corpus_dir()).expect("corpus parses");
+    let mut failures = Vec::new();
+    for kind in [ProtocolKind::SpanningTree, ProtocolKind::PathVector] {
+        for (i, (path, schedule)) in corpus.iter().enumerate() {
+            let report = run_schedule_with(schedule, kind);
+            if !report.violations.is_empty() {
+                failures.push(format!(
+                    "{} under {kind:?}: violations {:?}",
+                    path.display(),
+                    report.violations
+                ));
+                continue;
+            }
+            // Replay determinism, spot-checked on the first schedule per
+            // rival (every run above already exercises the digest path).
+            if i == 0 {
+                let second = run_schedule_with(schedule, kind);
+                if report.digest != second.digest {
+                    failures.push(format!(
+                        "{} under {kind:?}: replay diverged ({:#x} vs {:#x})",
+                        path.display(),
+                        report.digest,
+                        second.digest
+                    ));
+                }
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "rival corpus regressions:\n{}",
+        failures.join("\n")
+    );
+}

@@ -112,7 +112,9 @@ fn n4_failure_leaves_a_golden_reconfig_trace() {
     let phases: Vec<(Phase, PhaseEdge, u64, u64)> = records
         .iter()
         .filter_map(|r| match r.event {
-            TraceEvent::ReconfigPhase { phase, edge, epoch } => Some((phase, edge, epoch, r.at_ns)),
+            TraceEvent::ReconfigPhase {
+                phase, edge, epoch, ..
+            } => Some((phase, edge, epoch, r.at_ns)),
             _ => None,
         })
         .collect();
