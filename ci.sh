@@ -35,7 +35,7 @@ if [[ "${1:-}" != "quick" ]]; then
     echo "== embedded control plane (N4 asserts its claims in-process)"
     cargo run -q -p an2-bench --release --bin experiments -- n4 --json
 
-    echo "== flight recorder (trace-determinism digest + golden reconfig trace)"
+    echo "== flight recorder + observatory (determinism digests, golden trace, counter tracks)"
     cargo test -q --test trace_determinism --test golden_trace
 
     echo "== tracing overhead (N5) + traced N4 export (asserts span < 200 ms)"
@@ -72,6 +72,9 @@ if [[ "${1:-}" != "quick" ]]; then
 
     echo "== protocol arena (N9 races all three control planes, asserts its claims in-process)"
     cargo run -q -p an2-bench --release --bin experiments -- n9 --json
+
+    echo "== telemetry observatory (N10 scores detection vs ground-truth labels in-process)"
+    cargo run -q -p an2-bench --release --bin experiments -- n10 --json
 
     echo "== cargo doc (deny warnings)"
     RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet

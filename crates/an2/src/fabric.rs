@@ -2107,6 +2107,19 @@ impl Fabric {
     /// the monitor's output, not its input, so a link voted dead keeps
     /// answering pings once its fault clears and can earn its way back.
     pub fn ping_link(&mut self, link: LinkId) -> bool {
+        let ok = self.ping_link_inner(link);
+        if let Some(t) = &self.tracer {
+            let name = if ok {
+                "monitor.ping_ok"
+            } else {
+                "monitor.ping_failed"
+            };
+            t.counter_add(name, Entity::Link(link.0), 1);
+        }
+        ok
+    }
+
+    fn ping_link_inner(&mut self, link: LinkId) -> bool {
         let (a, b) = self.topo.endpoints(link);
         let Some(fault) = self.fault.as_mut() else {
             return true;
@@ -2304,6 +2317,9 @@ impl Fabric {
         cell: &mut Cell,
         base_due: u64,
     ) -> (bool, bool, u64) {
+        if let Some(t) = &self.tracer {
+            t.counter_add("link.cells", Entity::Link(link.0), 1);
+        }
         if self.fault.is_none() {
             return (true, false, base_due);
         }

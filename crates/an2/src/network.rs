@@ -813,6 +813,29 @@ impl Network {
         self.fabric.tracer()
     }
 
+    /// Attaches a tracer (see [`Network::attach_tracer`]) with the
+    /// streaming telemetry tier enabled: the observatory scrapes the
+    /// registry into interval snapshots on the fabric's virtual clock and
+    /// runs the SLO watchdog over every interval, mirroring its
+    /// [`an2_trace::HealthEvent`]s into the flight recorder. The interval
+    /// length defaults to ~1 ms of virtual time at this network's link
+    /// rate when `cfg.every_slots` is zero. Scraping reads the registry
+    /// and nothing else — an observed run stays byte-identical to an
+    /// unobserved (and to an untraced) one.
+    pub fn attach_observatory(
+        &mut self,
+        trace_cfg: TraceConfig,
+        mut cfg: an2_trace::ObservatoryConfig,
+    ) -> Tracer {
+        let tracer = self.attach_tracer(trace_cfg);
+        if cfg.every_slots == 0 {
+            let slot_ns = self.rate.slot_duration().as_nanos().max(1);
+            cfg.every_slots = (1_000_000 / slot_ns).max(1);
+        }
+        tracer.enable_observatory(cfg);
+        tracer
+    }
+
     /// The typed reconfiguration log: monitor verdicts
     /// ([`ReconfigEvent::LinkDead`] / [`ReconfigEvent::LinkWorking`]) and —
     /// with the control plane enabled — epoch opens, quiescence, and route

@@ -39,7 +39,8 @@
 use an2_bench::json::Json;
 use an2_bench::{
     arena_exp, batch_exp, chaos_exp, control_exp, extensions_exp, fabric_exp, faults_exp, figures,
-    flow_exp, network_exp, parallel, parallel_exp, reconfig_exp, schedule_exp, xbar_exp,
+    flow_exp, network_exp, observe_exp, parallel, parallel_exp, reconfig_exp, schedule_exp,
+    xbar_exp,
 };
 use std::time::Instant;
 
@@ -201,6 +202,22 @@ fn fabric_perf_json(r: &fabric_exp::FabricPerf) -> Json {
     ])
 }
 
+fn observe_json(r: &observe_exp::ObserveRow) -> Json {
+    Json::obj(vec![
+        ("cell", Json::str(r.cell.clone())),
+        ("labels", Json::int(r.labels)),
+        ("detected", Json::int(r.detected)),
+        ("median_ttd_ms", Json::Num(r.median_ttd_ms)),
+        ("max_ttd_ms", Json::Num(r.max_ttd_ms)),
+        ("false_positives", Json::int(r.false_positives)),
+        ("raised_alerts", Json::int(r.raised_alerts)),
+        ("control_alerts", Json::int(r.control_alerts)),
+        ("digest_match", Json::Bool(r.digest_match)),
+        ("intervals", Json::int(r.intervals)),
+        ("overhead_pct", Json::Num(r.overhead_pct)),
+    ])
+}
+
 fn title(id: &str) -> Option<&'static str> {
     Some(match id {
         "f1" => "F1: sample installation (Figure 1)",
@@ -228,6 +245,7 @@ fn title(id: &str) -> Option<&'static str> {
         "n7" => "N7: batched data plane — watermark skips at 1k/10k/100k circuits",
         "n8" => "N8: chaos campaigns — oracle grid, skeptic damping, churn soak, replay",
         "n9" => "N9: protocol arena — up*/down* vs spanning tree vs path vector",
+        "n10" => "N10: telemetry observatory — time-to-detect vs ground-truth fault labels",
         "x1" => "X1: the paper's extension proposals",
         _ => return None,
     })
@@ -346,6 +364,10 @@ fn compute(
             let (rows, text) = arena_exp::n9_protocol_arena();
             (text, Json::Arr(rows.iter().map(arena_json).collect()))
         }
+        "n10" => {
+            let (rows, _detectors, text) = observe_exp::n10_observatory();
+            (text, Json::Arr(rows.iter().map(observe_json).collect()))
+        }
         "x1" => {
             let text = format!(
                 "{}\n{}\n{}\n{}",
@@ -362,7 +384,7 @@ fn compute(
 
 const ALL: &[&str] = &[
     "f1", "f2", "f3", "f4", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
-    "e12", "x1", "n1", "n2", "n3", "n4", "n5", "n6", "n7", "n8", "n9",
+    "e12", "x1", "n1", "n2", "n3", "n4", "n5", "n6", "n7", "n8", "n9", "n10",
 ];
 
 fn main() {
@@ -425,7 +447,7 @@ fn main() {
     let mut records = Vec::new();
     for id in ids {
         let Some(t) = title(id) else {
-            eprintln!("unknown experiment id '{id}' (use f1-f4, e1-e12, x1, n1-n9, all)");
+            eprintln!("unknown experiment id '{id}' (use f1-f4, e1-e12, x1, n1-n10, all)");
             continue;
         };
         println!("\n=== {t} {}\n", "=".repeat(66 - t.len().min(60)));

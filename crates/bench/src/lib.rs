@@ -24,6 +24,7 @@ pub mod figures;
 pub mod flow_exp;
 pub mod json;
 pub mod network_exp;
+pub mod observe_exp;
 pub mod parallel;
 pub mod parallel_exp;
 pub mod reconfig_exp;

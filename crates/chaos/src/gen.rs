@@ -60,6 +60,41 @@ pub struct Schedule {
     pub fault: FaultSpec,
 }
 
+impl Schedule {
+    /// The schedule's link-failure ground truth as watchdog scoring
+    /// labels: one [`an2_trace::FaultLabel`] per flap, windowed
+    /// `[down_at, up_at + clear_margin_slots]`. The margin should cover
+    /// the monitor's readmission streak, the worst skeptic holddown and
+    /// the reconfiguration that follows, so alerts fired while the system
+    /// is still digesting the failure stay attributable to it.
+    pub fn fault_labels(&self, clear_margin_slots: u64) -> Vec<an2_trace::FaultLabel> {
+        self.fault
+            .flaps
+            .iter()
+            .map(|f| an2_trace::FaultLabel {
+                link: f.link.0,
+                down_slot: f.down_at,
+                up_slot: f.up_at,
+                clear_slot: f.up_at.saturating_add(clear_margin_slots),
+            })
+            .collect()
+    }
+
+    /// A fault-free twin of this schedule: same topology, workload and
+    /// horizon, but no flaps, no crashes and no loss. The control leg for
+    /// false-positive measurement — any watchdog alert on it is a false
+    /// positive by construction.
+    pub fn fault_free_twin(&self) -> Schedule {
+        let mut twin = self.clone();
+        twin.name = format!("{}-fault-free", self.name);
+        twin.fault.flaps.clear();
+        twin.fault.crashes.clear();
+        twin.fault.default_link = LinkFaultModel::default();
+        twin.fault.per_link.clear();
+        twin
+    }
+}
+
 /// Inter-switch links of `topo`, in id order.
 pub fn backbone_links(topo: &Topology) -> Vec<LinkId> {
     topo.links()

@@ -276,6 +276,29 @@ pub fn run_schedule(s: &Schedule) -> RunReport {
 /// against up*/down*'s reconvergence speed, and the rivals' extra loss
 /// during reconvergence is a measured arena quantity, not a defect.
 pub fn run_schedule_with(s: &Schedule, kind: ProtocolKind) -> RunReport {
+    run_schedule_inner(s, kind, None).0
+}
+
+/// Runs one schedule with the telemetry observatory attached: identical
+/// run phases (and — the determinism contract — an identical digest) to
+/// [`run_schedule_with`], but with a tracer scraping interval snapshots
+/// and running the SLO watchdog throughout. Returns the report plus the
+/// tracer, whose health log can be scored against the schedule's
+/// [`Schedule::fault_labels`] ground truth.
+pub fn run_schedule_observed(
+    s: &Schedule,
+    kind: ProtocolKind,
+    cfg: an2_trace::ObservatoryConfig,
+) -> (RunReport, an2_trace::Tracer) {
+    let (report, tracer) = run_schedule_inner(s, kind, Some(cfg));
+    (report, tracer.expect("observed run always has a tracer"))
+}
+
+fn run_schedule_inner(
+    s: &Schedule,
+    kind: ProtocolKind,
+    observe: Option<an2_trace::ObservatoryConfig>,
+) -> (RunReport, Option<an2_trace::Tracer>) {
     let full_oracle = kind == ProtocolKind::UpDown;
     let topo = s.topology.build();
     let mut net = Network::builder()
@@ -295,6 +318,7 @@ pub fn run_schedule_with(s: &Schedule, kind: ProtocolKind) -> RunReport {
     }
     net.attach_faults(&s.fault, s.seed);
     net.enable_control_plane(ControlPlaneConfig::default());
+    let tracer = observe.map(|cfg| net.attach_observatory(an2_trace::TraceConfig::default(), cfg));
 
     // Adversarial phase: steady traffic under the fault schedule.
     let mut sent_pkts: Vec<u64> = vec![0; circuits.len()];
@@ -537,7 +561,13 @@ pub fn run_schedule_with(s: &Schedule, kind: ProtocolKind) -> RunReport {
     let suppressed = net.suppressed_recoveries();
     fnv(&mut digest, suppressed);
 
-    RunReport {
+    // Flush any interval still pending at the final boundary (read-only
+    // on the registry — no effect on the digest above).
+    if let Some(t) = &tracer {
+        t.scrape_now();
+    }
+
+    let report = RunReport {
         violations,
         digest,
         sent_packets: sent,
@@ -550,5 +580,6 @@ pub fn run_schedule_with(s: &Schedule, kind: ProtocolKind) -> RunReport {
         broken_circuits,
         surviving_circuits: circuits.len() as u64 - broken_circuits,
         final_slot: net.slot(),
-    }
+    };
+    (report, tracer)
 }

@@ -179,10 +179,16 @@ impl FaultInjector {
             match kind {
                 TransitionKind::FlapDown(l) => {
                     self.links[l.0 as usize].up = false;
+                    if let Some(t) = &self.tracer {
+                        t.gauge_set("faults.link_up", Entity::Link(l.0), 0);
+                    }
                     out.flaps_down.push(l);
                 }
                 TransitionKind::FlapUp(l) => {
                     self.links[l.0 as usize].up = true;
+                    if let Some(t) = &self.tracer {
+                        t.gauge_set("faults.link_up", Entity::Link(l.0), 1);
+                    }
                     out.flaps_up.push(l);
                 }
                 TransitionKind::Crash(s) => {

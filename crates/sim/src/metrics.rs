@@ -372,6 +372,59 @@ impl Histogram {
             }
         }
     }
+    /// The distribution of samples recorded since `baseline` was cloned
+    /// off this histogram — `self` minus `baseline`. This is what turns a
+    /// cumulative registry histogram into a *per-interval* one: snapshot a
+    /// clone every scrape and diff against the previous clone.
+    ///
+    /// Same-resolution bucketed pairs subtract bucket-wise (exact relative
+    /// to their shared quantization; the delta's min/max are reported as
+    /// occupied-bucket edges clamped into `self`'s recorded range). Exact
+    /// or mixed-mode pairs fall back to a multiset difference of the raw
+    /// samples. `baseline` must be a prefix of `self`'s history; a
+    /// non-ancestor baseline yields a saturating (never panicking) result.
+    pub fn delta_since(&self, baseline: &Histogram) -> Histogram {
+        match (&self.repr, &baseline.repr) {
+            (Repr::Bucketed(cur), Repr::Bucketed(base)) if cur.sub_bits == base.sub_bits => {
+                let mut d = Buckets::new(cur.sub_bits);
+                d.counts = cur
+                    .counts
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &n)| n.saturating_sub(base.counts.get(i).copied().unwrap_or(0)))
+                    .collect();
+                d.count = cur.count.saturating_sub(base.count);
+                d.sum = cur.sum.saturating_sub(base.sum);
+                if d.count > 0 {
+                    let first = d.counts.iter().position(|&n| n > 0).unwrap_or(0);
+                    let last = d.counts.iter().rposition(|&n| n > 0).unwrap_or(0);
+                    let upper = d.low_edge(last + 1).saturating_sub(1);
+                    d.max = upper.min(cur.max);
+                    d.min = d.low_edge(first).max(cur.min).min(d.max);
+                }
+                Histogram {
+                    repr: Repr::Bucketed(d),
+                }
+            }
+            _ => {
+                let mut seen = std::collections::BTreeMap::new();
+                for &v in baseline.samples() {
+                    *seen.entry(v).or_insert(0u64) += 1;
+                }
+                let mut out = match &self.repr {
+                    Repr::Exact { .. } => Histogram::new(),
+                    Repr::Bucketed(b) => Histogram::bucketed(b.sub_bits),
+                };
+                for &v in self.samples() {
+                    match seen.get_mut(&v) {
+                        Some(n) if *n > 0 => *n -= 1,
+                        _ => out.record(v),
+                    }
+                }
+                out
+            }
+        }
+    }
 }
 
 impl FromIterator<u64> for Histogram {
@@ -576,6 +629,38 @@ mod tests {
         c.add(9);
         assert_eq!(c.get(), 10);
         assert_eq!(c.to_string(), "10");
+    }
+
+    #[test]
+    fn delta_since_recovers_the_interval_distribution() {
+        // Bucketed: the delta of a snapshot pair sees only the new samples.
+        let mut h = Histogram::bucketed(5);
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        let base = h.clone();
+        for v in [1000u64, 2000, 3000, 4000] {
+            h.record(v);
+        }
+        let d = h.delta_since(&base);
+        assert_eq!(d.count(), 4);
+        let mut d2 = d.clone();
+        let p50 = d2.percentile(0.5).unwrap();
+        assert!((1900..=2000).contains(&p50), "p50 of delta was {p50}");
+        let dmin = d.min().unwrap();
+        assert!(dmin >= 968, "delta min {dmin} leaked baseline samples");
+        // Empty delta: same snapshot twice.
+        assert_eq!(h.delta_since(&h.clone()).count(), 0);
+
+        // Exact mode falls back to a multiset difference.
+        let mut e: Histogram = [5u64, 5, 7].into_iter().collect();
+        let ebase = e.clone();
+        e.record(9);
+        e.record(5);
+        let ed = e.delta_since(&ebase);
+        let mut got: Vec<u64> = ed.samples().to_vec();
+        got.sort_unstable();
+        assert_eq!(got, vec![5, 9]);
     }
 
     #[test]

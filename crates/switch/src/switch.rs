@@ -602,6 +602,11 @@ impl Switch {
                 depth,
             });
             t.counter_add("switch.cells_enqueued", Entity::Switch(self.switch_id), 1);
+            t.gauge_set(
+                "switch.queue_depth",
+                Entity::Switch(self.switch_id),
+                self.pool.live() as i64,
+            );
         }
         Ok(())
     }
@@ -707,6 +712,11 @@ impl Switch {
                                 vc: cell.vc().raw(),
                                 queued_slots: self.slot - enqueued_slot,
                             });
+                            t.gauge_set(
+                                "switch.queue_depth",
+                                Entity::Switch(self.switch_id),
+                                self.pool.live() as i64,
+                            );
                         }
                         departures.push(Departure {
                             output,
@@ -830,6 +840,11 @@ impl Switch {
                         vc: cell.vc().raw(),
                         queued_slots: self.slot - enqueued_slot,
                     });
+                    t.gauge_set(
+                        "switch.queue_depth",
+                        Entity::Switch(self.switch_id),
+                        self.pool.live() as i64,
+                    );
                     if let Some(balance) = self.credit_balance(cell.vc()) {
                         t.emit(TraceEvent::CreditConsume {
                             vc: cell.vc().raw(),

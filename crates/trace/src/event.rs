@@ -151,6 +151,51 @@ impl ProtocolTag {
     }
 }
 
+/// Which streaming watchdog detector raised a [`TraceEvent::HealthAlert`].
+///
+/// The catalog mirrors the observatory's `SloSpec`: loss spikes and credit
+/// stalls are judged per link, the delivery floor, latency budget and
+/// control-storm detectors over the whole installation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum DetectorKind {
+    /// EWMA/z-score spike in per-link loss events (lost cells + failed
+    /// pings) against the link's own recent baseline.
+    LossSpike,
+    /// Interval delivery ratio (delivered / injected cells) under the SLO
+    /// floor while injection is active.
+    DeliveryFloor,
+    /// Interval p99 end-to-end cell latency over the SLO budget.
+    LatencyBudget,
+    /// Control-plane cell rate over the storm threshold — a
+    /// reconfiguration storm in progress.
+    CtrlStorm,
+    /// A recently-active link moved no cells and returned no credits for
+    /// the stall timeout while hosts kept injecting.
+    CreditStall,
+}
+
+impl DetectorKind {
+    /// Stable snake_case name for sinks and report rows.
+    pub fn name(self) -> &'static str {
+        match self {
+            DetectorKind::LossSpike => "loss_spike",
+            DetectorKind::DeliveryFloor => "delivery_floor",
+            DetectorKind::LatencyBudget => "latency_budget",
+            DetectorKind::CtrlStorm => "ctrl_storm",
+            DetectorKind::CreditStall => "credit_stall",
+        }
+    }
+
+    /// Every detector, in stable report order.
+    pub const ALL: [DetectorKind; 5] = [
+        DetectorKind::LossSpike,
+        DetectorKind::DeliveryFloor,
+        DetectorKind::LatencyBudget,
+        DetectorKind::CtrlStorm,
+        DetectorKind::CreditStall,
+    ];
+}
+
 /// Whether a [`TraceEvent::ReconfigPhase`] opens or closes its phase.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum PhaseEdge {
@@ -347,6 +392,22 @@ pub enum TraceEvent {
         /// The hop.
         hop: Hop,
     },
+    /// A watchdog detector crossed its threshold (`raised`) or observed
+    /// the metric back under it and re-armed (`!raised`). Emitted by the
+    /// observatory's scrape, so the stamp is the interval boundary's
+    /// virtual time.
+    HealthAlert {
+        /// The detector that fired.
+        detector: DetectorKind,
+        /// What it judged (a link, or the whole installation).
+        entity: Entity,
+        /// `true` on the rising edge, `false` when the detector re-arms.
+        raised: bool,
+        /// The measured value, in thousandths (losses, ratio ×1000, …).
+        value_milli: i64,
+        /// The threshold it was judged against, in thousandths.
+        threshold_milli: i64,
+    },
     /// The discrete-event engine enqueued an actor message.
     EngineSend {
         /// Destination actor.
@@ -381,6 +442,7 @@ impl TraceEvent {
             TraceEvent::CellInject { .. } => "cell_inject",
             TraceEvent::CellDeliver { .. } => "cell_deliver",
             TraceEvent::CellHop { .. } => "cell_hop",
+            TraceEvent::HealthAlert { .. } => "health_alert",
             TraceEvent::EngineSend { .. } => "engine_send",
             TraceEvent::EngineDeliver { .. } => "engine_deliver",
         }
@@ -526,6 +588,20 @@ impl TraceEvent {
                         write!(out, "\"hop\":\"wire\",\"link\":{link}").expect("string write");
                     }
                 }
+            }
+            TraceEvent::HealthAlert {
+                detector,
+                entity,
+                raised,
+                value_milli,
+                threshold_milli,
+            } => {
+                write!(
+                    out,
+                    "\"detector\":\"{}\",\"entity\":\"{entity}\",\"raised\":{raised},\"value_milli\":{value_milli},\"threshold_milli\":{threshold_milli}",
+                    detector.name()
+                )
+                .expect("string write");
             }
             TraceEvent::EngineSend { actor } | TraceEvent::EngineDeliver { actor } => {
                 write!(out, "\"actor\":{actor}").expect("string write");

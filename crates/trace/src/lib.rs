@@ -24,9 +24,14 @@
 //!   crate existed, and a traced run is **byte-identical** to an untraced
 //!   one — tracing draws no randomness and perturbs no ordering. The
 //!   workspace digest tests prove it.
-//! * [`sink`] — two exporters: JSONL for machine diffing, and the Chrome
-//!   trace-event format so a reconfiguration storm or credit stall renders
-//!   as a Perfetto timeline.
+//! * [`sink`] — exporters: JSONL for machine diffing, the Chrome
+//!   trace-event format (spans, flows, and counter tracks) so a
+//!   reconfiguration storm or credit stall renders as a Perfetto
+//!   timeline, and JSONL/CSV time-series dumps of interval snapshots.
+//! * [`observe`] — the streaming telemetry tier: a virtual-clock interval
+//!   aggregator ([`Observatory`]), a declarative SLO watchdog
+//!   ([`SloSpec`] → [`HealthEvent`]s), and ground-truth time-to-detect
+//!   scoring against chaos fault schedules ([`score_detections`]).
 //!
 //! ```
 //! use an2_trace::{Entity, Tracer, TraceConfig, TraceEvent};
@@ -45,12 +50,19 @@
 #![warn(missing_docs)]
 
 mod event;
+pub mod observe;
 mod recorder;
 mod registry;
 pub mod sink;
 mod tracer;
 
-pub use event::{DropReason, Entity, FaultOutcome, Hop, Phase, PhaseEdge, ProtocolTag, TraceEvent};
+pub use event::{
+    DetectorKind, DropReason, Entity, FaultOutcome, Hop, Phase, PhaseEdge, ProtocolTag, TraceEvent,
+};
+pub use observe::{
+    score_detections, DetectionScore, FaultLabel, HealthEvent, HistStat, IntervalSnapshot,
+    Observatory, ObservatoryConfig, SloSpec,
+};
 pub use recorder::{FlightRecorder, TraceRecord};
 pub use registry::{Metric, MetricsRegistry, MetricsSnapshot};
 pub use tracer::{EngineTracer, TraceConfig, Tracer};

@@ -227,9 +227,26 @@ impl MetricsRegistry {
 
     /// Renders the registry in the Prometheus text exposition format.
     /// Metric names have `.` rewritten to `_` and gain an `an2_` prefix;
-    /// entities become labels (`an2_cells_delivered{vc="100"} 42`).
+    /// entities become labels (`an2_cells_delivered{vc="100"} 42`). Every
+    /// series gets `# HELP` / `# TYPE` header lines, histograms export
+    /// count plus min/max/p50/p99 gauge series, and label values are
+    /// escaped per the exposition-format rules. Samples of one series are
+    /// grouped under its header, series in deterministic name order.
     pub fn to_prometheus(&self) -> String {
-        let mut out = String::new();
+        // series name -> (prometheus type, source metric name, samples)
+        let mut series: BTreeMap<String, (&'static str, &'static str, Vec<String>)> =
+            BTreeMap::new();
+        let add = |series: &mut BTreeMap<String, (&'static str, &'static str, Vec<String>)>,
+                   sname: String,
+                   ty: &'static str,
+                   source: &'static str,
+                   labels: &str,
+                   value: String| {
+            let entry = series
+                .entry(sname)
+                .or_insert_with(|| (ty, source, Vec::new()));
+            entry.2.push(format!("{labels} {value}"));
+        };
         for (&(name, entity), m) in &self.metrics {
             let mut prom = String::with_capacity(name.len() + 4);
             prom.push_str("an2_");
@@ -244,28 +261,79 @@ impl MetricsRegistry {
                     if i > 0 {
                         label_str.push(',');
                     }
-                    write!(label_str, "{k}=\"{v}\"").expect("string write");
+                    write!(label_str, "{k}=\"{}\"", escape_label_value(&v.to_string()))
+                        .expect("string write");
                 }
                 label_str.push('}');
             }
             match m {
                 Metric::Counter(c) => {
-                    writeln!(out, "{prom}_total{label_str} {c}").expect("string write");
+                    add(
+                        &mut series,
+                        format!("{prom}_total"),
+                        "counter",
+                        name,
+                        &label_str,
+                        c.to_string(),
+                    );
                 }
                 Metric::Gauge(g) => {
-                    writeln!(out, "{prom}{label_str} {g}").expect("string write");
+                    add(&mut series, prom, "gauge", name, &label_str, g.to_string());
                 }
                 Metric::Histogram(h) => {
-                    writeln!(out, "{prom}_count{label_str} {}", h.count()).expect("string write");
-                    if let (Some(mn), Some(mx)) = (h.min(), h.max()) {
-                        writeln!(out, "{prom}_min{label_str} {mn}").expect("string write");
-                        writeln!(out, "{prom}_max{label_str} {mx}").expect("string write");
+                    let mut h = h.clone();
+                    add(
+                        &mut series,
+                        format!("{prom}_count"),
+                        "counter",
+                        name,
+                        &label_str,
+                        h.count().to_string(),
+                    );
+                    let quantiles = [
+                        ("min", h.min().unwrap_or(0)),
+                        ("max", h.max().unwrap_or(0)),
+                        ("p50", h.percentile(0.5).unwrap_or(0)),
+                        ("p99", h.percentile(0.99).unwrap_or(0)),
+                    ];
+                    for (suffix, v) in quantiles {
+                        add(
+                            &mut series,
+                            format!("{prom}_{suffix}"),
+                            "gauge",
+                            name,
+                            &label_str,
+                            v.to_string(),
+                        );
                     }
                 }
             }
         }
+        let mut out = String::new();
+        for (sname, (ty, source, samples)) in series {
+            writeln!(out, "# HELP {sname} AN2 registry metric {source}").expect("string write");
+            writeln!(out, "# TYPE {sname} {ty}").expect("string write");
+            for s in samples {
+                writeln!(out, "{sname}{s}").expect("string write");
+            }
+        }
         out
     }
+}
+
+/// Escapes a label value per the Prometheus text exposition format:
+/// backslash, double-quote and newline must be backslash-escaped.
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for ch in v.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -322,6 +390,49 @@ mod tests {
         assert!(prom.contains("an2_cells_sent_total{vc=\"7\"} 9"));
         assert!(prom.contains("an2_credits{link=\"3\"} 8"));
         assert!(prom.contains("an2_latency_slots_count 1"));
+    }
+
+    #[test]
+    fn prometheus_emits_help_type_and_percentile_gauges() {
+        let mut r = MetricsRegistry::new(0);
+        r.counter_add("cells.sent", Entity::Vc(7), 9);
+        r.gauge_set("credits", Entity::Link(3), 8);
+        for v in 1..=100u64 {
+            r.hist_record("latency.slots", Entity::Global, v * 10);
+        }
+        let prom = r.to_prometheus();
+        // Every series carries HELP and TYPE headers.
+        assert!(prom.contains("# HELP an2_cells_sent_total AN2 registry metric cells.sent"));
+        assert!(prom.contains("# TYPE an2_cells_sent_total counter"));
+        assert!(prom.contains("# TYPE an2_credits gauge"));
+        assert!(prom.contains("# TYPE an2_latency_slots_count counter"));
+        assert!(prom.contains("# TYPE an2_latency_slots_p50 gauge"));
+        assert!(prom.contains("# TYPE an2_latency_slots_p99 gauge"));
+        // Histogram percentiles are exported as gauge samples.
+        let p50 = prom
+            .lines()
+            .find(|l| l.starts_with("an2_latency_slots_p50 "))
+            .expect("p50 sample");
+        let v: u64 = p50.split(' ').nth(1).unwrap().parse().unwrap();
+        assert!((450..=550).contains(&v), "p50 sample {v}");
+        assert!(prom
+            .lines()
+            .any(|l| l.starts_with("an2_latency_slots_p99 ")));
+        // Each TYPE header precedes its samples and appears exactly once.
+        let type_lines = prom
+            .lines()
+            .filter(|l| l.starts_with("# TYPE an2_latency_slots_p50"))
+            .count();
+        assert_eq!(type_lines, 1);
+        assert_eq!(prom, r.to_prometheus(), "export must be stable");
+    }
+
+    #[test]
+    fn prometheus_label_values_are_escaped() {
+        assert_eq!(escape_label_value("plain7"), "plain7");
+        assert_eq!(escape_label_value("a\"b"), "a\\\"b");
+        assert_eq!(escape_label_value("a\\b"), "a\\\\b");
+        assert_eq!(escape_label_value("a\nb"), "a\\nb");
     }
 
     #[test]

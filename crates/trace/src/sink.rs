@@ -1,7 +1,10 @@
-//! Trace exporters: JSONL for machine diffing, and the Chrome trace-event
-//! format so a run opens directly in Perfetto / `chrome://tracing`.
+//! Trace exporters: JSONL for machine diffing, the Chrome trace-event
+//! format (spans, flows and counter tracks) so a run opens directly in
+//! Perfetto / `chrome://tracing`, and JSONL/CSV time-series dumps of the
+//! observatory's interval snapshots.
 
 use crate::event::{Phase, PhaseEdge, TraceEvent};
+use crate::observe::IntervalSnapshot;
 use crate::recorder::TraceRecord;
 use std::fmt::Write;
 
@@ -141,6 +144,168 @@ pub fn chrome_trace(records: &[TraceRecord]) -> String {
     }
 
     out.push_str("]}");
+    out
+}
+
+/// [`chrome_trace`] plus Perfetto **counter tracks** (`"ph":"C"`) sampled
+/// from the observatory's interval snapshots and the recorded skeptic
+/// edges:
+///
+/// * `queue_depth <switch>` — per-switch queue-depth gauge per interval.
+/// * `link_util_permille <link>` — per-link utilization (cells crossed per
+///   slot, in thousandths) per interval.
+/// * `skeptic_level <link>` — steps at each recorded
+///   [`TraceEvent::SkepticQuarantine`] edge: the escalation level on
+///   entry, back to 0 on release.
+///
+/// `slot_ns` converts interval boundaries to trace timestamps (use the
+/// tracer's configured value so tracks line up with the event tracks).
+pub fn chrome_trace_with_counters(
+    records: &[TraceRecord],
+    intervals: &[IntervalSnapshot],
+    slot_ns: u64,
+) -> String {
+    let base = chrome_trace(records);
+    let mut extra = String::new();
+    let emit = |s: String, extra: &mut String| {
+        extra.push(',');
+        extra.push_str(&s);
+    };
+    for snap in intervals {
+        let ts = ts_us(snap.end_slot * slot_ns);
+        for &(name, entity, v) in &snap.gauges {
+            if name == "switch.queue_depth" {
+                emit(
+                    format!(
+                        "{{\"name\":\"queue_depth {entity}\",\"cat\":\"observatory\",\"ph\":\"C\",\"ts\":{ts},\"pid\":1,\"args\":{{\"depth\":{v}}}}}"
+                    ),
+                    &mut extra,
+                );
+            }
+        }
+        for &(name, entity, _) in &snap.counters {
+            if name == "link.cells" {
+                if let crate::event::Entity::Link(l) = entity {
+                    let util = snap.link_utilization_milli(l);
+                    emit(
+                        format!(
+                            "{{\"name\":\"link_util_permille {entity}\",\"cat\":\"observatory\",\"ph\":\"C\",\"ts\":{ts},\"pid\":1,\"args\":{{\"permille\":{util}}}}}"
+                        ),
+                        &mut extra,
+                    );
+                }
+            }
+        }
+    }
+    for r in records {
+        if let TraceEvent::SkepticQuarantine {
+            link,
+            entered,
+            level,
+        } = r.event
+        {
+            let value = if entered { level } else { 0 };
+            emit(
+                format!(
+                    "{{\"name\":\"skeptic_level link{link}\",\"cat\":\"observatory\",\"ph\":\"C\",\"ts\":{},\"pid\":1,\"args\":{{\"level\":{value}}}}}",
+                    ts_us(r.at_ns),
+                ),
+                &mut extra,
+            );
+        }
+    }
+    let body_empty = base.starts_with("{\"traceEvents\":[]");
+    if body_empty && !extra.is_empty() {
+        // No base events: drop the leading comma.
+        extra.remove(0);
+    }
+    let mut out = base;
+    let tail = out.len() - 2; // strip the closing "]}"
+    out.truncate(tail);
+    out.push_str(&extra);
+    out.push_str("]}");
+    out
+}
+
+/// Renders interval snapshots as JSON Lines: one self-contained object per
+/// interval with counter deltas, gauge levels and histogram interval
+/// percentiles, keyed `"name entity"`. Stable field order.
+pub fn timeseries_jsonl(intervals: &[IntervalSnapshot]) -> String {
+    let mut out = String::with_capacity(intervals.len() * 256);
+    for s in intervals {
+        write!(
+            out,
+            "{{\"index\":{},\"start_slot\":{},\"end_slot\":{}",
+            s.index, s.start_slot, s.end_slot
+        )
+        .expect("string write");
+        out.push_str(",\"counters\":{");
+        for (i, (name, entity, v)) in s.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write!(out, "\"{name} {entity}\":{v}").expect("string write");
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, entity, v)) in s.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write!(out, "\"{name} {entity}\":{v}").expect("string write");
+        }
+        out.push_str("},\"hists\":{");
+        for (i, (name, entity, h)) in s.hists.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write!(
+                out,
+                "\"{name} {entity}\":{{\"count\":{},\"min\":{},\"p50\":{},\"p99\":{},\"max\":{}}}",
+                h.count, h.min, h.p50, h.p99, h.max
+            )
+            .expect("string write");
+        }
+        out.push_str("}}\n");
+    }
+    out
+}
+
+/// Renders interval snapshots as a long-format CSV:
+/// `index,start_slot,end_slot,kind,name,entity,value` — one row per datum,
+/// histogram summaries one row per statistic (`hist_count`, `hist_min`,
+/// `hist_p50`, `hist_p99`, `hist_max`).
+pub fn timeseries_csv(intervals: &[IntervalSnapshot]) -> String {
+    let mut out = String::from("index,start_slot,end_slot,kind,name,entity,value\n");
+    for s in intervals {
+        let prefix = |out: &mut String, kind: &str, name: &str, entity: &dyn std::fmt::Display| {
+            write!(
+                out,
+                "{},{},{},{kind},{name},{entity},",
+                s.index, s.start_slot, s.end_slot
+            )
+            .expect("string write");
+        };
+        for (name, entity, v) in &s.counters {
+            prefix(&mut out, "counter", name, entity);
+            writeln!(out, "{v}").expect("string write");
+        }
+        for (name, entity, v) in &s.gauges {
+            prefix(&mut out, "gauge", name, entity);
+            writeln!(out, "{v}").expect("string write");
+        }
+        for (name, entity, h) in &s.hists {
+            for (stat, v) in [
+                ("hist_count", h.count),
+                ("hist_min", h.min),
+                ("hist_p50", h.p50),
+                ("hist_p99", h.p99),
+                ("hist_max", h.max),
+            ] {
+                prefix(&mut out, stat, name, entity);
+                writeln!(out, "{v}").expect("string write");
+            }
+        }
+    }
     out
 }
 
@@ -333,6 +498,100 @@ mod tests {
                 (Phase::Converge, 3, 10 * 680, 70 * 680),
             ]
         );
+    }
+
+    #[test]
+    fn counter_tracks_render_gauges_utilization_and_skeptic_steps() {
+        use crate::observe::{HistStat, IntervalSnapshot};
+        let intervals = vec![IntervalSnapshot {
+            index: 0,
+            start_slot: 0,
+            end_slot: 1000,
+            counters: vec![("link.cells", Entity::Link(3), 500)],
+            gauges: vec![("switch.queue_depth", Entity::Switch(1), 7)],
+            hists: vec![(
+                "fabric.cell_latency_slots",
+                Entity::Global,
+                HistStat {
+                    count: 10,
+                    min: 5,
+                    p50: 9,
+                    p99: 20,
+                    max: 21,
+                },
+            )],
+        }];
+        let records = vec![
+            rec(
+                2000,
+                TraceEvent::SkepticQuarantine {
+                    link: 3,
+                    entered: true,
+                    level: 2,
+                },
+            ),
+            rec(
+                4000,
+                TraceEvent::SkepticQuarantine {
+                    link: 3,
+                    entered: false,
+                    level: 2,
+                },
+            ),
+        ];
+        let json = chrome_trace_with_counters(&records, &intervals, 680);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains("\"name\":\"queue_depth switch1\""));
+        assert!(json.contains("\"args\":{\"depth\":7}"));
+        // 500 cells over 1000 slots = 500 permille.
+        assert!(json.contains("\"name\":\"link_util_permille link3\""));
+        assert!(json.contains("\"args\":{\"permille\":500}"));
+        // Skeptic track steps to the level on entry, back to 0 on release.
+        assert!(json.contains("\"name\":\"skeptic_level link3\""));
+        assert!(json.contains("\"args\":{\"level\":2}"));
+        assert!(json.contains("\"args\":{\"level\":0}"));
+        assert_eq!(json.matches("\"ph\":\"C\"").count(), 4);
+        // Also valid with no base records at all.
+        let only_counters = chrome_trace_with_counters(&[], &intervals, 680);
+        assert!(only_counters.starts_with("{\"traceEvents\":[{"));
+        assert!(only_counters.ends_with("]}"));
+    }
+
+    #[test]
+    fn timeseries_dumps_are_stable_and_complete() {
+        use crate::observe::{HistStat, IntervalSnapshot};
+        let intervals = vec![IntervalSnapshot {
+            index: 4,
+            start_slot: 4000,
+            end_slot: 5000,
+            counters: vec![("fabric.cells_injected", Entity::Host(0), 12)],
+            gauges: vec![("switch.queue_depth", Entity::Switch(0), 3)],
+            hists: vec![(
+                "fabric.cell_latency_slots",
+                Entity::Global,
+                HistStat {
+                    count: 12,
+                    min: 40,
+                    p50: 55,
+                    p99: 80,
+                    max: 81,
+                },
+            )],
+        }];
+        let jl = timeseries_jsonl(&intervals);
+        assert_eq!(jl.lines().count(), 1);
+        assert!(jl.contains("\"index\":4"));
+        assert!(jl.contains("\"fabric.cells_injected host0\":12"));
+        assert!(jl.contains("\"p99\":80"));
+        assert_eq!(jl, timeseries_jsonl(&intervals), "export must be stable");
+        let csv = timeseries_csv(&intervals);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "index,start_slot,end_slot,kind,name,entity,value");
+        // 1 counter + 1 gauge + 5 histogram statistic rows.
+        assert_eq!(lines.len(), 8);
+        assert!(lines.contains(&"4,4000,5000,counter,fabric.cells_injected,host0,12"));
+        assert!(lines.contains(&"4,4000,5000,hist_p50,fabric.cell_latency_slots,global,55"));
     }
 
     #[test]

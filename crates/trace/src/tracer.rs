@@ -2,6 +2,7 @@
 //! [`EngineTracer`] probe adapter for the discrete-event engine.
 
 use crate::event::{Entity, TraceEvent};
+use crate::observe::{HealthEvent, IntervalSnapshot, Observatory, ObservatoryConfig};
 use crate::recorder::{FlightRecorder, TraceRecord};
 use crate::registry::{Metric, MetricsRegistry, MetricsSnapshot};
 use an2_sim::{ActorId, EngineProbe, SimTime};
@@ -44,6 +45,29 @@ struct TraceCore {
     sample_every: u32,
     injected_seen: u64,
     next_trace_id: u32,
+    observatory: Option<Observatory>,
+}
+
+impl TraceCore {
+    /// Runs the observatory over any interval boundaries the virtual clock
+    /// has crossed. The observatory reads the registry and returns its
+    /// alerts; the core mirrors them into the flight recorder. Everything
+    /// here is deterministic bookkeeping — no randomness, no effect on the
+    /// simulation — so scrape-enabled runs stay byte-identical.
+    fn scrape_if_due(&mut self) {
+        let due = self.observatory.as_ref().is_some_and(|o| o.due(self.slot));
+        if !due {
+            return;
+        }
+        let mut obs = self.observatory.take().expect("observatory checked above");
+        let mut alerts = Vec::new();
+        obs.scrape_until(self.slot, self.slot_ns, &self.registry, &mut alerts);
+        for (slot, event) in alerts {
+            let at_ns = slot * self.slot_ns;
+            self.recorder.push(TraceRecord { slot, at_ns, event });
+        }
+        self.observatory = Some(obs);
+    }
 }
 
 /// The cheap-to-clone tracing handle.
@@ -74,6 +98,7 @@ impl Tracer {
                 sample_every: config.sample_every,
                 injected_seen: 0,
                 next_trace_id: 0,
+                observatory: None,
             })),
         }
     }
@@ -83,9 +108,13 @@ impl Tracer {
     }
 
     /// Advances the tracer's notion of the current fabric slot; every
-    /// subsequent [`Tracer::emit`] is stamped with it.
+    /// subsequent [`Tracer::emit`] is stamped with it. When an observatory
+    /// is enabled, crossing an interval boundary triggers a registry
+    /// scrape and a watchdog pass (see [`Tracer::enable_observatory`]).
     pub fn set_slot(&self, slot: u64) {
-        self.lock().slot = slot;
+        let mut core = self.lock();
+        core.slot = slot;
+        core.scrape_if_due();
     }
 
     /// The current fabric slot.
@@ -200,6 +229,55 @@ impl Tracer {
     /// The registry rendered in Prometheus text exposition format.
     pub fn metrics_prometheus(&self) -> String {
         self.lock().registry.to_prometheus()
+    }
+
+    /// Attaches the streaming telemetry tier: from now on, every interval
+    /// boundary the virtual clock crosses scrapes the registry into a
+    /// bounded ring of [`IntervalSnapshot`]s and runs the SLO watchdog,
+    /// which mirrors its [`HealthEvent`]s into the flight recorder as
+    /// [`TraceEvent::HealthAlert`] records. Scraping is read-only with
+    /// respect to the simulation; an observed run stays byte-identical.
+    pub fn enable_observatory(&self, cfg: ObservatoryConfig) {
+        self.lock().observatory = Some(Observatory::new(cfg));
+    }
+
+    /// `true` when an observatory is attached.
+    pub fn observatory_enabled(&self) -> bool {
+        self.lock().observatory.is_some()
+    }
+
+    /// Forces any due boundaries to scrape now (useful at end of run when
+    /// the clock stopped mid-interval).
+    pub fn scrape_now(&self) {
+        self.lock().scrape_if_due();
+    }
+
+    /// The observatory's retained interval snapshots, oldest first
+    /// (empty when no observatory is attached).
+    pub fn intervals(&self) -> Vec<IntervalSnapshot> {
+        self.lock()
+            .observatory
+            .as_ref()
+            .map(|o| o.intervals().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Total intervals scraped (including ones evicted off the ring).
+    pub fn intervals_seen(&self) -> u64 {
+        self.lock()
+            .observatory
+            .as_ref()
+            .map_or(0, |o| o.intervals_seen())
+    }
+
+    /// The watchdog's typed health log, in emission order (empty when no
+    /// observatory is attached).
+    pub fn health_events(&self) -> Vec<HealthEvent> {
+        self.lock()
+            .observatory
+            .as_ref()
+            .map(|o| o.health_log().to_vec())
+            .unwrap_or_default()
     }
 }
 

@@ -5,12 +5,13 @@
 //! cells whose hop-by-hop journeys reconstruct end to end.
 
 use an2::{
-    sink, ControlPlaneConfig, FaultSpec, FlapEvent, Network, Phase, PhaseEdge, TraceConfig,
-    TraceEvent, Tracer,
+    sink, ControlPlaneConfig, FaultSpec, FlapEvent, Network, Phase, PhaseEdge, SkepticConfig,
+    TraceConfig, TraceEvent, Tracer,
 };
 use an2_cells::{LinkRate, Packet};
 use an2_sim::SimDuration;
 use an2_topology::{LinkId, Node};
+use an2_trace::ObservatoryConfig;
 
 /// 200 ms, in nanoseconds of virtual time.
 const BUDGET_NS: u64 = 200_000_000;
@@ -194,5 +195,145 @@ fn n4_failure_leaves_a_golden_reconfig_trace() {
     assert!(
         chrome.contains("\"ph\":\"X\""),
         "no complete spans exported"
+    );
+}
+
+/// The N4 flap-with-recovery cell, observed: the victim dies at 40 000,
+/// recovers at 80 000, and a 50 ms skeptic holddown (longer than the
+/// ~30 ms between the dead verdict and the recovery streak) quarantines
+/// the readmission — so the recording carries quarantine edges, and the
+/// observatory scrapes the 1 ms interval snapshots the counter tracks
+/// render from.
+fn drive_flap_with_recovery() -> (Network, Tracer, LinkId) {
+    let mut net = Network::builder()
+        .src_installation(4, 8)
+        .seed(7)
+        .skeptic(SkepticConfig {
+            base_wait: SimDuration::from_millis(50),
+            max_level: 3,
+            ..SkepticConfig::default()
+        })
+        .build();
+    let victim = backbone_link(&net);
+    let hosts: Vec<_> = net.hosts().collect();
+    let mut circuits = Vec::new();
+    for pair in hosts.chunks(2) {
+        if let [a, b] = *pair {
+            circuits.push(net.open_best_effort(a, b).expect("open circuit"));
+        }
+    }
+    let mut spec = FaultSpec {
+        check_invariants: true,
+        ..Default::default()
+    };
+    spec.monitor.ping_interval = SimDuration::from_millis(1);
+    spec.flaps.push(FlapEvent {
+        link: victim,
+        down_at: 40_000,
+        up_at: 80_000,
+    });
+    net.attach_faults(&spec, 7);
+    let tracer = net.attach_observatory(
+        TraceConfig {
+            ring_capacity: 1 << 18,
+            ..TraceConfig::default()
+        },
+        ObservatoryConfig::default(),
+    );
+    net.enable_control_plane(ControlPlaneConfig::default());
+    let mut tag = 0u8;
+    while net.slot() < 200_000 {
+        for &vc in &circuits {
+            if !net.is_broken(vc) {
+                let _ = net.send_packet(vc, Packet::from_bytes(vec![tag; 300]));
+            }
+        }
+        tag = tag.wrapping_add(1);
+        net.step(4_000);
+    }
+    net.step(25_000);
+    (net, tracer, victim)
+}
+
+#[test]
+fn counter_tracks_render_and_skeptic_track_steps_at_quarantine_edges() {
+    let slot_ns = LinkRate::Mbps622.slot_duration().as_nanos();
+    let (_net, tracer, victim) = drive_flap_with_recovery();
+    let records = tracer.records();
+    let intervals = tracer.intervals();
+    assert!(
+        intervals.len() >= 100,
+        "observatory scraped only {} intervals",
+        intervals.len()
+    );
+
+    let chrome = sink::chrome_trace_with_counters(&records, &intervals, slot_ns);
+    assert!(chrome.starts_with("{\"traceEvents\":["));
+    assert!(chrome.ends_with("]}"));
+    assert!(
+        chrome.contains("\"ph\":\"C\""),
+        "no counter samples exported"
+    );
+    assert!(
+        chrome.contains("\"name\":\"queue_depth switch"),
+        "no queue-depth track"
+    );
+    assert!(
+        chrome.contains("\"name\":\"link_util_permille link"),
+        "no link-utilization track"
+    );
+
+    // The quarantine edges on the record: at least one entry for the
+    // victim, and the skeptic-level counter track must step at *exactly*
+    // those timestamps — level on entry, zero on release, one sample per
+    // recorded edge, none invented.
+    let edges: Vec<(u64, u32, bool)> = records
+        .iter()
+        .filter_map(|r| match r.event {
+            TraceEvent::SkepticQuarantine {
+                link,
+                entered,
+                level,
+            } => {
+                assert_eq!(link, victim.0, "quarantine on an unexpected link");
+                Some((r.at_ns, level, entered))
+            }
+            _ => None,
+        })
+        .collect();
+    assert!(
+        edges.iter().any(|&(_, _, entered)| entered),
+        "the flap recovery never entered quarantine"
+    );
+    let samples = chrome.matches("\"name\":\"skeptic_level link").count();
+    assert_eq!(
+        samples,
+        edges.len(),
+        "skeptic track has {samples} samples for {} recorded edges",
+        edges.len()
+    );
+    for &(at_ns, level, entered) in &edges {
+        let value = if entered { level } else { 0 };
+        let needle = format!(
+            "{{\"name\":\"skeptic_level link{}\",\"cat\":\"observatory\",\"ph\":\"C\",\"ts\":{}.{:03},\"pid\":1,\"args\":{{\"level\":{value}}}}}",
+            victim.0,
+            at_ns / 1000,
+            at_ns % 1000,
+        );
+        assert!(
+            chrome.contains(&needle),
+            "no skeptic-level step at {at_ns} ns with level {value}"
+        );
+    }
+
+    // The time-series dumps of the same intervals are well-formed and
+    // carry the victim's utilization series.
+    let jsonl = sink::timeseries_jsonl(&intervals);
+    assert_eq!(jsonl.lines().count(), intervals.len());
+    let csv = sink::timeseries_csv(&intervals);
+    assert!(csv.starts_with("index,start_slot,end_slot,kind,name,entity,value"));
+    assert!(
+        csv.contains(&format!(",counter,link.cells,link{},", victim.0)),
+        "victim link's utilization series missing from the CSV dump"
     );
 }

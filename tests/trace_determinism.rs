@@ -3,16 +3,32 @@
 //! per-circuit stats (including latency samples), same control-transport
 //! counters, same fault counters, same reconfiguration log — across
 //! topologies and seeds, with faults drawing randomness the whole time.
+//! The same holds one tier up: the telemetry observatory (interval scraper
+//! plus SLO watchdog) reads the registry every millisecond and runs its
+//! detectors live, and still must leave every digest untouched.
 
 use an2::{ControlPlaneConfig, FaultSpec, LossModel, Network, NetworkBuilder, TraceConfig};
 use an2_cells::Packet;
 use an2_sim::SimDuration;
+use an2_trace::ObservatoryConfig;
 
 fn fnv(h: &mut u64, x: u64) {
     for b in x.to_le_bytes() {
         *h ^= b as u64;
         *h = h.wrapping_mul(0x1_0000_01b3);
     }
+}
+
+/// How much observation the run carries.
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    /// No tracer at all.
+    Plain,
+    /// Flight recorder attached.
+    Traced,
+    /// Flight recorder plus the observatory scraping every ~0.25 ms with
+    /// the SLO watchdog live.
+    Observed,
 }
 
 /// Lossy links plus a fast monitor, so the run exercises every RNG-adjacent
@@ -36,9 +52,9 @@ fn builder(topo: usize) -> NetworkBuilder {
     }
 }
 
-/// Runs the workload, optionally traced, and digests everything observable.
-/// Returns `(digest, delivered, events_recorded)`.
-fn run(topo: usize, seed: u64, traced: bool) -> (u64, u64, u64) {
+/// Runs the workload, optionally traced/observed, and digests everything
+/// observable. Returns `(digest, delivered, events_recorded, intervals)`.
+fn run(topo: usize, seed: u64, mode: Mode) -> (u64, u64, u64, u64) {
     let mut net = builder(topo).seed(seed).build();
     let hosts: Vec<_> = net.hosts().collect();
     let mut circuits = Vec::new();
@@ -50,12 +66,21 @@ fn run(topo: usize, seed: u64, traced: bool) -> (u64, u64, u64) {
         }
     }
     net.attach_faults(&spec(), seed);
-    let tracer = traced.then(|| {
-        net.attach_tracer(TraceConfig {
-            sample_every: 16,
-            ..TraceConfig::default()
-        })
-    });
+    let trace_cfg = TraceConfig {
+        sample_every: 16,
+        ..TraceConfig::default()
+    };
+    let tracer = match mode {
+        Mode::Plain => None,
+        Mode::Traced => Some(net.attach_tracer(trace_cfg)),
+        Mode::Observed => Some(net.attach_observatory(
+            trace_cfg,
+            ObservatoryConfig {
+                every_slots: 367,
+                ..ObservatoryConfig::default()
+            },
+        )),
+    };
     net.enable_control_plane(ControlPlaneConfig::default());
     let mut tag = 0u8;
     while net.slot() < 30_000 {
@@ -110,16 +135,18 @@ fn run(topo: usize, seed: u64, traced: bool) -> (u64, u64, u64) {
     for e in net.reconfig_log() {
         fnv(&mut digest, e.slot());
     }
-    let events = tracer.map(|t| t.events_seen()).unwrap_or(0);
-    (digest, delivered, events)
+    let (events, intervals) = tracer
+        .map(|t| (t.events_seen(), t.intervals_seen()))
+        .unwrap_or((0, 0));
+    (digest, delivered, events, intervals)
 }
 
 #[test]
 fn traced_runs_are_byte_identical_to_untraced() {
     for topo in 0..3usize {
         for seed in [3u64, 17, 91] {
-            let (plain, delivered, _) = run(topo, seed, false);
-            let (traced, traced_delivered, events) = run(topo, seed, true);
+            let (plain, delivered, _, _) = run(topo, seed, Mode::Plain);
+            let (traced, traced_delivered, events, _) = run(topo, seed, Mode::Traced);
             assert!(
                 delivered > 0,
                 "workload moved no traffic (topo {topo}, seed {seed})"
@@ -133,6 +160,29 @@ fn traced_runs_are_byte_identical_to_untraced() {
                 "tracing perturbed the run (topo {topo}, seed {seed})"
             );
             assert_eq!(delivered, traced_delivered);
+        }
+    }
+}
+
+#[test]
+fn observed_runs_are_byte_identical_to_untraced() {
+    for topo in 0..3usize {
+        for seed in [3u64, 17, 91] {
+            let (plain, delivered, _, _) = run(topo, seed, Mode::Plain);
+            let (observed, observed_delivered, events, intervals) = run(topo, seed, Mode::Observed);
+            assert!(
+                events > 0,
+                "tracer recorded nothing (topo {topo}, seed {seed})"
+            );
+            assert!(
+                intervals >= 40,
+                "observatory scraped only {intervals} intervals (topo {topo}, seed {seed})"
+            );
+            assert_eq!(
+                plain, observed,
+                "scraping or the watchdog perturbed the run (topo {topo}, seed {seed})"
+            );
+            assert_eq!(delivered, observed_delivered);
         }
     }
 }
